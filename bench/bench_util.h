@@ -1,0 +1,140 @@
+// Shared helpers for the figure/table benchmark binaries.
+//
+// Every bench accepts:
+//   --scale=<divisor>   divide the paper's cardinalities by this (default
+//                       per bench); reported traffic is projected back up.
+//   --nodes=<n>         cluster size (default: the paper's setting).
+//   --seed=<n>          workload seed.
+#ifndef TJ_BENCH_BENCH_UTIL_H_
+#define TJ_BENCH_BENCH_UTIL_H_
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baseline/broadcast_join.h"
+#include "baseline/hash_join.h"
+#include "core/track_join.h"
+#include "costmodel/reprice.h"
+#include "net/traffic.h"
+#include "workload/generator.h"
+
+namespace tj {
+namespace bench {
+
+struct Args {
+  uint64_t scale = 0;  // 0 = bench default.
+  uint32_t nodes = 0;  // 0 = bench default.
+  uint64_t seed = 42;
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      args.scale = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--nodes=", 8) == 0) {
+      args.nodes = static_cast<uint32_t>(std::strtoul(arg + 8, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--scale=<divisor>] [--nodes=<n>] [--seed=<n>]\n",
+                  argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+/// Runs one of the seven evaluated algorithms.
+inline JoinResult RunAlgorithm(JoinAlgorithm algorithm,
+                               const PartitionedTable& r,
+                               const PartitionedTable& s,
+                               const JoinConfig& config) {
+  switch (algorithm) {
+    case JoinAlgorithm::kBroadcastR:
+      return RunBroadcastJoin(r, s, config, Direction::kRtoS);
+    case JoinAlgorithm::kBroadcastS:
+      return RunBroadcastJoin(r, s, config, Direction::kStoR);
+    case JoinAlgorithm::kHash:
+      return RunHashJoin(r, s, config);
+    case JoinAlgorithm::kTrack2R:
+      return RunTrackJoin2(r, s, config, Direction::kRtoS);
+    case JoinAlgorithm::kTrack2S:
+      return RunTrackJoin2(r, s, config, Direction::kStoR);
+    case JoinAlgorithm::kTrack3:
+      return RunTrackJoin3(r, s, config);
+    case JoinAlgorithm::kTrack4:
+      return RunTrackJoin4(r, s, config);
+  }
+  std::abort();
+}
+
+inline const std::vector<JoinAlgorithm>& AllAlgorithms() {
+  static const std::vector<JoinAlgorithm> kAll = {
+      JoinAlgorithm::kBroadcastR, JoinAlgorithm::kBroadcastS,
+      JoinAlgorithm::kHash,       JoinAlgorithm::kTrack2R,
+      JoinAlgorithm::kTrack2S,    JoinAlgorithm::kTrack3,
+      JoinAlgorithm::kTrack4};
+  return kAll;
+}
+
+inline double Gib(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+
+/// Prints the stacked-class traffic table of one experiment, projected to
+/// paper scale: one row per algorithm, one column per message class.
+/// If `pricing` is non-null the traffic is re-priced through it.
+inline void PrintTrafficTable(const std::vector<JoinAlgorithm>& algorithms,
+                              const std::vector<JoinResult>& results,
+                              double projection,
+                              const PricingSpec* pricing = nullptr) {
+  std::printf("  %-6s %14s %14s %14s %14s %14s\n", "algo", "keys&counts",
+              "keys&nodes", "R tuples", "S tuples", "total GiB");
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    const TrafficMatrix& t = results[i].traffic;
+    double kc, kn, rt, st;
+    if (pricing != nullptr) {
+      kc = RepricedNetworkBytes(t, TrafficClass::kKeysAndCounts, *pricing);
+      kn = RepricedNetworkBytes(t, TrafficClass::kKeysAndNodes, *pricing);
+      rt = RepricedNetworkBytes(t, TrafficClass::kRTuples, *pricing);
+      st = RepricedNetworkBytes(t, TrafficClass::kSTuples, *pricing);
+    } else {
+      kc = static_cast<double>(t.NetworkBytes(TrafficClass::kKeysAndCounts));
+      kn = static_cast<double>(t.NetworkBytes(TrafficClass::kKeysAndNodes));
+      rt = static_cast<double>(t.NetworkBytes(TrafficClass::kRTuples));
+      st = static_cast<double>(t.NetworkBytes(TrafficClass::kSTuples));
+    }
+    std::printf("  %-6s %14.3f %14.3f %14.3f %14.3f %14.3f\n",
+                JoinAlgorithmName(algorithms[i]), Gib(kc * projection),
+                Gib(kn * projection), Gib(rt * projection),
+                Gib(st * projection),
+                Gib((kc + kn + rt + st) * projection));
+  }
+}
+
+/// Runs all seven algorithms on one workload and verifies they agree.
+inline std::vector<JoinResult> RunAll(const Workload& w,
+                                      const JoinConfig& config) {
+  std::vector<JoinResult> results;
+  results.reserve(AllAlgorithms().size());
+  for (JoinAlgorithm algorithm : AllAlgorithms()) {
+    results.push_back(RunAlgorithm(algorithm, w.r, w.s, config));
+    if (results.back().checksum.digest() != results.front().checksum.digest() ||
+        results.back().output_rows != results.front().output_rows) {
+      std::fprintf(stderr, "FATAL: %s disagrees with %s on the join result\n",
+                   JoinAlgorithmName(algorithm),
+                   JoinAlgorithmName(AllAlgorithms().front()));
+      std::exit(1);
+    }
+  }
+  return results;
+}
+
+}  // namespace bench
+}  // namespace tj
+
+#endif  // TJ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// Microbenchmark: Bloom filter build/probe rates and serialized sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "filter/bloom.h"
+
+namespace tj {
+namespace {
+
+void BM_BloomAdd(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  for (auto _ : state) {
+    BloomFilter filter(keys, 10);
+    for (int64_t k = 0; k < keys; ++k) filter.Add(k * 2654435761ULL);
+    benchmark::DoNotOptimize(filter.SizeBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * keys);
+}
+BENCHMARK(BM_BloomAdd)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BloomProbeHit(benchmark::State& state) {
+  const int64_t keys = 1 << 16;
+  BloomFilter filter(keys, 10);
+  for (int64_t k = 0; k < keys; ++k) filter.Add(k);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(i++ & (keys - 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbeHit);
+
+void BM_BloomProbeMiss(benchmark::State& state) {
+  const int64_t keys = 1 << 16;
+  BloomFilter filter(keys, 10);
+  for (int64_t k = 0; k < keys; ++k) filter.Add(k);
+  uint64_t probe = 1ULL << 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(probe++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbeMiss);
+
+void BM_BloomSerialize(benchmark::State& state) {
+  BloomFilter filter(1 << 16, 10);
+  Rng rng(3);
+  for (int k = 0; k < (1 << 16); ++k) filter.Add(rng.Next());
+  for (auto _ : state) {
+    ByteBuffer buf;
+    filter.Serialize(&buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetBytesProcessed(state.iterations() * filter.SizeBytes());
+}
+BENCHMARK(BM_BloomSerialize);
+
+}  // namespace
+}  // namespace tj
+
+BENCHMARK_MAIN();

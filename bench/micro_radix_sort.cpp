@@ -1,0 +1,76 @@
+// Microbenchmark: MSB radix sort of tuple blocks (the paper's local join
+// primitive) against std::sort on the same data.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "exec/radix_sort.h"
+#include "storage/tuple_block.h"
+
+namespace tj {
+namespace {
+
+TupleBlock MakeBlock(int64_t rows, uint32_t payload, uint64_t key_domain) {
+  Rng rng(7);
+  TupleBlock block(payload);
+  std::vector<uint8_t> buf(payload, 0xab);
+  for (int64_t i = 0; i < rows; ++i) {
+    block.Append(rng.Below(key_domain), payload ? buf.data() : nullptr);
+  }
+  return block;
+}
+
+void BM_RadixSortBlock(benchmark::State& state) {
+  TupleBlock block = MakeBlock(state.range(0), 16, 1ULL << 40);
+  for (auto _ : state) {
+    TupleBlock copy = block;
+    SortBlockByKey(&copy);
+    benchmark::DoNotOptimize(copy.Key(0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadixSortBlock)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixSortPairs(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<uint64_t> keys(state.range(0));
+  for (auto& k : keys) k = rng.Next();
+  std::vector<uint32_t> values(keys.size(), 0);
+  for (auto _ : state) {
+    auto k = keys;
+    auto v = values;
+    RadixSortPairs(&k, &v);
+    benchmark::DoNotOptimize(k[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadixSortPairs)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StdSortPairs(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::pair<uint64_t, uint32_t>> pairs(state.range(0));
+  for (auto& p : pairs) p = {rng.Next(), 0};
+  for (auto _ : state) {
+    auto copy = pairs;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy[0].first);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdSortPairs)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SortedDetection(benchmark::State& state) {
+  TupleBlock block = MakeBlock(state.range(0), 0, 1ULL << 40);
+  SortBlockByKey(&block);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSortedByKey(block));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortedDetection)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace tj
+
+BENCHMARK_MAIN();

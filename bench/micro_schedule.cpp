@@ -1,0 +1,87 @@
+// Microbenchmark: per-key schedule generation throughput.
+//
+// The paper's claim: "optimal network traffic scheduling still takes
+// linear time ... scheduling is in the worst case linear in the total
+// number of input tuples" — Table 4 shows schedule generation costing a
+// fraction of a local sort. These benches measure schedules/second across
+// placement sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/schedule.h"
+
+namespace tj {
+namespace {
+
+std::vector<KeyPlacement> MakePlacements(int count, uint32_t nodes,
+                                         double presence) {
+  Rng rng(42);
+  std::vector<KeyPlacement> placements;
+  placements.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    KeyPlacement p;
+    for (uint32_t node = 0; node < nodes; ++node) {
+      if (rng.Bernoulli(presence)) {
+        p.r.push_back(NodeSize{node, 1 + rng.Below(1000)});
+      }
+      if (rng.Bernoulli(presence)) {
+        p.s.push_back(NodeSize{node, 1 + rng.Below(1000)});
+      }
+    }
+    if (p.r.empty()) p.r.push_back(NodeSize{0, 1});
+    if (p.s.empty()) p.s.push_back(NodeSize{1 % nodes, 1});
+    p.tracker = static_cast<uint32_t>(rng.Below(nodes));
+    p.msg_bytes = 5;
+    placements.push_back(std::move(p));
+  }
+  return placements;
+}
+
+void BM_SelectiveBroadcastCost(benchmark::State& state) {
+  auto placements = MakePlacements(1024, state.range(0), 0.5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectiveBroadcastCost(
+        placements[i++ & 1023], Direction::kRtoS));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectiveBroadcastCost)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PlanOptimal(benchmark::State& state) {
+  auto placements = MakePlacements(1024, state.range(0), 0.5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanOptimal(placements[i++ & 1023]).plan.cost);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanOptimal)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PlanBalanced(benchmark::State& state) {
+  auto placements = MakePlacements(1024, state.range(0), 0.5);
+  LoadBalancer balancer(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        balancer.PlanBalanced(placements[i++ & 1023]).plan.cost);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanBalanced)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SparseSingletonKeys(benchmark::State& state) {
+  // The near-unique-key regime of workload X: one node per side.
+  auto placements = MakePlacements(1024, 16, 0.05);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanOptimal(placements[i++ & 1023]).plan.cost);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseSingletonKeys);
+
+}  // namespace
+}  // namespace tj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Bit-level helpers shared by the encoding and cost-model layers.
+#ifndef TJ_COMMON_BIT_UTIL_H_
+#define TJ_COMMON_BIT_UTIL_H_
+
+#include <cstdint>
+
+namespace tj {
+
+/// Number of bits needed to represent values in [0, n) (i.e. n distinct
+/// codes). CeilLog2(0) and CeilLog2(1) are 1: even a single distinct value
+/// occupies one bit in a packed stream.
+inline uint32_t CeilLog2(uint64_t n) {
+  if (n <= 2) return 1;
+  uint32_t bits = 64 - static_cast<uint32_t>(__builtin_clzll(n - 1));
+  return bits;
+}
+
+/// Bits needed to represent the value v itself (v fits in BitWidth(v) bits).
+inline uint32_t BitWidth(uint64_t v) {
+  if (v == 0) return 1;
+  return 64 - static_cast<uint32_t>(__builtin_clzll(v));
+}
+
+/// Rounds a bit count up to whole bytes.
+inline uint32_t BitsToBytes(uint32_t bits) { return (bits + 7) / 8; }
+
+/// Rounds a bit count up to a "fixed byte" machine width: 1, 2, 4 or 8
+/// bytes. This models the paper's fixed-byte encoding scheme (Figure 7).
+inline uint32_t BitsToFixedBytes(uint32_t bits) {
+  if (bits <= 8) return 1;
+  if (bits <= 16) return 2;
+  if (bits <= 32) return 4;
+  return 8;
+}
+
+/// True if v is a power of two (v > 0).
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v > 0; result saturates at 2^63).
+inline uint64_t NextPowerOfTwo(uint64_t v) {
+  if (v <= 1) return 1;
+  return 1ULL << BitWidth(v - 1);
+}
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_BIT_UTIL_H_

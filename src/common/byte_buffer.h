@@ -1,0 +1,102 @@
+// Growable byte buffer plus little-endian reader/writer cursors.
+//
+// Every message that crosses the simulated network is serialized through
+// these, so the byte counts the traffic accountant reports are the real
+// serialized sizes.
+#ifndef TJ_COMMON_BYTE_BUFFER_H_
+#define TJ_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tj {
+
+using ByteBuffer = std::vector<uint8_t>;
+
+/// Appends fixed- and variable-width little-endian integers to a ByteBuffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(ByteBuffer* out) : out_(out) { TJ_CHECK(out != nullptr); }
+
+  /// Writes the low `width` bytes of v (width in [0,8]).
+  void PutUint(uint64_t v, uint32_t width) {
+    TJ_CHECK_LE(width, 8u);
+    for (uint32_t i = 0; i < width; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) { PutUint(v, 2); }
+  void PutU32(uint32_t v) { PutUint(v, 4); }
+  void PutU64(uint64_t v) { PutUint(v, 8); }
+
+  void PutBytes(const void* data, size_t size) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + size);
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  ByteBuffer* out_;
+};
+
+/// Reads little-endian integers from a byte range. Out-of-bounds reads are
+/// programming errors and abort.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit ByteReader(const ByteBuffer& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  /// Reads a `width`-byte little-endian unsigned integer (width in [0,8]).
+  uint64_t GetUint(uint32_t width) {
+    TJ_CHECK_LE(width, 8u);
+    TJ_CHECK_LE(pos_ + width, size_);
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < width; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += width;
+    return v;
+  }
+
+  uint8_t GetU8() { return static_cast<uint8_t>(GetUint(1)); }
+  uint16_t GetU16() { return static_cast<uint16_t>(GetUint(2)); }
+  uint32_t GetU32() { return static_cast<uint32_t>(GetUint(4)); }
+  uint64_t GetU64() { return GetUint(8); }
+
+  /// Copies `size` bytes into `out`.
+  void GetBytes(void* out, size_t size) {
+    TJ_CHECK_LE(pos_ + size, size_);
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  /// Pointer to the current position without consuming.
+  const uint8_t* Current() const { return data_ + pos_; }
+
+  /// Advances the cursor by `size` bytes.
+  void Skip(size_t size) {
+    TJ_CHECK_LE(pos_ + size, size_);
+    pos_ += size;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_BYTE_BUFFER_H_

@@ -1,0 +1,45 @@
+// Hash functions used for partitioning, hash tables, and Bloom filters.
+#ifndef TJ_COMMON_HASH_H_
+#define TJ_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tj {
+
+/// MurmurHash3 64-bit finalizer: a strong bijective mixer for integer keys.
+inline uint64_t HashMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Seeded variant. Distinct seeds give (practically) independent hashes,
+/// which Bloom filters and the tracker/hash-partitioners rely on.
+inline uint64_t HashKey(uint64_t key, uint64_t seed = 0) {
+  return HashMix64(key + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// Hash of a byte string (FNV-1a 64). Used for payload checksums.
+inline uint64_t HashBytes(const void* data, size_t size, uint64_t seed = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ HashMix64(seed);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Node that "owns" a key: the hash partitioning rule used by both Grace
+/// hash join and track join's tracker placement (hash(k) mod N).
+inline uint32_t HashPartition(uint64_t key, uint32_t num_nodes) {
+  return static_cast<uint32_t>(HashKey(key) % num_nodes);
+}
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_HASH_H_

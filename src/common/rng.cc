@@ -1,0 +1,39 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace tj {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  TJ_CHECK_GT(n, 0u);
+  TJ_CHECK_GE(theta, 0.0);
+  if (std::fabs(theta_ - 1.0) < 1e-9) theta_ = 1.0 + 1e-9;
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Antiderivative of x^-theta.
+  return std::pow(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) {
+  while (true) {
+    double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -theta_)) {
+      return k - 1;  // Map to [0, n).
+    }
+  }
+}
+
+}  // namespace tj

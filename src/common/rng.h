@@ -1,0 +1,127 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data in the library is generated from explicit seeds so that
+// experiments are exactly reproducible. SplitMix64 seeds Xoshiro256**, the
+// workhorse generator.
+#ifndef TJ_COMMON_RNG_H_
+#define TJ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tj {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used for seeding and for
+/// stateless "hash of an index" style value derivation.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256** by Blackman & Vigna: fast all-purpose generator with 256-bit
+/// state. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  /// Re-seeds the full state deterministically from one 64-bit seed.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x = SplitMix64(x);
+      word = x;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  uint64_t Below(uint64_t bound) {
+    TJ_CHECK_GT(bound, 0u);
+    // Lemire's multiply-shift rejection method: unbiased and fast.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform value in [lo, hi] inclusive. Precondition: lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    TJ_CHECK_LE(lo, hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+/// Zipf(theta) sampler over [0, n) using the rejection-inversion method of
+/// Hörmann & Derflinger. theta = 0 degenerates to uniform.
+class ZipfGenerator {
+ public:
+  /// Precondition: n > 0, theta >= 0, theta != 1 handled (theta == 1 uses a
+  /// nearby value to avoid the harmonic singularity in closed forms).
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Samples a value in [0, n); smaller values are more likely for theta > 0.
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for the per-step timing breakdowns (paper Tables 3/4).
+#ifndef TJ_COMMON_STOPWATCH_H_
+#define TJ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tj {
+
+/// Measures elapsed wall time in seconds. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_STOPWATCH_H_

@@ -1,0 +1,54 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// The simulated cluster runs each logical node's phase work as a pool task,
+// mirroring the paper's "once per node" process model while staying inside
+// one OS process.
+#ifndef TJ_COMMON_THREAD_POOL_H_
+#define TJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tj {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means std::thread::hardware_concurrency,
+  /// at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), distributing across the pool, and waits.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+#include "core/join_types.h"
+
+namespace tj {
+
+const char* DirectionName(Direction dir) {
+  return dir == Direction::kRtoS ? "R->S" : "S->R";
+}
+
+const char* JoinAlgorithmName(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kBroadcastR:
+      return "BJ-R";
+    case JoinAlgorithm::kBroadcastS:
+      return "BJ-S";
+    case JoinAlgorithm::kHash:
+      return "HJ";
+    case JoinAlgorithm::kTrack2R:
+      return "2TJ-R";
+    case JoinAlgorithm::kTrack2S:
+      return "2TJ-S";
+    case JoinAlgorithm::kTrack3:
+      return "3TJ";
+    case JoinAlgorithm::kTrack4:
+      return "4TJ";
+  }
+  return "?";
+}
+
+}  // namespace tj

@@ -1,0 +1,99 @@
+// Shared types of the distributed join algorithms.
+#ifndef TJ_CORE_JOIN_TYPES_H_
+#define TJ_CORE_JOIN_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/traffic.h"
+#include "storage/table.h"
+
+namespace tj {
+
+/// Selective-broadcast direction: which table's tuples travel.
+enum class Direction : uint8_t {
+  kRtoS,  ///< R tuples are sent to the locations of matching S tuples.
+  kStoR,  ///< S tuples are sent to the locations of matching R tuples.
+};
+
+inline Direction Opposite(Direction dir) {
+  return dir == Direction::kRtoS ? Direction::kStoR : Direction::kRtoS;
+}
+
+const char* DirectionName(Direction dir);
+
+/// Serialization widths and feature toggles shared by all join algorithms.
+struct JoinConfig {
+  /// Serialized join-key width wk in bytes. Keys must fit.
+  uint32_t key_bytes = 4;
+  /// Tracking count width c in bytes (3-/4-phase). Counts larger than the
+  /// field saturate into repeated entries, aggregated at the tracker.
+  uint32_t count_bytes = 1;
+  /// Node-id width in bytes; the paper's location-message size M is
+  /// key_bytes + node_bytes.
+  uint32_t node_bytes = 1;
+
+  // --- Section 2.4 traffic-compression toggles (default off) ---
+  /// Delta-encode sorted key streams in tracking messages.
+  bool delta_tracking = false;
+  /// Group location messages by node (send the node label once).
+  bool group_locations = false;
+
+  /// Balance-aware scheduling (paper Section 5): break cost ties in the
+  /// per-key schedules toward the least-loaded nodes. Total traffic is
+  /// unchanged; the bottleneck NIC's share shrinks. 4-phase only.
+  bool balance_loads = false;
+
+  /// Materialize the join output: the result carries a PartitionedTable of
+  /// <key | payloadR | payloadS> rows, resident where each pair joined.
+  /// Off by default (results are still checksum-verified either way).
+  bool materialize = false;
+
+  /// If non-null, phases run their per-node work on this pool (results
+  /// are identical to sequential execution). Not owned.
+  class ThreadPool* thread_pool = nullptr;
+
+  /// Location-message size M in bytes, as used by the per-key scheduler.
+  uint64_t MsgBytes() const { return key_bytes + node_bytes; }
+};
+
+/// Outcome of a distributed join run: verified output fingerprint, full
+/// traffic matrix and per-phase wall-clock breakdown.
+struct JoinResult {
+  uint64_t output_rows = 0;
+  JoinChecksum checksum;
+  TrafficMatrix traffic;
+  /// Named per-phase wall times (CPU-side work), in execution order.
+  std::vector<std::pair<std::string, double>> phase_seconds;
+  /// The materialized output (JoinConfig::materialize): one
+  /// <key | payloadR | payloadS> row per joined pair, partitioned across
+  /// the nodes where the pairs were produced.
+  std::optional<PartitionedTable> output;
+
+  /// Sum of all phase wall times.
+  double TotalCpuSeconds() const {
+    double total = 0;
+    for (const auto& [name, secs] : phase_seconds) total += secs;
+    return total;
+  }
+};
+
+/// The algorithms under evaluation (the seven bars of Figures 3-8).
+enum class JoinAlgorithm : uint8_t {
+  kBroadcastR,   ///< BJ-R: broadcast R to every node.
+  kBroadcastS,   ///< BJ-S: broadcast S to every node.
+  kHash,         ///< HJ: Grace hash join over the network.
+  kTrack2R,      ///< 2TJ-R: 2-phase track join, R -> S.
+  kTrack2S,      ///< 2TJ-S: 2-phase track join, S -> R.
+  kTrack3,       ///< 3TJ: per-key broadcast direction.
+  kTrack4,       ///< 4TJ: per-key migration + broadcast (optimal).
+};
+
+const char* JoinAlgorithmName(JoinAlgorithm algorithm);
+
+}  // namespace tj
+
+#endif  // TJ_CORE_JOIN_TYPES_H_

@@ -1,0 +1,238 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tj {
+
+namespace {
+
+/// Broadcast-direction view: B tuples travel to the locations of T.
+struct SideView {
+  const std::vector<NodeSize>* bcast;   // B: the table being broadcast.
+  const std::vector<NodeSize>* target;  // T: the table whose locations receive.
+};
+
+SideView ViewFor(const KeyPlacement& placement, Direction dir) {
+  if (dir == Direction::kRtoS) return {&placement.r, &placement.s};
+  return {&placement.s, &placement.r};
+}
+
+uint64_t BytesAt(const std::vector<NodeSize>& side, uint32_t node) {
+  for (const auto& ns : side) {
+    if (ns.node == node) return ns.bytes;
+  }
+  return 0;
+}
+
+uint64_t SumBytes(const std::vector<NodeSize>& side) {
+  uint64_t total = 0;
+  for (const auto& ns : side) total += ns.bytes;
+  return total;
+}
+
+/// Number of broadcast-side nodes excluding the tracker (they each receive
+/// location messages over the network; the tracker's own copy is free).
+uint64_t BcastNodesExcludingTracker(const std::vector<NodeSize>& bcast,
+                                    uint32_t tracker) {
+  uint64_t n = 0;
+  for (const auto& ns : bcast) {
+    if (ns.node != tracker) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+uint64_t SelectiveBroadcastCost(const KeyPlacement& placement, Direction dir) {
+  SideView view = ViewFor(placement, dir);
+  if (view.bcast->empty() || view.target->empty()) return 0;
+  const uint64_t b_all = SumBytes(*view.bcast);
+  uint64_t b_local = 0;
+  for (const auto& ns : *view.bcast) {
+    if (BytesAt(*view.target, ns.node) > 0) b_local += ns.bytes;
+  }
+  const uint64_t b_nodes =
+      BcastNodesExcludingTracker(*view.bcast, placement.tracker);
+  const uint64_t t_nodes = view.target->size();
+  return b_all * t_nodes - b_local + b_nodes * t_nodes * placement.msg_bytes;
+}
+
+MigrationPlan PlanMigrateAndBroadcast(const KeyPlacement& placement,
+                                      Direction dir) {
+  SideView view = ViewFor(placement, dir);
+  MigrationPlan plan;
+  if (view.bcast->empty() || view.target->empty()) return plan;
+
+  const uint64_t b_all = SumBytes(*view.bcast);
+  const uint64_t b_nodes =
+      BcastNodesExcludingTracker(*view.bcast, placement.tracker);
+  const uint64_t m = placement.msg_bytes;
+
+  plan.cost = SelectiveBroadcastCost(placement, dir);
+
+  // The target node with the largest |B_i| + |T_i| is forced to keep its
+  // tuples (the migration set may not cover all target nodes). Ties keep
+  // the lowest node id, deterministically.
+  uint32_t max_t = view.target->front().node;
+  uint64_t max_sum = 0;
+  for (const auto& ns : *view.target) {
+    uint64_t sum = ns.bytes + BytesAt(*view.bcast, ns.node);
+    if (sum > max_sum || (sum == max_sum && ns.node < max_t)) {
+      max_sum = sum;
+      max_t = ns.node;
+    }
+  }
+  plan.dest = max_t;
+
+  // Theorem 1: each remaining target node's keep/migrate decision is
+  // independent. Migrating node i removes one broadcast destination
+  // (saving b_all - b_i tuple bytes and b_nodes location messages) at the
+  // price of moving its |T_i| bytes plus one migration instruction.
+  for (const auto& ns : *view.target) {
+    if (ns.node == max_t) continue;
+    int64_t delta = static_cast<int64_t>(BytesAt(*view.bcast, ns.node)) +
+                    static_cast<int64_t>(ns.bytes) -
+                    static_cast<int64_t>(b_all) -
+                    static_cast<int64_t>(b_nodes * m);
+    if (ns.node != placement.tracker) {
+      delta += static_cast<int64_t>(m);
+    }
+    if (delta < 0) {
+      plan.cost = static_cast<uint64_t>(static_cast<int64_t>(plan.cost) + delta);
+      plan.migrate.push_back(ns.node);
+    }
+  }
+  return plan;
+}
+
+KeySchedule PlanOptimal(const KeyPlacement& placement) {
+  KeySchedule schedule;
+  MigrationPlan rs = PlanMigrateAndBroadcast(placement, Direction::kRtoS);
+  MigrationPlan sr = PlanMigrateAndBroadcast(placement, Direction::kStoR);
+  if (rs.cost <= sr.cost) {
+    schedule.dir = Direction::kRtoS;
+    schedule.plan = std::move(rs);
+  } else {
+    schedule.dir = Direction::kStoR;
+    schedule.plan = std::move(sr);
+  }
+  return schedule;
+}
+
+Direction CheaperBroadcastDirection(const KeyPlacement& placement,
+                                    uint64_t* cost_out) {
+  uint64_t rs = SelectiveBroadcastCost(placement, Direction::kRtoS);
+  uint64_t sr = SelectiveBroadcastCost(placement, Direction::kStoR);
+  if (cost_out != nullptr) *cost_out = std::min(rs, sr);
+  return rs <= sr ? Direction::kRtoS : Direction::kStoR;
+}
+
+KeySchedule LoadBalancer::PlanBalanced(const KeyPlacement& placement) {
+  MigrationPlan plans[2] = {
+      PlanMigrateAndBroadcast(placement, Direction::kRtoS),
+      PlanMigrateAndBroadcast(placement, Direction::kStoR)};
+
+  // Per-direction per-node ingress the schedule would add: every kept
+  // target node receives the broadcast-side bytes it lacks; the migration
+  // destination also receives the migrated bytes.
+  auto ingress_of = [&](Direction dir, const MigrationPlan& plan,
+                        uint32_t dest, std::vector<uint64_t>* per_node) {
+    SideView view = ViewFor(placement, dir);
+    per_node->assign(ingress_.size(), 0);
+    if (view.bcast->empty() || view.target->empty()) return;
+    uint64_t b_all = SumBytes(*view.bcast);
+    uint64_t migrated = 0;
+    for (const NodeSize& t : *view.target) {
+      bool migrates = std::find(plan.migrate.begin(), plan.migrate.end(),
+                                t.node) != plan.migrate.end();
+      if (migrates) {
+        migrated += t.bytes;
+      } else {
+        (*per_node)[t.node] += b_all - BytesAt(*view.bcast, t.node);
+      }
+    }
+    (*per_node)[dest] += migrated;
+  };
+
+  // Pick the migration destination minimizing projected peak ingress
+  // among the kept target nodes (any of them is cost-identical).
+  auto best_dest = [&](Direction dir, const MigrationPlan& plan) {
+    SideView view = ViewFor(placement, dir);
+    uint32_t best = plan.dest;
+    uint64_t best_load = ~0ULL;
+    for (const NodeSize& t : *view.target) {
+      if (std::find(plan.migrate.begin(), plan.migrate.end(), t.node) !=
+          plan.migrate.end()) {
+        continue;
+      }
+      if (ingress_[t.node] < best_load) {
+        best_load = ingress_[t.node];
+        best = t.node;
+      }
+    }
+    return best;
+  };
+
+  KeySchedule schedule;
+  Direction dirs[2] = {Direction::kRtoS, Direction::kStoR};
+  int pick;
+  if (plans[0].cost != plans[1].cost) {
+    pick = plans[0].cost < plans[1].cost ? 0 : 1;
+  } else {
+    // Cost tie: choose the direction whose ingress lands on cooler nodes.
+    uint64_t peak[2];
+    for (int d = 0; d < 2; ++d) {
+      std::vector<uint64_t> add;
+      ingress_of(dirs[d], plans[d], best_dest(dirs[d], plans[d]), &add);
+      peak[d] = 0;
+      for (size_t i = 0; i < add.size(); ++i) {
+        peak[d] = std::max(peak[d], ingress_[i] + add[i]);
+      }
+    }
+    pick = peak[0] <= peak[1] ? 0 : 1;
+  }
+
+  schedule.dir = dirs[pick];
+  schedule.plan = std::move(plans[pick]);
+  schedule.plan.dest = best_dest(schedule.dir, schedule.plan);
+
+  std::vector<uint64_t> add;
+  ingress_of(schedule.dir, schedule.plan, schedule.plan.dest, &add);
+  for (size_t i = 0; i < add.size(); ++i) ingress_[i] += add[i];
+  return schedule;
+}
+
+uint64_t ExhaustiveOptimalCost(const KeyPlacement& placement) {
+  uint64_t best = ~0ULL;
+  for (Direction dir : {Direction::kRtoS, Direction::kStoR}) {
+    SideView view = ViewFor(placement, dir);
+    if (view.bcast->empty() || view.target->empty()) return 0;
+    const uint64_t b_all = SumBytes(*view.bcast);
+    const uint64_t b_nodes =
+        BcastNodesExcludingTracker(*view.bcast, placement.tracker);
+    const size_t t = view.target->size();
+    TJ_CHECK_LE(t, 20u) << "exhaustive search is test-only";
+    // Enumerate every non-empty subset of target nodes that keeps its
+    // tuples; all others migrate to some kept node.
+    for (uint64_t mask = 1; mask < (1ULL << t); ++mask) {
+      uint64_t kept = static_cast<uint64_t>(__builtin_popcountll(mask));
+      uint64_t cost = b_all * kept;
+      for (size_t i = 0; i < t; ++i) {
+        const NodeSize& ns = (*view.target)[i];
+        if (mask & (1ULL << i)) {
+          cost -= BytesAt(*view.bcast, ns.node);  // Local broadcast copies.
+        } else {
+          cost += ns.bytes;  // Migration payload.
+          if (ns.node != placement.tracker) cost += placement.msg_bytes;
+        }
+      }
+      cost += b_nodes * kept * placement.msg_bytes;
+      best = std::min(best, cost);
+    }
+  }
+  return best;
+}
+
+}  // namespace tj

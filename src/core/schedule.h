@@ -1,0 +1,113 @@
+// Per-key transfer scheduling — the core contribution of the paper.
+//
+// For each distinct join key, given the per-node byte totals of matching R
+// and S tuples, these functions compute:
+//   * the cost of a plain selective broadcast in either direction
+//     (2-/3-phase track join, paper "Algorithm track join: broadcast R to S");
+//   * the optimal migrate-then-broadcast plan in either direction
+//     (4-phase track join, paper "Algorithm track join: migrate S &
+//     broadcast R", Theorems 1 and 2);
+//   * the overall optimal schedule: the cheaper direction's plan, which by
+//     Theorem 2 achieves the minimum network traffic possible for the
+//     single-key cartesian-product join.
+//
+// Costs include the location messages of size M the tracker must send
+// (free when the recipient is the tracker itself) and the migration
+// instructions of 4-phase track join.
+#ifndef TJ_CORE_SCHEDULE_H_
+#define TJ_CORE_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/join_types.h"
+
+namespace tj {
+
+/// Per-node byte total of one table's matching tuples for one key.
+/// Only nodes with bytes > 0 appear in placements.
+struct NodeSize {
+  uint32_t node;
+  uint64_t bytes;
+
+  bool operator==(const NodeSize&) const = default;
+};
+
+/// Everything the tracker knows about one distinct key.
+struct KeyPlacement {
+  std::vector<NodeSize> r;  ///< Nodes holding matching R tuples (bytes > 0).
+  std::vector<NodeSize> s;  ///< Nodes holding matching S tuples (bytes > 0).
+  uint32_t tracker = 0;     ///< self: the node running the scheduler.
+  uint64_t msg_bytes = 0;   ///< Location/migration message size M.
+};
+
+/// Network cost of selectively broadcasting the `dir` source table's tuples
+/// to the other table's locations, with no migration:
+///   cost = Ball*Tnodes - Blocal + Bnodes*Tnodes*M
+/// Returns 0 if either side is empty (no match: nothing is sent).
+uint64_t SelectiveBroadcastCost(const KeyPlacement& placement, Direction dir);
+
+/// A migrate-then-broadcast plan for one direction.
+struct MigrationPlan {
+  /// Total network bytes: broadcast + location messages + migration
+  /// instructions + migrated tuples.
+  uint64_t cost = 0;
+  /// Nodes of the broadcast-*target* table whose tuples migrate away.
+  std::vector<uint32_t> migrate;
+  /// Their destination: the kept target node maximizing |R_i|+|S_i|.
+  uint32_t dest = 0;
+};
+
+/// Computes the optimal migration set for broadcasting in direction `dir`
+/// (paper Theorem 1: each node's keep/migrate choice is independent).
+MigrationPlan PlanMigrateAndBroadcast(const KeyPlacement& placement,
+                                      Direction dir);
+
+/// The full 4-phase decision for one key: the cheaper direction's
+/// migrate-and-broadcast plan (Theorem 2: this is the global optimum).
+/// Ties choose R->S.
+struct KeySchedule {
+  Direction dir = Direction::kRtoS;
+  MigrationPlan plan;
+};
+KeySchedule PlanOptimal(const KeyPlacement& placement);
+
+/// The 3-phase decision: cheaper plain selective-broadcast direction.
+/// Ties choose R->S. If `cost_out` is non-null it receives the winning cost.
+Direction CheaperBroadcastDirection(const KeyPlacement& placement,
+                                    uint64_t* cost_out = nullptr);
+
+/// Reference implementation for testing: exhaustively minimizes the paper's
+/// integer program (min sum x_ij|R_i| + y_ij|S_j| s.t. every (i,j) pair is
+/// joined somewhere) over all keep/migrate subsets in both directions, with
+/// message costs included. Exponential; test-only.
+uint64_t ExhaustiveOptimalCost(const KeyPlacement& placement);
+
+/// Balance-aware scheduling (paper Section 5: "If some nodes exhibit more
+/// locality than others, we need to take into account the balancing of
+/// transfers among nodes and not only aim for minimal network traffic").
+///
+/// The per-key optimum leaves two traffic-free degrees of freedom:
+///  * the migration destination may be ANY kept target node, and
+///  * cost ties between the two directions are arbitrary.
+/// A LoadBalancer spends both on the node with the least accumulated
+/// ingress so far, so hot nodes stop attracting every consolidation.
+/// Total network traffic is identical to PlanOptimal's by construction.
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(uint32_t num_nodes) : ingress_(num_nodes, 0) {}
+
+  /// Like PlanOptimal, but breaks ties by projected ingress and records
+  /// the schedule's per-node ingress for subsequent keys.
+  KeySchedule PlanBalanced(const KeyPlacement& placement);
+
+  /// Ingress bytes attributed so far (schedule data only, not tracking).
+  const std::vector<uint64_t>& ingress() const { return ingress_; }
+
+ private:
+  std::vector<uint64_t> ingress_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_CORE_SCHEDULE_H_

@@ -1,0 +1,126 @@
+#include "core/semi_join.h"
+
+#include <vector>
+
+#include "baseline/hash_join.h"
+#include "common/logging.h"
+#include "filter/bloom.h"
+#include "net/fabric.h"
+
+namespace tj {
+
+namespace {
+
+/// Builds one Bloom filter per node over a table's local keys, all sized
+/// identically (so they can be unioned) from the table's largest partition.
+std::vector<BloomFilter> BuildFilters(const PartitionedTable& table,
+                                      uint32_t bits_per_key) {
+  uint64_t max_rows = 1;
+  for (uint32_t node = 0; node < table.num_nodes(); ++node) {
+    max_rows = std::max(max_rows, table.node(node).size());
+  }
+  std::vector<BloomFilter> filters;
+  filters.reserve(table.num_nodes());
+  for (uint32_t node = 0; node < table.num_nodes(); ++node) {
+    filters.emplace_back(max_rows, bits_per_key);
+    for (uint64_t key : table.node(node).keys()) filters.back().Add(key);
+  }
+  return filters;
+}
+
+void MergeResult(const FilteredInputs& pre, JoinResult* result) {
+  result->traffic.Merge(pre.filter_traffic);
+  result->phase_seconds.insert(result->phase_seconds.begin(),
+                               pre.phase_seconds.begin(),
+                               pre.phase_seconds.end());
+}
+
+}  // namespace
+
+FilteredInputs ExchangeFiltersAndPrune(const PartitionedTable& r,
+                                       const PartitionedTable& s,
+                                       const SemiJoinConfig& semi) {
+  TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
+  const uint32_t n = r.num_nodes();
+  Fabric fabric(n);
+
+  std::vector<BloomFilter> r_filters = BuildFilters(r, semi.bloom_bits_per_key);
+  std::vector<BloomFilter> s_filters = BuildFilters(s, semi.bloom_bits_per_key);
+
+  // Broadcast both tables' per-node filters (one serialized copy to each
+  // other node; the figures count this under the Filter class).
+  fabric.RunPhase("broadcast bloom filters", [&](uint32_t node) {
+    ByteBuffer r_buf, s_buf;
+    r_filters[node].Serialize(&r_buf);
+    s_filters[node].Serialize(&s_buf);
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      if (dst == node) continue;
+      fabric.Send(node, dst, MessageType::kFilter, r_buf);
+      fabric.Send(node, dst, MessageType::kFilter, s_buf);
+    }
+  });
+
+  FilteredInputs out{PartitionedTable(r.name(), n, r.payload_width()),
+                     PartitionedTable(s.name(), n, s.payload_width()),
+                     TrafficMatrix(n),
+                     {},
+                     0,
+                     0};
+
+  // Prune against the other table's filters. Each node checks all N
+  // received per-node filters (a key may match if ANY node's filter says
+  // so); keeping the filters separate preserves each one's designed
+  // false-positive rate, whereas a union of N same-size filters would
+  // multiply the fill factor.
+  auto may_match = [](const std::vector<BloomFilter>& filters, uint64_t key) {
+    for (const auto& f : filters) {
+      if (f.MayContain(key)) return true;
+    }
+    return false;
+  };
+  fabric.RunPhase("apply filters", [&](uint32_t node) {
+    const TupleBlock& rb = r.node(node);
+    for (uint64_t row = 0; row < rb.size(); ++row) {
+      if (may_match(s_filters, rb.Key(row))) {
+        out.r.node(node).AppendFrom(rb, row);
+      } else {
+        ++out.r_rows_pruned;
+      }
+    }
+    const TupleBlock& sb = s.node(node);
+    for (uint64_t row = 0; row < sb.size(); ++row) {
+      if (may_match(r_filters, sb.Key(row))) {
+        out.s.node(node).AppendFrom(sb, row);
+      } else {
+        ++out.s_rows_pruned;
+      }
+    }
+  });
+
+  out.filter_traffic = fabric.traffic();
+  out.phase_seconds = fabric.phase_seconds();
+  return out;
+}
+
+JoinResult RunFilteredHashJoin(const PartitionedTable& r,
+                               const PartitionedTable& s,
+                               const JoinConfig& config,
+                               const SemiJoinConfig& semi) {
+  FilteredInputs pre = ExchangeFiltersAndPrune(r, s, semi);
+  JoinResult result = RunHashJoin(pre.r, pre.s, config);
+  MergeResult(pre, &result);
+  return result;
+}
+
+JoinResult RunFilteredTrackJoin(const PartitionedTable& r,
+                                const PartitionedTable& s,
+                                const JoinConfig& config,
+                                const SemiJoinConfig& semi,
+                                TrackJoinVersion version, Direction direction) {
+  FilteredInputs pre = ExchangeFiltersAndPrune(r, s, semi);
+  JoinResult result = RunTrackJoin(pre.r, pre.s, config, version, direction);
+  MergeResult(pre, &result);
+  return result;
+}
+
+}  // namespace tj

@@ -1,0 +1,58 @@
+// Two-way semi-join (Bloom) filtering in front of distributed joins — §3.3.
+//
+// Each node builds a Bloom filter over its local join keys per table; the
+// filters are broadcast and unioned, and every node prunes local tuples
+// whose keys cannot match before the join algorithm runs. False positives
+// survive pruning (and are eliminated by the join itself); matched tuples
+// are never dropped.
+//
+// Track join performs *perfect* semi-join filtering on its own during
+// tracking; Bloom filtering in front of it only thins the tracking phase,
+// whereas hash join saves full tuple transfers — the trade-off the
+// ablation bench (bench/ablation_semijoin) quantifies.
+#ifndef TJ_CORE_SEMI_JOIN_H_
+#define TJ_CORE_SEMI_JOIN_H_
+
+#include "core/join_types.h"
+#include "core/track_join.h"
+#include "storage/table.h"
+
+namespace tj {
+
+struct SemiJoinConfig {
+  /// Filter density wbf in bits per qualifying tuple.
+  uint32_t bloom_bits_per_key = 10;
+};
+
+/// The filter-exchange prologue: returns pruned copies of both tables plus
+/// the filter broadcast traffic and phase times, which the wrappers below
+/// fold into their results. Exposed for testing.
+struct FilteredInputs {
+  PartitionedTable r;
+  PartitionedTable s;
+  TrafficMatrix filter_traffic;
+  std::vector<std::pair<std::string, double>> phase_seconds;
+  uint64_t r_rows_pruned = 0;
+  uint64_t s_rows_pruned = 0;
+};
+FilteredInputs ExchangeFiltersAndPrune(const PartitionedTable& r,
+                                       const PartitionedTable& s,
+                                       const SemiJoinConfig& semi);
+
+/// Grace hash join behind two-way Bloom filtering.
+JoinResult RunFilteredHashJoin(const PartitionedTable& r,
+                               const PartitionedTable& s,
+                               const JoinConfig& config,
+                               const SemiJoinConfig& semi);
+
+/// Track join behind two-way Bloom filtering (any version).
+JoinResult RunFilteredTrackJoin(const PartitionedTable& r,
+                                const PartitionedTable& s,
+                                const JoinConfig& config,
+                                const SemiJoinConfig& semi,
+                                TrackJoinVersion version,
+                                Direction direction = Direction::kRtoS);
+
+}  // namespace tj
+
+#endif  // TJ_CORE_SEMI_JOIN_H_

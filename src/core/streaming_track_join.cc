@@ -1,0 +1,211 @@
+#include "core/streaming_track_join.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "exec/local_join.h"
+#include "net/fabric.h"
+
+namespace tj {
+
+namespace {
+
+/// Per-destination output stream that flushes to the fabric whenever the
+/// buffer reaches the threshold — the bounded-memory batching a streaming
+/// implementation uses.
+class StreamWriter {
+ public:
+  StreamWriter(Fabric* fabric, uint32_t src, MessageType type,
+               uint64_t flush_bytes)
+      : fabric_(fabric),
+        src_(src),
+        type_(type),
+        flush_bytes_(flush_bytes),
+        buffers_(fabric->num_nodes()) {}
+
+  ~StreamWriter() { FlushAll(); }
+
+  void PutEntry(uint32_t dst, uint64_t a, uint32_t a_bytes, uint64_t b = 0,
+                uint32_t b_bytes = 0) {
+    ByteWriter writer(&buffers_[dst]);
+    writer.PutUint(a, a_bytes);
+    if (b_bytes > 0) writer.PutUint(b, b_bytes);
+    if (flush_bytes_ > 0 && buffers_[dst].size() >= flush_bytes_) Flush(dst);
+  }
+
+  void PutBytes(uint32_t dst, uint64_t key, uint32_t key_bytes,
+                const uint8_t* payload, uint32_t payload_bytes) {
+    ByteWriter writer(&buffers_[dst]);
+    writer.PutUint(key, key_bytes);
+    if (payload_bytes > 0) writer.PutBytes(payload, payload_bytes);
+    if (flush_bytes_ > 0 && buffers_[dst].size() >= flush_bytes_) Flush(dst);
+  }
+
+  void FlushAll() {
+    for (uint32_t dst = 0; dst < buffers_.size(); ++dst) Flush(dst);
+  }
+
+ private:
+  void Flush(uint32_t dst) {
+    if (buffers_[dst].empty()) return;
+    fabric_->Send(src_, dst, type_, std::move(buffers_[dst]));
+    buffers_[dst].clear();
+  }
+
+  Fabric* fabric_;
+  uint32_t src_;
+  MessageType type_;
+  uint64_t flush_bytes_;
+  std::vector<ByteBuffer> buffers_;
+};
+
+/// Hash multimap from key to local row indexes (the paper's TR / TS).
+using RowIndex = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+
+RowIndex BuildIndex(const TupleBlock& block) {
+  RowIndex index;
+  index.reserve(block.size());
+  TJ_CHECK_LT(block.size(), (1ULL << 32));
+  for (uint64_t row = 0; row < block.size(); ++row) {
+    index[block.Key(row)].push_back(static_cast<uint32_t>(row));
+  }
+  return index;
+}
+
+}  // namespace
+
+JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
+                                  const PartitionedTable& s,
+                                  const JoinConfig& config, Direction direction,
+                                  uint64_t flush_bytes) {
+  TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
+  TJ_CHECK(!config.delta_tracking && !config.group_locations)
+      << "streaming driver uses the plain wire format";
+  const uint32_t n = r.num_nodes();
+  const bool r_to_s = direction == Direction::kRtoS;
+  // B = broadcast side (tuples travel), T = target side (locations).
+  const PartitionedTable& bcast = r_to_s ? r : s;
+  const PartitionedTable& target = r_to_s ? s : r;
+  const MessageType bcast_track = r_to_s ? MessageType::kTrackR
+                                         : MessageType::kTrackS;
+  const MessageType target_track = r_to_s ? MessageType::kTrackS
+                                          : MessageType::kTrackR;
+  const MessageType loc_type = r_to_s ? MessageType::kLocationsToR
+                                      : MessageType::kLocationsToS;
+  const MessageType data_type = r_to_s ? MessageType::kDataR
+                                       : MessageType::kDataS;
+
+  Fabric fabric(n);
+  fabric.SetThreadPool(config.thread_pool);
+  std::vector<RowIndex> bcast_index(n), target_index(n);
+  // Tracker state: per key, the nodes holding each side (paper's TR|S).
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>>
+      track_bcast(n), track_target(n);
+  std::vector<TupleBlock> received(n, TupleBlock(bcast.payload_width()));
+  std::vector<JoinChecksum> checksums(n);
+  std::vector<uint64_t> outputs(n, 0);
+
+  // Phase 1 (processR / processS first loop): stream the tables; each key
+  // goes to its tracker the first time it is seen locally.
+  fabric.RunPhase("stream & track keys", [&](uint32_t node) {
+    auto track_side = [&](const TupleBlock& block, MessageType type,
+                          RowIndex* index) {
+      StreamWriter out(&fabric, node, type, flush_bytes);
+      std::unordered_set<uint64_t> seen;
+      seen.reserve(block.size());
+      TJ_CHECK_LT(block.size(), (1ULL << 32));
+      for (uint64_t row = 0; row < block.size(); ++row) {
+        uint64_t key = block.Key(row);
+        if (seen.insert(key).second) {
+          out.PutEntry(HashPartition(key, n), key, config.key_bytes);
+        }
+        (*index)[key].push_back(static_cast<uint32_t>(row));
+      }
+    };
+    track_side(bcast.node(node), bcast_track, &bcast_index[node]);
+    track_side(target.node(node), target_track, &target_index[node]);
+  });
+
+  // Phase 2 (processT): accumulate <key, node> facts, then stream the
+  // target-side locations to every broadcast-side holder of the key.
+  fabric.RunPhase("accumulate & send locations", [&](uint32_t node) {
+    auto accumulate = [&](MessageType type, auto* table) {
+      for (const auto& msg : fabric.TakeInbox(node, type)) {
+        ByteReader reader(msg.data);
+        while (!reader.Done()) {
+          (*table)[reader.GetUint(config.key_bytes)].push_back(msg.src);
+        }
+      }
+    };
+    accumulate(bcast_track, &track_bcast[node]);
+    accumulate(target_track, &track_target[node]);
+
+    StreamWriter out(&fabric, node, loc_type, flush_bytes);
+    for (const auto& [key, bcast_nodes] : track_bcast[node]) {
+      auto it = track_target[node].find(key);
+      if (it == track_target[node].end()) continue;  // No match: filtered.
+      for (uint32_t b : bcast_nodes) {
+        for (uint32_t t : it->second) {
+          out.PutEntry(b, key, config.key_bytes, t, config.node_bytes);
+        }
+      }
+    }
+  });
+
+  // Phase 3 (second loop of processR): selectively broadcast local tuples
+  // to the tracked locations, streaming as pairs arrive.
+  fabric.RunPhase("selective broadcast", [&](uint32_t node) {
+    StreamWriter out(&fabric, node, data_type, flush_bytes);
+    const TupleBlock& block = bcast.node(node);
+    for (const auto& msg : fabric.TakeInbox(node, loc_type)) {
+      ByteReader reader(msg.data);
+      while (!reader.Done()) {
+        uint64_t key = reader.GetUint(config.key_bytes);
+        uint32_t dst = static_cast<uint32_t>(reader.GetUint(config.node_bytes));
+        auto it = bcast_index[node].find(key);
+        TJ_CHECK(it != bcast_index[node].end());
+        for (uint32_t row : it->second) {
+          out.PutBytes(dst, key, config.key_bytes, block.Payload(row),
+                       block.payload_width());
+        }
+      }
+    }
+  });
+
+  // Phase 4 (second loop of processS): hash-join arriving tuples against
+  // the local index — "for all <k, payloadS pS> in TS do commit".
+  fabric.RunPhase("commit joins", [&](uint32_t node) {
+    const TupleBlock& local = target.node(node);
+    for (const auto& msg : fabric.TakeInbox(node, data_type)) {
+      ByteReader reader(msg.data);
+      received[node].Clear();
+      received[node].DeserializeRows(&reader, config.key_bytes);
+      const TupleBlock& in = received[node];
+      for (uint64_t row = 0; row < in.size(); ++row) {
+        auto it = target_index[node].find(in.Key(row));
+        if (it == target_index[node].end()) continue;
+        for (uint32_t local_row : it->second) {
+          const uint8_t* pr = r_to_s ? in.Payload(row) : local.Payload(local_row);
+          const uint8_t* ps = r_to_s ? local.Payload(local_row) : in.Payload(row);
+          checksums[node].Accumulate(in.Key(row), pr, r.payload_width(), ps,
+                                     s.payload_width());
+          ++outputs[node];
+        }
+      }
+    }
+  });
+
+  JoinResult result;
+  result.traffic = fabric.traffic();
+  result.phase_seconds = fabric.phase_seconds();
+  for (uint32_t node = 0; node < n; ++node) {
+    result.output_rows += outputs[node];
+    result.checksum.Merge(checksums[node]);
+  }
+  return result;
+}
+
+}  // namespace tj

@@ -1,0 +1,35 @@
+// Streaming (pipelined-style) 2-phase track join — the paper's Section 2
+// pseudocode, implemented directly.
+//
+// The de-pipelined driver (core/track_join.h) sorts and aggregates before
+// each phase, matching the paper's *measurement* methodology (Section 4.2).
+// This driver instead follows the paper's *presentation*: processR and
+// processS stream their tables tuple by tuple, sending each key to
+// processT the first time it is seen ("if k not in TR then send k ...");
+// processT accumulates <key, node> pairs as they arrive and, after the
+// barrier, streams location messages back; tuples are then selectively
+// broadcast and joined with hash tables, no sorting anywhere. Outgoing
+// streams are batched per destination and flushed at a byte threshold —
+// the network traffic is byte-identical to the sort-based driver (the
+// integration tests assert this), only the local processing differs.
+#ifndef TJ_CORE_STREAMING_TRACK_JOIN_H_
+#define TJ_CORE_STREAMING_TRACK_JOIN_H_
+
+#include "core/join_types.h"
+#include "storage/table.h"
+
+namespace tj {
+
+/// Runs the streaming 2-phase track join with the given selective-broadcast
+/// direction. `flush_bytes` caps each in-flight message buffer (streamed
+/// implementations bound memory this way); 0 means one message per
+/// destination per phase. Requires the plain wire format
+/// (delta_tracking / group_locations off).
+JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
+                                  const PartitionedTable& s,
+                                  const JoinConfig& config, Direction direction,
+                                  uint64_t flush_bytes = 1 << 16);
+
+}  // namespace tj
+
+#endif  // TJ_CORE_STREAMING_TRACK_JOIN_H_

@@ -1,0 +1,322 @@
+#include "core/track_join.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/tracker.h"
+#include "exec/key_aggregate.h"
+#include "exec/local_join.h"
+#include "exec/radix_sort.h"
+#include "net/fabric.h"
+
+namespace tj {
+
+namespace {
+
+/// Per-node working state across the de-pipelined phases.
+struct NodeState {
+  TupleBlock r{0};
+  TupleBlock s{0};
+  std::vector<KeyCount> r_keys;
+  std::vector<KeyCount> s_keys;
+  // Tracker role: merged (key, node, count) facts for both tables.
+  std::vector<TrackEntry> track_r;
+  std::vector<TrackEntry> track_s;
+  // Received selective-broadcast tuples (including free local copies).
+  TupleBlock r_in{0};
+  TupleBlock s_in{0};
+  // Local output accumulation.
+  JoinChecksum checksum;
+  uint64_t output_rows = 0;
+};
+
+/// Sends the rows of `block` listed per destination node as one message per
+/// destination. Empty destinations send nothing.
+void SendRowsPerDest(Fabric* fabric, uint32_t src, MessageType type,
+                     const TupleBlock& block, uint32_t key_bytes,
+                     const std::vector<std::vector<uint32_t>>& rows_per_dest) {
+  for (uint32_t dst = 0; dst < rows_per_dest.size(); ++dst) {
+    if (rows_per_dest[dst].empty()) continue;
+    ByteBuffer buf;
+    block.SerializeRowsIndexed(rows_per_dest[dst], key_bytes, &buf);
+    fabric->Send(src, dst, type, std::move(buf));
+  }
+}
+
+/// Appends the sorted block's run of `key` to every destination's row list.
+void RouteKeyRun(const TupleBlock& block, uint64_t key,
+                 const std::vector<uint32_t>& dests,
+                 std::vector<std::vector<uint32_t>>* rows_per_dest) {
+  auto [lo, hi] = block.EqualRange(key);
+  for (uint32_t dst : dests) {
+    auto& rows = (*rows_per_dest)[dst];
+    for (uint64_t row = lo; row < hi; ++row) {
+      rows.push_back(static_cast<uint32_t>(row));
+    }
+  }
+}
+
+}  // namespace
+
+JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
+                        const JoinConfig& config, TrackJoinVersion version,
+                        Direction direction) {
+  TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
+  const uint32_t n = r.num_nodes();
+  const bool with_counts = version != TrackJoinVersion::k2Phase;
+  const uint32_t width_r = config.key_bytes + r.payload_width();
+  const uint32_t width_s = config.key_bytes + s.payload_width();
+
+  Fabric fabric(n);
+  fabric.SetThreadPool(config.thread_pool);
+  std::vector<NodeState> nodes(n);
+
+  const uint32_t out_width = r.payload_width() + s.payload_width();
+  std::vector<TupleBlock> out_blocks;
+  if (config.materialize) out_blocks.assign(n, TupleBlock(out_width));
+  auto sink_for = [&](uint32_t node) {
+    return config.materialize
+               ? MaterializeSink(&out_blocks[node], &nodes[node].checksum,
+                                 r.payload_width(), s.payload_width())
+               : ChecksumSink(&nodes[node].checksum, r.payload_width(),
+                              s.payload_width());
+  };
+
+  // Phase 1-2: sort local copies of both tables (paper Table 4 rows 1-2).
+  fabric.RunPhase("sort local R tuples", [&](uint32_t node) {
+    nodes[node].r = r.node(node);
+    SortBlockByKey(&nodes[node].r);
+  });
+  fabric.RunPhase("sort local S tuples", [&](uint32_t node) {
+    nodes[node].s = s.node(node);
+    SortBlockByKey(&nodes[node].s);
+  });
+
+  // Phase 3: aggregate distinct keys and local counts.
+  fabric.RunPhase("aggregate keys", [&](uint32_t node) {
+    nodes[node].r_keys = AggregateSortedKeys(nodes[node].r);
+    nodes[node].s_keys = AggregateSortedKeys(nodes[node].s);
+  });
+
+  // Phase 4: hash partition the key projections and send them to the
+  // trackers (the tracking phase proper).
+  fabric.RunPhase("hash partition & transfer keys", [&](uint32_t node) {
+    auto r_msgs =
+        EncodeTrackingMessages(nodes[node].r_keys, config, with_counts, n);
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      if (!r_msgs[dst].empty()) {
+        fabric.Send(node, dst, MessageType::kTrackR, std::move(r_msgs[dst]));
+      }
+    }
+    auto s_msgs =
+        EncodeTrackingMessages(nodes[node].s_keys, config, with_counts, n);
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      if (!s_msgs[dst].empty()) {
+        fabric.Send(node, dst, MessageType::kTrackS, std::move(s_msgs[dst]));
+      }
+    }
+  });
+
+  // Phase 5: trackers merge the received key streams.
+  fabric.RunPhase("merge received keys", [&](uint32_t node) {
+    for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackR)) {
+      auto entries = DecodeTrackingMessage(msg, config, with_counts);
+      nodes[node].track_r.insert(nodes[node].track_r.end(), entries.begin(),
+                                 entries.end());
+    }
+    for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackS)) {
+      auto entries = DecodeTrackingMessage(msg, config, with_counts);
+      nodes[node].track_s.insert(nodes[node].track_s.end(), entries.begin(),
+                                 entries.end());
+    }
+    MergeTrackEntries(&nodes[node].track_r);
+    MergeTrackEntries(&nodes[node].track_s);
+  });
+
+  // Phase 6: generate per-key schedules; send location lists to the
+  // broadcast-side nodes and (4-phase) migration instructions to the
+  // migrating target-side nodes.
+  fabric.RunPhase("generate schedules & send locations", [&](uint32_t node) {
+    NodeState& st = nodes[node];
+    std::vector<std::vector<KeyNodePair>> loc_to_r(n), loc_to_s(n);
+    std::vector<std::vector<KeyNodePair>> migr_r(n), migr_s(n);
+    // Balance-aware mode spends the schedules' cost-free choices on the
+    // nodes this tracker has loaded least (Section 5). Each tracker owns a
+    // uniform random ~1/N of the keys, so local balancing approximates
+    // global balancing.
+    LoadBalancer balancer(n);
+
+    PlacementIterator it(st.track_r, st.track_s, width_r, width_s, node,
+                         config.MsgBytes());
+    while (it.Next()) {
+      const KeyPlacement& p = it.placement();
+      const uint64_t key = it.key();
+
+      Direction dir = direction;
+      std::vector<uint32_t> migrate;
+      bool has_migration_phase = false;
+      uint32_t dest = 0;
+      if (version == TrackJoinVersion::k3Phase) {
+        dir = CheaperBroadcastDirection(p);
+      } else if (version == TrackJoinVersion::k4Phase) {
+        KeySchedule sched =
+            config.balance_loads ? balancer.PlanBalanced(p) : PlanOptimal(p);
+        dir = sched.dir;
+        dest = sched.plan.dest;
+        migrate = std::move(sched.plan.migrate);
+        has_migration_phase = true;
+      }
+
+      const auto& bcast_side = dir == Direction::kRtoS ? p.r : p.s;
+      const auto& target_side = dir == Direction::kRtoS ? p.s : p.r;
+      auto& loc_out = dir == Direction::kRtoS ? loc_to_r : loc_to_s;
+      auto& migr_out = dir == Direction::kRtoS ? migr_s : migr_r;
+
+      // Migration instructions (4-phase): each migrating node learns the
+      // destination for its tuples of this key.
+      for (uint32_t m : migrate) {
+        migr_out[m].push_back(KeyNodePair{key, dest});
+      }
+
+      // Location list: every broadcast-side node learns each surviving
+      // target location.
+      for (const NodeSize& b : bcast_side) {
+        for (const NodeSize& t : target_side) {
+          if (has_migration_phase &&
+              std::find(migrate.begin(), migrate.end(), t.node) !=
+                  migrate.end()) {
+            continue;  // Migrated away: no longer a destination.
+          }
+          loc_out[b.node].push_back(KeyNodePair{key, t.node});
+        }
+      }
+    }
+
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      if (!loc_to_r[dst].empty()) {
+        fabric.Send(node, dst, MessageType::kLocationsToR,
+                    EncodeKeyNodePairs(loc_to_r[dst], config));
+      }
+      if (!loc_to_s[dst].empty()) {
+        fabric.Send(node, dst, MessageType::kLocationsToS,
+                    EncodeKeyNodePairs(loc_to_s[dst], config));
+      }
+      if (!migr_r[dst].empty()) {
+        fabric.Send(node, dst, MessageType::kMigrateR,
+                    EncodeKeyNodePairs(migr_r[dst], config));
+      }
+      if (!migr_s[dst].empty()) {
+        fabric.Send(node, dst, MessageType::kMigrateS,
+                    EncodeKeyNodePairs(migr_s[dst], config));
+      }
+    }
+  });
+
+  // Phase 7: act on schedules — selectively broadcast local runs to the
+  // listed locations and ship migrating runs to their destinations.
+  fabric.RunPhase("selective broadcast & migrate", [&](uint32_t node) {
+    NodeState& st = nodes[node];
+
+    // Selective broadcasts. A location equal to self is a free local copy;
+    // the fabric accounts it separately from network traffic.
+    std::vector<std::vector<uint32_t>> r_rows(n), s_rows(n);
+    for (const auto& msg : fabric.TakeInbox(node, MessageType::kLocationsToR)) {
+      for (const auto& pair : DecodeKeyNodePairs(msg, config)) {
+        RouteKeyRun(st.r, pair.key, {pair.node}, &r_rows);
+      }
+    }
+    for (const auto& msg : fabric.TakeInbox(node, MessageType::kLocationsToS)) {
+      for (const auto& pair : DecodeKeyNodePairs(msg, config)) {
+        RouteKeyRun(st.s, pair.key, {pair.node}, &s_rows);
+      }
+    }
+    SendRowsPerDest(&fabric, node, MessageType::kDataR, st.r, config.key_bytes,
+                    r_rows);
+    SendRowsPerDest(&fabric, node, MessageType::kDataS, st.s, config.key_bytes,
+                    s_rows);
+
+    // Migrations (4-phase): move whole local runs and drop them locally.
+    auto run_migrations = [&](MessageType instr, MessageType data,
+                              TupleBlock* block) {
+      std::vector<std::vector<uint32_t>> rows(n);
+      std::unordered_set<uint64_t> migrated;
+      for (const auto& msg : fabric.TakeInbox(node, instr)) {
+        for (const auto& pair : DecodeKeyNodePairs(msg, config)) {
+          RouteKeyRun(*block, pair.key, {pair.node}, &rows);
+          migrated.insert(pair.key);
+        }
+      }
+      SendRowsPerDest(&fabric, node, data, *block, config.key_bytes, rows);
+      if (!migrated.empty()) {
+        block->Filter([&](uint64_t row) {
+          return migrated.find(block->Key(row)) == migrated.end();
+        });
+      }
+    };
+    run_migrations(MessageType::kMigrateR, MessageType::kMigrationDataR, &st.r);
+    run_migrations(MessageType::kMigrateS, MessageType::kMigrationDataS, &st.s);
+  });
+
+  // Phase 8: merge received tuples — migrated runs join the local blocks,
+  // broadcast tuples form the probe blocks.
+  fabric.RunPhase("merge received tuples", [&](uint32_t node) {
+    NodeState& st = nodes[node];
+    bool r_changed = false, s_changed = false;
+    for (const auto& msg :
+         fabric.TakeInbox(node, MessageType::kMigrationDataR)) {
+      ByteReader reader(msg.data);
+      st.r.DeserializeRows(&reader, config.key_bytes);
+      r_changed = true;
+    }
+    for (const auto& msg :
+         fabric.TakeInbox(node, MessageType::kMigrationDataS)) {
+      ByteReader reader(msg.data);
+      st.s.DeserializeRows(&reader, config.key_bytes);
+      s_changed = true;
+    }
+    if (r_changed) SortBlockByKey(&st.r);
+    if (s_changed) SortBlockByKey(&st.s);
+
+    st.r_in = TupleBlock(r.payload_width());
+    for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataR)) {
+      ByteReader reader(msg.data);
+      st.r_in.DeserializeRows(&reader, config.key_bytes);
+    }
+    SortBlockByKey(&st.r_in);
+    st.s_in = TupleBlock(s.payload_width());
+    for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataS)) {
+      ByteReader reader(msg.data);
+      st.s_in.DeserializeRows(&reader, config.key_bytes);
+    }
+    SortBlockByKey(&st.s_in);
+  });
+
+  // Phases 9-10: the final local joins, one per broadcast direction.
+  fabric.RunPhase("final merge-join R->S", [&](uint32_t node) {
+    NodeState& st = nodes[node];
+    st.output_rows += MergeJoinSorted(st.r_in, st.s, sink_for(node));
+  });
+  fabric.RunPhase("final merge-join S->R", [&](uint32_t node) {
+    NodeState& st = nodes[node];
+    st.output_rows += MergeJoinSorted(st.r, st.s_in, sink_for(node));
+  });
+
+  JoinResult result;
+  result.traffic = fabric.traffic();
+  result.phase_seconds = fabric.phase_seconds();
+  for (const auto& st : nodes) {
+    result.output_rows += st.output_rows;
+    result.checksum.Merge(st.checksum);
+  }
+  if (config.materialize) {
+    result.output.emplace(r.name() + "_join_" + s.name(), n, out_width);
+    for (uint32_t node = 0; node < n; ++node) {
+      result.output->node(node) = std::move(out_blocks[node]);
+    }
+  }
+  return result;
+}
+
+}  // namespace tj

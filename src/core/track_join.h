@@ -1,0 +1,56 @@
+// Track join: distributed equi-join with per-key transfer scheduling.
+//
+// Public entry points for the three versions of the paper's algorithm:
+//
+//  * 2-phase ("single broadcast"): track key locations, then selectively
+//    broadcast one table's tuples (direction fixed by the caller — in a
+//    DBMS, by the query optimizer) to nodes with matching tuples.
+//  * 3-phase ("double broadcast"): tracking also carries local match
+//    counts; the cheaper broadcast direction is chosen per distinct key.
+//  * 4-phase (full track join): before the selective broadcast, the target
+//    table's tuples may migrate to fewer nodes; the per-key schedule is
+//    network-optimal (see core/schedule.h).
+//
+// All versions run on a simulated cluster (net/fabric.h) in de-pipelined
+// phases, produce an order-independent checksum of the join output, and
+// account every byte sent in the result's traffic matrix.
+#ifndef TJ_CORE_TRACK_JOIN_H_
+#define TJ_CORE_TRACK_JOIN_H_
+
+#include "core/join_types.h"
+#include "storage/table.h"
+
+namespace tj {
+
+enum class TrackJoinVersion : uint8_t { k2Phase = 2, k3Phase = 3, k4Phase = 4 };
+
+/// Runs track join on tables r and s (same node count). `direction` is only
+/// used by the 2-phase version. Inputs are not modified.
+JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
+                        const JoinConfig& config, TrackJoinVersion version,
+                        Direction direction = Direction::kRtoS);
+
+/// 2-phase track join with an explicit selective-broadcast direction.
+inline JoinResult RunTrackJoin2(const PartitionedTable& r,
+                                const PartitionedTable& s,
+                                const JoinConfig& config, Direction direction) {
+  return RunTrackJoin(r, s, config, TrackJoinVersion::k2Phase, direction);
+}
+
+/// 3-phase track join (per-key direction).
+inline JoinResult RunTrackJoin3(const PartitionedTable& r,
+                                const PartitionedTable& s,
+                                const JoinConfig& config) {
+  return RunTrackJoin(r, s, config, TrackJoinVersion::k3Phase);
+}
+
+/// 4-phase track join (per-key migration + broadcast; traffic-optimal).
+inline JoinResult RunTrackJoin4(const PartitionedTable& r,
+                                const PartitionedTable& s,
+                                const JoinConfig& config) {
+  return RunTrackJoin(r, s, config, TrackJoinVersion::k4Phase);
+}
+
+}  // namespace tj
+
+#endif  // TJ_CORE_TRACK_JOIN_H_

@@ -1,0 +1,185 @@
+#include "core/tracker.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "encoding/delta.h"
+#include "encoding/varint.h"
+
+namespace tj {
+
+std::vector<ByteBuffer> EncodeTrackingMessages(
+    const std::vector<KeyCount>& keys, const JoinConfig& config,
+    bool with_counts, uint32_t num_nodes) {
+  std::vector<ByteBuffer> per_dest(num_nodes);
+  if (config.delta_tracking) {
+    // Sorted keys per destination, delta-coded; counts (if any) follow as
+    // LEB128 in key order. Input keys arrive sorted, so per-destination
+    // streams stay sorted.
+    std::vector<std::vector<uint64_t>> dest_keys(num_nodes);
+    std::vector<std::vector<uint64_t>> dest_counts(num_nodes);
+    for (const auto& kc : keys) {
+      uint32_t dest = HashPartition(kc.key, num_nodes);
+      dest_keys[dest].push_back(kc.key);
+      if (with_counts) dest_counts[dest].push_back(kc.count);
+    }
+    for (uint32_t d = 0; d < num_nodes; ++d) {
+      if (dest_keys[d].empty()) continue;
+      DeltaEncode(dest_keys[d], /*presorted=*/true, &per_dest[d]);
+      if (with_counts) {
+        for (uint64_t c : dest_counts[d]) EncodeLeb128(c, &per_dest[d]);
+      }
+    }
+    return per_dest;
+  }
+
+  const uint64_t max_count =
+      config.count_bytes >= 8 ? ~0ULL : (1ULL << (8 * config.count_bytes)) - 1;
+  std::vector<ByteWriter> writers;
+  writers.reserve(num_nodes);
+  for (uint32_t d = 0; d < num_nodes; ++d) writers.emplace_back(&per_dest[d]);
+  for (const auto& kc : keys) {
+    TJ_CHECK(config.key_bytes == 8 || (kc.key >> (8 * config.key_bytes)) == 0)
+        << "key does not fit in key_bytes";
+    uint32_t dest = HashPartition(kc.key, num_nodes);
+    if (!with_counts) {
+      writers[dest].PutUint(kc.key, config.key_bytes);
+      continue;
+    }
+    // Saturating chunks; the tracker re-aggregates duplicates.
+    uint64_t remaining = kc.count;
+    do {
+      uint64_t chunk = std::min(remaining, max_count);
+      writers[dest].PutUint(kc.key, config.key_bytes);
+      writers[dest].PutUint(chunk, config.count_bytes);
+      remaining -= chunk;
+    } while (remaining > 0);
+  }
+  return per_dest;
+}
+
+std::vector<TrackEntry> DecodeTrackingMessage(const Message& message,
+                                              const JoinConfig& config,
+                                              bool with_counts) {
+  std::vector<TrackEntry> entries;
+  ByteReader reader(message.data);
+  if (config.delta_tracking) {
+    std::vector<uint64_t> keys = DeltaDecode(&reader);
+    entries.reserve(keys.size());
+    for (uint64_t key : keys) {
+      entries.push_back(TrackEntry{key, message.src, 1});
+    }
+    if (with_counts) {
+      for (auto& e : entries) e.count = DecodeLeb128(&reader);
+    }
+    TJ_CHECK(reader.Done());
+    return entries;
+  }
+  const uint32_t entry_bytes =
+      config.key_bytes + (with_counts ? config.count_bytes : 0);
+  TJ_CHECK_EQ(reader.remaining() % entry_bytes, 0u);
+  entries.reserve(reader.remaining() / entry_bytes);
+  while (!reader.Done()) {
+    uint64_t key = reader.GetUint(config.key_bytes);
+    uint64_t count = with_counts ? reader.GetUint(config.count_bytes) : 1;
+    entries.push_back(TrackEntry{key, message.src, count});
+  }
+  return entries;
+}
+
+void MergeTrackEntries(std::vector<TrackEntry>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const TrackEntry& a, const TrackEntry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.node < b.node;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < entries->size();) {
+    TrackEntry merged = (*entries)[i];
+    size_t j = i + 1;
+    while (j < entries->size() && (*entries)[j].key == merged.key &&
+           (*entries)[j].node == merged.node) {
+      merged.count += (*entries)[j].count;
+      ++j;
+    }
+    (*entries)[out++] = merged;
+    i = j;
+  }
+  entries->resize(out);
+}
+
+PlacementIterator::PlacementIterator(const std::vector<TrackEntry>& r_entries,
+                                     const std::vector<TrackEntry>& s_entries,
+                                     uint32_t width_r, uint32_t width_s,
+                                     uint32_t tracker, uint64_t msg_bytes)
+    : r_entries_(r_entries),
+      s_entries_(s_entries),
+      width_r_(width_r),
+      width_s_(width_s) {
+  placement_.tracker = tracker;
+  placement_.msg_bytes = msg_bytes;
+}
+
+bool PlacementIterator::Next() {
+  while (ri_ < r_entries_.size() && si_ < s_entries_.size()) {
+    uint64_t rk = r_entries_[ri_].key;
+    uint64_t sk = s_entries_[si_].key;
+    if (rk < sk) {
+      while (ri_ < r_entries_.size() && r_entries_[ri_].key == rk) ++ri_;
+    } else if (sk < rk) {
+      while (si_ < s_entries_.size() && s_entries_[si_].key == sk) ++si_;
+    } else {
+      key_ = rk;
+      placement_.r.clear();
+      placement_.s.clear();
+      while (ri_ < r_entries_.size() && r_entries_[ri_].key == rk) {
+        placement_.r.push_back(NodeSize{r_entries_[ri_].node,
+                                        r_entries_[ri_].count * width_r_});
+        ++ri_;
+      }
+      while (si_ < s_entries_.size() && s_entries_[si_].key == rk) {
+        placement_.s.push_back(NodeSize{s_entries_[si_].node,
+                                        s_entries_[si_].count * width_s_});
+        ++si_;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+ByteBuffer EncodeKeyNodePairs(const std::vector<KeyNodePair>& pairs,
+                              const JoinConfig& config) {
+  ByteBuffer out;
+  if (config.group_locations) {
+    NodeGroupEncode(pairs, config.key_bytes, &out);
+    return out;
+  }
+  ByteWriter writer(&out);
+  for (const auto& p : pairs) {
+    writer.PutUint(p.key, config.key_bytes);
+    writer.PutUint(p.node, config.node_bytes);
+  }
+  return out;
+}
+
+std::vector<KeyNodePair> DecodeKeyNodePairs(const Message& message,
+                                            const JoinConfig& config) {
+  ByteReader reader(message.data);
+  if (config.group_locations) {
+    return NodeGroupDecode(&reader, config.key_bytes);
+  }
+  const uint32_t pair_bytes = config.key_bytes + config.node_bytes;
+  TJ_CHECK_EQ(reader.remaining() % pair_bytes, 0u);
+  std::vector<KeyNodePair> pairs;
+  pairs.reserve(reader.remaining() / pair_bytes);
+  while (!reader.Done()) {
+    KeyNodePair p;
+    p.key = reader.GetUint(config.key_bytes);
+    p.node = static_cast<uint32_t>(reader.GetUint(config.node_bytes));
+    pairs.push_back(p);
+  }
+  return pairs;
+}
+
+}  // namespace tj

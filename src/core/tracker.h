@@ -1,0 +1,90 @@
+// Tracking-phase message codecs and the tracker-side key table.
+//
+// Every node projects its table to distinct join keys (plus local counts in
+// the 3-/4-phase versions) and ships them to the tracker responsible for
+// each key: processT at hash(key) mod N. The tracker merges the incoming
+// streams into per-key placements that the scheduler consumes.
+#ifndef TJ_CORE_TRACKER_H_
+#define TJ_CORE_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/join_types.h"
+#include "core/schedule.h"
+#include "encoding/node_group.h"
+#include "exec/key_aggregate.h"
+#include "net/message.h"
+
+namespace tj {
+
+/// One tracker-side fact: node `node` holds `count` tuples of `key`.
+struct TrackEntry {
+  uint64_t key;
+  uint32_t node;
+  uint64_t count;
+
+  bool operator==(const TrackEntry&) const = default;
+};
+
+/// Serializes one node's aggregated distinct keys into per-destination
+/// tracking messages (destination = hash(key) mod num_nodes).
+/// With `with_counts` false (2-phase), only keys travel; counts are implied 1
+/// ("present"). Counts wider than cfg.count_bytes are split into saturated
+/// chunks the tracker re-aggregates ("we can aggregate at the destination").
+/// With cfg.delta_tracking, key streams are sorted+delta coded and counts
+/// are LEB128.
+std::vector<ByteBuffer> EncodeTrackingMessages(
+    const std::vector<KeyCount>& keys, const JoinConfig& config,
+    bool with_counts, uint32_t num_nodes);
+
+/// Parses one tracking message back into (key, src, count) entries.
+/// Duplicate (key, node) chunks are NOT merged here; MergeTrackEntries does.
+std::vector<TrackEntry> DecodeTrackingMessage(const Message& message,
+                                              const JoinConfig& config,
+                                              bool with_counts);
+
+/// Sorts entries by (key, node) and merges duplicate (key, node) counts.
+void MergeTrackEntries(std::vector<TrackEntry>* entries);
+
+/// Iterates the distinct keys that have at least one R and one S entry,
+/// building the per-key placement for the scheduler. Both entry vectors
+/// must be merged (sorted by key, node). `width_r`/`width_s` are serialized
+/// tuple widths in bytes (key + payload); byte totals are count × width.
+/// Keys missing from either side are skipped — track join's built-in
+/// perfect semi-join filtering.
+class PlacementIterator {
+ public:
+  PlacementIterator(const std::vector<TrackEntry>& r_entries,
+                    const std::vector<TrackEntry>& s_entries,
+                    uint32_t width_r, uint32_t width_s, uint32_t tracker,
+                    uint64_t msg_bytes);
+
+  /// Advances to the next matched key. Returns false when exhausted.
+  bool Next();
+
+  uint64_t key() const { return key_; }
+  const KeyPlacement& placement() const { return placement_; }
+
+ private:
+  const std::vector<TrackEntry>& r_entries_;
+  const std::vector<TrackEntry>& s_entries_;
+  uint32_t width_r_;
+  uint32_t width_s_;
+  size_t ri_ = 0;
+  size_t si_ = 0;
+  uint64_t key_ = 0;
+  KeyPlacement placement_;
+};
+
+/// Serializes / parses <key, node> pair messages (location lists and
+/// migration instructions). With cfg.group_locations the node-grouped
+/// encoding of Section 2.4 is used.
+ByteBuffer EncodeKeyNodePairs(const std::vector<KeyNodePair>& pairs,
+                              const JoinConfig& config);
+std::vector<KeyNodePair> DecodeKeyNodePairs(const Message& message,
+                                            const JoinConfig& config);
+
+}  // namespace tj
+
+#endif  // TJ_CORE_TRACKER_H_

@@ -1,0 +1,49 @@
+// Correlation-class estimation via correlated sampling (paper §3.1).
+//
+// "To populate the classes, we can use correlated sampling, a recently
+// proposed technique that preserves the join relationships of tuples, is
+// independent of the distribution, and can be generated off-line. The
+// sample is augmented with initial placements of tuples. Besides computing
+// the exact track join cost, we incrementally classify the keys to
+// correlation classes based on traffic levels."
+//
+// Keys are sampled by a hash threshold, so the same keys are sampled from
+// both tables on every node — join relationships and placements survive.
+// For each sampled key the 4-phase scheduler runs for real, the key is
+// classified by the mechanism its optimal schedule uses, and the observed
+// costs extrapolate to the full input.
+#ifndef TJ_COSTMODEL_CLASS_ESTIMATOR_H_
+#define TJ_COSTMODEL_CLASS_ESTIMATOR_H_
+
+#include "core/join_types.h"
+#include "costmodel/network_cost.h"
+#include "storage/table.h"
+
+namespace tj {
+
+struct ClassEstimate {
+  /// Fractions of matched tuples joined by each mechanism: plain R->S /
+  /// S->R selective broadcast vs hash-join-like consolidation to a single
+  /// node. Sums to 1 when any key matched.
+  CorrelationClasses classes;
+  /// Extrapolated 4-phase schedule traffic (locations + migrations +
+  /// tuple transfers; tracking excluded) in bytes.
+  double schedule_bytes = 0;
+  /// Extrapolated matched distinct keys.
+  double matched_keys = 0;
+  /// Keys actually inspected.
+  uint64_t sampled_keys = 0;
+};
+
+/// Estimates correlation classes and schedule traffic from a correlated
+/// sample of rate `sample_rate` in (0, 1]. Deterministic given `seed`.
+/// With sample_rate == 1 the schedule_bytes equal the real 4TJ schedule
+/// traffic exactly.
+ClassEstimate EstimateClasses(const PartitionedTable& r,
+                              const PartitionedTable& s,
+                              const JoinConfig& config, double sample_rate,
+                              uint64_t seed = 0);
+
+}  // namespace tj
+
+#endif  // TJ_COSTMODEL_CLASS_ESTIMATOR_H_

@@ -1,0 +1,130 @@
+#include "costmodel/network_cost.h"
+
+#include <algorithm>
+
+namespace tj {
+
+double BroadcastJoinCost(const JoinStats& stats, bool broadcast_r) {
+  double tuples = broadcast_r ? stats.t_r : stats.t_s;
+  double width = stats.w_k + (broadcast_r ? stats.w_r : stats.w_s);
+  return tuples * width * (stats.num_nodes - 1);
+}
+
+double HashJoinCost(const JoinStats& stats, bool discount_local) {
+  double cost = stats.t_r * (stats.w_k + stats.w_r) +
+                stats.t_s * (stats.w_k + stats.w_s);
+  if (discount_local) cost *= 1.0 - 1.0 / stats.num_nodes;
+  return cost;
+}
+
+double TrackJoin2Cost(const JoinStats& stats) {
+  double track = (stats.d_r * stats.NodesPerKeyR() +
+                  stats.d_s * stats.NodesPerKeyS()) *
+                 stats.w_k;
+  double locations = stats.d_r * stats.MatchNodesPerKeyS() * stats.w_k;
+  double data = stats.t_r * stats.s_r * stats.MatchNodesPerKeyS() *
+                (stats.w_k + stats.w_r);
+  return track + locations + data;
+}
+
+namespace {
+
+/// Tracking with per-node counters (3-/4-phase).
+double TrackingWithCountsCost(const JoinStats& stats) {
+  return stats.d_r * stats.NodesPerKeyR() * (stats.w_k + stats.CountBytesR()) +
+         stats.d_s * stats.NodesPerKeyS() * (stats.w_k + stats.CountBytesS());
+}
+
+/// One selective-broadcast class: location messages plus tuple transfers,
+/// scaled by the class fraction. `to_s` selects the R→S direction.
+double BroadcastClassCost(const JoinStats& stats, double fraction, bool to_s) {
+  if (fraction <= 0) return 0;
+  if (to_s) {
+    return fraction * (stats.d_r * stats.MatchNodesPerKeyS() * stats.w_k +
+                       stats.t_r * stats.s_r * stats.MatchNodesPerKeyS() *
+                           (stats.w_k + stats.w_r));
+  }
+  return fraction * (stats.d_s * stats.MatchNodesPerKeyR() * stats.w_k +
+                     stats.t_s * stats.s_s * stats.MatchNodesPerKeyR() *
+                         (stats.w_k + stats.w_s));
+}
+
+}  // namespace
+
+double TrackJoin3Cost(const JoinStats& stats, const CorrelationClasses& cls) {
+  return TrackingWithCountsCost(stats) +
+         BroadcastClassCost(stats, cls.rs, /*to_s=*/true) +
+         BroadcastClassCost(stats, cls.sr, /*to_s=*/false);
+}
+
+double TrackJoin4Cost(const JoinStats& stats, const CorrelationClasses& cls) {
+  // Class 3 behaves like hash join: both sides consolidate at one node,
+  // with location messages directing the moves (paper's R3 -> h(k) terms).
+  double hash_class = 0;
+  if (cls.hash > 0) {
+    hash_class =
+        cls.hash * (stats.d_r * stats.NodesPerKeyR() * stats.w_k +
+                    stats.t_r * stats.s_r * (stats.w_k + stats.w_r) +
+                    stats.d_s * stats.NodesPerKeyS() * stats.w_k +
+                    stats.t_s * stats.s_s * (stats.w_k + stats.w_s));
+  }
+  return TrackingWithCountsCost(stats) +
+         BroadcastClassCost(stats, cls.rs, /*to_s=*/true) +
+         BroadcastClassCost(stats, cls.sr, /*to_s=*/false) + hash_class;
+}
+
+double LateMaterializedHashJoinCost(const JoinStats& stats) {
+  return (stats.t_r + stats.t_s) * stats.w_k +
+         stats.t_rs *
+             (stats.w_r + stats.w_s + stats.RidBytesR() + stats.RidBytesS());
+}
+
+double RidTrackingHashJoinCost(const JoinStats& stats) {
+  return (stats.t_r + stats.t_s) * stats.w_k +
+         stats.t_rs * (std::min(stats.w_r, stats.w_s) + stats.w_k +
+                       stats.RidBytesR() + stats.RidBytesS());
+}
+
+namespace {
+
+double FilterBroadcastCost(const JoinStats& stats,
+                           double bloom_bytes_per_tuple) {
+  return (stats.t_r * stats.s_r + stats.t_s * stats.s_s) * stats.num_nodes *
+         bloom_bytes_per_tuple;
+}
+
+}  // namespace
+
+double FilteredHashJoinCost(const JoinStats& stats,
+                            double bloom_bytes_per_tuple, double fp_rate) {
+  return FilterBroadcastCost(stats, bloom_bytes_per_tuple) +
+         stats.t_r * (stats.s_r + fp_rate) * (stats.w_k + stats.w_r) +
+         stats.t_s * (stats.s_s + fp_rate) * (stats.w_k + stats.w_s);
+}
+
+double FilteredLateMaterializedHashJoinCost(const JoinStats& stats,
+                                            double bloom_bytes_per_tuple,
+                                            double fp_rate) {
+  return FilterBroadcastCost(stats, bloom_bytes_per_tuple) +
+         stats.t_r * (stats.s_r + fp_rate) * (stats.w_k + stats.RidBytesR()) +
+         stats.t_s * (stats.s_s + fp_rate) * (stats.w_k + stats.RidBytesS()) +
+         stats.t_rs *
+             (stats.w_r + stats.w_s + stats.RidBytesR() + stats.RidBytesS());
+}
+
+double FilteredTrackJoin2Cost(const JoinStats& stats,
+                              double bloom_bytes_per_tuple, double fp_rate) {
+  auto match_nodes = [&](double t, double s, double d) {
+    return std::min<double>(stats.num_nodes, d > 0 ? t * s / d : 0);
+  };
+  double me_r = match_nodes(stats.t_r, stats.s_r + fp_rate, stats.d_r);
+  double me_s = match_nodes(stats.t_s, stats.s_s + fp_rate, stats.d_s);
+  return FilterBroadcastCost(stats, bloom_bytes_per_tuple) +
+         stats.d_r * (stats.s_r + fp_rate) * me_r * stats.w_k +
+         stats.d_s * (stats.s_s + fp_rate) * me_s * stats.w_k +
+         stats.d_r * stats.s_r * stats.MatchNodesPerKeyS() * stats.w_k +
+         stats.t_r * stats.s_r * stats.MatchNodesPerKeyS() *
+             (stats.w_k + stats.w_r);
+}
+
+}  // namespace tj

@@ -1,0 +1,65 @@
+// Analytic network cost model (paper Section 3).
+//
+// Closed-form traffic estimates, in bytes, for every algorithm the paper
+// analyzes: broadcast join, (Grace) hash join, 2-/3-/4-phase track join
+// with correlation classes, the rid-based tracking-aware hash join of
+// Section 3.2, and the Bloom-filtered variants of Section 3.3. The model
+// assumes uniform random tuple placement — the worst case for track join.
+#ifndef TJ_COSTMODEL_NETWORK_COST_H_
+#define TJ_COSTMODEL_NETWORK_COST_H_
+
+#include "costmodel/stats.h"
+
+namespace tj {
+
+/// Broadcast join: the chosen table is replicated to the other N-1 nodes.
+double BroadcastJoinCost(const JoinStats& stats, bool broadcast_r);
+
+/// Grace hash join: both tables hash-partitioned. `discount_local` applies
+/// the 1/N in-place probability the paper's formula omits.
+double HashJoinCost(const JoinStats& stats, bool discount_local = false);
+
+/// 2-phase track join, R→S direction (swap R/S fields in `stats` for S→R):
+///   (dR·nR + dS·nS)·wk          tracking
+/// + dR·mS·wk                    S locations
+/// + tR·sR·mS·(wk+wR)            R tuples to S locations
+double TrackJoin2Cost(const JoinStats& stats);
+
+/// Fractions of the key space resolved by each mechanism, used by the 3-
+/// and 4-phase cost formulas ("correlation classes", estimated via
+/// correlated sampling in the paper). Fractions sum to 1.
+struct CorrelationClasses {
+  double rs = 1.0;    ///< Class 1: joined by R→S selective broadcast.
+  double sr = 0.0;    ///< Class 2: joined by S→R selective broadcast.
+  double hash = 0.0;  ///< Class 3 (4-phase only): hash-join-like schedules.
+};
+
+/// 3-phase track join: tracking with counters plus the two selective
+/// broadcast classes.
+double TrackJoin3Cost(const JoinStats& stats, const CorrelationClasses& cls);
+
+/// 4-phase track join (simplified class model): 3-phase classes plus a
+/// hash-like class for keys whose tuples consolidate at one node.
+double TrackJoin4Cost(const JoinStats& stats, const CorrelationClasses& cls);
+
+/// Late-materialized hash join (Section 3.2): keys+rids shuffled, payloads
+/// fetched at output cardinality.
+double LateMaterializedHashJoinCost(const JoinStats& stats);
+
+/// Rid-based tracking-aware hash join (Section 3.2): the improved variant
+/// that re-joins at the wider tuple's node. Provably dominated by 2TJ.
+double RidTrackingHashJoinCost(const JoinStats& stats);
+
+/// Bloom-filtered costs (Section 3.3). `bloom_bytes_per_tuple` is wbf and
+/// `fp_rate` the filter's relative error e.
+double FilteredHashJoinCost(const JoinStats& stats,
+                            double bloom_bytes_per_tuple, double fp_rate);
+double FilteredLateMaterializedHashJoinCost(const JoinStats& stats,
+                                            double bloom_bytes_per_tuple,
+                                            double fp_rate);
+double FilteredTrackJoin2Cost(const JoinStats& stats,
+                              double bloom_bytes_per_tuple, double fp_rate);
+
+}  // namespace tj
+
+#endif  // TJ_COSTMODEL_NETWORK_COST_H_

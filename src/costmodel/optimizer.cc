@@ -1,0 +1,62 @@
+#include "costmodel/optimizer.h"
+
+#include <algorithm>
+
+namespace tj {
+
+namespace {
+
+JoinStats SwapRS(const JoinStats& stats) {
+  JoinStats swapped = stats;
+  std::swap(swapped.t_r, swapped.t_s);
+  std::swap(swapped.d_r, swapped.d_s);
+  std::swap(swapped.w_r, swapped.w_s);
+  std::swap(swapped.s_r, swapped.s_s);
+  return swapped;
+}
+
+}  // namespace
+
+std::vector<PlanChoice> RankAlgorithms(const JoinStats& stats,
+                                       const CorrelationClasses& classes) {
+  // With no class estimate, assume the cheaper plain direction resolves all
+  // keys — exact in the near-unique-key regime.
+  CorrelationClasses cls = classes;
+  if (cls.rs + cls.sr + cls.hash <= 0) cls = CorrelationClasses{1.0, 0.0, 0.0};
+  double rs_2tj = TrackJoin2Cost(stats);
+  double sr_2tj = TrackJoin2Cost(SwapRS(stats));
+  CorrelationClasses best_dir{rs_2tj <= sr_2tj ? 1.0 : 0.0,
+                              rs_2tj <= sr_2tj ? 0.0 : 1.0, 0.0};
+  CorrelationClasses cls3 = classes.rs + classes.sr + classes.hash > 0
+                                ? CorrelationClasses{cls.rs + cls.hash / 2,
+                                                     cls.sr + cls.hash / 2, 0}
+                                : best_dir;
+  CorrelationClasses cls4 =
+      classes.rs + classes.sr + classes.hash > 0 ? cls : best_dir;
+
+  std::vector<PlanChoice> plans = {
+      {JoinAlgorithm::kBroadcastR, BroadcastJoinCost(stats, true)},
+      {JoinAlgorithm::kBroadcastS, BroadcastJoinCost(stats, false)},
+      {JoinAlgorithm::kHash, HashJoinCost(stats)},
+      {JoinAlgorithm::kTrack2R, rs_2tj},
+      {JoinAlgorithm::kTrack2S, sr_2tj},
+      {JoinAlgorithm::kTrack3, TrackJoin3Cost(stats, cls3)},
+      {JoinAlgorithm::kTrack4, TrackJoin4Cost(stats, cls4)},
+  };
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const PlanChoice& a, const PlanChoice& b) {
+                     return a.modeled_bytes < b.modeled_bytes;
+                   });
+  return plans;
+}
+
+PlanChoice ChooseAlgorithm(const JoinStats& stats,
+                           const CorrelationClasses& classes) {
+  return RankAlgorithms(stats, classes).front();
+}
+
+bool TrackJoinBeatsHashJoinUniqueKeys(double w_k, double w_r, double w_s) {
+  return 2 * w_k <= std::max(w_r, w_s);
+}
+
+}  // namespace tj

@@ -1,0 +1,42 @@
+// Query-optimizer algorithm selection.
+//
+// "The formal model of track join is used by the query optimizer to decide
+// whether to use track join in favor of hash join or broadcast join. ...
+// The query optimizer should pick 2-phase track join rather than 4-phase
+// when both tables have almost entirely unique keys ... Simple broadcast
+// join can be better if one table is very small." (Section 3.)
+#ifndef TJ_COSTMODEL_OPTIMIZER_H_
+#define TJ_COSTMODEL_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/join_types.h"
+#include "costmodel/network_cost.h"
+
+namespace tj {
+
+/// One candidate plan with its modeled traffic.
+struct PlanChoice {
+  JoinAlgorithm algorithm;
+  double modeled_bytes;
+};
+
+/// Models every candidate and returns them sorted cheapest-first.
+/// `classes` feeds the 3-/4-phase class model (defaults assume the cheaper
+/// single direction resolves everything, the near-unique-key regime).
+std::vector<PlanChoice> RankAlgorithms(const JoinStats& stats,
+                                       const CorrelationClasses& classes = {});
+
+/// The cheapest candidate.
+PlanChoice ChooseAlgorithm(const JoinStats& stats,
+                           const CorrelationClasses& classes = {});
+
+/// The paper's no-locality break-even rule for unique-key joins of equal
+/// cardinality: track join transfers less than hash join iff
+/// 2·wk <= max(wR, wS). (End of Section 3.1.)
+bool TrackJoinBeatsHashJoinUniqueKeys(double w_k, double w_r, double w_s);
+
+}  // namespace tj
+
+#endif  // TJ_COSTMODEL_OPTIMIZER_H_

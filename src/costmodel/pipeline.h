@@ -1,0 +1,52 @@
+// Pipelined execution schedule model (paper Section 5).
+//
+// The library executes joins de-pipelined (like the paper's measurements);
+// a production implementation would stream input slices through the phase
+// sequence so CPU work and transfers overlap. This module computes the
+// makespan of that schedule without rewriting the algorithms: the measured
+// per-phase CPU times and per-phase transfer volumes become a chain of
+// stages, the input is notionally cut into `chunks` slices, and a
+// two-resource (CPU, NIC) list schedule yields the end-to-end time.
+//
+// chunks = 1 degenerates to the de-pipelined sum; chunks -> infinity
+// approaches max(total CPU, total NET) — the classic pipeline bounds.
+#ifndef TJ_COSTMODEL_PIPELINE_H_
+#define TJ_COSTMODEL_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/join_types.h"
+#include "net/time_model.h"
+
+namespace tj {
+
+/// One stage of the pipeline: a CPU burst followed by a transfer.
+struct PipelineStage {
+  std::string name;
+  double cpu_seconds = 0;
+  double net_seconds = 0;
+};
+
+/// Derives the stage chain of a finished join run: per-phase wall-clock CPU
+/// (scaled by `time_scale`) plus the modeled transfer time of the message
+/// types that phase emits, at `model`'s bandwidth with `num_nodes` NICs
+/// transferring concurrently. Understands the phase names of every join
+/// driver in this library; unknown phases count as CPU-only.
+std::vector<PipelineStage> BuildPipelineStages(const JoinResult& result,
+                                               const NetworkTimeModel& model,
+                                               uint32_t num_nodes,
+                                               double time_scale = 1.0);
+
+/// Makespan of pushing `chunks` equal input slices through the stage chain
+/// with one CPU resource and one NET resource (both FIFO, work-conserving).
+/// Precondition: chunks >= 1.
+double PipelineMakespan(const std::vector<PipelineStage>& stages,
+                        uint32_t chunks);
+
+/// Convenience: total de-pipelined time (== PipelineMakespan(stages, 1)).
+double DepipelinedSeconds(const std::vector<PipelineStage>& stages);
+
+}  // namespace tj
+
+#endif  // TJ_COSTMODEL_PIPELINE_H_

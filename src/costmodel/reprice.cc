@@ -1,0 +1,82 @@
+#include "costmodel/reprice.h"
+
+#include "common/logging.h"
+
+namespace tj {
+
+namespace {
+
+/// Physical bytes of one entry of `type`, and its target bits ×100.
+struct EntryWidths {
+  uint64_t physical_bytes;
+  uint64_t target_bits_x100;
+};
+
+EntryWidths WidthsFor(MessageType type, const PricingSpec& spec) {
+  const JoinConfig& phys = spec.physical;
+  switch (type) {
+    case MessageType::kTrackR:
+    case MessageType::kTrackS:
+      if (spec.physical_with_counts) {
+        return {phys.key_bytes + phys.count_bytes,
+                spec.key_bits_x100 + spec.count_bits_x100};
+      }
+      return {phys.key_bytes, spec.key_bits_x100};
+    case MessageType::kLocationsToR:
+    case MessageType::kLocationsToS:
+    case MessageType::kMigrateR:
+    case MessageType::kMigrateS:
+      return {phys.key_bytes + phys.node_bytes,
+              spec.key_bits_x100 + spec.node_bits_x100};
+    case MessageType::kDataR:
+    case MessageType::kMigrationDataR:
+      return {phys.key_bytes + spec.physical_payload_r,
+              spec.key_bits_x100 + spec.payload_r_bits_x100};
+    case MessageType::kDataS:
+    case MessageType::kMigrationDataS:
+      return {phys.key_bytes + spec.physical_payload_s,
+              spec.key_bits_x100 + spec.payload_s_bits_x100};
+    case MessageType::kRidR:
+    case MessageType::kRidS:
+    case MessageType::kFilter:
+      // Rid and filter streams are not re-priced (byte-exact already).
+      return {1, 800};
+  }
+  TJ_LOG(Fatal) << "unknown message type";
+  return {1, 800};
+}
+
+}  // namespace
+
+double RepricedNetworkBytes(const TrafficMatrix& traffic, MessageType type,
+                            const PricingSpec& spec) {
+  uint64_t bytes = traffic.NetworkBytes(type);
+  if (bytes == 0) return 0;
+  EntryWidths widths = WidthsFor(type, spec);
+  TJ_CHECK_EQ(bytes % widths.physical_bytes, 0u)
+      << "message type " << static_cast<int>(type)
+      << " is not a flat entry array (compression toggles on?)";
+  double entries = static_cast<double>(bytes / widths.physical_bytes);
+  return entries * static_cast<double>(widths.target_bits_x100) / 800.0;
+}
+
+double RepricedNetworkBytes(const TrafficMatrix& traffic, TrafficClass cls,
+                            const PricingSpec& spec) {
+  double total = 0;
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    auto type = static_cast<MessageType>(t);
+    if (ClassOf(type) == cls) total += RepricedNetworkBytes(traffic, type, spec);
+  }
+  return total;
+}
+
+double RepricedTotalNetworkBytes(const TrafficMatrix& traffic,
+                                 const PricingSpec& spec) {
+  double total = 0;
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    total += RepricedNetworkBytes(traffic, static_cast<MessageType>(t), spec);
+  }
+  return total;
+}
+
+}  // namespace tj

@@ -1,0 +1,50 @@
+// Traffic re-pricing: converting simulated traffic to another encoding.
+//
+// The simulator moves physical, whole-byte tuples; the paper's figures
+// price traffic at sub-byte encoded widths (e.g. 30-bit dictionary keys).
+// Because every message of a given type is a flat array of fixed-size
+// entries, the entry *count* can be recovered from the physical byte total
+// and re-priced under any per-entry bit width — giving the exact traffic
+// the same transfer schedule would cost under fixed-byte, variable-byte or
+// dictionary encoding (Figures 7-11).
+//
+// Requires the plain codecs (JoinConfig delta_tracking/group_locations off).
+#ifndef TJ_COSTMODEL_REPRICE_H_
+#define TJ_COSTMODEL_REPRICE_H_
+
+#include "core/join_types.h"
+#include "net/traffic.h"
+
+namespace tj {
+
+/// Target per-entry widths in bits (may be fractional via x100 fixed point).
+struct PricingSpec {
+  /// Physical widths the simulation ran with.
+  JoinConfig physical;
+  bool physical_with_counts = false;  ///< Tracking entries carried counts.
+  uint32_t physical_payload_r = 0;    ///< Payload bytes of R rows.
+  uint32_t physical_payload_s = 0;
+
+  /// Target widths in bits ×100.
+  uint64_t key_bits_x100 = 3200;
+  uint64_t count_bits_x100 = 800;
+  uint64_t node_bits_x100 = 800;
+  uint64_t payload_r_bits_x100 = 0;
+  uint64_t payload_s_bits_x100 = 0;
+};
+
+/// Network bytes of one message type re-priced to the target widths.
+double RepricedNetworkBytes(const TrafficMatrix& traffic, MessageType type,
+                            const PricingSpec& spec);
+
+/// Network bytes of one figure class re-priced.
+double RepricedNetworkBytes(const TrafficMatrix& traffic, TrafficClass cls,
+                            const PricingSpec& spec);
+
+/// Total network bytes re-priced.
+double RepricedTotalNetworkBytes(const TrafficMatrix& traffic,
+                                 const PricingSpec& spec);
+
+}  // namespace tj
+
+#endif  // TJ_COSTMODEL_REPRICE_H_

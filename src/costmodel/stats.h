@@ -1,0 +1,61 @@
+// Join statistics consumed by the analytic network cost model (Section 3.1).
+#ifndef TJ_COSTMODEL_STATS_H_
+#define TJ_COSTMODEL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace tj {
+
+/// Optimizer-visible statistics of a distributed equi-join. Widths are in
+/// bytes and may be fractional (bit-packed dictionary codes).
+struct JoinStats {
+  uint32_t num_nodes = 16;  ///< N.
+  double t_r = 0;           ///< Tuple count of R.
+  double t_s = 0;           ///< Tuple count of S.
+  double d_r = 0;           ///< Distinct join keys in R.
+  double d_s = 0;           ///< Distinct join keys in S.
+  double w_k = 4;           ///< Join key width (paper's wk).
+  double w_r = 0;           ///< R payload width (wR).
+  double w_s = 0;           ///< S payload width (wS).
+  double s_r = 1.0;         ///< Input selectivity of R (fraction with matches).
+  double s_s = 1.0;         ///< Input selectivity of S.
+  double t_rs = 0;          ///< Output cardinality (late-materialization costs).
+
+  /// nR ≡ min(N, tR/dR): expected nodes holding each distinct R key under
+  /// uniform random placement.
+  double NodesPerKeyR() const {
+    return std::min<double>(num_nodes, d_r > 0 ? t_r / d_r : 0);
+  }
+  double NodesPerKeyS() const {
+    return std::min<double>(num_nodes, d_s > 0 ? t_s / d_s : 0);
+  }
+  /// mR ≡ min(N, tR·sR/dR): nodes holding *matching* payloads per key.
+  double MatchNodesPerKeyR() const {
+    return std::min<double>(num_nodes, d_r > 0 ? t_r * s_r / d_r : 0);
+  }
+  double MatchNodesPerKeyS() const {
+    return std::min<double>(num_nodes, d_s > 0 ? t_s * s_s / d_s : 0);
+  }
+
+  /// cR: tracking counter width in bytes, sized from the average per-node
+  /// key repetition (paper Section 3.1; at least one byte here since our
+  /// implementation sends whole bytes).
+  double CountBytesR() const {
+    double reps = d_r > 0 ? t_r / (d_r * std::max(1.0, NodesPerKeyR())) : 1;
+    return std::max(1.0, std::ceil(std::log2(std::max(2.0, reps)) / 8));
+  }
+  double CountBytesS() const {
+    double reps = d_s > 0 ? t_s / (d_s * std::max(1.0, NodesPerKeyS())) : 1;
+    return std::max(1.0, std::ceil(std::log2(std::max(2.0, reps)) / 8));
+  }
+
+  /// Bytes of a globally unique record id for each table (log t bits).
+  double RidBytesR() const { return std::log2(std::max(2.0, t_r)) / 8; }
+  double RidBytesS() const { return std::log2(std::max(2.0, t_s)) / 8; }
+};
+
+}  // namespace tj
+
+#endif  // TJ_COSTMODEL_STATS_H_

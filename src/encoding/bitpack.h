@@ -1,0 +1,119 @@
+// Fixed-width bit packing.
+//
+// Dictionary-encoded columns travel over the simulated network as packed
+// n-bit codes; this is what makes the "Dictionary Encoding" bars of Figure 7
+// smaller than the fixed-byte ones.
+#ifndef TJ_ENCODING_BITPACK_H_
+#define TJ_ENCODING_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+
+namespace tj {
+
+/// Appends values of a fixed bit width to a byte buffer, LSB-first.
+class BitPacker {
+ public:
+  explicit BitPacker(ByteBuffer* out) : out_(out) { TJ_CHECK(out != nullptr); }
+  ~BitPacker() { Flush(); }
+
+  /// Appends the low `bits` bits of v (bits in [1,64]).
+  void Put(uint64_t v, uint32_t bits) {
+    TJ_CHECK_GE(bits, 1u);
+    TJ_CHECK_LE(bits, 64u);
+    if (bits < 64) {
+      TJ_CHECK_EQ(v >> bits, 0u);
+    }
+    while (bits > 0) {
+      uint32_t take = std::min(bits, 32u);  // Avoid overflowing the staging word.
+      acc_ |= (v & ((take == 64 ? ~0ULL : ((1ULL << take) - 1)))) << acc_bits_;
+      uint32_t stored = std::min(take, 64 - acc_bits_);
+      acc_bits_ += stored;
+      if (acc_bits_ == 64) {
+        EmitWord();
+        uint32_t rest = take - stored;
+        if (rest > 0) {
+          acc_ = (v >> stored) & ((1ULL << rest) - 1);
+          acc_bits_ = rest;
+        }
+      }
+      v >>= take;
+      bits -= take;
+    }
+  }
+
+  /// Writes any buffered partial byte(s). Called automatically on destruction.
+  void Flush() {
+    while (acc_bits_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      acc_bits_ = acc_bits_ >= 8 ? acc_bits_ - 8 : 0;
+    }
+    acc_ = 0;
+  }
+
+ private:
+  void EmitWord() {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<uint8_t>(acc_ >> (8 * i)));
+    }
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+
+  ByteBuffer* out_;
+  uint64_t acc_ = 0;
+  uint32_t acc_bits_ = 0;
+};
+
+/// Reads fixed-width values written by BitPacker.
+class BitUnpacker {
+ public:
+  BitUnpacker(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit BitUnpacker(const ByteBuffer& buf)
+      : BitUnpacker(buf.data(), buf.size()) {}
+
+  /// Reads the next `bits`-bit value (bits in [1,64]).
+  uint64_t Get(uint32_t bits) {
+    TJ_CHECK_GE(bits, 1u);
+    TJ_CHECK_LE(bits, 64u);
+    uint64_t v = 0;
+    uint32_t got = 0;
+    while (got < bits) {
+      if (acc_bits_ == 0) {
+        TJ_CHECK_LT(pos_, size_);
+        acc_ = data_[pos_++];
+        acc_bits_ = 8;
+      }
+      uint32_t take = std::min(bits - got, acc_bits_);
+      v |= (acc_ & ((1ULL << take) - 1)) << got;
+      acc_ >>= take;
+      acc_bits_ -= take;
+      got += take;
+    }
+    return v;
+  }
+
+  /// Total bytes consumed so far (including the partially-consumed byte).
+  size_t bytes_consumed() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  uint32_t acc_bits_ = 0;
+};
+
+/// Exact packed size in bytes of `count` values of `bits` bits each.
+inline uint64_t PackedBytes(uint64_t count, uint32_t bits) {
+  return (count * bits + 7) / 8;
+}
+
+}  // namespace tj
+
+#endif  // TJ_ENCODING_BITPACK_H_

@@ -1,0 +1,44 @@
+#include "encoding/delta.h"
+
+#include <algorithm>
+
+#include "encoding/varint.h"
+
+namespace tj {
+
+uint64_t DeltaEncode(std::vector<uint64_t> values, bool presorted,
+                     ByteBuffer* out) {
+  if (!presorted) std::sort(values.begin(), values.end());
+  EncodeLeb128(values.size(), out);
+  uint64_t prev = 0;
+  for (uint64_t v : values) {
+    EncodeLeb128(v - prev, out);
+    prev = v;
+  }
+  return values.size();
+}
+
+std::vector<uint64_t> DeltaDecode(ByteReader* in) {
+  uint64_t n = DecodeLeb128(in);
+  std::vector<uint64_t> values;
+  values.reserve(n);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    prev += DecodeLeb128(in);
+    values.push_back(prev);
+  }
+  return values;
+}
+
+uint64_t DeltaEncodedSize(std::vector<uint64_t> values, bool presorted) {
+  if (!presorted) std::sort(values.begin(), values.end());
+  uint64_t bytes = Leb128Size(values.size());
+  uint64_t prev = 0;
+  for (uint64_t v : values) {
+    bytes += Leb128Size(v - prev);
+    prev = v;
+  }
+  return bytes;
+}
+
+}  // namespace tj

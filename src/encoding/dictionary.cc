@@ -1,0 +1,39 @@
+#include "encoding/dictionary.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace tj {
+
+Dictionary Dictionary::Build(std::vector<uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Dictionary dict;
+  dict.sorted_values_ = std::move(values);
+  return dict;
+}
+
+Result<uint32_t> Dictionary::Encode(uint64_t value) const {
+  auto it = std::lower_bound(sorted_values_.begin(), sorted_values_.end(), value);
+  if (it == sorted_values_.end() || *it != value) {
+    return Status::NotFound("value not in dictionary");
+  }
+  return static_cast<uint32_t>(it - sorted_values_.begin());
+}
+
+uint64_t Dictionary::Decode(uint32_t code) const {
+  TJ_CHECK_LT(code, sorted_values_.size());
+  return sorted_values_[code];
+}
+
+bool Dictionary::Contains(uint64_t value) const {
+  return std::binary_search(sorted_values_.begin(), sorted_values_.end(), value);
+}
+
+uint32_t Dictionary::code_bits() const {
+  return CeilLog2(std::max<uint64_t>(size(), 1));
+}
+
+}  // namespace tj

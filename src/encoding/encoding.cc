@@ -1,0 +1,62 @@
+#include "encoding/encoding.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tj {
+
+const char* EncodingSchemeName(EncodingScheme scheme) {
+  switch (scheme) {
+    case EncodingScheme::kFixedByte:
+      return "FixedByte";
+    case EncodingScheme::kVariableByte:
+      return "VariableByte";
+    case EncodingScheme::kDictionary:
+      return "Dictionary";
+  }
+  return "Unknown";
+}
+
+uint64_t EncodedBitsX100(EncodingScheme scheme, uint32_t dict_bits,
+                         uint32_t avg_raw_bytes_x100) {
+  switch (scheme) {
+    case EncodingScheme::kFixedByte:
+      return 100ULL * 8 * BitsToFixedBytes(dict_bits);
+    case EncodingScheme::kVariableByte:
+      return 8ULL * avg_raw_bytes_x100;
+    case EncodingScheme::kDictionary:
+      return 100ULL * dict_bits;
+  }
+  TJ_LOG(Fatal) << "unknown encoding scheme";
+  return 0;
+}
+
+uint32_t AverageBase100BytesX100(uint64_t min_value, uint64_t max_value) {
+  TJ_CHECK_LE(min_value, max_value);
+  // Values in [100^(k-1), 100^k) take k bytes. Accumulate the exact weighted
+  // average over the uniform range.
+  __uint128_t total_bytes = 0;
+  uint64_t lo = min_value;
+  uint64_t bucket_hi = 99;  // Inclusive upper bound of the 1-byte bucket.
+  uint32_t bytes = 1;
+  while (true) {
+    uint64_t hi = std::min(max_value, bucket_hi);
+    if (lo <= hi) {
+      total_bytes += static_cast<__uint128_t>(hi - lo + 1) * bytes;
+    }
+    if (hi == max_value) break;
+    lo = std::max(lo, bucket_hi + 1);
+    // Saturating advance of the bucket boundary (100^bytes - 1).
+    if (bucket_hi > ~0ULL / 100) {
+      bucket_hi = ~0ULL;
+    } else {
+      bucket_hi = bucket_hi * 100 + 99;
+    }
+    ++bytes;
+  }
+  uint64_t count = max_value - min_value + 1;
+  return static_cast<uint32_t>((total_bytes * 100 + count / 2) / count);
+}
+
+}  // namespace tj

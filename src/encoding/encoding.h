@@ -1,0 +1,44 @@
+// Column encoding schemes and width models (paper Figures 7/8: fixed-byte,
+// variable-byte, dictionary).
+#ifndef TJ_ENCODING_ENCODING_H_
+#define TJ_ENCODING_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bit_util.h"
+#include "encoding/varint.h"
+
+namespace tj {
+
+/// The three physical encodings the paper evaluates on workload X.
+enum class EncodingScheme : uint8_t {
+  /// Dictionary codes rounded up to 1/2/4/8 whole bytes.
+  kFixedByte,
+  /// Base-100 variable byte encoding of the raw NUMBER values (footnote 1).
+  kVariableByte,
+  /// Bit-packed dictionary codes using exactly ceil(log2(distinct)) bits —
+  /// the optimal scheme for unordered distinct values (Figure 9).
+  kDictionary,
+};
+
+const char* EncodingSchemeName(EncodingScheme scheme);
+
+/// Width in bits of one value of a column under `scheme`.
+///
+/// `dict_bits` is the compacted dictionary code width
+/// (ceil(log2(distinct_values))); `avg_raw_bytes_x100` is the average
+/// base-100 encoded byte length of the column's raw values scaled by 100
+/// (variable-byte width depends on value magnitude, not distinct count).
+/// Returns a width scaled by 100 to preserve fractional averages; divide by
+/// 100 for bits-per-value.
+uint64_t EncodedBitsX100(EncodingScheme scheme, uint32_t dict_bits,
+                         uint32_t avg_raw_bytes_x100);
+
+/// Convenience: average base-100 bytes (×100) for values uniform in
+/// [min_value, max_value]. Exact under uniformity.
+uint32_t AverageBase100BytesX100(uint64_t min_value, uint64_t max_value);
+
+}  // namespace tj
+
+#endif  // TJ_ENCODING_ENCODING_H_

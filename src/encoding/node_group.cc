@@ -1,0 +1,48 @@
+#include "encoding/node_group.h"
+
+#include <algorithm>
+#include <map>
+
+#include "encoding/varint.h"
+
+namespace tj {
+
+void NodeGroupEncode(std::vector<KeyNodePair> pairs, uint32_t key_bytes,
+                     ByteBuffer* out) {
+  std::map<uint32_t, std::vector<uint64_t>> groups;
+  for (const auto& p : pairs) groups[p.node].push_back(p.key);
+  EncodeLeb128(groups.size(), out);
+  ByteWriter writer(out);
+  for (auto& [node, keys] : groups) {
+    std::sort(keys.begin(), keys.end());
+    EncodeLeb128(node, out);
+    EncodeLeb128(keys.size(), out);
+    for (uint64_t k : keys) writer.PutUint(k, key_bytes);
+  }
+}
+
+std::vector<KeyNodePair> NodeGroupDecode(ByteReader* in, uint32_t key_bytes) {
+  uint64_t num_groups = DecodeLeb128(in);
+  std::vector<KeyNodePair> pairs;
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    uint32_t node = static_cast<uint32_t>(DecodeLeb128(in));
+    uint64_t count = DecodeLeb128(in);
+    for (uint64_t i = 0; i < count; ++i) {
+      pairs.push_back(KeyNodePair{in->GetUint(key_bytes), node});
+    }
+  }
+  return pairs;
+}
+
+uint64_t NodeGroupEncodedSize(const std::vector<KeyNodePair>& pairs,
+                              uint32_t key_bytes) {
+  std::map<uint32_t, uint64_t> counts;
+  for (const auto& p : pairs) ++counts[p.node];
+  uint64_t bytes = Leb128Size(counts.size());
+  for (const auto& [node, count] : counts) {
+    bytes += Leb128Size(node) + Leb128Size(count) + count * key_bytes;
+  }
+  return bytes;
+}
+
+}  // namespace tj

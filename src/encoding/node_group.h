@@ -1,0 +1,50 @@
+// Node-grouped location messages (paper Section 2.4, last paragraph).
+//
+// Track join's schedule messages are logically <key, node> pairs. Grouping
+// them by node lets the sender emit each node label once followed by all
+// keys destined for it: "we avoid sending the node part in messages
+// containing key and node pairs by sending many keys with a single node
+// label after partitioning by node."
+#ifndef TJ_ENCODING_NODE_GROUP_H_
+#define TJ_ENCODING_NODE_GROUP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/byte_buffer.h"
+
+namespace tj {
+
+/// A location message: join key plus the node it refers to.
+struct KeyNodePair {
+  uint64_t key;
+  uint32_t node;
+
+  bool operator==(const KeyNodePair&) const = default;
+};
+
+/// Encodes pairs grouped by node:
+///   <num_groups : LEB128> { <node : LEB128> <count : LEB128>
+///                           <keys : count × key_bytes> }*
+/// Pairs are reordered (grouped by node, keys sorted within a group).
+void NodeGroupEncode(std::vector<KeyNodePair> pairs, uint32_t key_bytes,
+                     ByteBuffer* out);
+
+/// Decodes a stream produced by NodeGroupEncode.
+std::vector<KeyNodePair> NodeGroupDecode(ByteReader* in, uint32_t key_bytes);
+
+/// Exact encoded size in bytes.
+uint64_t NodeGroupEncodedSize(const std::vector<KeyNodePair>& pairs,
+                              uint32_t key_bytes);
+
+/// Baseline for comparison: ungrouped size, one <key, node> pair at a time
+/// with a 1-byte node label.
+inline uint64_t UngroupedSize(const std::vector<KeyNodePair>& pairs,
+                              uint32_t key_bytes) {
+  return pairs.size() * (key_bytes + 1ULL);
+}
+
+}  // namespace tj
+
+#endif  // TJ_ENCODING_NODE_GROUP_H_

@@ -1,0 +1,38 @@
+#include "exec/key_aggregate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/radix_sort.h"
+
+namespace tj {
+
+std::vector<KeyCount> AggregateSortedKeys(const TupleBlock& block) {
+  std::vector<KeyCount> out;
+  const auto& keys = block.keys();
+  uint64_t i = 0;
+  while (i < keys.size()) {
+    uint64_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    TJ_CHECK(j == keys.size() || keys[j] > keys[i]);  // Sorted input required.
+    out.push_back(KeyCount{keys[i], j - i});
+    i = j;
+  }
+  return out;
+}
+
+std::vector<KeyCount> AggregateKeys(const TupleBlock& block) {
+  std::vector<uint64_t> keys = block.keys();
+  std::sort(keys.begin(), keys.end());
+  std::vector<KeyCount> out;
+  uint64_t i = 0;
+  while (i < keys.size()) {
+    uint64_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    out.push_back(KeyCount{keys[i], j - i});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace tj

@@ -1,0 +1,101 @@
+#include "exec/local_join.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/hash.h"
+#include "exec/radix_sort.h"
+
+namespace tj {
+
+uint64_t MergeJoinSorted(const TupleBlock& r, const TupleBlock& s,
+                         const JoinSink& sink) {
+  uint64_t output = 0;
+  uint64_t i = 0, j = 0;
+  const uint64_t nr = r.size(), ns = s.size();
+  while (i < nr && j < ns) {
+    uint64_t kr = r.Key(i);
+    uint64_t ks = s.Key(j);
+    if (kr < ks) {
+      ++i;
+    } else if (kr > ks) {
+      ++j;
+    } else {
+      // Matching runs: emit the cartesian product of equal-key tuples.
+      uint64_t i_end = i;
+      while (i_end < nr && r.Key(i_end) == kr) ++i_end;
+      uint64_t j_end = j;
+      while (j_end < ns && s.Key(j_end) == kr) ++j_end;
+      for (uint64_t a = i; a < i_end; ++a) {
+        for (uint64_t b = j; b < j_end; ++b) {
+          if (sink) sink(kr, r.Payload(a), s.Payload(b));
+          ++output;
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return output;
+}
+
+uint64_t SortMergeJoin(TupleBlock* r, TupleBlock* s, const JoinSink& sink) {
+  if (!IsSortedByKey(*r)) SortBlockByKey(r);
+  if (!IsSortedByKey(*s)) SortBlockByKey(s);
+  return MergeJoinSorted(*r, *s, sink);
+}
+
+uint64_t HashTableJoin(const TupleBlock& r, const TupleBlock& s,
+                       const JoinSink& sink) {
+  if (r.empty() || s.empty()) return 0;
+  // Open-addressing table of row indexes into r, chained by probing: equal
+  // keys occupy consecutive probe positions.
+  const uint64_t capacity = NextPowerOfTwo(r.size() * 2);
+  const uint64_t mask = capacity - 1;
+  constexpr uint32_t kEmpty = ~0u;
+  std::vector<uint32_t> slots(capacity, kEmpty);
+  TJ_CHECK_LT(r.size(), static_cast<uint64_t>(kEmpty));
+  for (uint64_t row = 0; row < r.size(); ++row) {
+    uint64_t pos = HashKey(r.Key(row)) & mask;
+    while (slots[pos] != kEmpty) pos = (pos + 1) & mask;
+    slots[pos] = static_cast<uint32_t>(row);
+  }
+  uint64_t output = 0;
+  for (uint64_t row = 0; row < s.size(); ++row) {
+    uint64_t key = s.Key(row);
+    uint64_t pos = HashKey(key) & mask;
+    while (slots[pos] != kEmpty) {
+      uint32_t r_row = slots[pos];
+      if (r.Key(r_row) == key) {
+        if (sink) sink(key, r.Payload(r_row), s.Payload(row));
+        ++output;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+  return output;
+}
+
+JoinSink ChecksumSink(JoinChecksum* checksum, uint32_t width_r,
+                      uint32_t width_s) {
+  return [checksum, width_r, width_s](uint64_t key, const uint8_t* pr,
+                                      const uint8_t* ps) {
+    checksum->Accumulate(key, pr, width_r, ps, width_s);
+  };
+}
+
+JoinSink MaterializeSink(TupleBlock* out, JoinChecksum* checksum,
+                         uint32_t width_r, uint32_t width_s) {
+  TJ_CHECK_EQ(out->payload_width(), width_r + width_s);
+  return [out, checksum, width_r, width_s,
+          scratch = std::vector<uint8_t>(width_r + width_s)](
+             uint64_t key, const uint8_t* pr, const uint8_t* ps) mutable {
+    checksum->Accumulate(key, pr, width_r, ps, width_s);
+    if (width_r > 0) std::memcpy(scratch.data(), pr, width_r);
+    if (width_s > 0) std::memcpy(scratch.data() + width_r, ps, width_s);
+    out->Append(key, scratch.data());
+  };
+}
+
+}  // namespace tj

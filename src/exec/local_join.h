@@ -1,0 +1,47 @@
+// Node-local join machinery: sort-merge join and hash-table join.
+//
+// After an algorithm has routed tuples, every node joins its local R block
+// against its local S block. The paper uses sort-merge join (MSB radix
+// sort); a linear-probing hash join is provided as an alternative and for
+// cross-checking results.
+#ifndef TJ_EXEC_LOCAL_JOIN_H_
+#define TJ_EXEC_LOCAL_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "storage/table.h"
+#include "storage/tuple_block.h"
+
+namespace tj {
+
+/// Receives each joined output tuple.
+using JoinSink =
+    std::function<void(uint64_t key, const uint8_t* payload_r,
+                       const uint8_t* payload_s)>;
+
+/// Sort-merge join of two blocks (sorts them in place if needed), invoking
+/// `sink` once per output tuple. Returns the output cardinality.
+uint64_t SortMergeJoin(TupleBlock* r, TupleBlock* s, const JoinSink& sink);
+
+/// Merge join over already-sorted blocks. Precondition: both sorted by key.
+uint64_t MergeJoinSorted(const TupleBlock& r, const TupleBlock& s,
+                         const JoinSink& sink);
+
+/// Hash join: builds a linear-probing table on `r`, probes with `s`.
+uint64_t HashTableJoin(const TupleBlock& r, const TupleBlock& s,
+                       const JoinSink& sink);
+
+/// Convenience sink: accumulate the order-independent output checksum.
+JoinSink ChecksumSink(JoinChecksum* checksum, uint32_t width_r,
+                      uint32_t width_s);
+
+/// Sink that both checksums and materializes: appends one
+/// <key | payloadR | payloadS> row to `out` per joined pair.
+/// Precondition: out->payload_width() == width_r + width_s.
+JoinSink MaterializeSink(TupleBlock* out, JoinChecksum* checksum,
+                         uint32_t width_r, uint32_t width_s);
+
+}  // namespace tj
+
+#endif  // TJ_EXEC_LOCAL_JOIN_H_

@@ -1,0 +1,34 @@
+#include "exec/partition.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tj {
+
+std::vector<TupleBlock> HashPartitionBlock(const TupleBlock& block,
+                                           uint32_t num_parts) {
+  TJ_CHECK_GT(num_parts, 0u);
+  std::vector<TupleBlock> parts;
+  parts.reserve(num_parts);
+  for (uint32_t i = 0; i < num_parts; ++i) {
+    parts.emplace_back(block.payload_width());
+  }
+  for (uint64_t row = 0; row < block.size(); ++row) {
+    parts[HashPartition(block.Key(row), num_parts)].AppendFrom(block, row);
+  }
+  return parts;
+}
+
+std::vector<std::vector<uint32_t>> HashPartitionIndexes(const TupleBlock& block,
+                                                        uint32_t num_parts) {
+  TJ_CHECK_GT(num_parts, 0u);
+  TJ_CHECK_LT(block.size(), (1ULL << 32));
+  std::vector<std::vector<uint32_t>> indexes(num_parts);
+  for (uint64_t row = 0; row < block.size(); ++row) {
+    indexes[HashPartition(block.Key(row), num_parts)].push_back(
+        static_cast<uint32_t>(row));
+  }
+  return indexes;
+}
+
+}  // namespace tj

@@ -1,0 +1,25 @@
+// Hash partitioning of tuple blocks across nodes.
+//
+// The partition step of Grace hash join and of track join's tracking phase:
+// destination node = hash(key) mod N (common/hash.h HashPartition).
+#ifndef TJ_EXEC_PARTITION_H_
+#define TJ_EXEC_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple_block.h"
+
+namespace tj {
+
+/// Splits `block` into `num_parts` blocks by hash of key.
+std::vector<TupleBlock> HashPartitionBlock(const TupleBlock& block,
+                                           uint32_t num_parts);
+
+/// Row indexes of `block` destined for each partition (no copying).
+std::vector<std::vector<uint32_t>> HashPartitionIndexes(const TupleBlock& block,
+                                                        uint32_t num_parts);
+
+}  // namespace tj
+
+#endif  // TJ_EXEC_PARTITION_H_

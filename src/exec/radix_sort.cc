@@ -1,0 +1,114 @@
+#include "exec/radix_sort.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tj {
+
+namespace {
+
+constexpr uint64_t kInsertionSortThreshold = 48;
+
+inline uint32_t Digit(uint64_t key, int shift) {
+  return static_cast<uint32_t>(key >> shift) & 0xff;
+}
+
+void InsertionSort(uint64_t* keys, uint32_t* values, uint64_t n) {
+  for (uint64_t i = 1; i < n; ++i) {
+    uint64_t k = keys[i];
+    uint32_t v = values[i];
+    uint64_t j = i;
+    while (j > 0 && keys[j - 1] > k) {
+      keys[j] = keys[j - 1];
+      values[j] = values[j - 1];
+      --j;
+    }
+    keys[j] = k;
+    values[j] = v;
+  }
+}
+
+// In-place MSD radix sort (American-flag style) on the byte at `shift`.
+void MsdRadixSort(uint64_t* keys, uint32_t* values, uint64_t n, int shift) {
+  if (n <= kInsertionSortThreshold) {
+    InsertionSort(keys, values, n);
+    return;
+  }
+  uint64_t counts[256] = {0};
+  for (uint64_t i = 0; i < n; ++i) ++counts[Digit(keys[i], shift)];
+
+  uint64_t starts[256];
+  uint64_t ends[256];
+  uint64_t pos = 0;
+  for (int d = 0; d < 256; ++d) {
+    starts[d] = pos;
+    pos += counts[d];
+    ends[d] = pos;
+  }
+
+  // Permute in place: cycle elements into their buckets.
+  uint64_t heads[256];
+  std::copy(starts, starts + 256, heads);
+  for (int d = 0; d < 256; ++d) {
+    uint64_t i = heads[d];
+    while (i < ends[d]) {
+      uint32_t digit = Digit(keys[i], shift);
+      if (digit == static_cast<uint32_t>(d)) {
+        ++i;
+        ++heads[d];
+      } else {
+        uint64_t target = heads[digit]++;
+        std::swap(keys[i], keys[target]);
+        std::swap(values[i], values[target]);
+      }
+    }
+  }
+
+  if (shift > 0) {
+    for (int d = 0; d < 256; ++d) {
+      if (counts[d] > 1) {
+        MsdRadixSort(keys + starts[d], values + starts[d], counts[d], shift - 8);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RadixSortPairs(std::vector<uint64_t>* keys, std::vector<uint32_t>* values) {
+  TJ_CHECK_EQ(keys->size(), values->size());
+  if (keys->size() < 2) return;
+  // Skip leading all-zero bytes: start at the highest byte actually used.
+  uint64_t max_key = *std::max_element(keys->begin(), keys->end());
+  int shift = 0;
+  while (shift < 56 && (max_key >> (shift + 8)) != 0) shift += 8;
+  MsdRadixSort(keys->data(), values->data(), keys->size(), shift);
+}
+
+void SortBlockByKey(TupleBlock* block) {
+  if (block->size() < 2) return;
+  if (block->payload_width() == 0) {
+    std::vector<uint64_t> keys = block->keys();
+    std::vector<uint32_t> perm(keys.size());
+    for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    RadixSortPairs(&keys, &perm);
+    block->Permute(perm);
+    return;
+  }
+  std::vector<uint64_t> keys = block->keys();
+  std::vector<uint32_t> perm(keys.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  RadixSortPairs(&keys, &perm);
+  block->Permute(perm);
+}
+
+bool IsSortedByKey(const TupleBlock& block) {
+  const auto& keys = block.keys();
+  for (uint64_t i = 1; i < keys.size(); ++i) {
+    if (keys[i - 1] > keys[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace tj

@@ -1,0 +1,30 @@
+// MSB radix sort of tuple blocks by join key.
+//
+// The paper's implementation uses sort-merge-join with MSB radix sort for
+// all local joins (Section 4.2, Tables 3/4). Sorting also enables key
+// aggregation (distinct key + count) and the delta/prefix compression of
+// Section 2.4.
+#ifndef TJ_EXEC_RADIX_SORT_H_
+#define TJ_EXEC_RADIX_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple_block.h"
+
+namespace tj {
+
+/// Sorts `keys` ascending with MSB (most-significant-byte first) radix sort,
+/// applying identical moves to the parallel `values` array.
+/// Precondition: keys.size() == values.size().
+void RadixSortPairs(std::vector<uint64_t>* keys, std::vector<uint32_t>* values);
+
+/// Sorts the block's rows by key ascending (payloads move with their keys).
+void SortBlockByKey(TupleBlock* block);
+
+/// True if the block's keys are non-decreasing.
+bool IsSortedByKey(const TupleBlock& block);
+
+}  // namespace tj
+
+#endif  // TJ_EXEC_RADIX_SORT_H_

@@ -1,0 +1,75 @@
+#include "filter/bloom.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "encoding/varint.h"
+
+namespace tj {
+
+BloomFilter::BloomFilter(uint64_t expected_keys, uint32_t bits_per_key,
+                         uint32_t num_hashes) {
+  TJ_CHECK_GT(bits_per_key, 0u);
+  num_bits_ = std::max<uint64_t>(64, expected_keys * bits_per_key);
+  num_bits_ = (num_bits_ + 63) / 64 * 64;
+  bits_.assign(num_bits_ / 64, 0);
+  if (num_hashes == 0) {
+    num_hashes = static_cast<uint32_t>(bits_per_key * 0.693);
+    if (num_hashes < 1) num_hashes = 1;
+    if (num_hashes > 16) num_hashes = 16;
+  }
+  num_hashes_ = num_hashes;
+}
+
+void BloomFilter::Add(uint64_t key) {
+  // Double hashing: h1 + i·h2 positions, the standard Kirsch-Mitzenmacher
+  // construction.
+  uint64_t h1 = HashKey(key, 101);
+  uint64_t h2 = HashKey(key, 202) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % num_bits_;
+    bits_[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  uint64_t h1 = HashKey(key, 101);
+  uint64_t h2 = HashKey(key, 202) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % num_bits_;
+    if ((bits_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Union(const BloomFilter& other) {
+  TJ_CHECK_EQ(num_bits_, other.num_bits_);
+  TJ_CHECK_EQ(num_hashes_, other.num_hashes_);
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+double BloomFilter::TheoreticalFpRate(uint64_t inserted) const {
+  double fill = 1.0 - std::exp(-static_cast<double>(num_hashes_) *
+                               static_cast<double>(inserted) /
+                               static_cast<double>(num_bits_));
+  return std::pow(fill, num_hashes_);
+}
+
+void BloomFilter::Serialize(ByteBuffer* out) const {
+  EncodeLeb128(num_bits_, out);
+  EncodeLeb128(num_hashes_, out);
+  ByteWriter writer(out);
+  for (uint64_t word : bits_) writer.PutU64(word);
+}
+
+BloomFilter BloomFilter::Deserialize(ByteReader* in) {
+  BloomFilter filter;
+  filter.num_bits_ = DecodeLeb128(in);
+  filter.num_hashes_ = static_cast<uint32_t>(DecodeLeb128(in));
+  filter.bits_.resize(filter.num_bits_ / 64);
+  for (auto& word : filter.bits_) word = in->GetU64();
+  return filter;
+}
+
+}  // namespace tj

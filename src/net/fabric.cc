@@ -1,0 +1,80 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tj {
+
+Fabric::Fabric(uint32_t num_nodes)
+    : num_nodes_(num_nodes),
+      traffic_(num_nodes),
+      queued_(num_nodes),
+      inboxes_(num_nodes) {
+  TJ_CHECK_GT(num_nodes, 0u);
+}
+
+void Fabric::Send(uint32_t src, uint32_t dst, MessageType type,
+                  ByteBuffer data) {
+  TJ_CHECK(in_phase_) << "Send outside RunPhase";
+  TJ_CHECK_LT(src, num_nodes_);
+  TJ_CHECK_LT(dst, num_nodes_);
+  // Cells indexed by src are only written by node src's own phase work, so
+  // this is race-free under concurrent phases.
+  traffic_.Add(src, dst, type, data.size());
+  queued_[src].push_back(Pending{dst, type, std::move(data)});
+}
+
+void Fabric::SendBytes(uint32_t src, uint32_t dst, MessageType type,
+                       uint64_t bytes) {
+  TJ_CHECK_LT(src, num_nodes_);
+  TJ_CHECK_LT(dst, num_nodes_);
+  traffic_.Add(src, dst, type, bytes);
+}
+
+void Fabric::RunPhase(const std::string& name,
+                      const std::function<void(uint32_t)>& fn) {
+  TJ_CHECK(!in_phase_) << "nested RunPhase";
+  in_phase_ = true;
+  Stopwatch watch;
+  if (pool_ != nullptr && num_nodes_ > 1) {
+    pool_->ParallelFor(num_nodes_, [&fn](size_t node) {
+      fn(static_cast<uint32_t>(node));
+    });
+  } else {
+    for (uint32_t node = 0; node < num_nodes_; ++node) fn(node);
+  }
+  phase_seconds_.emplace_back(name, watch.ElapsedSeconds());
+  in_phase_ = false;
+  // Barrier: deliver, ordered by source node then send order.
+  for (uint32_t src = 0; src < num_nodes_; ++src) {
+    for (auto& p : queued_[src]) {
+      inboxes_[p.dst].push_back(Message{src, p.type, std::move(p.data)});
+    }
+    queued_[src].clear();
+  }
+}
+
+std::vector<Message> Fabric::TakeInbox(uint32_t node) {
+  TJ_CHECK_LT(node, num_nodes_);
+  std::vector<Message> out = std::move(inboxes_[node]);
+  inboxes_[node].clear();
+  return out;
+}
+
+std::vector<Message> Fabric::TakeInbox(uint32_t node, MessageType type) {
+  TJ_CHECK_LT(node, num_nodes_);
+  std::vector<Message> taken;
+  std::vector<Message> rest;
+  for (auto& m : inboxes_[node]) {
+    if (m.type == type) {
+      taken.push_back(std::move(m));
+    } else {
+      rest.push_back(std::move(m));
+    }
+  }
+  inboxes_[node] = std::move(rest);
+  return taken;
+}
+
+}  // namespace tj

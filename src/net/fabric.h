@@ -1,0 +1,96 @@
+// Synchronous simulated cluster fabric.
+//
+// N logical nodes exchange messages in phases separated by barriers —
+// exactly the de-pipelined execution the paper's implementation section
+// uses ("we separate CPU and network utilization by de-pipelining all
+// operations"). Within a phase every node runs its local work and calls
+// Send(); deliveries become visible to receivers only after the barrier,
+// in deterministic (source-ordered) order.
+//
+// Phases run nodes sequentially by default, or concurrently on a
+// ThreadPool (SetThreadPool) — the paper allows "multiple threads per
+// process ... since all local operations combine tuples with the same join
+// key only". Message delivery order and traffic accounting are identical
+// in both modes: each node owns its send queue and its traffic rows.
+//
+// All traffic is accounted in a TrafficMatrix; src == dst sends are local
+// copies (no network bytes).
+#ifndef TJ_NET_FABRIC_H_
+#define TJ_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "net/message.h"
+#include "net/traffic.h"
+
+namespace tj {
+
+class Fabric {
+ public:
+  explicit Fabric(uint32_t num_nodes);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// Runs subsequent phases' per-node work on `pool` (not owned; pass
+  /// nullptr to return to sequential execution). Results are identical
+  /// either way.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Queues a message for delivery after the current phase. Callable only
+  /// from inside RunPhase, and only by the node whose id is `src` (this is
+  /// what makes concurrent phases race-free).
+  void Send(uint32_t src, uint32_t dst, MessageType type, ByteBuffer data);
+
+  /// Accounting-only variant: counts `bytes` of traffic without payload.
+  /// Used by analytic components (e.g. modeled filter broadcasts).
+  void SendBytes(uint32_t src, uint32_t dst, MessageType type, uint64_t bytes);
+
+  /// Runs one named phase: fn(node) for every node, then the barrier:
+  /// queued messages move into the receivers' inboxes ordered by source
+  /// node, then send order. The phase's wall time is recorded under `name`.
+  void RunPhase(const std::string& name,
+                const std::function<void(uint32_t node)>& fn);
+
+  /// Consumes and returns node's inbox (messages delivered at the last
+  /// barrier).
+  std::vector<Message> TakeInbox(uint32_t node);
+
+  /// Messages of one type only; other messages remain pending for later
+  /// TakeInbox calls in the same phase.
+  std::vector<Message> TakeInbox(uint32_t node, MessageType type);
+
+  const TrafficMatrix& traffic() const { return traffic_; }
+
+  /// Named per-phase wall-clock durations, in execution order.
+  const std::vector<std::pair<std::string, double>>& phase_seconds() const {
+    return phase_seconds_;
+  }
+
+ private:
+  struct Pending {
+    uint32_t dst;
+    MessageType type;
+    ByteBuffer data;
+  };
+
+  uint32_t num_nodes_;
+  ThreadPool* pool_ = nullptr;
+  TrafficMatrix traffic_;
+  /// Per-source send queues: node i only ever appends to queued_[i], so
+  /// concurrent phase execution needs no locking, and merging in source
+  /// order keeps delivery deterministic.
+  std::vector<std::vector<Pending>> queued_;
+  std::vector<std::vector<Message>> inboxes_;
+  std::vector<std::pair<std::string, double>> phase_seconds_;
+  bool in_phase_ = false;
+};
+
+}  // namespace tj
+
+#endif  // TJ_NET_FABRIC_H_

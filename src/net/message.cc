@@ -1,0 +1,48 @@
+#include "net/message.h"
+
+#include "common/logging.h"
+
+namespace tj {
+
+const char* TrafficClassName(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kKeysAndCounts:
+      return "Keys & Counts";
+    case TrafficClass::kKeysAndNodes:
+      return "Keys & Nodes";
+    case TrafficClass::kRTuples:
+      return "R Tuples";
+    case TrafficClass::kSTuples:
+      return "S Tuples";
+    case TrafficClass::kFilter:
+      return "Filter";
+  }
+  return "Unknown";
+}
+
+TrafficClass ClassOf(MessageType type) {
+  switch (type) {
+    case MessageType::kTrackR:
+    case MessageType::kTrackS:
+      return TrafficClass::kKeysAndCounts;
+    case MessageType::kLocationsToR:
+    case MessageType::kLocationsToS:
+    case MessageType::kMigrateR:
+    case MessageType::kMigrateS:
+    case MessageType::kRidR:
+    case MessageType::kRidS:
+      return TrafficClass::kKeysAndNodes;
+    case MessageType::kDataR:
+    case MessageType::kMigrationDataR:
+      return TrafficClass::kRTuples;
+    case MessageType::kDataS:
+    case MessageType::kMigrationDataS:
+      return TrafficClass::kSTuples;
+    case MessageType::kFilter:
+      return TrafficClass::kFilter;
+  }
+  TJ_LOG(Fatal) << "unknown message type";
+  return TrafficClass::kFilter;
+}
+
+}  // namespace tj

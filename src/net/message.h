@@ -1,0 +1,57 @@
+// Message taxonomy of the simulated network.
+//
+// Every byte that crosses the fabric is tagged with a MessageType; types map
+// onto the four traffic classes the paper's figures stack: "Keys & Counts"
+// (tracking), "Keys & Nodes" (locations/schedules), "R Tuples", "S Tuples".
+#ifndef TJ_NET_MESSAGE_H_
+#define TJ_NET_MESSAGE_H_
+
+#include <cstdint>
+
+#include "common/byte_buffer.h"
+
+namespace tj {
+
+/// Semantic message types used by the join algorithms.
+enum class MessageType : uint8_t {
+  kTrackR = 0,     ///< Tracking: distinct R keys (+ counts) to tracker nodes.
+  kTrackS,         ///< Tracking: distinct S keys (+ counts) to tracker nodes.
+  kLocationsToR,   ///< Schedule: <key, S-node> pairs sent to R locations.
+  kLocationsToS,   ///< Schedule: <key, R-node> pairs sent to S locations.
+  kMigrateR,       ///< Schedule: <key, dest> migration instructions, R side.
+  kMigrateS,       ///< Schedule: <key, dest> migration instructions, S side.
+  kDataR,          ///< R tuples (hash/broadcast/selective broadcast).
+  kDataS,          ///< S tuples.
+  kMigrationDataR, ///< R tuples moved by a 4-phase migration.
+  kMigrationDataS, ///< S tuples moved by a 4-phase migration.
+  kRidR,           ///< Late materialization: rid messages toward R side.
+  kRidS,           ///< Late materialization: rid messages toward S side.
+  kFilter,         ///< Semi-join Bloom filter broadcast.
+};
+
+/// Accounting classes matching the stacked bars of the paper's figures.
+enum class TrafficClass : uint8_t {
+  kKeysAndCounts = 0,
+  kKeysAndNodes,
+  kRTuples,
+  kSTuples,
+  kFilter,
+};
+
+constexpr int kNumTrafficClasses = 5;
+
+const char* TrafficClassName(TrafficClass cls);
+
+/// The figure class a message type is accounted under.
+TrafficClass ClassOf(MessageType type);
+
+/// A delivered message.
+struct Message {
+  uint32_t src;
+  MessageType type;
+  ByteBuffer data;
+};
+
+}  // namespace tj
+
+#endif  // TJ_NET_MESSAGE_H_

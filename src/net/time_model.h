@@ -1,0 +1,82 @@
+// Network time model.
+//
+// The paper's testbed measured 0.093 GB/s per exclusive edge on 1 Gbit
+// Ethernet (Section 4.2) and projects faster networks by scaling transfer
+// time linearly with byte volume. We adopt the same linear model: given a
+// traffic matrix, network time is estimated from the bottleneck — either
+// the busiest node NIC (switched full-duplex network, transfers overlap) or
+// the aggregate volume divided by total capacity (fully serialized floor).
+#ifndef TJ_NET_TIME_MODEL_H_
+#define TJ_NET_TIME_MODEL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "net/traffic.h"
+
+namespace tj {
+
+struct NetworkTimeModel {
+  /// Per-node (NIC) bandwidth in bytes/second, each direction.
+  /// Default: the paper's measured 0.093 GB/s real edge rate.
+  double node_bandwidth_bytes_per_sec = 0.093e9;
+
+  /// Seconds to complete the transfers described by `traffic`, assuming all
+  /// node pairs transfer concurrently: the slowest NIC decides.
+  double BottleneckSeconds(const TrafficMatrix& traffic) const {
+    return static_cast<double>(traffic.MaxNodeBytes()) /
+           node_bandwidth_bytes_per_sec;
+  }
+
+  /// Seconds if the cluster's links never overlap (upper bound):
+  /// total volume through one link's bandwidth.
+  double SerializedSeconds(const TrafficMatrix& traffic) const {
+    return static_cast<double>(traffic.TotalNetworkBytes()) /
+           node_bandwidth_bytes_per_sec;
+  }
+
+  /// Seconds for a byte volume through the aggregate cluster capacity of
+  /// `num_nodes` NICs (lower bound for perfectly balanced transfers).
+  double AggregateSeconds(uint64_t total_bytes, uint32_t num_nodes) const {
+    return static_cast<double>(total_bytes) /
+           (node_bandwidth_bytes_per_sec * num_nodes);
+  }
+};
+
+/// CPU/network overlap projection (paper Section 5: "A pipelined
+/// implementation can reduce end-to-end time by overlapping CPU and
+/// network. Track join is more complex than hash join, offering more
+/// choices for overlap.").
+///
+/// The de-pipelined execution the paper (and this library) measures runs
+/// CPU work and transfers back to back; a pipelined implementation streams
+/// chunks so the two resources run concurrently. With `chunks` pipeline
+/// stages the classic bound interpolates between the serial sum and the
+/// perfect-overlap maximum:
+///   time(K) = max(cpu, net) + (cpu + net - max(cpu, net)) / K
+struct OverlapEstimate {
+  double cpu_seconds = 0;
+  double net_seconds = 0;
+
+  /// Fully de-pipelined end-to-end time (what Table 2 reports).
+  double DepipelinedSeconds() const { return cpu_seconds + net_seconds; }
+
+  /// Perfect-overlap lower bound: the busier resource decides.
+  double PipelinedSeconds() const { return std::max(cpu_seconds, net_seconds); }
+
+  /// Finite pipeline of `chunks` stages (chunks >= 1).
+  double PipelinedSeconds(uint32_t chunks) const {
+    double bound = PipelinedSeconds();
+    return bound + (DepipelinedSeconds() - bound) / std::max(1u, chunks);
+  }
+
+  /// DepipelinedSeconds / PipelinedSeconds.
+  double Speedup() const {
+    double pipelined = PipelinedSeconds();
+    return pipelined > 0 ? DepipelinedSeconds() / pipelined : 1.0;
+  }
+};
+
+}  // namespace tj
+
+#endif  // TJ_NET_TIME_MODEL_H_

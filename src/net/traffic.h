@@ -1,0 +1,82 @@
+// Network traffic accounting.
+//
+// A TrafficMatrix records bytes per (source, destination, message type).
+// Types aggregate into the figures' four stacked classes via ClassOf().
+// Local copies (src == dst) are tracked separately and never count as
+// network traffic — the paper's cost analysis treats in-place transfers as
+// free, and its step tables report them as separate "local copy" rows.
+#ifndef TJ_NET_TRAFFIC_H_
+#define TJ_NET_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace tj {
+
+constexpr int kNumMessageTypes = 13;
+
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(uint32_t num_nodes = 0) { Reset(num_nodes); }
+
+  void Reset(uint32_t num_nodes);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// Records `bytes` of type `type` from src to dst.
+  void Add(uint32_t src, uint32_t dst, MessageType type, uint64_t bytes);
+
+  /// Bytes that crossed the network (src != dst) for one message type.
+  uint64_t NetworkBytes(MessageType type) const;
+  /// Bytes that crossed the network for one figure class.
+  uint64_t NetworkBytes(TrafficClass cls) const;
+  /// Bytes that crossed the network, all types.
+  uint64_t TotalNetworkBytes() const;
+
+  /// Locally-copied (src == dst) bytes.
+  uint64_t LocalBytes(MessageType type) const;
+  uint64_t LocalBytes(TrafficClass cls) const;
+  uint64_t TotalLocalBytes() const;
+
+  /// Network bytes leaving / entering one node.
+  uint64_t EgressBytes(uint32_t node) const;
+  uint64_t IngressBytes(uint32_t node) const;
+
+  /// Bytes on one directed link.
+  uint64_t LinkBytes(uint32_t src, uint32_t dst) const;
+  /// The busiest directed link's byte count.
+  uint64_t MaxLinkBytes() const;
+  /// max over nodes of max(ingress, egress): the NIC bottleneck.
+  uint64_t MaxNodeBytes() const;
+
+  /// Accumulates another matrix (same node count).
+  void Merge(const TrafficMatrix& other);
+
+  /// Multi-line human-readable per-class summary.
+  std::string Report() const;
+
+ private:
+  uint64_t& Cell(uint32_t src, uint32_t dst, int type) {
+    return cells_[(static_cast<uint64_t>(src) * num_nodes_ + dst) *
+                      kNumMessageTypes +
+                  type];
+  }
+  uint64_t Cell(uint32_t src, uint32_t dst, int type) const {
+    return cells_[(static_cast<uint64_t>(src) * num_nodes_ + dst) *
+                      kNumMessageTypes +
+                  type];
+  }
+
+  uint32_t num_nodes_ = 0;
+  std::vector<uint64_t> cells_;
+};
+
+/// Pretty-prints a byte count as "12.34 GiB" / "56.7 MiB" / "890 B".
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace tj
+
+#endif  // TJ_NET_TRAFFIC_H_

@@ -1,0 +1,75 @@
+#include "storage/schema.h"
+
+#include <cstdio>
+
+#include "common/bit_util.h"
+
+namespace tj {
+
+uint32_t ColumnSpec::DictBits() const {
+  if (char_bytes > 0) return char_bytes * 8;
+  return CeilLog2(distinct_values);
+}
+
+// Commercial NUMBER values are stored as base-100 digit pairs behind a
+// ~2-byte header (length + sign/exponent); the paper's "variable byte"
+// widths for workloads X and Y include it (footnote 1 and the Figure 7
+// variable-byte bars are only consistent with headered values).
+constexpr uint32_t kNumberHeaderBytesX100 = 200;
+
+uint64_t ColumnSpec::BitsX100(EncodingScheme scheme) const {
+  if (char_bytes > 0) {
+    // Character data is carried verbatim under every scheme we model.
+    return 100ULL * 8 * char_bytes;
+  }
+  uint32_t avg_raw =
+      kNumberHeaderBytesX100 +
+      AverageBase100BytesX100(min_raw_value,
+                              std::max(min_raw_value, max_raw_value));
+  return EncodedBitsX100(scheme, DictBits(), avg_raw);
+}
+
+namespace {
+
+uint64_t SumBitsX100(const std::vector<ColumnSpec>& columns,
+                     EncodingScheme scheme) {
+  uint64_t total = 0;
+  for (const auto& c : columns) total += c.BitsX100(scheme);
+  return total;
+}
+
+}  // namespace
+
+uint64_t TableSchema::KeyBitsX100(EncodingScheme scheme) const {
+  return SumBitsX100(key_columns, scheme);
+}
+
+uint64_t TableSchema::PayloadBitsX100(EncodingScheme scheme) const {
+  return SumBitsX100(payload_columns, scheme);
+}
+
+uint64_t TableSchema::TupleBitsX100(EncodingScheme scheme) const {
+  return KeyBitsX100(scheme) + PayloadBitsX100(scheme);
+}
+
+uint32_t TableSchema::KeyBytes(EncodingScheme scheme) const {
+  return (KeyBitsX100(scheme) + 799) / 800;
+}
+
+uint32_t TableSchema::PayloadBytes(EncodingScheme scheme) const {
+  return (PayloadBitsX100(scheme) + 799) / 800;
+}
+
+std::string FormatBitsX100(uint64_t bits_x100) {
+  char buf[32];
+  if (bits_x100 % 100 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu bits",
+                  static_cast<unsigned long long>(bits_x100 / 100));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f bits",
+                  static_cast<double>(bits_x100) / 100.0);
+  }
+  return buf;
+}
+
+}  // namespace tj

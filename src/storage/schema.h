@@ -1,0 +1,63 @@
+// Logical column/table schemas with encoding-aware width models.
+//
+// The traffic results of the paper depend on tuple widths *under a given
+// encoding scheme* (Figures 7-9 sweep fixed-byte / variable-byte /
+// dictionary). A TableSchema carries per-column distinct counts and raw
+// value ranges so each scheme's width can be derived, reproducing e.g.
+// Table 1's bit widths for workload X.
+#ifndef TJ_STORAGE_SCHEMA_H_
+#define TJ_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.h"
+
+namespace tj {
+
+/// One column of a join input relation.
+struct ColumnSpec {
+  std::string name;
+  /// Number of distinct values (drives the dictionary code width).
+  uint64_t distinct_values = 1;
+  /// Raw (pre-dictionary) value range; drives variable-byte widths.
+  uint64_t min_raw_value = 0;
+  uint64_t max_raw_value = 0;
+  /// For fixed-length character columns: byte length (0 = numeric column).
+  /// Char columns have the same width under every scheme.
+  uint32_t char_bytes = 0;
+
+  /// Compacted dictionary code width: ceil(log2(distinct_values)).
+  uint32_t DictBits() const;
+
+  /// Average width in bits ×100 under `scheme`.
+  uint64_t BitsX100(EncodingScheme scheme) const;
+};
+
+/// Schema of one side of the join: the key column(s) followed by payload
+/// columns. Multi-column conjunctive keys are modeled as one concatenated
+/// key column (the paper's wk is "the total width of the join key columns").
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnSpec> key_columns;
+  std::vector<ColumnSpec> payload_columns;
+
+  /// Average join-key width in bits ×100 under `scheme` (paper's wk).
+  uint64_t KeyBitsX100(EncodingScheme scheme) const;
+  /// Average payload width in bits ×100 under `scheme` (paper's wR / wS).
+  uint64_t PayloadBitsX100(EncodingScheme scheme) const;
+  /// KeyBitsX100 + PayloadBitsX100.
+  uint64_t TupleBitsX100(EncodingScheme scheme) const;
+
+  /// Physical widths for the execution engine: whole bytes.
+  uint32_t KeyBytes(EncodingScheme scheme) const;
+  uint32_t PayloadBytes(EncodingScheme scheme) const;
+};
+
+/// Pretty bits-per-tuple string, e.g. "79 bits".
+std::string FormatBitsX100(uint64_t bits_x100);
+
+}  // namespace tj
+
+#endif  // TJ_STORAGE_SCHEMA_H_

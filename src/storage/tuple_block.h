@@ -1,0 +1,108 @@
+// Physical tuple storage: fixed-width rows of <key, payload bytes>.
+//
+// A TupleBlock is the unit the execution engine operates on: one table's
+// tuples resident at one node. Keys are 64-bit; payloads are a fixed number
+// of bytes per row, stored contiguously. This matches the paper's
+// implementation ("our implementation supports fixed byte widths").
+#ifndef TJ_STORAGE_TUPLE_BLOCK_H_
+#define TJ_STORAGE_TUPLE_BLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+
+namespace tj {
+
+class TupleBlock {
+ public:
+  explicit TupleBlock(uint32_t payload_width = 0)
+      : payload_width_(payload_width) {}
+
+  uint32_t payload_width() const { return payload_width_; }
+  uint64_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  void Reserve(uint64_t rows) {
+    keys_.reserve(rows);
+    payloads_.reserve(rows * payload_width_);
+  }
+
+  /// Appends a row. `payload` must point at payload_width() bytes (may be
+  /// null iff payload_width() == 0).
+  void Append(uint64_t key, const uint8_t* payload) {
+    keys_.push_back(key);
+    if (payload_width_ > 0) {
+      payloads_.insert(payloads_.end(), payload, payload + payload_width_);
+    }
+  }
+
+  /// Appends row `row` of `other` (must have the same payload width).
+  void AppendFrom(const TupleBlock& other, uint64_t row) {
+    TJ_CHECK_EQ(payload_width_, other.payload_width_);
+    Append(other.Key(row), other.Payload(row));
+  }
+
+  uint64_t Key(uint64_t row) const { return keys_[row]; }
+
+  /// Pointer to row's payload bytes (valid until the block is modified).
+  const uint8_t* Payload(uint64_t row) const {
+    return payload_width_ == 0 ? nullptr
+                               : payloads_.data() + row * payload_width_;
+  }
+
+  const std::vector<uint64_t>& keys() const { return keys_; }
+
+  /// Width of one serialized row: key_bytes + payload bytes.
+  uint32_t RowBytes(uint32_t key_bytes) const {
+    return key_bytes + payload_width_;
+  }
+
+  /// Serializes rows [begin, end) with a `key_bytes`-byte key.
+  void SerializeRows(uint64_t begin, uint64_t end, uint32_t key_bytes,
+                     ByteBuffer* out) const;
+
+  /// Serializes an arbitrary set of rows (by index) with a `key_bytes`-byte
+  /// key.
+  void SerializeRowsIndexed(const std::vector<uint32_t>& rows,
+                            uint32_t key_bytes, ByteBuffer* out) const;
+
+  /// Rebuilds the block keeping only rows where keep(row) is true.
+  /// Preserves order. Returns the number of rows removed.
+  uint64_t Filter(const std::function<bool(uint64_t row)>& keep);
+
+  /// First and one-past-last row of the sorted block whose key equals `key`
+  /// (empty range if absent). Precondition: sorted by key.
+  std::pair<uint64_t, uint64_t> EqualRange(uint64_t key) const;
+
+  /// Appends rows parsed from `in`, each `key_bytes` + payload_width bytes,
+  /// until `in` is exhausted.
+  void DeserializeRows(ByteReader* in, uint32_t key_bytes);
+
+  /// Drops all rows, keeping capacity.
+  void Clear() {
+    keys_.clear();
+    payloads_.clear();
+  }
+
+  /// In-place reorder by a permutation: row i moves to position perm[i]...
+  /// (see .cc for the exact convention: output[i] = input[perm[i]]).
+  void Permute(const std::vector<uint32_t>& perm);
+
+  /// Total resident bytes (keys at 8 bytes + payloads).
+  uint64_t MemoryBytes() const {
+    return keys_.size() * 8 + payloads_.size();
+  }
+
+ private:
+  uint32_t payload_width_;
+  std::vector<uint64_t> keys_;
+  std::vector<uint8_t> payloads_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_STORAGE_TUPLE_BLOCK_H_

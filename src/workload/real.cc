@@ -1,0 +1,180 @@
+#include "workload/real.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tj {
+
+namespace {
+
+ColumnSpec Numeric(const char* name, uint64_t distinct, uint64_t max_raw) {
+  ColumnSpec c;
+  c.name = name;
+  c.distinct_values = distinct;
+  c.min_raw_value = 1;
+  c.max_raw_value = max_raw;
+  return c;
+}
+
+/// Synthesizes payload columns totalling `bits` dictionary bits, splitting
+/// into <=30-bit columns (used for Q2-Q5 where the paper only reports the
+/// per-tuple totals of Figure 9).
+std::vector<ColumnSpec> SyntheticPayload(uint32_t bits) {
+  std::vector<ColumnSpec> columns;
+  int index = 0;
+  while (bits > 0) {
+    uint32_t chunk = std::min(bits, 30u);
+    ColumnSpec c;
+    c.name = "COL" + std::to_string(index++);
+    c.distinct_values = 1ULL << chunk;
+    c.min_raw_value = 1;
+    // Raw magnitudes roughly one decimal order above the code space, the
+    // "values do not fit the dictionary-code range" situation of Section 4.
+    c.max_raw_value = (1ULL << chunk) * 10;
+    columns.push_back(c);
+    bits -= chunk;
+  }
+  return columns;
+}
+
+}  // namespace
+
+RealJoinSpec WorkloadX(int query) {
+  TJ_CHECK_GE(query, 1);
+  TJ_CHECK_LE(query, 5);
+  RealJoinSpec spec;
+  spec.name = "X-Q" + std::to_string(query);
+  spec.t_r = 769845120;
+  spec.t_s = 790963741;
+  spec.t_rs = 730073001;
+  spec.matched_keys = spec.t_rs;  // Nearly-unique keys on both sides.
+  spec.r_multiplicity = 1;
+  spec.s_multiplicity = 1;
+  // Calibrated from Table 2: original-order 2TJ network time is 44% of
+  // hash join vs 71% when shuffled => ~80% of matched pairs collocated.
+  spec.original_collocated_fraction = 0.8;
+  spec.original_collocation = Collocation::kInter;
+  spec.impl_key_bytes = 4;
+  spec.impl_count_bytes = 1;
+  spec.impl_r_payload = 7;
+  spec.impl_s_payload = 18;
+
+  // The raw NUMBER key values exceed 32 bits (Section 4.1); ~12 decimal
+  // digits -> 6 base-100 bytes.
+  spec.r_schema.name = "R";
+  spec.r_schema.key_columns = {Numeric("J.ID", 769785856, 999999999999ULL)};
+  spec.s_schema.name = "S";
+  spec.s_schema.key_columns = {Numeric("J.ID", 788463616, 999999999999ULL)};
+
+  if (query == 1) {
+    // Table 1 exactly.
+    spec.r_schema.payload_columns = {
+        Numeric("T.ID", 53, 99),
+        Numeric("J.T.AMT", 9824256, 99999999ULL),
+        Numeric("T.C.ID", 297952, 999999ULL),
+    };
+    spec.s_schema.payload_columns = {
+        Numeric("T.ID", 53, 99),
+        Numeric("S.B.ID", 95, 99),
+        Numeric("O.U.AMT", 26308608, 99999999ULL),
+        Numeric("C.ID", 359, 999),
+        Numeric("T.B.C.ID", 233040, 999999ULL),
+        Numeric("S.C.AMT", 11278336, 99999999ULL),
+        Numeric("M.U.AMT", 54407160, 99999999ULL),
+    };
+  } else {
+    // Figure 9 bits-per-tuple: R:S = 67:120, 60:126, 67:131, 69:145 for
+    // Q2..Q5 with 30-bit keys.
+    static constexpr uint32_t kRPayloadBits[] = {37, 30, 37, 39};
+    static constexpr uint32_t kSPayloadBits[] = {90, 96, 101, 115};
+    spec.r_schema.payload_columns = SyntheticPayload(kRPayloadBits[query - 2]);
+    spec.s_schema.payload_columns = SyntheticPayload(kSPayloadBits[query - 2]);
+  }
+  return spec;
+}
+
+RealJoinSpec WorkloadY() {
+  RealJoinSpec spec;
+  spec.name = "Y";
+  spec.t_r = 57119489;
+  spec.t_s = 141312688;
+  spec.t_rs = 1068159117;
+  // 5.4x output blow-up from repeated keys on both sides. The paper does
+  // not publish Y's input selectivity; we model ~35% of each table as
+  // unmatched (plausible for a 9-join query with selections), which makes
+  // the matched multiplicities 12 x 29 over ~3.07M distinct keys. This
+  // satisfies every published total (tR, tS, tRS) and reproduces Figure
+  // 11's key qualitative result: shuffled 4TJ beats hash join (paper: 28%
+  // less traffic; here ~24%) because unmatched tuples cost it nothing
+  // while consolidation absorbs the repeats.
+  spec.r_multiplicity = 12;
+  spec.s_multiplicity = 29;
+  spec.matched_keys = spec.t_rs / (spec.r_multiplicity * spec.s_multiplicity);
+  // Calibrated like X's: full intra-table collocation would give 2TJ a
+  // 0.20 net ratio vs hash join; the paper's Table 2 shows 0.36, implying
+  // about two thirds of the keys' repeats were stored together.
+  spec.original_collocated_fraction = 0.67;
+  spec.original_collocation = Collocation::kIntra;
+  spec.impl_key_bytes = 4;
+  spec.impl_count_bytes = 2;
+  spec.impl_r_payload = 33;
+  spec.impl_s_payload = 43;
+
+  // Uncompressed variable-byte tuples: 37 bytes (R) and 47 bytes (S),
+  // dominated by a 23-byte character column in S.
+  // Variable-byte widths (base-100 digits + 2-byte NUMBER header) total
+  // 37 bytes for R and 47 for S, with the 23-byte char column in S.
+  spec.r_schema.name = "R";
+  spec.r_schema.key_columns = {
+      Numeric("KEY", spec.matched_keys, 99999999ULL)};  // 4+2 = 6 bytes.
+  ColumnSpec r1 = Numeric("VAL", 10000000,
+                          99999999999999999ULL);        // 17 digits: 9+2.
+  ColumnSpec r2 = Numeric("AMT", 1000000,
+                          999999999999999ULL);          // 15 digits: 8+2.
+  ColumnSpec r3 = Numeric("QTY", 1000000,
+                          999999999999999ULL);          // 15 digits: 8+2.
+  spec.r_schema.payload_columns = {r1, r2, r3};         // 6+11+10+10 = 37.
+
+  spec.s_schema.name = "S";
+  spec.s_schema.key_columns = {
+      Numeric("KEY", spec.matched_keys, 99999999ULL)};  // 6 bytes.
+  ColumnSpec s_char;
+  s_char.name = "NAME";
+  s_char.char_bytes = 23;
+  ColumnSpec s1 = Numeric("A", 1000000, 99999999999999ULL);  // 14 digits: 7+2.
+  ColumnSpec s2 = Numeric("B", 1000000, 99999999999999ULL);  // 14 digits: 7+2.
+  spec.s_schema.payload_columns = {s_char, s1, s2};  // 6+23+9+9 = 47.
+  return spec;
+}
+
+Workload InstantiateReal(const RealJoinSpec& spec, uint32_t num_nodes,
+                         uint64_t scale_divisor, bool original_order,
+                         uint64_t seed) {
+  TJ_CHECK_GT(scale_divisor, 0u);
+  WorkloadSpec w;
+  w.num_nodes = num_nodes;
+  w.seed = seed;
+  w.matched_keys = std::max<uint64_t>(1, spec.matched_keys / scale_divisor);
+  w.r_multiplicity = spec.r_multiplicity;
+  w.s_multiplicity = spec.s_multiplicity;
+  uint64_t matched_r = spec.matched_keys * spec.r_multiplicity;
+  uint64_t matched_s = spec.matched_keys * spec.s_multiplicity;
+  w.r_unmatched =
+      spec.t_r > matched_r ? (spec.t_r - matched_r) / scale_divisor : 0;
+  w.s_unmatched =
+      spec.t_s > matched_s ? (spec.t_s - matched_s) / scale_divisor : 0;
+  w.r_payload = spec.impl_r_payload;
+  w.s_payload = spec.impl_s_payload;
+  if (original_order) {
+    w.collocation = spec.original_collocation;
+    w.collocated_fraction = spec.original_collocated_fraction;
+    w.r_pattern = {spec.r_multiplicity};
+    w.s_pattern = {spec.s_multiplicity};
+  } else {
+    w.collocation = Collocation::kRandom;
+  }
+  return GenerateWorkload(w);
+}
+
+}  // namespace tj

@@ -1,0 +1,66 @@
+#include "common/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace tj {
+namespace {
+
+TEST(BitUtilTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(0), 1u);
+  EXPECT_EQ(CeilLog2(1), 1u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+  EXPECT_EQ(CeilLog2(256), 8u);
+  EXPECT_EQ(CeilLog2(257), 9u);
+  EXPECT_EQ(CeilLog2(1ULL << 32), 32u);
+  EXPECT_EQ(CeilLog2((1ULL << 32) + 1), 33u);
+  // Paper Table 1: 769,785,856 distinct values fit in 30 bits.
+  EXPECT_EQ(CeilLog2(769785856), 30u);
+  EXPECT_EQ(CeilLog2(53), 6u);
+  EXPECT_EQ(CeilLog2(297952), 19u);
+}
+
+TEST(BitUtilTest, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 1u);
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(2), 2u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+  EXPECT_EQ(BitWidth(~0ULL), 64u);
+}
+
+TEST(BitUtilTest, BitsToBytes) {
+  EXPECT_EQ(BitsToBytes(1), 1u);
+  EXPECT_EQ(BitsToBytes(8), 1u);
+  EXPECT_EQ(BitsToBytes(9), 2u);
+  EXPECT_EQ(BitsToBytes(64), 8u);
+}
+
+TEST(BitUtilTest, BitsToFixedBytes) {
+  EXPECT_EQ(BitsToFixedBytes(1), 1u);
+  EXPECT_EQ(BitsToFixedBytes(8), 1u);
+  EXPECT_EQ(BitsToFixedBytes(9), 2u);
+  EXPECT_EQ(BitsToFixedBytes(16), 2u);
+  EXPECT_EQ(BitsToFixedBytes(17), 4u);
+  EXPECT_EQ(BitsToFixedBytes(30), 4u);  // Workload X keys: 30 bits -> 4 bytes.
+  EXPECT_EQ(BitsToFixedBytes(33), 8u);
+  EXPECT_EQ(BitsToFixedBytes(64), 8u);
+}
+
+TEST(BitUtilTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+}  // namespace
+}  // namespace tj

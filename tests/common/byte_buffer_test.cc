@@ -1,0 +1,96 @@
+#include "common/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace tj {
+namespace {
+
+TEST(ByteBufferTest, WriteReadRoundTrip) {
+  ByteBuffer buf;
+  ByteWriter writer(&buf);
+  writer.PutU8(0xab);
+  writer.PutU16(0x1234);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0123456789abcdefULL);
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8);
+
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.GetU8(), 0xab);
+  EXPECT_EQ(reader.GetU16(), 0x1234);
+  EXPECT_EQ(reader.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(reader.Done());
+}
+
+TEST(ByteBufferTest, ArbitraryWidths) {
+  ByteBuffer buf;
+  ByteWriter writer(&buf);
+  for (uint32_t width = 1; width <= 8; ++width) {
+    uint64_t v = 0x1122334455667788ULL &
+                 (width == 8 ? ~0ULL : ((1ULL << (8 * width)) - 1));
+    writer.PutUint(v, width);
+  }
+  ByteReader reader(buf);
+  for (uint32_t width = 1; width <= 8; ++width) {
+    uint64_t expect = 0x1122334455667788ULL &
+                      (width == 8 ? ~0ULL : ((1ULL << (8 * width)) - 1));
+    EXPECT_EQ(reader.GetUint(width), expect) << width;
+  }
+}
+
+TEST(ByteBufferTest, ZeroWidthWritesNothing) {
+  ByteBuffer buf;
+  ByteWriter writer(&buf);
+  writer.PutUint(12345, 0);
+  EXPECT_TRUE(buf.empty());
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.GetUint(0), 0u);
+}
+
+TEST(ByteBufferTest, LittleEndianLayout) {
+  ByteBuffer buf;
+  ByteWriter writer(&buf);
+  writer.PutU32(0x04030201);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(ByteBufferTest, RawBytes) {
+  ByteBuffer buf;
+  ByteWriter writer(&buf);
+  uint8_t payload[5] = {9, 8, 7, 6, 5};
+  writer.PutBytes(payload, sizeof(payload));
+  uint8_t out[5] = {0};
+  ByteReader reader(buf);
+  reader.GetBytes(out, 5);
+  EXPECT_EQ(0, memcmp(payload, out, 5));
+  EXPECT_TRUE(reader.Done());
+}
+
+TEST(ByteBufferTest, SkipAndRemaining) {
+  ByteBuffer buf(10, 0xcc);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.remaining(), 10u);
+  reader.Skip(4);
+  EXPECT_EQ(reader.remaining(), 6u);
+  EXPECT_EQ(reader.position(), 4u);
+  EXPECT_EQ(*reader.Current(), 0xcc);
+  reader.Skip(6);
+  EXPECT_TRUE(reader.Done());
+}
+
+TEST(ByteBufferTest, InterleavedWriteAppends) {
+  ByteBuffer buf;
+  ByteWriter w1(&buf);
+  w1.PutU8(1);
+  ByteWriter w2(&buf);
+  w2.PutU8(2);
+  w1.PutU8(3);
+  EXPECT_EQ(buf, (ByteBuffer{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,59 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace tj {
+namespace {
+
+TEST(HashTest, Mix64Deterministic) {
+  EXPECT_EQ(HashMix64(42), HashMix64(42));
+  EXPECT_NE(HashMix64(42), HashMix64(43));
+}
+
+TEST(HashTest, Mix64IsBijectiveOnSample) {
+  // A bijective mixer never collides; sample a large set.
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(HashMix64(i)).second);
+  }
+}
+
+TEST(HashTest, SeedsGiveIndependentStreams) {
+  int equal = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    if (HashKey(k, 1) == HashKey(k, 2)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(HashTest, BytesHashMatchesOnEqualInput) {
+  const char a[] = "track join";
+  const char b[] = "track join";
+  EXPECT_EQ(HashBytes(a, sizeof(a)), HashBytes(b, sizeof(b)));
+  EXPECT_NE(HashBytes(a, sizeof(a)), HashBytes(a, sizeof(a) - 1));
+  EXPECT_NE(HashBytes(a, sizeof(a), 1), HashBytes(a, sizeof(a), 2));
+}
+
+TEST(HashTest, PartitionInRangeAndBalanced) {
+  constexpr uint32_t kNodes = 16;
+  std::vector<int> counts(kNodes, 0);
+  constexpr int kKeys = 160000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint32_t p = HashPartition(k, kNodes);
+    ASSERT_LT(p, kNodes);
+    ++counts[p];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kKeys / kNodes, kKeys / kNodes * 0.05);
+  }
+}
+
+TEST(HashTest, PartitionSingleNode) {
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_EQ(HashPartition(k, 1), 0u);
+}
+
+}  // namespace
+}  // namespace tj

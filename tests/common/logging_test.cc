@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace tj {
+namespace {
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  TJ_CHECK(true);
+  TJ_CHECK_EQ(1, 1);
+  TJ_CHECK_NE(1, 2);
+  TJ_CHECK_LT(1, 2);
+  TJ_CHECK_LE(2, 2);
+  TJ_CHECK_GT(3, 2);
+  TJ_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(TJ_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(TJ_CHECK_EQ(1, 2), "1 vs 2");
+  EXPECT_DEATH(TJ_CHECK_LT(5, 3), "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(TJ_CHECK_OK(Status::Corruption("bad page")), "bad page");
+  TJ_CHECK_OK(Status::OK());  // Must not abort.
+}
+
+TEST(LoggingTest, LevelFilteringRoundTrips) {
+  auto prev = internal::SetLogLevel(internal::LogLevel::kError);
+  EXPECT_EQ(internal::GetLogLevel(), internal::LogLevel::kError);
+  TJ_LOG(Info) << "suppressed";  // Below the level: no crash, no emit.
+  internal::SetLogLevel(prev);
+  EXPECT_EQ(internal::GetLogLevel(), prev);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Burn a little time; elapsed must be monotone.
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  watch.Restart();
+  EXPECT_LE(watch.ElapsedSeconds(), second);
+}
+
+}  // namespace
+}  // namespace tj

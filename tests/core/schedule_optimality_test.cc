@@ -1,0 +1,147 @@
+// Property tests validating the paper's Theorems 1 and 2: the linear-time
+// per-key scheduler produces schedules that are optimal
+//  (a) within the migrate-then-broadcast family (checked against subset
+//      enumeration for clusters up to 8 nodes, with message costs), and
+//  (b) globally, against a brute force over the paper's integer program
+//      (all x_ij / y_ij send decisions, any meeting node) for 3-node
+//      clusters with M = 0.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/schedule.h"
+
+namespace tj {
+namespace {
+
+KeyPlacement RandomPlacement(Rng* rng, uint32_t n, uint64_t max_bytes,
+                             uint64_t msg_bytes, double presence_prob = 0.7) {
+  KeyPlacement p;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(presence_prob)) {
+      p.r.push_back(NodeSize{i, 1 + rng->Below(max_bytes)});
+    }
+    if (rng->Bernoulli(presence_prob)) {
+      p.s.push_back(NodeSize{i, 1 + rng->Below(max_bytes)});
+    }
+  }
+  p.tracker = static_cast<uint32_t>(rng->Below(n));
+  p.msg_bytes = msg_bytes;
+  return p;
+}
+
+/// Brute force over the paper's integer program with M = 0:
+/// x[i][k] = 1 sends R_i to node k; y[k][j] = 1 sends S_j to node k;
+/// each (R_i, S_j) pair needs a common node k with x[i][k] and y[k][j].
+/// Self-sends are free. Returns the minimum total bytes moved.
+uint64_t BruteForceLpCost(const KeyPlacement& p, uint32_t n) {
+  if (p.r.empty() || p.s.empty()) return 0;
+  const size_t nr = p.r.size(), ns = p.s.size();
+  const size_t rx = nr * n, sy = ns * n;
+  EXPECT_LE(rx + sy, 24u) << "test parameterization too large";
+  uint64_t best = ~0ULL;
+  for (uint64_t xm = 0; xm < (1ULL << rx); ++xm) {
+    // Cost and reach of the x side.
+    uint64_t xcost = 0;
+    for (size_t i = 0; i < nr; ++i) {
+      for (uint32_t k = 0; k < n; ++k) {
+        if ((xm >> (i * n + k)) & 1) {
+          if (p.r[i].node != k) xcost += p.r[i].bytes;
+        }
+      }
+    }
+    if (xcost >= best) continue;
+    for (uint64_t ym = 0; ym < (1ULL << sy); ++ym) {
+      uint64_t cost = xcost;
+      for (size_t j = 0; j < ns; ++j) {
+        for (uint32_t k = 0; k < n; ++k) {
+          if ((ym >> (j * n + k)) & 1) {
+            if (p.s[j].node != k) cost += p.s[j].bytes;
+          }
+        }
+      }
+      if (cost >= best) continue;
+      // Feasibility: every pair meets somewhere.
+      bool ok = true;
+      for (size_t i = 0; i < nr && ok; ++i) {
+        for (size_t j = 0; j < ns && ok; ++j) {
+          bool met = false;
+          for (uint32_t k = 0; k < n && !met; ++k) {
+            bool xk = ((xm >> (i * n + k)) & 1) || p.r[i].node == k;
+            bool yk = ((ym >> (j * n + k)) & 1) || p.s[j].node == k;
+            // Note: a tuple is implicitly present at its own node.
+            met = xk && yk;
+          }
+          ok = met;
+        }
+      }
+      if (ok) best = cost;
+    }
+  }
+  return best;
+}
+
+TEST(ScheduleOptimalityTest, MatchesSubsetEnumerationWithMessages) {
+  Rng rng(7);
+  for (int trial = 0; trial < 400; ++trial) {
+    uint32_t n = 2 + static_cast<uint32_t>(rng.Below(7));  // 2..8 nodes
+    uint64_t m = rng.Below(4);                             // M in 0..3
+    KeyPlacement p = RandomPlacement(&rng, n, 40, m);
+    if (p.r.empty() || p.s.empty()) continue;
+    KeySchedule sched = PlanOptimal(p);
+    uint64_t exhaustive = ExhaustiveOptimalCost(p);
+    EXPECT_EQ(sched.plan.cost, exhaustive)
+        << "trial " << trial << " n=" << n << " M=" << m;
+  }
+}
+
+TEST(ScheduleOptimalityTest, MatchesIntegerProgramOnThreeNodes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 120; ++trial) {
+    KeyPlacement p = RandomPlacement(&rng, 3, 25, /*msg_bytes=*/0);
+    if (p.r.empty() || p.s.empty()) continue;
+    KeySchedule sched = PlanOptimal(p);
+    uint64_t lp = BruteForceLpCost(p, 3);
+    EXPECT_EQ(sched.plan.cost, lp) << "trial " << trial;
+  }
+}
+
+TEST(ScheduleOptimalityTest, MatchesIntegerProgramOnTwoNodes) {
+  Rng rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    KeyPlacement p = RandomPlacement(&rng, 2, 50, /*msg_bytes=*/0,
+                                     /*presence_prob=*/0.9);
+    if (p.r.empty() || p.s.empty()) continue;
+    EXPECT_EQ(PlanOptimal(p).plan.cost, BruteForceLpCost(p, 2))
+        << "trial " << trial;
+  }
+}
+
+TEST(ScheduleOptimalityTest, MigrationNeverIncreasesCost) {
+  Rng rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint32_t n = 2 + static_cast<uint32_t>(rng.Below(15));
+    KeyPlacement p = RandomPlacement(&rng, n, 100, rng.Below(5));
+    if (p.r.empty() || p.s.empty()) continue;
+    for (Direction dir : {Direction::kRtoS, Direction::kStoR}) {
+      EXPECT_LE(PlanMigrateAndBroadcast(p, dir).cost,
+                SelectiveBroadcastCost(p, dir));
+    }
+  }
+}
+
+TEST(ScheduleOptimalityTest, OptimalNeverWorseThanEitherDirection) {
+  Rng rng(19);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint32_t n = 2 + static_cast<uint32_t>(rng.Below(15));
+    KeyPlacement p = RandomPlacement(&rng, n, 100, rng.Below(5));
+    if (p.r.empty() || p.s.empty()) continue;
+    uint64_t best = PlanOptimal(p).plan.cost;
+    EXPECT_LE(best, PlanMigrateAndBroadcast(p, Direction::kRtoS).cost);
+    EXPECT_LE(best, PlanMigrateAndBroadcast(p, Direction::kStoR).cost);
+  }
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,225 @@
+// Behavioral tests of the track join drivers: traffic structure, locality
+// exploitation, semi-join filtering, and agreement between the measured
+// traffic and the per-key scheduler's planned costs.
+#include "core/track_join.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/hash_join.h"
+#include "common/hash.h"
+#include "core/schedule.h"
+#include "core/tracker.h"
+#include "exec/key_aggregate.h"
+#include "exec/radix_sort.h"
+#include "workload/generator.h"
+
+namespace tj {
+namespace {
+
+JoinConfig TestConfig() {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 1;
+  config.node_bytes = 1;
+  return config;
+}
+
+TEST(TrackJoinTest, FullyCollocatedTransfersNoPayloads) {
+  // Every matched key's R and S tuples on the same node: 4TJ must move no
+  // tuples at all (paper Figure 6, 5,0,0... pattern: "track join eliminates
+  // all transfers of payloads").
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 500;
+  spec.r_multiplicity = 5;
+  spec.s_multiplicity = 5;
+  spec.r_pattern = {5};
+  spec.s_pattern = {5};
+  spec.collocation = Collocation::kInter;
+  Workload w = GenerateWorkload(spec);
+
+  JoinResult result = RunTrackJoin4(w.r, w.s, TestConfig());
+  EXPECT_EQ(result.output_rows, w.expected_output_rows);
+  EXPECT_EQ(result.traffic.NetworkBytes(TrafficClass::kRTuples), 0u);
+  EXPECT_EQ(result.traffic.NetworkBytes(TrafficClass::kSTuples), 0u);
+  // Tracking still crosses the network.
+  EXPECT_GT(result.traffic.NetworkBytes(TrafficClass::kKeysAndCounts), 0u);
+}
+
+TEST(TrackJoinTest, UnmatchedKeysNeverShipTuples) {
+  // Perfect semi-join filtering: keys present in only one table cost
+  // tracking traffic but no locations and no tuples.
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 0;
+  spec.r_unmatched = 1000;
+  spec.s_unmatched = 1000;
+  Workload w = GenerateWorkload(spec);
+  for (auto version : {TrackJoinVersion::k2Phase, TrackJoinVersion::k3Phase,
+                       TrackJoinVersion::k4Phase}) {
+    JoinResult result = RunTrackJoin(w.r, w.s, TestConfig(), version);
+    EXPECT_EQ(result.output_rows, 0u);
+    EXPECT_EQ(result.traffic.NetworkBytes(TrafficClass::kRTuples), 0u);
+    EXPECT_EQ(result.traffic.NetworkBytes(TrafficClass::kSTuples), 0u);
+    EXPECT_EQ(result.traffic.NetworkBytes(TrafficClass::kKeysAndNodes), 0u);
+  }
+}
+
+TEST(TrackJoinTest, TwoPhaseSendsOnlyChosenDirection) {
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 400;
+  spec.r_payload = 8;
+  spec.s_payload = 32;
+  Workload w = GenerateWorkload(spec);
+
+  JoinResult rs = RunTrackJoin2(w.r, w.s, TestConfig(), Direction::kRtoS);
+  EXPECT_EQ(rs.traffic.NetworkBytes(TrafficClass::kSTuples), 0u);
+  EXPECT_GT(rs.traffic.NetworkBytes(TrafficClass::kRTuples), 0u);
+
+  JoinResult sr = RunTrackJoin2(w.r, w.s, TestConfig(), Direction::kStoR);
+  EXPECT_EQ(sr.traffic.NetworkBytes(TrafficClass::kRTuples), 0u);
+  EXPECT_GT(sr.traffic.NetworkBytes(TrafficClass::kSTuples), 0u);
+}
+
+TEST(TrackJoinTest, ThreePhasePicksCheaperSidePerKey) {
+  // Unique keys, wide S payloads: 3TJ must ship R tuples (narrow side),
+  // matching 2TJ-R, and beat 2TJ-S.
+  WorkloadSpec spec;
+  spec.num_nodes = 8;
+  spec.matched_keys = 500;
+  spec.r_payload = 4;
+  spec.s_payload = 56;
+  Workload w = GenerateWorkload(spec);
+  JoinConfig config = TestConfig();
+
+  uint64_t tj3_payload =
+      RunTrackJoin3(w.r, w.s, config)
+          .traffic.NetworkBytes(TrafficClass::kRTuples) +
+      RunTrackJoin3(w.r, w.s, config).traffic.NetworkBytes(TrafficClass::kSTuples);
+  uint64_t tj2s_payload =
+      RunTrackJoin2(w.r, w.s, config, Direction::kStoR)
+          .traffic.NetworkBytes(TrafficClass::kSTuples);
+  EXPECT_LT(tj3_payload, tj2s_payload);
+}
+
+/// Recomputes the planned per-key costs straight from the input tables and
+/// compares with the driver's measured schedule-phase traffic: location
+/// messages + migration instructions + all tuple transfers.
+uint64_t PlannedCost(const Workload& w, const JoinConfig& config,
+                     TrackJoinVersion version, Direction dir2) {
+  const uint32_t n = w.r.num_nodes();
+  std::vector<TrackEntry> r_entries, s_entries;
+  for (uint32_t node = 0; node < n; ++node) {
+    TupleBlock block = w.r.node(node);
+    for (const auto& kc : AggregateKeys(block)) {
+      r_entries.push_back({kc.key, node, kc.count});
+    }
+    block = w.s.node(node);
+    for (const auto& kc : AggregateKeys(block)) {
+      s_entries.push_back({kc.key, node, kc.count});
+    }
+  }
+  MergeTrackEntries(&r_entries);
+  MergeTrackEntries(&s_entries);
+  uint64_t width_r = config.key_bytes + w.r.payload_width();
+  uint64_t width_s = config.key_bytes + w.s.payload_width();
+  uint64_t total = 0;
+  // Placements must use the same tracker the driver uses: hash(key) % n.
+  PlacementIterator it(r_entries, s_entries, width_r, width_s, /*tracker=*/0,
+                       config.MsgBytes());
+  while (it.Next()) {
+    KeyPlacement p = it.placement();
+    p.tracker = HashPartition(it.key(), n);
+    switch (version) {
+      case TrackJoinVersion::k2Phase:
+        total += SelectiveBroadcastCost(p, dir2);
+        break;
+      case TrackJoinVersion::k3Phase: {
+        uint64_t cost = 0;
+        CheaperBroadcastDirection(p, &cost);
+        total += cost;
+        break;
+      }
+      case TrackJoinVersion::k4Phase:
+        total += PlanOptimal(p).plan.cost;
+        break;
+    }
+  }
+  return total;
+}
+
+uint64_t MeasuredScheduleBytes(const JoinResult& result) {
+  return result.traffic.NetworkBytes(TrafficClass::kKeysAndNodes) +
+         result.traffic.NetworkBytes(TrafficClass::kRTuples) +
+         result.traffic.NetworkBytes(TrafficClass::kSTuples);
+}
+
+class PlannedVsMeasured
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(PlannedVsMeasured, DriverTrafficMatchesScheduler) {
+  auto [version_int, seed] = GetParam();
+  auto version = static_cast<TrackJoinVersion>(version_int);
+  WorkloadSpec spec;
+  spec.num_nodes = 5;
+  spec.matched_keys = 200;
+  spec.r_multiplicity = 3;
+  spec.s_multiplicity = 2;
+  spec.r_payload = 10;
+  spec.s_payload = 20;
+  spec.r_unmatched = 100;
+  spec.s_unmatched = 50;
+  spec.seed = seed;
+  Workload w = GenerateWorkload(spec);
+  JoinConfig config = TestConfig();
+
+  JoinResult result = RunTrackJoin(w.r, w.s, config, version, Direction::kRtoS);
+  EXPECT_EQ(result.output_rows, w.expected_output_rows);
+  EXPECT_EQ(MeasuredScheduleBytes(result),
+            PlannedCost(w, config, version, Direction::kRtoS));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Versions, PlannedVsMeasured,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+TEST(TrackJoinTest, PhaseBreakdownIsComplete) {
+  WorkloadSpec spec;
+  spec.matched_keys = 50;
+  Workload w = GenerateWorkload(spec);
+  JoinResult result = RunTrackJoin4(w.r, w.s, TestConfig());
+  ASSERT_GE(result.phase_seconds.size(), 9u);
+  EXPECT_EQ(result.phase_seconds.front().first, "sort local R tuples");
+  EXPECT_EQ(result.phase_seconds.back().first, "final merge-join S->R");
+  EXPECT_GE(result.TotalCpuSeconds(), 0.0);
+}
+
+TEST(TrackJoinTest, CompressionTogglesPreserveResults) {
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 300;
+  spec.s_multiplicity = 3;
+  Workload w = GenerateWorkload(spec);
+  JoinConfig plain = TestConfig();
+  JoinConfig compressed = TestConfig();
+  compressed.delta_tracking = true;
+  compressed.group_locations = true;
+
+  JoinResult a = RunTrackJoin4(w.r, w.s, plain);
+  JoinResult b = RunTrackJoin4(w.r, w.s, compressed);
+  EXPECT_EQ(a.output_rows, b.output_rows);
+  EXPECT_EQ(a.checksum.digest(), b.checksum.digest());
+  // Dense keys: compressed tracking must not exceed plain tracking.
+  EXPECT_LE(b.traffic.NetworkBytes(TrafficClass::kKeysAndCounts),
+            a.traffic.NetworkBytes(TrafficClass::kKeysAndCounts));
+  // Tuples shipped are identical.
+  EXPECT_EQ(a.traffic.NetworkBytes(TrafficClass::kRTuples),
+            b.traffic.NetworkBytes(TrafficClass::kRTuples));
+}
+
+}  // namespace
+}  // namespace tj

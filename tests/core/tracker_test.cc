@@ -1,0 +1,144 @@
+#include "core/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace tj {
+namespace {
+
+Message Msg(uint32_t src, ByteBuffer data) {
+  return Message{src, MessageType::kTrackR, std::move(data)};
+}
+
+TEST(TrackerTest, EncodeDecodeWithoutCounts) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  std::vector<KeyCount> keys = {{1, 3}, {2, 1}, {900, 7}};
+  auto messages = EncodeTrackingMessages(keys, config, /*with_counts=*/false, 4);
+  ASSERT_EQ(messages.size(), 4u);
+  std::vector<TrackEntry> all;
+  for (uint32_t dst = 0; dst < 4; ++dst) {
+    if (messages[dst].empty()) continue;
+    auto entries = DecodeTrackingMessage(Msg(9, messages[dst]), config, false);
+    for (const auto& e : entries) {
+      EXPECT_EQ(HashPartition(e.key, 4), dst);  // Routed by hash.
+      EXPECT_EQ(e.node, 9u);
+      EXPECT_EQ(e.count, 1u);  // Presence only.
+      all.push_back(e);
+    }
+  }
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(TrackerTest, EncodeDecodeWithCounts) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 2;
+  std::vector<KeyCount> keys = {{10, 1}, {20, 65535}, {30, 12}};
+  auto messages = EncodeTrackingMessages(keys, config, true, 2);
+  std::vector<TrackEntry> all;
+  for (uint32_t dst = 0; dst < 2; ++dst) {
+    if (messages[dst].empty()) continue;
+    auto entries = DecodeTrackingMessage(Msg(1, messages[dst]), config, true);
+    all.insert(all.end(), entries.begin(), entries.end());
+  }
+  MergeTrackEntries(&all);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], (TrackEntry{10, 1, 1}));
+  EXPECT_EQ(all[1], (TrackEntry{20, 1, 65535}));
+  EXPECT_EQ(all[2], (TrackEntry{30, 1, 12}));
+}
+
+TEST(TrackerTest, CountSaturationSplitsIntoChunks) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 1;  // Max 255 per chunk.
+  std::vector<KeyCount> keys = {{5, 700}};
+  auto messages = EncodeTrackingMessages(keys, config, true, 1);
+  // 700 = 255 + 255 + 190: three chunks.
+  EXPECT_EQ(messages[0].size(), 3u * (4 + 1));
+  auto entries = DecodeTrackingMessage(Msg(2, messages[0]), config, true);
+  MergeTrackEntries(&entries);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].count, 700u);
+}
+
+TEST(TrackerTest, DeltaTrackingRoundTrip) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.delta_tracking = true;
+  std::vector<KeyCount> keys;
+  for (uint64_t k = 100; k < 200; ++k) keys.push_back({k, k % 7 + 1});
+  auto messages = EncodeTrackingMessages(keys, config, true, 3);
+  uint64_t plain_bytes = 100 * (4 + 1);
+  uint64_t delta_bytes = 0;
+  std::vector<TrackEntry> all;
+  for (uint32_t dst = 0; dst < 3; ++dst) {
+    delta_bytes += messages[dst].size();
+    if (messages[dst].empty()) continue;
+    auto entries = DecodeTrackingMessage(Msg(4, messages[dst]), config, true);
+    all.insert(all.end(), entries.begin(), entries.end());
+  }
+  EXPECT_LT(delta_bytes, plain_bytes);  // Dense keys compress.
+  MergeTrackEntries(&all);
+  ASSERT_EQ(all.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(all[i].key, 100 + i);
+    EXPECT_EQ(all[i].count, (100 + i) % 7 + 1);
+  }
+}
+
+TEST(TrackerTest, MergeSumsDuplicates) {
+  std::vector<TrackEntry> entries = {
+      {5, 1, 10}, {5, 0, 1}, {5, 1, 20}, {3, 2, 4}};
+  MergeTrackEntries(&entries);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], (TrackEntry{3, 2, 4}));
+  EXPECT_EQ(entries[1], (TrackEntry{5, 0, 1}));
+  EXPECT_EQ(entries[2], (TrackEntry{5, 1, 30}));
+}
+
+TEST(TrackerTest, PlacementIteratorSkipsUnmatchedKeys) {
+  std::vector<TrackEntry> r = {{1, 0, 2}, {3, 1, 1}, {5, 0, 1}};
+  std::vector<TrackEntry> s = {{2, 0, 1}, {3, 2, 4}, {3, 3, 1}};
+  PlacementIterator it(r, s, /*width_r=*/10, /*width_s=*/20, /*tracker=*/7,
+                       /*msg_bytes=*/5);
+  ASSERT_TRUE(it.Next());
+  EXPECT_EQ(it.key(), 3u);
+  const KeyPlacement& p = it.placement();
+  ASSERT_EQ(p.r.size(), 1u);
+  EXPECT_EQ(p.r[0], (NodeSize{1, 10}));  // 1 tuple x width 10.
+  ASSERT_EQ(p.s.size(), 2u);
+  EXPECT_EQ(p.s[0], (NodeSize{2, 80}));  // 4 tuples x width 20.
+  EXPECT_EQ(p.s[1], (NodeSize{3, 20}));
+  EXPECT_EQ(p.tracker, 7u);
+  EXPECT_EQ(p.msg_bytes, 5u);
+  EXPECT_FALSE(it.Next());
+}
+
+TEST(TrackerTest, KeyNodePairCodecs) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.node_bytes = 1;
+  std::vector<KeyNodePair> pairs = {{100, 3}, {200, 0}, {100, 1}};
+  Message msg{0, MessageType::kLocationsToR, EncodeKeyNodePairs(pairs, config)};
+  EXPECT_EQ(msg.data.size(), pairs.size() * config.MsgBytes());
+  EXPECT_EQ(DecodeKeyNodePairs(msg, config), pairs);
+}
+
+TEST(TrackerTest, GroupedKeyNodePairCodecs) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.group_locations = true;
+  std::vector<KeyNodePair> pairs;
+  for (uint64_t k = 0; k < 50; ++k) pairs.push_back({k, 2});
+  Message msg{0, MessageType::kLocationsToR, EncodeKeyNodePairs(pairs, config)};
+  EXPECT_LT(msg.data.size(), 50u * 5);  // Node label amortized.
+  auto decoded = DecodeKeyNodePairs(msg, config);
+  ASSERT_EQ(decoded.size(), 50u);
+  for (const auto& p : decoded) EXPECT_EQ(p.node, 2u);
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,79 @@
+#include "costmodel/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace tj {
+namespace {
+
+JoinStats BaseStats() {
+  JoinStats stats;
+  stats.num_nodes = 16;
+  stats.t_r = 1e8;
+  stats.t_s = 1e8;
+  stats.d_r = 1e8;
+  stats.d_s = 1e8;
+  stats.w_k = 4;
+  stats.w_r = 16;
+  stats.w_s = 56;
+  return stats;
+}
+
+TEST(OptimizerTest, RanksAllSevenCandidates) {
+  auto plans = RankAlgorithms(BaseStats());
+  EXPECT_EQ(plans.size(), 7u);
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1].modeled_bytes, plans[i].modeled_bytes);
+  }
+}
+
+TEST(OptimizerTest, TinyTablePrefersBroadcast) {
+  JoinStats stats = BaseStats();
+  stats.t_r = 1000;  // R fits in a message: replicate it.
+  stats.d_r = 1000;
+  PlanChoice choice = ChooseAlgorithm(stats);
+  EXPECT_EQ(choice.algorithm, JoinAlgorithm::kBroadcastR);
+}
+
+TEST(OptimizerTest, WidePayloadsPreferTrackJoin) {
+  PlanChoice choice = ChooseAlgorithm(BaseStats());
+  EXPECT_TRUE(choice.algorithm == JoinAlgorithm::kTrack2R ||
+              choice.algorithm == JoinAlgorithm::kTrack2S ||
+              choice.algorithm == JoinAlgorithm::kTrack3 ||
+              choice.algorithm == JoinAlgorithm::kTrack4)
+      << JoinAlgorithmName(choice.algorithm);
+}
+
+TEST(OptimizerTest, NarrowPayloadsPreferHashJoin) {
+  JoinStats stats = BaseStats();
+  stats.w_r = 1;
+  stats.w_s = 2;  // 2*wk > max payload.
+  PlanChoice choice = ChooseAlgorithm(stats);
+  EXPECT_EQ(choice.algorithm, JoinAlgorithm::kHash);
+}
+
+TEST(OptimizerTest, BreakEvenRule) {
+  EXPECT_TRUE(TrackJoinBeatsHashJoinUniqueKeys(4, 16, 56));
+  EXPECT_TRUE(TrackJoinBeatsHashJoinUniqueKeys(4, 8, 8));
+  EXPECT_FALSE(TrackJoinBeatsHashJoinUniqueKeys(4, 7, 7));
+}
+
+TEST(OptimizerTest, DirectionFollowsNarrowSide) {
+  JoinStats stats = BaseStats();  // wR < wS: ship R.
+  auto plans = RankAlgorithms(stats);
+  double r_cost = 0, s_cost = 0;
+  for (const auto& p : plans) {
+    if (p.algorithm == JoinAlgorithm::kTrack2R) r_cost = p.modeled_bytes;
+    if (p.algorithm == JoinAlgorithm::kTrack2S) s_cost = p.modeled_bytes;
+  }
+  EXPECT_LT(r_cost, s_cost);
+}
+
+TEST(OptimizerTest, ExplicitClassesChangeFourPhaseEstimate) {
+  JoinStats stats = BaseStats();
+  double pure = TrackJoin4Cost(stats, {1.0, 0.0, 0.0});
+  double hashy = TrackJoin4Cost(stats, {0.0, 0.0, 1.0});
+  EXPECT_NE(pure, hashy);
+}
+
+}  // namespace
+}  // namespace tj

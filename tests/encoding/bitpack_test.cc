@@ -1,0 +1,85 @@
+#include "encoding/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tj {
+namespace {
+
+TEST(BitPackTest, RoundTripEveryWidth) {
+  Rng rng(3);
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    std::vector<uint64_t> values;
+    uint64_t mask = bits == 64 ? ~0ULL : ((1ULL << bits) - 1);
+    for (int i = 0; i < 100; ++i) values.push_back(rng.Next() & mask);
+    ByteBuffer buf;
+    {
+      BitPacker packer(&buf);
+      for (uint64_t v : values) packer.Put(v, bits);
+    }
+    EXPECT_EQ(buf.size(), PackedBytes(values.size(), bits)) << bits;
+    BitUnpacker unpacker(buf);
+    for (uint64_t v : values) ASSERT_EQ(unpacker.Get(bits), v) << bits;
+  }
+}
+
+TEST(BitPackTest, MixedWidthsInOneStream) {
+  ByteBuffer buf;
+  {
+    BitPacker packer(&buf);
+    packer.Put(1, 1);
+    packer.Put(5, 3);
+    packer.Put(200, 8);
+    packer.Put(0x3fffffff, 30);
+    packer.Put(0xdeadbeefcafef00dULL, 64);
+    packer.Put(0, 7);
+  }
+  BitUnpacker unpacker(buf);
+  EXPECT_EQ(unpacker.Get(1), 1u);
+  EXPECT_EQ(unpacker.Get(3), 5u);
+  EXPECT_EQ(unpacker.Get(8), 200u);
+  EXPECT_EQ(unpacker.Get(30), 0x3fffffffu);
+  EXPECT_EQ(unpacker.Get(64), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(unpacker.Get(7), 0u);
+}
+
+TEST(BitPackTest, PackedBytesExact) {
+  EXPECT_EQ(PackedBytes(0, 13), 0u);
+  EXPECT_EQ(PackedBytes(1, 1), 1u);
+  EXPECT_EQ(PackedBytes(8, 1), 1u);
+  EXPECT_EQ(PackedBytes(9, 1), 2u);
+  EXPECT_EQ(PackedBytes(3, 30), 12u);  // 90 bits -> 12 bytes.
+  // 10^9 tuples of 30-bit keys: 3.75e9 bytes, not 4e9.
+  EXPECT_EQ(PackedBytes(1000000000, 30), 3750000000u);
+}
+
+TEST(BitPackTest, FlushOnDestructionPadsWithZeros) {
+  ByteBuffer buf;
+  {
+    BitPacker packer(&buf);
+    packer.Put(1, 1);  // One bit only.
+  }
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 1);
+}
+
+TEST(BitPackTest, BytesConsumedTracksPartialBytes) {
+  ByteBuffer buf;
+  {
+    BitPacker packer(&buf);
+    packer.Put(0x7, 3);
+    packer.Put(0x1, 3);
+    packer.Put(0xff, 8);
+  }
+  BitUnpacker unpacker(buf);
+  unpacker.Get(3);
+  EXPECT_EQ(unpacker.bytes_consumed(), 1u);
+  unpacker.Get(3);
+  EXPECT_EQ(unpacker.bytes_consumed(), 1u);
+  unpacker.Get(8);
+  EXPECT_EQ(unpacker.bytes_consumed(), 2u);
+}
+
+}  // namespace
+}  // namespace tj

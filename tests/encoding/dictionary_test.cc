@@ -1,0 +1,61 @@
+#include "encoding/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tj {
+namespace {
+
+TEST(DictionaryTest, BuildSortsAndDeduplicates) {
+  Dictionary dict = Dictionary::Build({5, 3, 5, 1, 3, 9});
+  EXPECT_EQ(dict.size(), 4u);
+  EXPECT_EQ(dict.values(), (std::vector<uint64_t>{1, 3, 5, 9}));
+}
+
+TEST(DictionaryTest, EncodeDecodeRoundTrip) {
+  Dictionary dict = Dictionary::Build({100, 42, 7, 99999});
+  for (uint64_t v : {7ULL, 42ULL, 100ULL, 99999ULL}) {
+    auto code = dict.Encode(v);
+    ASSERT_TRUE(code.ok()) << v;
+    EXPECT_EQ(dict.Decode(*code), v);
+  }
+}
+
+TEST(DictionaryTest, OrderPreserving) {
+  Dictionary dict = Dictionary::Build({30, 10, 20});
+  EXPECT_LT(*dict.Encode(10), *dict.Encode(20));
+  EXPECT_LT(*dict.Encode(20), *dict.Encode(30));
+}
+
+TEST(DictionaryTest, MissingValueIsNotFound) {
+  Dictionary dict = Dictionary::Build({1, 2, 3});
+  EXPECT_FALSE(dict.Encode(4).ok());
+  EXPECT_EQ(dict.Encode(4).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(dict.Contains(4));
+  EXPECT_TRUE(dict.Contains(2));
+}
+
+TEST(DictionaryTest, CodeBitsIsCeilLog2) {
+  EXPECT_EQ(Dictionary::Build({1}).code_bits(), 1u);
+  EXPECT_EQ(Dictionary::Build({1, 2}).code_bits(), 1u);
+  EXPECT_EQ(Dictionary::Build({1, 2, 3}).code_bits(), 2u);
+  std::vector<uint64_t> values(53);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * 7;
+  EXPECT_EQ(Dictionary::Build(values).code_bits(), 6u);  // Table 1: T.ID.
+}
+
+TEST(DictionaryTest, LargeRandomRoundTrip) {
+  Rng rng(5);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.Next());
+  Dictionary dict = Dictionary::Build(values);
+  for (uint64_t v : values) {
+    auto code = dict.Encode(v);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(dict.Decode(*code), v);
+  }
+}
+
+}  // namespace
+}  // namespace tj

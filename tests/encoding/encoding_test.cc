@@ -1,0 +1,64 @@
+#include "encoding/encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace tj {
+namespace {
+
+TEST(EncodingTest, SchemeNames) {
+  EXPECT_STREQ(EncodingSchemeName(EncodingScheme::kFixedByte), "FixedByte");
+  EXPECT_STREQ(EncodingSchemeName(EncodingScheme::kVariableByte),
+               "VariableByte");
+  EXPECT_STREQ(EncodingSchemeName(EncodingScheme::kDictionary), "Dictionary");
+}
+
+TEST(EncodingTest, DictionaryIsExactBits) {
+  EXPECT_EQ(EncodedBitsX100(EncodingScheme::kDictionary, 30, 0), 3000u);
+  EXPECT_EQ(EncodedBitsX100(EncodingScheme::kDictionary, 6, 0), 600u);
+}
+
+TEST(EncodingTest, FixedByteRoundsUp) {
+  // 30-bit codes round to 4 bytes = 32 bits.
+  EXPECT_EQ(EncodedBitsX100(EncodingScheme::kFixedByte, 30, 0), 3200u);
+  EXPECT_EQ(EncodedBitsX100(EncodingScheme::kFixedByte, 6, 0), 800u);
+  EXPECT_EQ(EncodedBitsX100(EncodingScheme::kFixedByte, 9, 0), 1600u);
+  EXPECT_EQ(EncodedBitsX100(EncodingScheme::kFixedByte, 33, 0), 6400u);
+}
+
+TEST(EncodingTest, VariableByteUsesRawWidth) {
+  // avg_raw_bytes_x100 = 350 means 3.5 bytes -> 28 bits.
+  EXPECT_EQ(EncodedBitsX100(EncodingScheme::kVariableByte, 30, 350), 2800u);
+}
+
+TEST(EncodingTest, AverageBase100SingleBucket) {
+  // All of [0,99] take 1 byte.
+  EXPECT_EQ(AverageBase100BytesX100(0, 99), 100u);
+  // All of [100, 9999] take 2 bytes.
+  EXPECT_EQ(AverageBase100BytesX100(100, 9999), 200u);
+}
+
+TEST(EncodingTest, AverageBase100MixedBuckets) {
+  // [0, 199]: 100 values of 1 byte + 100 of 2 bytes -> 1.5 avg.
+  EXPECT_EQ(AverageBase100BytesX100(0, 199), 150u);
+}
+
+TEST(EncodingTest, AverageBase100SingleValue) {
+  EXPECT_EQ(AverageBase100BytesX100(5, 5), 100u);
+  EXPECT_EQ(AverageBase100BytesX100(100, 100), 200u);
+  EXPECT_EQ(AverageBase100BytesX100(10000, 10000), 300u);
+}
+
+TEST(EncodingTest, AverageBase100LargeRangeDominatedByTop) {
+  // Uniform over [0, 10^12): almost all values need 6 bytes.
+  uint32_t avg = AverageBase100BytesX100(0, 999999999999ULL);
+  EXPECT_GE(avg, 594u);
+  EXPECT_LE(avg, 600u);
+}
+
+TEST(EncodingTest, AverageBase100HandlesHugeValues) {
+  uint32_t avg = AverageBase100BytesX100(~0ULL - 10, ~0ULL);
+  EXPECT_EQ(avg, 1000u);  // 2^64-1 has 20 digits -> 10 bytes.
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,64 @@
+#include "exec/key_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/radix_sort.h"
+
+namespace tj {
+namespace {
+
+TupleBlock KeysOnly(std::vector<uint64_t> keys) {
+  TupleBlock block(0);
+  for (uint64_t k : keys) block.Append(k, nullptr);
+  return block;
+}
+
+TEST(KeyAggregateTest, SortedRuns) {
+  TupleBlock block = KeysOnly({1, 1, 1, 3, 7, 7});
+  auto agg = AggregateSortedKeys(block);
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_EQ(agg[0], (KeyCount{1, 3}));
+  EXPECT_EQ(agg[1], (KeyCount{3, 1}));
+  EXPECT_EQ(agg[2], (KeyCount{7, 2}));
+}
+
+TEST(KeyAggregateTest, Empty) {
+  TupleBlock block(0);
+  EXPECT_TRUE(AggregateSortedKeys(block).empty());
+  EXPECT_TRUE(AggregateKeys(block).empty());
+}
+
+TEST(KeyAggregateTest, UnsortedInputViaAggregateKeys) {
+  TupleBlock block = KeysOnly({5, 1, 5, 1, 5});
+  auto agg = AggregateKeys(block);
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg[0], (KeyCount{1, 2}));
+  EXPECT_EQ(agg[1], (KeyCount{5, 3}));
+}
+
+TEST(KeyAggregateTest, CountsSumToRows) {
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Below(300));
+  TupleBlock block = KeysOnly(keys);
+  SortBlockByKey(&block);
+  auto agg = AggregateSortedKeys(block);
+  uint64_t total = 0;
+  for (const auto& kc : agg) total += kc.count;
+  EXPECT_EQ(total, block.size());
+  // Distinct keys and sorted order.
+  for (size_t i = 1; i < agg.size(); ++i) {
+    EXPECT_LT(agg[i - 1].key, agg[i].key);
+  }
+}
+
+TEST(KeyAggregateTest, SingleKey) {
+  TupleBlock block = KeysOnly(std::vector<uint64_t>(100, 9));
+  auto agg = AggregateSortedKeys(block);
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].count, 100u);
+}
+
+}  // namespace
+}  // namespace tj

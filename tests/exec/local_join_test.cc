@@ -1,0 +1,118 @@
+#include "exec/local_join.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "exec/radix_sort.h"
+
+namespace tj {
+namespace {
+
+TupleBlock MakeBlock(std::vector<uint64_t> keys, uint32_t width,
+                     uint8_t fill) {
+  TupleBlock block(width);
+  std::vector<uint8_t> payload(width);
+  for (uint64_t k : keys) {
+    for (uint32_t i = 0; i < width; ++i) {
+      payload[i] = static_cast<uint8_t>(fill + k + i);
+    }
+    block.Append(k, payload.data());
+  }
+  return block;
+}
+
+uint64_t BruteForceCount(const std::vector<uint64_t>& r,
+                         const std::vector<uint64_t>& s) {
+  uint64_t count = 0;
+  for (uint64_t a : r) {
+    for (uint64_t b : s) count += a == b;
+  }
+  return count;
+}
+
+TEST(LocalJoinTest, SimpleMatch) {
+  TupleBlock r = MakeBlock({1, 2, 3}, 2, 0);
+  TupleBlock s = MakeBlock({2, 3, 4}, 2, 100);
+  uint64_t outputs = 0;
+  uint64_t count = SortMergeJoin(&r, &s, [&](uint64_t key, const uint8_t* pr,
+                                             const uint8_t* ps) {
+    EXPECT_TRUE(key == 2 || key == 3);
+    EXPECT_EQ(pr[0], static_cast<uint8_t>(key));
+    EXPECT_EQ(ps[0], static_cast<uint8_t>(100 + key));
+    ++outputs;
+  });
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(outputs, 2u);
+}
+
+TEST(LocalJoinTest, CartesianProductOfDuplicates) {
+  TupleBlock r = MakeBlock({5, 5, 5}, 0, 0);
+  TupleBlock s = MakeBlock({5, 5}, 0, 0);
+  EXPECT_EQ(SortMergeJoin(&r, &s, nullptr), 6u);
+}
+
+TEST(LocalJoinTest, NoMatches) {
+  TupleBlock r = MakeBlock({1, 3, 5}, 0, 0);
+  TupleBlock s = MakeBlock({2, 4, 6}, 0, 0);
+  EXPECT_EQ(SortMergeJoin(&r, &s, nullptr), 0u);
+}
+
+TEST(LocalJoinTest, EmptyInputs) {
+  TupleBlock r(4), s(4);
+  EXPECT_EQ(SortMergeJoin(&r, &s, nullptr), 0u);
+  EXPECT_EQ(HashTableJoin(r, s, nullptr), 0u);
+  TupleBlock one = MakeBlock({1}, 4, 0);
+  EXPECT_EQ(SortMergeJoin(&one, &s, nullptr), 0u);
+  EXPECT_EQ(HashTableJoin(one, s, nullptr), 0u);
+}
+
+TEST(LocalJoinTest, MergeAndHashAgreeOnRandomInputs) {
+  Rng rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<uint64_t> r_keys, s_keys;
+    size_t nr = rng.Below(400), ns = rng.Below(400);
+    uint64_t domain = 1 + rng.Below(200);
+    for (size_t i = 0; i < nr; ++i) r_keys.push_back(rng.Below(domain));
+    for (size_t i = 0; i < ns; ++i) s_keys.push_back(rng.Below(domain));
+    TupleBlock r = MakeBlock(r_keys, 3, 0);
+    TupleBlock s = MakeBlock(s_keys, 5, 50);
+
+    JoinChecksum merge_sum, hash_sum;
+    TupleBlock r_copy = r, s_copy = s;
+    uint64_t merge_count =
+        SortMergeJoin(&r_copy, &s_copy, ChecksumSink(&merge_sum, 3, 5));
+    uint64_t hash_count = HashTableJoin(r, s, ChecksumSink(&hash_sum, 3, 5));
+
+    EXPECT_EQ(merge_count, BruteForceCount(r_keys, s_keys));
+    EXPECT_EQ(hash_count, merge_count);
+    EXPECT_EQ(merge_sum.digest(), hash_sum.digest());
+  }
+}
+
+TEST(LocalJoinTest, MergeJoinSortedRequiresSortedInputs) {
+  TupleBlock r = MakeBlock({1, 2, 3}, 0, 0);
+  TupleBlock s = MakeBlock({1, 2, 3}, 0, 0);
+  EXPECT_EQ(MergeJoinSorted(r, s, nullptr), 3u);
+}
+
+TEST(LocalJoinTest, SortMergeSortsUnsortedInputs) {
+  TupleBlock r = MakeBlock({3, 1, 2}, 0, 0);
+  TupleBlock s = MakeBlock({2, 3, 1}, 0, 0);
+  EXPECT_EQ(SortMergeJoin(&r, &s, nullptr), 3u);
+  EXPECT_TRUE(IsSortedByKey(r));
+  EXPECT_TRUE(IsSortedByKey(s));
+}
+
+TEST(LocalJoinTest, ChecksumSinkAccumulates) {
+  TupleBlock r = MakeBlock({1, 2}, 2, 0);
+  TupleBlock s = MakeBlock({1, 2}, 2, 9);
+  JoinChecksum sum;
+  SortMergeJoin(&r, &s, ChecksumSink(&sum, 2, 2));
+  EXPECT_EQ(sum.count(), 2u);
+  EXPECT_NE(sum.digest(), 0u);
+}
+
+}  // namespace
+}  // namespace tj

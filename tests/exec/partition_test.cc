@@ -1,0 +1,73 @@
+#include "exec/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace tj {
+namespace {
+
+TupleBlock RandomBlock(Rng* rng, size_t n, uint32_t width) {
+  TupleBlock block(width);
+  std::vector<uint8_t> payload(width, 7);
+  for (size_t i = 0; i < n; ++i) {
+    block.Append(rng->Below(100000), width ? payload.data() : nullptr);
+  }
+  return block;
+}
+
+TEST(PartitionTest, EveryRowLandsByHash) {
+  Rng rng(3);
+  TupleBlock block = RandomBlock(&rng, 2000, 4);
+  auto parts = HashPartitionBlock(block, 7);
+  ASSERT_EQ(parts.size(), 7u);
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < parts.size(); ++p) {
+    total += parts[p].size();
+    for (uint64_t row = 0; row < parts[p].size(); ++row) {
+      EXPECT_EQ(HashPartition(parts[p].Key(row), 7), p);
+    }
+  }
+  EXPECT_EQ(total, block.size());
+}
+
+TEST(PartitionTest, IndexesMatchBlocks) {
+  Rng rng(5);
+  TupleBlock block = RandomBlock(&rng, 1000, 0);
+  auto parts = HashPartitionBlock(block, 4);
+  auto indexes = HashPartitionIndexes(block, 4);
+  for (uint32_t p = 0; p < 4; ++p) {
+    ASSERT_EQ(parts[p].size(), indexes[p].size());
+    for (size_t i = 0; i < indexes[p].size(); ++i) {
+      EXPECT_EQ(block.Key(indexes[p][i]), parts[p].Key(i));
+    }
+  }
+}
+
+TEST(PartitionTest, SinglePartitionKeepsAll) {
+  Rng rng(7);
+  TupleBlock block = RandomBlock(&rng, 100, 2);
+  auto parts = HashPartitionBlock(block, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), block.size());
+}
+
+TEST(PartitionTest, RoughlyBalanced) {
+  Rng rng(9);
+  TupleBlock block(0);
+  for (uint64_t k = 0; k < 64000; ++k) block.Append(k, nullptr);
+  auto indexes = HashPartitionIndexes(block, 16);
+  for (const auto& part : indexes) {
+    EXPECT_NEAR(part.size(), 4000, 400);
+  }
+}
+
+TEST(PartitionTest, EmptyBlock) {
+  TupleBlock block(4);
+  auto parts = HashPartitionBlock(block, 3);
+  for (const auto& p : parts) EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,116 @@
+#include "exec/radix_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace tj {
+namespace {
+
+TEST(RadixSortTest, SortsPairsLikeStdSort) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = rng.Below(3000);
+    std::vector<uint64_t> keys(n);
+    std::vector<uint32_t> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = rng.Next() >> rng.Below(56);  // Mixed magnitudes.
+      values[i] = static_cast<uint32_t>(i);
+    }
+    std::vector<std::pair<uint64_t, uint32_t>> expect;
+    for (size_t i = 0; i < n; ++i) expect.emplace_back(keys[i], values[i]);
+    std::stable_sort(expect.begin(), expect.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    RadixSortPairs(&keys, &values);
+    ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    // Radix sort is not stable across our in-place passes; compare multisets
+    // of (key, value) pairs instead of exact sequences.
+    std::multiset<std::pair<uint64_t, uint32_t>> got, want;
+    for (size_t i = 0; i < n; ++i) got.emplace(keys[i], values[i]);
+    for (const auto& p : expect) want.insert(p);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(RadixSortTest, PayloadsFollowKeys) {
+  TupleBlock block(4);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.Below(1000);
+    uint8_t payload[4];
+    for (int b = 0; b < 4; ++b) payload[b] = static_cast<uint8_t>(key >> (b * 8));
+    block.Append(key, payload);
+  }
+  SortBlockByKey(&block);
+  ASSERT_TRUE(IsSortedByKey(block));
+  for (uint64_t row = 0; row < block.size(); ++row) {
+    uint64_t key = block.Key(row);
+    const uint8_t* p = block.Payload(row);
+    for (int b = 0; b < 4; ++b) {
+      ASSERT_EQ(p[b], static_cast<uint8_t>(key >> (b * 8)));
+    }
+  }
+}
+
+TEST(RadixSortTest, EmptyAndSingle) {
+  std::vector<uint64_t> keys;
+  std::vector<uint32_t> values;
+  RadixSortPairs(&keys, &values);
+  EXPECT_TRUE(keys.empty());
+
+  keys = {42};
+  values = {0};
+  RadixSortPairs(&keys, &values);
+  EXPECT_EQ(keys[0], 42u);
+}
+
+TEST(RadixSortTest, AllEqualKeys) {
+  std::vector<uint64_t> keys(1000, 7);
+  std::vector<uint32_t> values(1000);
+  for (uint32_t i = 0; i < 1000; ++i) values[i] = i;
+  RadixSortPairs(&keys, &values);
+  std::sort(values.begin(), values.end());
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(keys[i], 7u);
+    EXPECT_EQ(values[i], i);
+  }
+}
+
+TEST(RadixSortTest, AlreadySortedAndReversed) {
+  std::vector<uint64_t> keys(2000);
+  std::vector<uint32_t> values(2000, 0);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  RadixSortPairs(&keys, &values);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = keys.size() - i;
+  RadixSortPairs(&keys, &values);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(RadixSortTest, FullWidthKeys) {
+  Rng rng(11);
+  std::vector<uint64_t> keys(3000);
+  std::vector<uint32_t> values(3000, 0);
+  for (auto& k : keys) k = rng.Next();  // Uses all 8 bytes.
+  RadixSortPairs(&keys, &values);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(RadixSortTest, IsSortedDetector) {
+  TupleBlock sorted(0), unsorted(0);
+  for (uint64_t k : {1, 2, 3}) sorted.Append(k, nullptr);
+  for (uint64_t k : {3, 1, 2}) unsorted.Append(k, nullptr);
+  EXPECT_TRUE(IsSortedByKey(sorted));
+  EXPECT_FALSE(IsSortedByKey(unsorted));
+  TupleBlock empty(0);
+  EXPECT_TRUE(IsSortedByKey(empty));
+}
+
+}  // namespace
+}  // namespace tj

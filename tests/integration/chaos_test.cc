@@ -1,0 +1,113 @@
+// Chaos sweep: fully randomized workload shapes (node counts, key
+// multiplicities, patterns, collocation, selectivities, widths), every
+// algorithm run against the single-node reference. Seeds are the
+// parameter, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include "baseline/broadcast_join.h"
+#include "baseline/hash_join.h"
+#include "common/rng.h"
+#include "core/late_hash_join.h"
+#include "core/rid_hash_join.h"
+#include "core/streaming_track_join.h"
+#include "core/track_join.h"
+#include "exec/local_join.h"
+#include "workload/generator.h"
+
+namespace tj {
+namespace {
+
+WorkloadSpec RandomSpec(Rng* rng) {
+  WorkloadSpec spec;
+  spec.num_nodes = 1 + static_cast<uint32_t>(rng->Below(10));
+  spec.matched_keys = rng->Below(400);
+  spec.r_multiplicity = 1 + static_cast<uint32_t>(rng->Below(5));
+  spec.s_multiplicity = 1 + static_cast<uint32_t>(rng->Below(5));
+  spec.r_payload = static_cast<uint32_t>(rng->Below(40));
+  spec.s_payload = static_cast<uint32_t>(rng->Below(40));
+  spec.r_unmatched = rng->Below(200);
+  spec.s_unmatched = rng->Below(200);
+  spec.seed = rng->Next();
+  switch (rng->Below(3)) {
+    case 0:
+      spec.collocation = Collocation::kRandom;
+      break;
+    case 1:
+      spec.collocation = Collocation::kIntra;
+      break;
+    default:
+      spec.collocation = Collocation::kInter;
+      break;
+  }
+  if (spec.collocation != Collocation::kRandom) {
+    spec.collocated_fraction = rng->NextDouble();
+    // Random pattern: split the multiplicity into <= num_nodes groups.
+    auto make_pattern = [&](uint32_t mult) {
+      std::vector<uint32_t> pattern;
+      uint32_t left = mult;
+      while (left > 0 && pattern.size() + 1 < spec.num_nodes) {
+        uint32_t take = 1 + static_cast<uint32_t>(rng->Below(left));
+        pattern.push_back(take);
+        left -= take;
+      }
+      if (left > 0) pattern.push_back(left);
+      return pattern;
+    };
+    spec.r_pattern = make_pattern(spec.r_multiplicity);
+    spec.s_pattern = make_pattern(spec.s_multiplicity);
+  }
+  return spec;
+}
+
+JoinChecksum Reference(const Workload& w, uint64_t* rows) {
+  TupleBlock all_r(w.r.payload_width()), all_s(w.s.payload_width());
+  for (uint32_t node = 0; node < w.r.num_nodes(); ++node) {
+    const TupleBlock& br = w.r.node(node);
+    for (uint64_t row = 0; row < br.size(); ++row) all_r.AppendFrom(br, row);
+    const TupleBlock& bs = w.s.node(node);
+    for (uint64_t row = 0; row < bs.size(); ++row) all_s.AppendFrom(bs, row);
+  }
+  JoinChecksum checksum;
+  *rows = SortMergeJoin(
+      &all_r, &all_s,
+      ChecksumSink(&checksum, w.r.payload_width(), w.s.payload_width()));
+  return checksum;
+}
+
+class ChaosTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosTest, EveryAlgorithmMatchesReference) {
+  Rng rng(GetParam() * 7919 + 13);
+  for (int round = 0; round < 4; ++round) {
+    WorkloadSpec spec = RandomSpec(&rng);
+    Workload w = GenerateWorkload(spec);
+    uint64_t expected_rows = 0;
+    JoinChecksum expected = Reference(w, &expected_rows);
+    ASSERT_EQ(expected_rows, w.expected_output_rows);
+
+    JoinConfig config;
+    config.key_bytes = 4;
+    auto check = [&](const char* name, const JoinResult& result) {
+      EXPECT_EQ(result.output_rows, expected_rows)
+          << name << " seed=" << GetParam() << " round=" << round;
+      EXPECT_EQ(result.checksum.digest(), expected.digest())
+          << name << " seed=" << GetParam() << " round=" << round;
+    };
+    check("HJ", RunHashJoin(w.r, w.s, config));
+    check("BJ-R", RunBroadcastJoin(w.r, w.s, config, Direction::kRtoS));
+    check("BJ-S", RunBroadcastJoin(w.r, w.s, config, Direction::kStoR));
+    check("2TJ-R", RunTrackJoin2(w.r, w.s, config, Direction::kRtoS));
+    check("2TJ-S", RunTrackJoin2(w.r, w.s, config, Direction::kStoR));
+    check("3TJ", RunTrackJoin3(w.r, w.s, config));
+    check("4TJ", RunTrackJoin4(w.r, w.s, config));
+    check("s2TJ",
+          RunStreamingTrackJoin2(w.r, w.s, config, Direction::kRtoS, 128));
+    check("rid-HJ", RunRidHashJoin(w.r, w.s, config));
+    check("late-HJ", RunLateMaterializedHashJoin(w.r, w.s, config));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,136 @@
+// Materialized-output tests: every algorithm must materialize the exact
+// same multiset of <key | payloadR | payloadS> rows, and materialized
+// outputs must chain into further joins.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/broadcast_join.h"
+#include "baseline/hash_join.h"
+#include "common/hash.h"
+#include "core/late_hash_join.h"
+#include "core/rid_hash_join.h"
+#include "core/track_join.h"
+#include "workload/generator.h"
+
+namespace tj {
+namespace {
+
+/// Order-independent fingerprint of a materialized table: sorted row
+/// hashes.
+std::vector<uint64_t> RowHashes(const PartitionedTable& table) {
+  std::vector<uint64_t> hashes;
+  for (uint32_t node = 0; node < table.num_nodes(); ++node) {
+    const TupleBlock& block = table.node(node);
+    for (uint64_t row = 0; row < block.size(); ++row) {
+      uint64_t h = HashKey(block.Key(row));
+      h = HashMix64(h ^ HashBytes(block.Payload(row), block.payload_width()));
+      hashes.push_back(h);
+    }
+  }
+  std::sort(hashes.begin(), hashes.end());
+  return hashes;
+}
+
+TEST(MaterializeTest, AllAlgorithmsProduceSameRows) {
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 300;
+  spec.r_multiplicity = 2;
+  spec.s_multiplicity = 3;
+  spec.r_payload = 6;
+  spec.s_payload = 10;
+  spec.r_unmatched = 50;
+  spec.s_unmatched = 70;
+  Workload w = GenerateWorkload(spec);
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.materialize = true;
+
+  JoinResult reference = RunHashJoin(w.r, w.s, config);
+  ASSERT_TRUE(reference.output.has_value());
+  EXPECT_EQ(reference.output->TotalRows(), reference.output_rows);
+  EXPECT_EQ(reference.output->payload_width(), 16u);
+  std::vector<uint64_t> expected = RowHashes(*reference.output);
+
+  auto check = [&](const char* name, const JoinResult& result) {
+    ASSERT_TRUE(result.output.has_value()) << name;
+    EXPECT_EQ(result.output->TotalRows(), reference.output_rows) << name;
+    EXPECT_EQ(RowHashes(*result.output), expected) << name;
+  };
+  check("BJ-R", RunBroadcastJoin(w.r, w.s, config, Direction::kRtoS));
+  check("BJ-S", RunBroadcastJoin(w.r, w.s, config, Direction::kStoR));
+  check("2TJ-R", RunTrackJoin2(w.r, w.s, config, Direction::kRtoS));
+  check("2TJ-S", RunTrackJoin2(w.r, w.s, config, Direction::kStoR));
+  check("3TJ", RunTrackJoin3(w.r, w.s, config));
+  check("4TJ", RunTrackJoin4(w.r, w.s, config));
+  check("rid-HJ", RunRidHashJoin(w.r, w.s, config));
+  check("late-HJ", RunLateMaterializedHashJoin(w.r, w.s, config));
+}
+
+TEST(MaterializeTest, OffByDefault) {
+  WorkloadSpec spec;
+  spec.matched_keys = 50;
+  Workload w = GenerateWorkload(spec);
+  JoinConfig config;
+  config.key_bytes = 4;
+  JoinResult result = RunTrackJoin4(w.r, w.s, config);
+  EXPECT_FALSE(result.output.has_value());
+}
+
+TEST(MaterializeTest, RowsContainBothPayloads) {
+  // One matched pair with known payload bytes.
+  PartitionedTable r("R", 2, 2), s("S", 2, 3);
+  uint8_t pr[2] = {0xaa, 0xbb};
+  uint8_t ps[3] = {0x11, 0x22, 0x33};
+  r.node(0).Append(7, pr);
+  s.node(1).Append(7, ps);
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.materialize = true;
+  JoinResult result = RunTrackJoin4(r, s, config);
+  ASSERT_TRUE(result.output.has_value());
+  ASSERT_EQ(result.output->TotalRows(), 1u);
+  for (uint32_t node = 0; node < 2; ++node) {
+    const TupleBlock& block = result.output->node(node);
+    for (uint64_t row = 0; row < block.size(); ++row) {
+      EXPECT_EQ(block.Key(row), 7u);
+      const uint8_t* p = block.Payload(row);
+      EXPECT_EQ(p[0], 0xaa);
+      EXPECT_EQ(p[1], 0xbb);
+      EXPECT_EQ(p[2], 0x11);
+      EXPECT_EQ(p[3], 0x22);
+      EXPECT_EQ(p[4], 0x33);
+    }
+  }
+}
+
+TEST(MaterializeTest, OutputChainsIntoNextJoin) {
+  // Join twice: (R join S) re-keyed on a byte of R's payload joins a third
+  // table keyed on that byte's value.
+  WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.matched_keys = 256;
+  spec.r_payload = 4;
+  spec.s_payload = 4;
+  Workload w = GenerateWorkload(spec);
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.materialize = true;
+  JoinResult first = RunTrackJoin4(w.r, w.s, config);
+  ASSERT_TRUE(first.output.has_value());
+
+  // Re-key on the first payload byte: values 0..255.
+  PartitionedTable rekeyed =
+      RekeyByPayloadField(*first.output, /*offset=*/0, /*bytes=*/1, "mid");
+  // Third table: one row per possible byte value.
+  PartitionedTable t3("T3", 3, 0);
+  for (uint64_t v = 0; v < 256; ++v) t3.node(v % 3).Append(v, nullptr);
+  JoinResult second = RunTrackJoin4(rekeyed, t3, config);
+  // Every intermediate row has exactly one match.
+  EXPECT_EQ(second.output_rows, first.output_rows);
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,167 @@
+#include "net/fabric.h"
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace tj {
+namespace {
+
+TEST(FabricTest, MessagesDeliverAfterBarrier) {
+  Fabric fabric(2);
+  fabric.RunPhase("send", [&](uint32_t node) {
+    if (node == 0) {
+      fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{1, 2, 3});
+      // Not yet visible to node 1 within the same phase.
+    } else {
+      EXPECT_TRUE(fabric.TakeInbox(1).empty());
+    }
+  });
+  fabric.RunPhase("receive", [&](uint32_t node) {
+    if (node == 1) {
+      auto inbox = fabric.TakeInbox(1);
+      ASSERT_EQ(inbox.size(), 1u);
+      EXPECT_EQ(inbox[0].src, 0u);
+      EXPECT_EQ(inbox[0].type, MessageType::kDataR);
+      EXPECT_EQ(inbox[0].data, (ByteBuffer{1, 2, 3}));
+    }
+  });
+}
+
+TEST(FabricTest, TrafficAccounted) {
+  Fabric fabric(3);
+  fabric.RunPhase("send", [&](uint32_t node) {
+    if (node == 0) {
+      fabric.Send(0, 1, MessageType::kDataR, ByteBuffer(10));
+      fabric.Send(0, 0, MessageType::kDataR, ByteBuffer(4));  // Local.
+    }
+  });
+  EXPECT_EQ(fabric.traffic().NetworkBytes(MessageType::kDataR), 10u);
+  EXPECT_EQ(fabric.traffic().LocalBytes(MessageType::kDataR), 4u);
+}
+
+TEST(FabricTest, SendBytesCountsWithoutDelivery) {
+  Fabric fabric(2);
+  fabric.SendBytes(0, 1, MessageType::kFilter, 1234);
+  EXPECT_EQ(fabric.traffic().NetworkBytes(MessageType::kFilter), 1234u);
+  fabric.RunPhase("noop", [](uint32_t) {});
+  EXPECT_TRUE(fabric.TakeInbox(1).empty());
+}
+
+TEST(FabricTest, TypedInboxLeavesOtherTypes) {
+  Fabric fabric(2);
+  fabric.RunPhase("send", [&](uint32_t node) {
+    if (node == 0) {
+      fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{1});
+      fabric.Send(0, 1, MessageType::kDataS, ByteBuffer{2});
+      fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{3});
+    }
+  });
+  fabric.RunPhase("receive", [&](uint32_t node) {
+    if (node != 1) return;
+    auto r = fabric.TakeInbox(1, MessageType::kDataR);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].data, (ByteBuffer{1}));
+    EXPECT_EQ(r[1].data, (ByteBuffer{3}));
+    auto s = fabric.TakeInbox(1, MessageType::kDataS);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_TRUE(fabric.TakeInbox(1).empty());
+  });
+}
+
+TEST(FabricTest, SelfSendDeliversLocally) {
+  Fabric fabric(1);
+  fabric.RunPhase("send", [&](uint32_t) {
+    fabric.Send(0, 0, MessageType::kTrackR, ByteBuffer{9});
+  });
+  fabric.RunPhase("receive", [&](uint32_t) {
+    auto inbox = fabric.TakeInbox(0);
+    ASSERT_EQ(inbox.size(), 1u);
+    EXPECT_EQ(inbox[0].data, (ByteBuffer{9}));
+  });
+  EXPECT_EQ(fabric.traffic().TotalNetworkBytes(), 0u);
+  EXPECT_EQ(fabric.traffic().TotalLocalBytes(), 1u);
+}
+
+TEST(FabricTest, PhaseTimesRecorded) {
+  Fabric fabric(2);
+  fabric.RunPhase("a", [](uint32_t) {});
+  fabric.RunPhase("b", [](uint32_t) {});
+  const auto& phases = fabric.phase_seconds();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].first, "a");
+  EXPECT_EQ(phases[1].first, "b");
+  EXPECT_GE(phases[0].second, 0.0);
+}
+
+TEST(FabricTest, NodesRunInOrder) {
+  Fabric fabric(5);
+  std::vector<uint32_t> order;
+  fabric.RunPhase("order", [&](uint32_t node) { order.push_back(node); });
+  EXPECT_EQ(order, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(FabricDeathTest, SendOutsidePhaseAborts) {
+  Fabric fabric(2);
+  EXPECT_DEATH(fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{1}),
+               "Send outside RunPhase");
+}
+
+TEST(FabricDeathTest, NestedPhaseAborts) {
+  Fabric fabric(2);
+  EXPECT_DEATH(fabric.RunPhase("outer",
+                               [&](uint32_t) {
+                                 fabric.RunPhase("inner", [](uint32_t) {});
+                               }),
+               "nested RunPhase");
+}
+
+TEST(FabricDeathTest, OutOfRangeNodesAbort) {
+  Fabric fabric(2);
+  EXPECT_DEATH(fabric.SendBytes(0, 5, MessageType::kDataR, 1), "");
+  EXPECT_DEATH(fabric.TakeInbox(9), "");
+}
+
+TEST(FabricTest, ParallelPhaseMatchesSequential) {
+  auto run = [](ThreadPool* pool) {
+    Fabric fabric(6);
+    fabric.SetThreadPool(pool);
+    fabric.RunPhase("send", [&](uint32_t node) {
+      for (uint32_t dst = 0; dst < 6; ++dst) {
+        fabric.Send(node, dst, MessageType::kDataR,
+                    ByteBuffer{static_cast<uint8_t>(node * 16 + dst)});
+      }
+    });
+    std::vector<std::vector<uint8_t>> seen(6);
+    fabric.RunPhase("recv", [&](uint32_t node) {
+      for (const auto& msg : fabric.TakeInbox(node)) {
+        seen[node].push_back(msg.data[0]);
+      }
+    });
+    return seen;
+  };
+  ThreadPool pool(4);
+  EXPECT_EQ(run(nullptr), run(&pool));
+}
+
+TEST(FabricTest, MessagesOrderedBySenderThenSendOrder) {
+  Fabric fabric(3);
+  fabric.RunPhase("send", [&](uint32_t node) {
+    if (node == 2) fabric.Send(2, 0, MessageType::kDataR, ByteBuffer{20});
+    if (node == 1) {
+      fabric.Send(1, 0, MessageType::kDataR, ByteBuffer{10});
+      fabric.Send(1, 0, MessageType::kDataR, ByteBuffer{11});
+    }
+  });
+  fabric.RunPhase("receive", [&](uint32_t node) {
+    if (node != 0) return;
+    auto inbox = fabric.TakeInbox(0);
+    ASSERT_EQ(inbox.size(), 3u);
+    EXPECT_EQ(inbox[0].data, (ByteBuffer{10}));
+    EXPECT_EQ(inbox[1].data, (ByteBuffer{11}));
+    EXPECT_EQ(inbox[2].data, (ByteBuffer{20}));
+  });
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,80 @@
+// Validates the schema width model against the paper's Table 1 (workload X)
+// and Figure 9 bits-per-tuple numbers.
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace tj {
+namespace {
+
+ColumnSpec Numeric(const char* name, uint64_t distinct, uint64_t max_raw) {
+  ColumnSpec c;
+  c.name = name;
+  c.distinct_values = distinct;
+  c.min_raw_value = 1;
+  c.max_raw_value = max_raw;
+  return c;
+}
+
+// Paper Table 1: the R side of workload X's slowest join.
+TableSchema WorkloadXR() {
+  TableSchema t;
+  t.name = "R";
+  t.key_columns = {Numeric("J.ID", 769785856, 99999999999ULL)};
+  t.payload_columns = {Numeric("T.ID", 53, 99),
+                       Numeric("J.T.AMT", 9824256, 99999999ULL),
+                       Numeric("T.C.ID", 297952, 999999ULL)};
+  return t;
+}
+
+TEST(SchemaTest, DictBitsMatchTable1) {
+  TableSchema r = WorkloadXR();
+  EXPECT_EQ(r.key_columns[0].DictBits(), 30u);
+  EXPECT_EQ(r.payload_columns[0].DictBits(), 6u);
+  EXPECT_EQ(r.payload_columns[1].DictBits(), 24u);
+  EXPECT_EQ(r.payload_columns[2].DictBits(), 19u);
+}
+
+TEST(SchemaTest, DictionaryTupleBitsMatchFigure9) {
+  // Figure 9 reports 79 bits per R tuple for Q1 under optimal dictionary
+  // compression: 30 + 6 + 24 + 19.
+  TableSchema r = WorkloadXR();
+  EXPECT_EQ(r.TupleBitsX100(EncodingScheme::kDictionary), 7900u);
+  EXPECT_EQ(r.KeyBitsX100(EncodingScheme::kDictionary), 3000u);
+  EXPECT_EQ(r.PayloadBitsX100(EncodingScheme::kDictionary), 4900u);
+}
+
+TEST(SchemaTest, FixedByteWidths) {
+  TableSchema r = WorkloadXR();
+  // 30 -> 4B, 6 -> 1B, 24 -> 4B, 19 -> 4B = 13 bytes = 104 bits.
+  EXPECT_EQ(r.TupleBitsX100(EncodingScheme::kFixedByte), 10400u);
+  EXPECT_EQ(r.KeyBytes(EncodingScheme::kFixedByte), 4u);
+  EXPECT_EQ(r.PayloadBytes(EncodingScheme::kFixedByte), 9u);
+}
+
+TEST(SchemaTest, CharColumnsAreSchemeInvariant) {
+  ColumnSpec c;
+  c.name = "NAME";
+  c.char_bytes = 23;  // Workload Y's 23-byte character column.
+  for (EncodingScheme scheme :
+       {EncodingScheme::kFixedByte, EncodingScheme::kVariableByte,
+        EncodingScheme::kDictionary}) {
+    EXPECT_EQ(c.BitsX100(scheme), 23u * 800) << static_cast<int>(scheme);
+  }
+}
+
+TEST(SchemaTest, VariableByteTracksMagnitude) {
+  // Width = base-100 digit pairs + the 2-byte NUMBER header.
+  ColumnSpec small = Numeric("small", 1000, 99);       // 1+2 bytes each.
+  ColumnSpec large = Numeric("large", 1000, 10000000); // up to 4+2 bytes.
+  EXPECT_EQ(small.BitsX100(EncodingScheme::kVariableByte), 2400u);
+  EXPECT_GT(large.BitsX100(EncodingScheme::kVariableByte), 4000u);
+}
+
+TEST(SchemaTest, FormatBits) {
+  EXPECT_EQ(FormatBitsX100(7900), "79 bits");
+  EXPECT_EQ(FormatBitsX100(7950), "79.50 bits");
+}
+
+}  // namespace
+}  // namespace tj

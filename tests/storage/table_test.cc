@@ -1,0 +1,136 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace tj {
+namespace {
+
+TEST(PartitionedTableTest, Construction) {
+  PartitionedTable table("R", 4, 8);
+  EXPECT_EQ(table.name(), "R");
+  EXPECT_EQ(table.num_nodes(), 4u);
+  EXPECT_EQ(table.payload_width(), 8u);
+  EXPECT_EQ(table.TotalRows(), 0u);
+}
+
+TEST(PartitionedTableTest, TotalRowsSumsNodes) {
+  PartitionedTable table("R", 3, 0);
+  table.node(0).Append(1, nullptr);
+  table.node(0).Append(2, nullptr);
+  table.node(2).Append(3, nullptr);
+  EXPECT_EQ(table.TotalRows(), 3u);
+}
+
+TEST(SynthesizePayloadTest, Deterministic) {
+  uint8_t a[16], b[16];
+  SynthesizePayload(1, 42, 0, 16, a);
+  SynthesizePayload(1, 42, 0, 16, b);
+  EXPECT_EQ(0, std::memcmp(a, b, 16));
+}
+
+TEST(SynthesizePayloadTest, VariesWithInputs) {
+  uint8_t base[16], other[16];
+  SynthesizePayload(1, 42, 0, 16, base);
+  SynthesizePayload(2, 42, 0, 16, other);
+  EXPECT_NE(0, std::memcmp(base, other, 16));
+  SynthesizePayload(1, 43, 0, 16, other);
+  EXPECT_NE(0, std::memcmp(base, other, 16));
+  SynthesizePayload(1, 42, 1, 16, other);
+  EXPECT_NE(0, std::memcmp(base, other, 16));
+}
+
+TEST(SynthesizePayloadTest, OddWidths) {
+  for (uint32_t width : {1u, 3u, 7u, 9u, 17u}) {
+    std::vector<uint8_t> buf(width + 1, 0xee);
+    SynthesizePayload(5, 5, 5, width, buf.data());
+    EXPECT_EQ(buf[width], 0xee);  // No overflow past the width.
+  }
+}
+
+TEST(JoinChecksumTest, OrderIndependent) {
+  uint8_t p1[4] = {1, 2, 3, 4};
+  uint8_t p2[4] = {5, 6, 7, 8};
+  JoinChecksum a, b;
+  a.Accumulate(1, p1, 4, p2, 4);
+  a.Accumulate(2, p2, 4, p1, 4);
+  b.Accumulate(2, p2, 4, p1, 4);
+  b.Accumulate(1, p1, 4, p2, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(JoinChecksumTest, SensitiveToContent) {
+  uint8_t p1[4] = {1, 2, 3, 4};
+  uint8_t p2[4] = {1, 2, 3, 5};
+  JoinChecksum a, b, c;
+  a.Accumulate(1, p1, 4, p1, 4);
+  b.Accumulate(1, p1, 4, p2, 4);  // Different S payload.
+  c.Accumulate(2, p1, 4, p1, 4);  // Different key.
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(JoinChecksumTest, PayloadSidesAreDistinguished) {
+  uint8_t p1[4] = {1, 2, 3, 4};
+  uint8_t p2[4] = {5, 6, 7, 8};
+  JoinChecksum a, b;
+  a.Accumulate(1, p1, 4, p2, 4);
+  b.Accumulate(1, p2, 4, p1, 4);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(JoinChecksumTest, MergeEqualsSequential) {
+  uint8_t p[2] = {9, 9};
+  JoinChecksum whole, part1, part2;
+  whole.Accumulate(1, p, 2, p, 2);
+  whole.Accumulate(2, p, 2, p, 2);
+  part1.Accumulate(1, p, 2, p, 2);
+  part2.Accumulate(2, p, 2, p, 2);
+  part1.Merge(part2);
+  EXPECT_EQ(whole, part1);
+}
+
+TEST(JoinChecksumTest, EmptyChecksumsEqual) {
+  JoinChecksum a, b;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(RekeyTest, ExtractsLittleEndianField) {
+  PartitionedTable table("T", 2, 6);
+  uint8_t payload[6] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06};
+  table.node(0).Append(100, payload);
+  table.node(1).Append(200, payload);
+  PartitionedTable rekeyed = RekeyByPayloadField(table, /*offset=*/1,
+                                                 /*bytes=*/2, "rekeyed");
+  EXPECT_EQ(rekeyed.name(), "rekeyed");
+  EXPECT_EQ(rekeyed.TotalRows(), 2u);
+  // New key = payload[1] | payload[2] << 8 = 0x0302.
+  EXPECT_EQ(rekeyed.node(0).Key(0), 0x0302u);
+  EXPECT_EQ(rekeyed.node(1).Key(0), 0x0302u);
+  // Payload preserved verbatim, rows stay on their nodes.
+  EXPECT_EQ(0, memcmp(rekeyed.node(0).Payload(0), payload, 6));
+  EXPECT_EQ(rekeyed.node(1).size(), 1u);
+}
+
+TEST(RekeyTest, FullEightByteField) {
+  PartitionedTable table("T", 1, 8);
+  uint8_t payload[8];
+  uint64_t value = 0x1122334455667788ULL;
+  for (int i = 0; i < 8; ++i) payload[i] = static_cast<uint8_t>(value >> (8 * i));
+  table.node(0).Append(1, payload);
+  PartitionedTable rekeyed = RekeyByPayloadField(table, 0, 8, "r");
+  EXPECT_EQ(rekeyed.node(0).Key(0), value);
+}
+
+TEST(RekeyTest, RejectsOutOfBoundsField) {
+  PartitionedTable table("T", 1, 4);
+  EXPECT_DEATH(RekeyByPayloadField(table, 2, 4, "bad"), "");
+  EXPECT_DEATH(RekeyByPayloadField(table, 0, 9, "bad"), "");
+}
+
+}  // namespace
+}  // namespace tj

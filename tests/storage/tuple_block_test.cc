@@ -1,0 +1,122 @@
+#include "storage/tuple_block.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace tj {
+namespace {
+
+TupleBlock MakeBlock(std::vector<uint64_t> keys, uint32_t width) {
+  TupleBlock block(width);
+  std::vector<uint8_t> payload(width);
+  for (uint64_t k : keys) {
+    for (uint32_t i = 0; i < width; ++i) {
+      payload[i] = static_cast<uint8_t>(k + i);
+    }
+    block.Append(k, payload.data());
+  }
+  return block;
+}
+
+TEST(TupleBlockTest, AppendAndAccess) {
+  TupleBlock block = MakeBlock({10, 20, 30}, 4);
+  EXPECT_EQ(block.size(), 3u);
+  EXPECT_EQ(block.Key(1), 20u);
+  EXPECT_EQ(block.Payload(1)[0], 20);
+  EXPECT_EQ(block.Payload(1)[3], 23);
+  EXPECT_FALSE(block.empty());
+}
+
+TEST(TupleBlockTest, ZeroWidthPayload) {
+  TupleBlock block(0);
+  block.Append(7, nullptr);
+  EXPECT_EQ(block.size(), 1u);
+  EXPECT_EQ(block.Payload(0), nullptr);
+  EXPECT_EQ(block.MemoryBytes(), 8u);
+}
+
+TEST(TupleBlockTest, SerializeDeserializeRoundTrip) {
+  TupleBlock block = MakeBlock({1, 2, 300}, 6);
+  ByteBuffer buf;
+  block.SerializeRows(0, block.size(), /*key_bytes=*/4, &buf);
+  EXPECT_EQ(buf.size(), 3u * (4 + 6));
+
+  TupleBlock out(6);
+  ByteReader reader(buf);
+  out.DeserializeRows(&reader, 4);
+  ASSERT_EQ(out.size(), 3u);
+  for (uint64_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(out.Key(row), block.Key(row));
+    EXPECT_EQ(0, std::memcmp(out.Payload(row), block.Payload(row), 6));
+  }
+}
+
+TEST(TupleBlockTest, SerializeIndexedSubset) {
+  TupleBlock block = MakeBlock({5, 6, 7, 8}, 2);
+  ByteBuffer buf;
+  block.SerializeRowsIndexed({3, 1}, 8, &buf);
+  TupleBlock out(2);
+  ByteReader reader(buf);
+  out.DeserializeRows(&reader, 8);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.Key(0), 8u);
+  EXPECT_EQ(out.Key(1), 6u);
+}
+
+TEST(TupleBlockTest, AppendFromCopiesPayload) {
+  TupleBlock src = MakeBlock({42}, 3);
+  TupleBlock dst(3);
+  dst.AppendFrom(src, 0);
+  EXPECT_EQ(dst.Key(0), 42u);
+  EXPECT_EQ(0, std::memcmp(dst.Payload(0), src.Payload(0), 3));
+}
+
+TEST(TupleBlockTest, PermuteMovesPayloadsWithKeys) {
+  TupleBlock block = MakeBlock({10, 20, 30}, 2);
+  block.Permute({2, 0, 1});  // output[i] = input[perm[i]]
+  EXPECT_EQ(block.Key(0), 30u);
+  EXPECT_EQ(block.Key(1), 10u);
+  EXPECT_EQ(block.Key(2), 20u);
+  EXPECT_EQ(block.Payload(0)[0], 30);
+  EXPECT_EQ(block.Payload(1)[0], 10);
+}
+
+TEST(TupleBlockTest, FilterKeepsMatchingRows) {
+  TupleBlock block = MakeBlock({1, 2, 3, 4, 5}, 2);
+  uint64_t removed =
+      block.Filter([&](uint64_t row) { return block.Key(row) % 2 == 1; });
+  EXPECT_EQ(removed, 2u);
+  ASSERT_EQ(block.size(), 3u);
+  EXPECT_EQ(block.Key(0), 1u);
+  EXPECT_EQ(block.Key(1), 3u);
+  EXPECT_EQ(block.Key(2), 5u);
+  EXPECT_EQ(block.Payload(2)[1], 6);  // Payload moved with the key.
+}
+
+TEST(TupleBlockTest, EqualRangeOnSortedKeys) {
+  TupleBlock block = MakeBlock({1, 3, 3, 3, 7}, 0);
+  auto [lo, hi] = block.EqualRange(3);
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 4u);
+  auto [lo2, hi2] = block.EqualRange(5);
+  EXPECT_EQ(lo2, hi2);
+  auto [lo3, hi3] = block.EqualRange(0);
+  EXPECT_EQ(lo3, 0u);
+  EXPECT_EQ(hi3, 0u);
+}
+
+TEST(TupleBlockTest, ClearKeepsWidth) {
+  TupleBlock block = MakeBlock({1, 2}, 4);
+  block.Clear();
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(block.payload_width(), 4u);
+}
+
+TEST(TupleBlockTest, RowBytes) {
+  TupleBlock block(12);
+  EXPECT_EQ(block.RowBytes(4), 16u);
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,168 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <set>
+
+#include "exec/key_aggregate.h"
+
+namespace tj {
+namespace {
+
+std::map<uint64_t, std::vector<std::pair<uint32_t, uint64_t>>> KeyPlacements(
+    const PartitionedTable& table) {
+  std::map<uint64_t, std::vector<std::pair<uint32_t, uint64_t>>> out;
+  for (uint32_t node = 0; node < table.num_nodes(); ++node) {
+    for (const auto& kc : AggregateKeys(table.node(node))) {
+      out[kc.key].emplace_back(node, kc.count);
+    }
+  }
+  return out;
+}
+
+TEST(GeneratorTest, CardinalitiesMatchSpec) {
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 100;
+  spec.r_multiplicity = 3;
+  spec.s_multiplicity = 5;
+  spec.r_unmatched = 17;
+  spec.s_unmatched = 23;
+  Workload w = GenerateWorkload(spec);
+  EXPECT_EQ(w.r.TotalRows(), 100u * 3 + 17);
+  EXPECT_EQ(w.s.TotalRows(), 100u * 5 + 23);
+  EXPECT_EQ(w.expected_output_rows, 100u * 15);
+}
+
+TEST(GeneratorTest, PatternsPlaceRepeatsAsSpecified) {
+  WorkloadSpec spec;
+  spec.num_nodes = 8;
+  spec.matched_keys = 200;
+  spec.s_multiplicity = 5;
+  spec.s_pattern = {2, 2, 1};
+  spec.collocation = Collocation::kIntra;
+  Workload w = GenerateWorkload(spec);
+  auto placements = KeyPlacements(w.s);
+  ASSERT_EQ(placements.size(), 200u);
+  for (const auto& [key, nodes] : placements) {
+    ASSERT_EQ(nodes.size(), 3u) << key;
+    std::multiset<uint64_t> counts;
+    for (const auto& [node, count] : nodes) counts.insert(count);
+    EXPECT_EQ(counts, (std::multiset<uint64_t>{1, 2, 2}));
+  }
+}
+
+TEST(GeneratorTest, InterCollocationAlignsTables) {
+  WorkloadSpec spec;
+  spec.num_nodes = 8;
+  spec.matched_keys = 150;
+  spec.r_multiplicity = 5;
+  spec.s_multiplicity = 5;
+  spec.r_pattern = {5};
+  spec.s_pattern = {5};
+  spec.collocation = Collocation::kInter;
+  Workload w = GenerateWorkload(spec);
+  auto r_placements = KeyPlacements(w.r);
+  auto s_placements = KeyPlacements(w.s);
+  for (const auto& [key, r_nodes] : r_placements) {
+    ASSERT_EQ(r_nodes.size(), 1u);
+    const auto& s_nodes = s_placements.at(key);
+    ASSERT_EQ(s_nodes.size(), 1u);
+    EXPECT_EQ(r_nodes[0].first, s_nodes[0].first) << key;
+  }
+}
+
+TEST(GeneratorTest, IntraCollocationIndependentAcrossTables) {
+  WorkloadSpec spec;
+  spec.num_nodes = 16;
+  spec.matched_keys = 400;
+  spec.r_multiplicity = 5;
+  spec.s_multiplicity = 5;
+  spec.r_pattern = {5};
+  spec.s_pattern = {5};
+  spec.collocation = Collocation::kIntra;
+  Workload w = GenerateWorkload(spec);
+  auto r_placements = KeyPlacements(w.r);
+  auto s_placements = KeyPlacements(w.s);
+  int aligned = 0;
+  for (const auto& [key, r_nodes] : r_placements) {
+    if (r_nodes[0].first == s_placements.at(key)[0].first) ++aligned;
+  }
+  // Independent placement aligns ~1/16 of keys, far below 1/2.
+  EXPECT_LT(aligned, 100);
+  EXPECT_GT(aligned, 0);  // But some collide by chance.
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  WorkloadSpec spec;
+  spec.matched_keys = 50;
+  spec.seed = 7;
+  Workload a = GenerateWorkload(spec);
+  Workload b = GenerateWorkload(spec);
+  for (uint32_t node = 0; node < a.r.num_nodes(); ++node) {
+    EXPECT_EQ(a.r.node(node).keys(), b.r.node(node).keys());
+  }
+  spec.seed = 8;
+  Workload c = GenerateWorkload(spec);
+  bool any_diff = false;
+  for (uint32_t node = 0; node < a.r.num_nodes(); ++node) {
+    any_diff |= a.r.node(node).keys() != c.r.node(node).keys();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, UnmatchedKeysAreDisjoint) {
+  WorkloadSpec spec;
+  spec.matched_keys = 100;
+  spec.r_unmatched = 50;
+  spec.s_unmatched = 50;
+  Workload w = GenerateWorkload(spec);
+  std::set<uint64_t> r_keys, s_keys;
+  for (uint32_t node = 0; node < w.r.num_nodes(); ++node) {
+    for (uint64_t k : w.r.node(node).keys()) r_keys.insert(k);
+    for (uint64_t k : w.s.node(node).keys()) s_keys.insert(k);
+  }
+  EXPECT_EQ(r_keys.size(), 150u);
+  EXPECT_EQ(s_keys.size(), 150u);
+  // Intersection is exactly the matched keys 1..100.
+  std::set<uint64_t> both;
+  std::set_intersection(r_keys.begin(), r_keys.end(), s_keys.begin(),
+                        s_keys.end(), std::inserter(both, both.begin()));
+  EXPECT_EQ(both.size(), 100u);
+  EXPECT_EQ(*both.begin(), 1u);
+  EXPECT_EQ(*both.rbegin(), 100u);
+}
+
+TEST(GeneratorTest, ShuffleKeepsRowsMovesPlacement) {
+  WorkloadSpec spec;
+  spec.num_nodes = 8;
+  spec.matched_keys = 500;
+  spec.r_multiplicity = 5;
+  spec.r_pattern = {5};
+  spec.collocation = Collocation::kIntra;
+  Workload w = GenerateWorkload(spec);
+  uint64_t rows = w.r.TotalRows();
+  ShuffleTable(&w.r, 3);
+  EXPECT_EQ(w.r.TotalRows(), rows);
+  // After shuffling, a key's 5 repeats rarely stay on one node.
+  auto placements = KeyPlacements(w.r);
+  int collocated = 0;
+  for (const auto& [key, nodes] : placements) collocated += nodes.size() == 1;
+  EXPECT_LT(collocated, 50);
+}
+
+TEST(GeneratorTest, PayloadWidthsApplied) {
+  WorkloadSpec spec;
+  spec.matched_keys = 10;
+  spec.r_payload = 7;
+  spec.s_payload = 0;
+  Workload w = GenerateWorkload(spec);
+  EXPECT_EQ(w.r.payload_width(), 7u);
+  EXPECT_EQ(w.s.payload_width(), 0u);
+}
+
+}  // namespace
+}  // namespace tj

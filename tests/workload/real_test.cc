@@ -1,0 +1,118 @@
+// Checks the workload X / Y reconstructions against every statistic the
+// paper publishes about them.
+#include "workload/real.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/key_aggregate.h"
+
+namespace tj {
+namespace {
+
+TEST(RealWorkloadTest, XQ1SchemaMatchesTable1) {
+  RealJoinSpec x = WorkloadX(1);
+  EXPECT_EQ(x.t_r, 769845120u);
+  EXPECT_EQ(x.t_s, 790963741u);
+  EXPECT_EQ(x.t_rs, 730073001u);
+  // Figure 9: 79 bits per R tuple, 145 per S tuple under dictionary coding.
+  EXPECT_EQ(x.r_schema.TupleBitsX100(EncodingScheme::kDictionary), 7900u);
+  EXPECT_EQ(x.s_schema.TupleBitsX100(EncodingScheme::kDictionary), 14500u);
+  EXPECT_EQ(x.r_schema.KeyBitsX100(EncodingScheme::kDictionary), 3000u);
+}
+
+TEST(RealWorkloadTest, AllFiveQueriesMatchFigure9Bits) {
+  const uint64_t expected_r[] = {7900, 6700, 6000, 6700, 6900};
+  const uint64_t expected_s[] = {14500, 12000, 12600, 13100, 14500};
+  for (int q = 1; q <= 5; ++q) {
+    RealJoinSpec x = WorkloadX(q);
+    EXPECT_EQ(x.r_schema.TupleBitsX100(EncodingScheme::kDictionary),
+              expected_r[q - 1])
+        << "Q" << q;
+    EXPECT_EQ(x.s_schema.TupleBitsX100(EncodingScheme::kDictionary),
+              expected_s[q - 1])
+        << "Q" << q;
+  }
+}
+
+TEST(RealWorkloadTest, YCardinalitiesApproximatePaper) {
+  RealJoinSpec y = WorkloadY();
+  // Matched tuples stay below the published totals (the remainder is
+  // modeled as unmatched) and the output matches exactly by construction.
+  double matched_r = static_cast<double>(y.matched_keys) * y.r_multiplicity;
+  double matched_s = static_cast<double>(y.matched_keys) * y.s_multiplicity;
+  double t_rs = static_cast<double>(y.matched_keys) * y.r_multiplicity *
+                y.s_multiplicity;
+  EXPECT_LE(matched_r, static_cast<double>(y.t_r));
+  EXPECT_LE(matched_s, static_cast<double>(y.t_s));
+  EXPECT_NEAR(matched_r / y.t_r, 0.645, 0.02);
+  EXPECT_NEAR(matched_s / y.t_s, 0.63, 0.02);
+  EXPECT_NEAR(t_rs / y.t_rs, 1.0, 0.01);
+  // 37- and 47-byte variable-byte tuples.
+  uint64_t r_bits = y.r_schema.TupleBitsX100(EncodingScheme::kVariableByte);
+  uint64_t s_bits = y.s_schema.TupleBitsX100(EncodingScheme::kVariableByte);
+  EXPECT_NEAR(r_bits / 800.0, 37.0, 1.0);
+  EXPECT_NEAR(s_bits / 800.0, 47.0, 1.0);
+}
+
+TEST(RealWorkloadTest, InstantiationScalesCardinalities) {
+  RealJoinSpec x = WorkloadX(1);
+  Workload w = InstantiateReal(x, 4, /*scale_divisor=*/100000,
+                               /*original_order=*/false);
+  EXPECT_NEAR(static_cast<double>(w.r.TotalRows()),
+              static_cast<double>(x.t_r) / 100000, x.t_r / 100000 * 0.01);
+  EXPECT_NEAR(static_cast<double>(w.s.TotalRows()),
+              static_cast<double>(x.t_s) / 100000, x.t_s / 100000 * 0.01);
+  EXPECT_EQ(w.r.payload_width(), x.impl_r_payload);
+  EXPECT_EQ(w.s.payload_width(), x.impl_s_payload);
+}
+
+TEST(RealWorkloadTest, OriginalOrderingXHasPartialCollocation) {
+  RealJoinSpec x = WorkloadX(1);
+  Workload w = InstantiateReal(x, 8, 200000, /*original_order=*/true);
+  // Count matched keys whose single R copy and single S copy collocate.
+  std::map<uint64_t, uint32_t> r_at;
+  for (uint32_t node = 0; node < 8; ++node) {
+    for (const auto& kc : AggregateKeys(w.r.node(node))) {
+      r_at[kc.key] = node;
+    }
+  }
+  uint64_t matched = 0, collocated = 0;
+  for (uint32_t node = 0; node < 8; ++node) {
+    for (const auto& kc : AggregateKeys(w.s.node(node))) {
+      auto it = r_at.find(kc.key);
+      if (it == r_at.end()) continue;
+      ++matched;
+      collocated += it->second == node;
+    }
+  }
+  double rate = static_cast<double>(collocated) / matched;
+  // 80% explicit + ~1/8 chance for the random remainder ~ 0.825.
+  EXPECT_NEAR(rate, 0.825, 0.05);
+}
+
+TEST(RealWorkloadTest, OriginalOrderingYCollocatesRepeats) {
+  RealJoinSpec y = WorkloadY();
+  Workload w = InstantiateReal(y, 8, 2000, /*original_order=*/true);
+  // Matched keys occupy [1, matched]; keys above are unmatched singletons.
+  // ~67% of matched keys keep all their repeats on one node.
+  const uint64_t matched = std::max<uint64_t>(1, y.matched_keys / 2000);
+  uint64_t fully_collocated = 0;
+  for (uint32_t node = 0; node < 8; ++node) {
+    for (const auto& kc : AggregateKeys(w.s.node(node))) {
+      if (kc.key > matched) continue;
+      if (kc.count == y.s_multiplicity) ++fully_collocated;
+    }
+  }
+  double rate = static_cast<double>(fully_collocated) / matched;
+  EXPECT_NEAR(rate, y.original_collocated_fraction, 0.06);
+}
+
+TEST(RealWorkloadTest, InvalidQueryRejected) {
+  EXPECT_DEATH(WorkloadX(0), "");
+  EXPECT_DEATH(WorkloadX(6), "");
+}
+
+}  // namespace
+}  // namespace tj

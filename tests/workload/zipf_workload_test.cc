@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/hash_join.h"
+#include "workload/generator.h"
+
+namespace tj {
+namespace {
+
+TEST(ZipfWorkloadTest, CardinalitiesAndOutputExact) {
+  ZipfWorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.key_domain = 500;
+  spec.r_rows = 3000;
+  spec.s_rows = 5000;
+  spec.r_theta = 0.9;
+  spec.s_theta = 0.9;
+  Workload w = GenerateZipfWorkload(spec);
+  EXPECT_EQ(w.r.TotalRows(), 3000u);
+  EXPECT_EQ(w.s.TotalRows(), 5000u);
+
+  // Brute-force the expected output from the generated tables.
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> counts;
+  for (uint32_t node = 0; node < 4; ++node) {
+    for (uint64_t key : w.r.node(node).keys()) ++counts[key].first;
+    for (uint64_t key : w.s.node(node).keys()) ++counts[key].second;
+  }
+  uint64_t expected = 0;
+  for (const auto& [key, rs] : counts) expected += rs.first * rs.second;
+  EXPECT_EQ(w.expected_output_rows, expected);
+
+  // And the join delivers exactly that.
+  JoinConfig config;
+  config.key_bytes = 4;
+  JoinResult result = RunHashJoin(w.r, w.s, config);
+  EXPECT_EQ(result.output_rows, expected);
+}
+
+TEST(ZipfWorkloadTest, SkewConcentratesMultiplicity) {
+  ZipfWorkloadSpec spec;
+  spec.num_nodes = 2;
+  spec.key_domain = 10000;
+  spec.r_rows = 20000;
+  spec.s_rows = 20000;
+  spec.r_theta = 1.2;
+  spec.s_theta = 1.2;
+  Workload skewed = GenerateZipfWorkload(spec);
+  spec.r_theta = 0.0;
+  spec.s_theta = 0.0;
+  spec.seed = spec.seed + 1;
+  Workload uniform = GenerateZipfWorkload(spec);
+  // Quadratic output blows up under skew.
+  EXPECT_GT(skewed.expected_output_rows, 4 * uniform.expected_output_rows);
+}
+
+TEST(ZipfWorkloadTest, DeterministicBySeed) {
+  ZipfWorkloadSpec spec;
+  spec.key_domain = 100;
+  spec.r_rows = 1000;
+  spec.s_rows = 1000;
+  Workload a = GenerateZipfWorkload(spec);
+  Workload b = GenerateZipfWorkload(spec);
+  for (uint32_t node = 0; node < spec.num_nodes; ++node) {
+    EXPECT_EQ(a.r.node(node).keys(), b.r.node(node).keys());
+  }
+}
+
+TEST(ZipfWorkloadTest, PayloadsDistinctPerCopy) {
+  ZipfWorkloadSpec spec;
+  spec.num_nodes = 1;
+  spec.key_domain = 1;  // Every row is the same key.
+  spec.r_rows = 10;
+  spec.s_rows = 0;
+  spec.r_payload = 8;
+  Workload w = GenerateZipfWorkload(spec);
+  const TupleBlock& block = w.r.node(0);
+  for (uint64_t i = 1; i < block.size(); ++i) {
+    EXPECT_NE(0, memcmp(block.Payload(0), block.Payload(i), 8));
+  }
+}
+
+}  // namespace
+}  // namespace tj

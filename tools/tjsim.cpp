@@ -1,0 +1,303 @@
+// tjsim — interactive distributed-join traffic simulator.
+//
+// Describe a join input on the command line, run any (or all) of the
+// algorithms on the simulated cluster, and get verified results with
+// per-class traffic and modeled time. Examples:
+//
+//   tjsim --nodes=16 --keys=1000000 --rpayload=16 --spayload=56
+//   tjsim --smult=5 --spattern=2,2,1 --collocation=intra --algo=4tj
+//   tjsim --zipf=1.1 --balance --algo=4tj,hj
+//   tjsim --keys=50000 --runmatched=450000 --algo=all --bandwidth=1.25
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baseline/broadcast_join.h"
+#include "baseline/hash_join.h"
+#include "core/late_hash_join.h"
+#include "core/rid_hash_join.h"
+#include "core/track_join.h"
+#include "net/time_model.h"
+#include "workload/generator.h"
+
+namespace {
+
+struct Options {
+  uint32_t nodes = 8;
+  uint64_t keys = 100000;
+  uint32_t r_mult = 1;
+  uint32_t s_mult = 1;
+  std::vector<uint32_t> r_pattern;
+  std::vector<uint32_t> s_pattern;
+  tj::Collocation collocation = tj::Collocation::kRandom;
+  double collocated_fraction = 1.0;
+  uint64_t r_unmatched = 0;
+  uint64_t s_unmatched = 0;
+  uint32_t r_payload = 16;
+  uint32_t s_payload = 16;
+  uint32_t key_bytes = 4;
+  double zipf = -1.0;  // >= 0 switches to the Zipf generator.
+  bool shuffle = false;
+  bool balance = false;
+  bool delta = false;
+  bool group = false;
+  uint64_t seed = 42;
+  double bandwidth_gbps = 0.093;
+  std::vector<std::string> algos = {"all"};
+};
+
+[[noreturn]] void Usage() {
+  std::printf(R"(tjsim — distributed join traffic simulator (track join & baselines)
+
+workload:
+  --nodes=N            cluster size (default 8)
+  --keys=N             distinct matched keys (default 100000)
+  --rmult=N --smult=N  copies of each key per table (default 1)
+  --rpattern=a,b,...   placement pattern for R repeats (sums to rmult)
+  --spattern=a,b,...   placement pattern for S repeats
+  --collocation=MODE   random | intra | inter (default random)
+  --collocated=F       fraction of keys following the mode (default 1.0)
+  --runmatched=N       R rows with unmatched keys (drives selectivity)
+  --sunmatched=N       S rows with unmatched keys
+  --rpayload=B --spayload=B  payload bytes per tuple (default 16)
+  --zipf=THETA         use Zipf-skewed keys instead (keys = domain)
+  --shuffle            shuffle all tuples after generation
+  --seed=N             PRNG seed (default 42)
+
+execution:
+  --algo=LIST          comma list of: hj bj-r bj-s 2tj-r 2tj-s 3tj 4tj
+                       rid-hj late-hj all (default all)
+  --key-bytes=B        serialized key width wk (default 4)
+  --balance            balance-aware 4-phase scheduling
+  --delta              delta-compress tracking keys
+  --group              node-group location messages
+  --bandwidth=GBPS     NIC GB/s for the time model (default 0.093)
+)");
+  std::exit(0);
+}
+
+std::vector<uint32_t> ParsePattern(const char* s) {
+  std::vector<uint32_t> out;
+  while (*s) {
+    out.push_back(static_cast<uint32_t>(std::strtoul(s, const_cast<char**>(&s), 10)));
+    if (*s == ',') ++s;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitList(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (; *s; ++s) {
+    if (*s == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += *s;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+Options Parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return std::strncmp(a, prefix, len) == 0 ? a + len : nullptr;
+    };
+    const char* v;
+    if ((v = val("--nodes="))) {
+      opt.nodes = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--keys="))) {
+      opt.keys = std::strtoull(v, nullptr, 10);
+    } else if ((v = val("--rmult="))) {
+      opt.r_mult = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--smult="))) {
+      opt.s_mult = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--rpattern="))) {
+      opt.r_pattern = ParsePattern(v);
+    } else if ((v = val("--spattern="))) {
+      opt.s_pattern = ParsePattern(v);
+    } else if ((v = val("--collocation="))) {
+      if (std::strcmp(v, "intra") == 0) {
+        opt.collocation = tj::Collocation::kIntra;
+      } else if (std::strcmp(v, "inter") == 0) {
+        opt.collocation = tj::Collocation::kInter;
+      } else if (std::strcmp(v, "random") == 0) {
+        opt.collocation = tj::Collocation::kRandom;
+      } else {
+        std::fprintf(stderr, "unknown collocation '%s'\n", v);
+        std::exit(1);
+      }
+    } else if ((v = val("--collocated="))) {
+      opt.collocated_fraction = std::strtod(v, nullptr);
+    } else if ((v = val("--runmatched="))) {
+      opt.r_unmatched = std::strtoull(v, nullptr, 10);
+    } else if ((v = val("--sunmatched="))) {
+      opt.s_unmatched = std::strtoull(v, nullptr, 10);
+    } else if ((v = val("--rpayload="))) {
+      opt.r_payload = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--spayload="))) {
+      opt.s_payload = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--key-bytes="))) {
+      opt.key_bytes = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--zipf="))) {
+      opt.zipf = std::strtod(v, nullptr);
+    } else if ((v = val("--seed="))) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = val("--bandwidth="))) {
+      opt.bandwidth_gbps = std::strtod(v, nullptr);
+    } else if ((v = val("--algo="))) {
+      opt.algos = SplitList(v);
+    } else if (std::strcmp(a, "--shuffle") == 0) {
+      opt.shuffle = true;
+    } else if (std::strcmp(a, "--balance") == 0) {
+      opt.balance = true;
+    } else if (std::strcmp(a, "--delta") == 0) {
+      opt.delta = true;
+    } else if (std::strcmp(a, "--group") == 0) {
+      opt.group = true;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      Usage();
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (try --help)\n", a);
+      std::exit(1);
+    }
+  }
+  return opt;
+}
+
+struct Candidate {
+  const char* name;
+  tj::JoinResult (*run)(const tj::PartitionedTable&, const tj::PartitionedTable&,
+                        const tj::JoinConfig&);
+};
+
+tj::JoinResult RunByName(const std::string& name, const tj::Workload& w,
+                         const tj::JoinConfig& config, bool* known) {
+  *known = true;
+  if (name == "hj") return tj::RunHashJoin(w.r, w.s, config);
+  if (name == "bj-r") {
+    return tj::RunBroadcastJoin(w.r, w.s, config, tj::Direction::kRtoS);
+  }
+  if (name == "bj-s") {
+    return tj::RunBroadcastJoin(w.r, w.s, config, tj::Direction::kStoR);
+  }
+  if (name == "2tj-r") {
+    return tj::RunTrackJoin2(w.r, w.s, config, tj::Direction::kRtoS);
+  }
+  if (name == "2tj-s") {
+    return tj::RunTrackJoin2(w.r, w.s, config, tj::Direction::kStoR);
+  }
+  if (name == "3tj") return tj::RunTrackJoin3(w.r, w.s, config);
+  if (name == "4tj") return tj::RunTrackJoin4(w.r, w.s, config);
+  if (name == "rid-hj") return tj::RunRidHashJoin(w.r, w.s, config);
+  if (name == "late-hj") {
+    return tj::RunLateMaterializedHashJoin(w.r, w.s, config);
+  }
+  *known = false;
+  return tj::JoinResult{};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Parse(argc, argv);
+
+  tj::Workload w = [&] {
+    if (opt.zipf >= 0) {
+      tj::ZipfWorkloadSpec spec;
+      spec.num_nodes = opt.nodes;
+      spec.seed = opt.seed;
+      spec.key_domain = opt.keys;
+      spec.r_rows = opt.keys * opt.r_mult;
+      spec.s_rows = opt.keys * opt.s_mult;
+      spec.r_theta = opt.zipf;
+      spec.s_theta = opt.zipf;
+      spec.r_payload = opt.r_payload;
+      spec.s_payload = opt.s_payload;
+      return tj::GenerateZipfWorkload(spec);
+    }
+    tj::WorkloadSpec spec;
+    spec.num_nodes = opt.nodes;
+    spec.seed = opt.seed;
+    spec.matched_keys = opt.keys;
+    spec.r_multiplicity = opt.r_mult;
+    spec.s_multiplicity = opt.s_mult;
+    spec.r_pattern = opt.r_pattern;
+    spec.s_pattern = opt.s_pattern;
+    spec.collocation = opt.collocation;
+    spec.collocated_fraction = opt.collocated_fraction;
+    spec.r_unmatched = opt.r_unmatched;
+    spec.s_unmatched = opt.s_unmatched;
+    spec.r_payload = opt.r_payload;
+    spec.s_payload = opt.s_payload;
+    return tj::GenerateWorkload(spec);
+  }();
+  if (opt.shuffle) {
+    tj::ShuffleTable(&w.r, opt.seed + 1);
+    tj::ShuffleTable(&w.s, opt.seed + 2);
+  }
+
+  tj::JoinConfig config;
+  config.key_bytes = opt.key_bytes;
+  config.balance_loads = opt.balance;
+  config.delta_tracking = opt.delta;
+  config.group_locations = opt.group;
+
+  std::vector<std::string> algos = opt.algos;
+  if (algos.size() == 1 && algos[0] == "all") {
+    algos = {"bj-r", "bj-s", "hj", "2tj-r", "2tj-s", "3tj", "4tj",
+             "rid-hj", "late-hj"};
+  }
+
+  std::printf("%" PRIu64 " x %" PRIu64 " tuples on %u nodes (%u/%u byte "
+              "payloads, wk=%u)\n\n",
+              w.r.TotalRows(), w.s.TotalRows(), opt.nodes, opt.r_payload,
+              opt.s_payload, opt.key_bytes);
+  std::printf("%-8s %12s %12s %12s %12s %12s %10s %10s\n", "algo",
+              "keys&counts", "keys&nodes", "R tuples", "S tuples", "total",
+              "max NIC", "net sec");
+
+  tj::NetworkTimeModel model;
+  model.node_bandwidth_bytes_per_sec = opt.bandwidth_gbps * 1e9;
+  uint64_t reference_digest = 0;
+  uint64_t reference_rows = 0;
+  bool have_reference = false;
+  for (const std::string& algo : algos) {
+    bool known = false;
+    tj::JoinResult result = RunByName(algo, w, config, &known);
+    if (!known) {
+      std::fprintf(stderr, "unknown algorithm '%s' (try --help)\n",
+                   algo.c_str());
+      return 1;
+    }
+    if (!have_reference) {
+      reference_digest = result.checksum.digest();
+      reference_rows = result.output_rows;
+      have_reference = true;
+    } else if (result.checksum.digest() != reference_digest) {
+      std::fprintf(stderr, "result mismatch in %s!\n", algo.c_str());
+      return 1;
+    }
+    const tj::TrafficMatrix& t = result.traffic;
+    auto mib = [](uint64_t b) { return b / double(1 << 20); };
+    std::printf(
+        "%-8s %11.2fM %11.2fM %11.2fM %11.2fM %11.2fM %9.2fM %10.3f\n",
+        algo.c_str(), mib(t.NetworkBytes(tj::TrafficClass::kKeysAndCounts)),
+        mib(t.NetworkBytes(tj::TrafficClass::kKeysAndNodes)),
+        mib(t.NetworkBytes(tj::TrafficClass::kRTuples)),
+        mib(t.NetworkBytes(tj::TrafficClass::kSTuples)),
+        mib(t.TotalNetworkBytes()), mib(t.MaxNodeBytes()),
+        model.BottleneckSeconds(t));
+  }
+  std::printf("\n%" PRIu64 " output rows (all algorithms verified equal)\n",
+              reference_rows);
+  return 0;
+}
