@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/ablation_rid_hash_join"
+  "../../bench/ablation_rid_hash_join.pdb"
+  "CMakeFiles/ablation_rid_hash_join.dir/ablation_rid_hash_join.cpp.o"
+  "CMakeFiles/ablation_rid_hash_join.dir/ablation_rid_hash_join.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rid_hash_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

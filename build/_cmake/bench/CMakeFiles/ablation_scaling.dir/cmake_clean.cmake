@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/ablation_scaling"
+  "../../bench/ablation_scaling.pdb"
+  "CMakeFiles/ablation_scaling.dir/ablation_scaling.cpp.o"
+  "CMakeFiles/ablation_scaling.dir/ablation_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/ablation_semijoin"
+  "../../bench/ablation_semijoin.pdb"
+  "CMakeFiles/ablation_semijoin.dir/ablation_semijoin.cpp.o"
+  "CMakeFiles/ablation_semijoin.dir/ablation_semijoin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

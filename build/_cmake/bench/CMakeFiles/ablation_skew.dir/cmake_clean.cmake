@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/ablation_skew"
+  "../../bench/ablation_skew.pdb"
+  "CMakeFiles/ablation_skew.dir/ablation_skew.cpp.o"
+  "CMakeFiles/ablation_skew.dir/ablation_skew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig10_workload_y"
+  "../../bench/fig10_workload_y.pdb"
+  "CMakeFiles/fig10_workload_y.dir/fig10_workload_y.cpp.o"
+  "CMakeFiles/fig10_workload_y.dir/fig10_workload_y.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_workload_y.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

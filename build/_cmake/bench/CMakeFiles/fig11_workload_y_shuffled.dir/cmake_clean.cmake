@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig11_workload_y_shuffled"
+  "../../bench/fig11_workload_y_shuffled.pdb"
+  "CMakeFiles/fig11_workload_y_shuffled.dir/fig11_workload_y_shuffled.cpp.o"
+  "CMakeFiles/fig11_workload_y_shuffled.dir/fig11_workload_y_shuffled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_workload_y_shuffled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

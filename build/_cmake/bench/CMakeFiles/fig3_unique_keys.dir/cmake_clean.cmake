@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig3_unique_keys"
+  "../../bench/fig3_unique_keys.pdb"
+  "CMakeFiles/fig3_unique_keys.dir/fig3_unique_keys.cpp.o"
+  "CMakeFiles/fig3_unique_keys.dir/fig3_unique_keys.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_unique_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_one_side_collocation.cpp" "_cmake/bench/CMakeFiles/fig4_one_side_collocation.dir/fig4_one_side_collocation.cpp.o" "gcc" "_cmake/bench/CMakeFiles/fig4_one_side_collocation.dir/fig4_one_side_collocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tj_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/tj_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tj_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/tj_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tj_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig4_one_side_collocation"
+  "../../bench/fig4_one_side_collocation.pdb"
+  "CMakeFiles/fig4_one_side_collocation.dir/fig4_one_side_collocation.cpp.o"
+  "CMakeFiles/fig4_one_side_collocation.dir/fig4_one_side_collocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_one_side_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig5_intra_collocation"
+  "../../bench/fig5_intra_collocation.pdb"
+  "CMakeFiles/fig5_intra_collocation.dir/fig5_intra_collocation.cpp.o"
+  "CMakeFiles/fig5_intra_collocation.dir/fig5_intra_collocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_intra_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig6_inter_collocation"
+  "../../bench/fig6_inter_collocation.pdb"
+  "CMakeFiles/fig6_inter_collocation.dir/fig6_inter_collocation.cpp.o"
+  "CMakeFiles/fig6_inter_collocation.dir/fig6_inter_collocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_inter_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

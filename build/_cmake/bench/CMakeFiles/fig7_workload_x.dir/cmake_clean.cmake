@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig7_workload_x"
+  "../../bench/fig7_workload_x.pdb"
+  "CMakeFiles/fig7_workload_x.dir/fig7_workload_x.cpp.o"
+  "CMakeFiles/fig7_workload_x.dir/fig7_workload_x.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_workload_x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig8_workload_x_shuffled"
+  "../../bench/fig8_workload_x_shuffled.pdb"
+  "CMakeFiles/fig8_workload_x_shuffled.dir/fig8_workload_x_shuffled.cpp.o"
+  "CMakeFiles/fig8_workload_x_shuffled.dir/fig8_workload_x_shuffled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_workload_x_shuffled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_workload_x_shuffled.
+# This may be replaced when dependencies are built.

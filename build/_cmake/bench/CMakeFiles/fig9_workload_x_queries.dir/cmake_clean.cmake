@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/fig9_workload_x_queries"
+  "../../bench/fig9_workload_x_queries.pdb"
+  "CMakeFiles/fig9_workload_x_queries.dir/fig9_workload_x_queries.cpp.o"
+  "CMakeFiles/fig9_workload_x_queries.dir/fig9_workload_x_queries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_workload_x_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

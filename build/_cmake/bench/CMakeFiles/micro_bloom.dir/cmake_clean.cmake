@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/micro_bloom"
+  "../../bench/micro_bloom.pdb"
+  "CMakeFiles/micro_bloom.dir/micro_bloom.cpp.o"
+  "CMakeFiles/micro_bloom.dir/micro_bloom.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/micro_encoding"
+  "../../bench/micro_encoding.pdb"
+  "CMakeFiles/micro_encoding.dir/micro_encoding.cpp.o"
+  "CMakeFiles/micro_encoding.dir/micro_encoding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

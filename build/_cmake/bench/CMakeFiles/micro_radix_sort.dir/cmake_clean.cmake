@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/micro_radix_sort"
+  "../../bench/micro_radix_sort.pdb"
+  "CMakeFiles/micro_radix_sort.dir/micro_radix_sort.cpp.o"
+  "CMakeFiles/micro_radix_sort.dir/micro_radix_sort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_radix_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/table1_workload_x_schema"
+  "../../bench/table1_workload_x_schema.pdb"
+  "CMakeFiles/table1_workload_x_schema.dir/table1_workload_x_schema.cpp.o"
+  "CMakeFiles/table1_workload_x_schema.dir/table1_workload_x_schema.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_workload_x_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_workload_x_schema.
+# This may be replaced when dependencies are built.

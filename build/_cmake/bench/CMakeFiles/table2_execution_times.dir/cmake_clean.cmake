@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/table2_execution_times"
+  "../../bench/table2_execution_times.pdb"
+  "CMakeFiles/table2_execution_times.dir/table2_execution_times.cpp.o"
+  "CMakeFiles/table2_execution_times.dir/table2_execution_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_execution_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/table3_hash_join_steps"
+  "../../bench/table3_hash_join_steps.pdb"
+  "CMakeFiles/table3_hash_join_steps.dir/table3_hash_join_steps.cpp.o"
+  "CMakeFiles/table3_hash_join_steps.dir/table3_hash_join_steps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hash_join_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

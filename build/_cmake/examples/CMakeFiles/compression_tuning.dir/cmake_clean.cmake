@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/compression_tuning"
+  "../../examples/compression_tuning.pdb"
+  "CMakeFiles/compression_tuning.dir/compression_tuning.cpp.o"
+  "CMakeFiles/compression_tuning.dir/compression_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

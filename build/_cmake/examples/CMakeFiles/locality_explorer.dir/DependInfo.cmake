@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/locality_explorer.cpp" "_cmake/examples/CMakeFiles/locality_explorer.dir/locality_explorer.cpp.o" "gcc" "_cmake/examples/CMakeFiles/locality_explorer.dir/locality_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tj_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tj_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tj_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/tj_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

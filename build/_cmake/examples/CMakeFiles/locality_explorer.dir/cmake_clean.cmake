@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/locality_explorer"
+  "../../examples/locality_explorer.pdb"
+  "CMakeFiles/locality_explorer.dir/locality_explorer.cpp.o"
+  "CMakeFiles/locality_explorer.dir/locality_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/optimizer_demo"
+  "../../examples/optimizer_demo.pdb"
+  "CMakeFiles/optimizer_demo.dir/optimizer_demo.cpp.o"
+  "CMakeFiles/optimizer_demo.dir/optimizer_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

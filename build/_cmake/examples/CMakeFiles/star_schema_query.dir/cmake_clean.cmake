@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/star_schema_query"
+  "../../examples/star_schema_query.pdb"
+  "CMakeFiles/star_schema_query.dir/star_schema_query.cpp.o"
+  "CMakeFiles/star_schema_query.dir/star_schema_query.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../tools/tjsim"
+  "../../tools/tjsim.pdb"
+  "CMakeFiles/tjsim.dir/tjsim.cpp.o"
+  "CMakeFiles/tjsim.dir/tjsim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tjsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_baseline.dir/broadcast_join.cc.o"
+  "CMakeFiles/tj_baseline.dir/broadcast_join.cc.o.d"
+  "CMakeFiles/tj_baseline.dir/hash_join.cc.o"
+  "CMakeFiles/tj_baseline.dir/hash_join.cc.o.d"
+  "libtj_baseline.a"
+  "libtj_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtj_baseline.a"
+)

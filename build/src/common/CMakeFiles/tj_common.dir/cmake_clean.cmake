@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_common.dir/logging.cc.o"
+  "CMakeFiles/tj_common.dir/logging.cc.o.d"
+  "CMakeFiles/tj_common.dir/rng.cc.o"
+  "CMakeFiles/tj_common.dir/rng.cc.o.d"
+  "CMakeFiles/tj_common.dir/status.cc.o"
+  "CMakeFiles/tj_common.dir/status.cc.o.d"
+  "CMakeFiles/tj_common.dir/thread_pool.cc.o"
+  "CMakeFiles/tj_common.dir/thread_pool.cc.o.d"
+  "libtj_common.a"
+  "libtj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

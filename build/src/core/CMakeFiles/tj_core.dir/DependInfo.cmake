@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/join_types.cc" "src/core/CMakeFiles/tj_core.dir/join_types.cc.o" "gcc" "src/core/CMakeFiles/tj_core.dir/join_types.cc.o.d"
+  "/root/repo/src/core/late_hash_join.cc" "src/core/CMakeFiles/tj_core.dir/late_hash_join.cc.o" "gcc" "src/core/CMakeFiles/tj_core.dir/late_hash_join.cc.o.d"
+  "/root/repo/src/core/rid_hash_join.cc" "src/core/CMakeFiles/tj_core.dir/rid_hash_join.cc.o" "gcc" "src/core/CMakeFiles/tj_core.dir/rid_hash_join.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/tj_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/tj_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/streaming_track_join.cc" "src/core/CMakeFiles/tj_core.dir/streaming_track_join.cc.o" "gcc" "src/core/CMakeFiles/tj_core.dir/streaming_track_join.cc.o.d"
+  "/root/repo/src/core/track_join.cc" "src/core/CMakeFiles/tj_core.dir/track_join.cc.o" "gcc" "src/core/CMakeFiles/tj_core.dir/track_join.cc.o.d"
+  "/root/repo/src/core/tracker.cc" "src/core/CMakeFiles/tj_core.dir/tracker.cc.o" "gcc" "src/core/CMakeFiles/tj_core.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/tj_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tj_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tj_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

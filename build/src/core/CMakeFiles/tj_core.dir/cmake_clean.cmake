@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_core.dir/join_types.cc.o"
+  "CMakeFiles/tj_core.dir/join_types.cc.o.d"
+  "CMakeFiles/tj_core.dir/late_hash_join.cc.o"
+  "CMakeFiles/tj_core.dir/late_hash_join.cc.o.d"
+  "CMakeFiles/tj_core.dir/rid_hash_join.cc.o"
+  "CMakeFiles/tj_core.dir/rid_hash_join.cc.o.d"
+  "CMakeFiles/tj_core.dir/schedule.cc.o"
+  "CMakeFiles/tj_core.dir/schedule.cc.o.d"
+  "CMakeFiles/tj_core.dir/streaming_track_join.cc.o"
+  "CMakeFiles/tj_core.dir/streaming_track_join.cc.o.d"
+  "CMakeFiles/tj_core.dir/track_join.cc.o"
+  "CMakeFiles/tj_core.dir/track_join.cc.o.d"
+  "CMakeFiles/tj_core.dir/tracker.cc.o"
+  "CMakeFiles/tj_core.dir/tracker.cc.o.d"
+  "libtj_core.a"
+  "libtj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

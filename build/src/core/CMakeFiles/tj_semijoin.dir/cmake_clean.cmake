@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_semijoin.dir/semi_join.cc.o"
+  "CMakeFiles/tj_semijoin.dir/semi_join.cc.o.d"
+  "libtj_semijoin.a"
+  "libtj_semijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/class_estimator.cc" "src/costmodel/CMakeFiles/tj_costmodel.dir/class_estimator.cc.o" "gcc" "src/costmodel/CMakeFiles/tj_costmodel.dir/class_estimator.cc.o.d"
+  "/root/repo/src/costmodel/network_cost.cc" "src/costmodel/CMakeFiles/tj_costmodel.dir/network_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/tj_costmodel.dir/network_cost.cc.o.d"
+  "/root/repo/src/costmodel/optimizer.cc" "src/costmodel/CMakeFiles/tj_costmodel.dir/optimizer.cc.o" "gcc" "src/costmodel/CMakeFiles/tj_costmodel.dir/optimizer.cc.o.d"
+  "/root/repo/src/costmodel/pipeline.cc" "src/costmodel/CMakeFiles/tj_costmodel.dir/pipeline.cc.o" "gcc" "src/costmodel/CMakeFiles/tj_costmodel.dir/pipeline.cc.o.d"
+  "/root/repo/src/costmodel/reprice.cc" "src/costmodel/CMakeFiles/tj_costmodel.dir/reprice.cc.o" "gcc" "src/costmodel/CMakeFiles/tj_costmodel.dir/reprice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tj_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tj_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/tj_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

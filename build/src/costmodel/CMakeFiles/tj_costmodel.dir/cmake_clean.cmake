@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_costmodel.dir/class_estimator.cc.o"
+  "CMakeFiles/tj_costmodel.dir/class_estimator.cc.o.d"
+  "CMakeFiles/tj_costmodel.dir/network_cost.cc.o"
+  "CMakeFiles/tj_costmodel.dir/network_cost.cc.o.d"
+  "CMakeFiles/tj_costmodel.dir/optimizer.cc.o"
+  "CMakeFiles/tj_costmodel.dir/optimizer.cc.o.d"
+  "CMakeFiles/tj_costmodel.dir/pipeline.cc.o"
+  "CMakeFiles/tj_costmodel.dir/pipeline.cc.o.d"
+  "CMakeFiles/tj_costmodel.dir/reprice.cc.o"
+  "CMakeFiles/tj_costmodel.dir/reprice.cc.o.d"
+  "libtj_costmodel.a"
+  "libtj_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/delta.cc" "src/encoding/CMakeFiles/tj_encoding.dir/delta.cc.o" "gcc" "src/encoding/CMakeFiles/tj_encoding.dir/delta.cc.o.d"
+  "/root/repo/src/encoding/dictionary.cc" "src/encoding/CMakeFiles/tj_encoding.dir/dictionary.cc.o" "gcc" "src/encoding/CMakeFiles/tj_encoding.dir/dictionary.cc.o.d"
+  "/root/repo/src/encoding/encoding.cc" "src/encoding/CMakeFiles/tj_encoding.dir/encoding.cc.o" "gcc" "src/encoding/CMakeFiles/tj_encoding.dir/encoding.cc.o.d"
+  "/root/repo/src/encoding/node_group.cc" "src/encoding/CMakeFiles/tj_encoding.dir/node_group.cc.o" "gcc" "src/encoding/CMakeFiles/tj_encoding.dir/node_group.cc.o.d"
+  "/root/repo/src/encoding/prefix_group.cc" "src/encoding/CMakeFiles/tj_encoding.dir/prefix_group.cc.o" "gcc" "src/encoding/CMakeFiles/tj_encoding.dir/prefix_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_encoding.dir/delta.cc.o"
+  "CMakeFiles/tj_encoding.dir/delta.cc.o.d"
+  "CMakeFiles/tj_encoding.dir/dictionary.cc.o"
+  "CMakeFiles/tj_encoding.dir/dictionary.cc.o.d"
+  "CMakeFiles/tj_encoding.dir/encoding.cc.o"
+  "CMakeFiles/tj_encoding.dir/encoding.cc.o.d"
+  "CMakeFiles/tj_encoding.dir/node_group.cc.o"
+  "CMakeFiles/tj_encoding.dir/node_group.cc.o.d"
+  "CMakeFiles/tj_encoding.dir/prefix_group.cc.o"
+  "CMakeFiles/tj_encoding.dir/prefix_group.cc.o.d"
+  "libtj_encoding.a"
+  "libtj_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/key_aggregate.cc" "src/exec/CMakeFiles/tj_exec.dir/key_aggregate.cc.o" "gcc" "src/exec/CMakeFiles/tj_exec.dir/key_aggregate.cc.o.d"
+  "/root/repo/src/exec/local_join.cc" "src/exec/CMakeFiles/tj_exec.dir/local_join.cc.o" "gcc" "src/exec/CMakeFiles/tj_exec.dir/local_join.cc.o.d"
+  "/root/repo/src/exec/partition.cc" "src/exec/CMakeFiles/tj_exec.dir/partition.cc.o" "gcc" "src/exec/CMakeFiles/tj_exec.dir/partition.cc.o.d"
+  "/root/repo/src/exec/radix_sort.cc" "src/exec/CMakeFiles/tj_exec.dir/radix_sort.cc.o" "gcc" "src/exec/CMakeFiles/tj_exec.dir/radix_sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/tj_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

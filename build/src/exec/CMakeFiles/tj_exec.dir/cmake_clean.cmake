@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_exec.dir/key_aggregate.cc.o"
+  "CMakeFiles/tj_exec.dir/key_aggregate.cc.o.d"
+  "CMakeFiles/tj_exec.dir/local_join.cc.o"
+  "CMakeFiles/tj_exec.dir/local_join.cc.o.d"
+  "CMakeFiles/tj_exec.dir/partition.cc.o"
+  "CMakeFiles/tj_exec.dir/partition.cc.o.d"
+  "CMakeFiles/tj_exec.dir/radix_sort.cc.o"
+  "CMakeFiles/tj_exec.dir/radix_sort.cc.o.d"
+  "libtj_exec.a"
+  "libtj_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

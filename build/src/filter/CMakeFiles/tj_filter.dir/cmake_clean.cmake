@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_filter.dir/bloom.cc.o"
+  "CMakeFiles/tj_filter.dir/bloom.cc.o.d"
+  "libtj_filter.a"
+  "libtj_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

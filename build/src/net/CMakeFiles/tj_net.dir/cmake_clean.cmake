@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_net.dir/fabric.cc.o"
+  "CMakeFiles/tj_net.dir/fabric.cc.o.d"
+  "CMakeFiles/tj_net.dir/message.cc.o"
+  "CMakeFiles/tj_net.dir/message.cc.o.d"
+  "CMakeFiles/tj_net.dir/traffic.cc.o"
+  "CMakeFiles/tj_net.dir/traffic.cc.o.d"
+  "libtj_net.a"
+  "libtj_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_ops.dir/aggregate.cc.o"
+  "CMakeFiles/tj_ops.dir/aggregate.cc.o.d"
+  "libtj_ops.a"
+  "libtj_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_storage.dir/schema.cc.o"
+  "CMakeFiles/tj_storage.dir/schema.cc.o.d"
+  "CMakeFiles/tj_storage.dir/table.cc.o"
+  "CMakeFiles/tj_storage.dir/table.cc.o.d"
+  "CMakeFiles/tj_storage.dir/tuple_block.cc.o"
+  "CMakeFiles/tj_storage.dir/tuple_block.cc.o.d"
+  "libtj_storage.a"
+  "libtj_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

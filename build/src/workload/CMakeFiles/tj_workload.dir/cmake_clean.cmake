@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tj_workload.dir/generator.cc.o"
+  "CMakeFiles/tj_workload.dir/generator.cc.o.d"
+  "CMakeFiles/tj_workload.dir/real.cc.o"
+  "CMakeFiles/tj_workload.dir/real.cc.o.d"
+  "libtj_workload.a"
+  "libtj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tj_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_util_test.dir/common/bit_util_test.cc.o"
+  "CMakeFiles/bit_util_test.dir/common/bit_util_test.cc.o.d"
+  "bit_util_test"
+  "bit_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_estimator_test.dir/costmodel/class_estimator_test.cc.o"
+  "CMakeFiles/class_estimator_test.dir/costmodel/class_estimator_test.cc.o.d"
+  "class_estimator_test"
+  "class_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

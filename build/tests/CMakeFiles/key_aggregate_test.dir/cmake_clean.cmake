@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_aggregate_test.dir/exec/key_aggregate_test.cc.o"
+  "CMakeFiles/key_aggregate_test.dir/exec/key_aggregate_test.cc.o.d"
+  "key_aggregate_test"
+  "key_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/late_hash_join_test.dir/core/late_hash_join_test.cc.o"
+  "CMakeFiles/late_hash_join_test.dir/core/late_hash_join_test.cc.o.d"
+  "late_hash_join_test"
+  "late_hash_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/late_hash_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

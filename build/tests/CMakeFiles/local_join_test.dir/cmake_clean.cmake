@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_join_test.dir/exec/local_join_test.cc.o"
+  "CMakeFiles/local_join_test.dir/exec/local_join_test.cc.o.d"
+  "local_join_test"
+  "local_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

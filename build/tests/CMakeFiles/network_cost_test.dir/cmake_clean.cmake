@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_cost_test.dir/costmodel/network_cost_test.cc.o"
+  "CMakeFiles/network_cost_test.dir/costmodel/network_cost_test.cc.o.d"
+  "network_cost_test"
+  "network_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

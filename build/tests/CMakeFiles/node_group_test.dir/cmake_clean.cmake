@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_group_test.dir/encoding/node_group_test.cc.o"
+  "CMakeFiles/node_group_test.dir/encoding/node_group_test.cc.o.d"
+  "node_group_test"
+  "node_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_fabric_test.dir/integration/parallel_fabric_test.cc.o"
+  "CMakeFiles/parallel_fabric_test.dir/integration/parallel_fabric_test.cc.o.d"
+  "parallel_fabric_test"
+  "parallel_fabric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

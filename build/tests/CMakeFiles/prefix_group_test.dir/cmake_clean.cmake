@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_group_test.dir/encoding/prefix_group_test.cc.o"
+  "CMakeFiles/prefix_group_test.dir/encoding/prefix_group_test.cc.o.d"
+  "prefix_group_test"
+  "prefix_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

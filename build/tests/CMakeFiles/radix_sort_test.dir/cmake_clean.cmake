@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_sort_test.dir/exec/radix_sort_test.cc.o"
+  "CMakeFiles/radix_sort_test.dir/exec/radix_sort_test.cc.o.d"
+  "radix_sort_test"
+  "radix_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_test.dir/workload/real_test.cc.o"
+  "CMakeFiles/real_test.dir/workload/real_test.cc.o.d"
+  "real_test"
+  "real_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reprice_test.dir/costmodel/reprice_test.cc.o"
+  "CMakeFiles/reprice_test.dir/costmodel/reprice_test.cc.o.d"
+  "reprice_test"
+  "reprice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reprice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_hash_join_test.dir/core/rid_hash_join_test.cc.o"
+  "CMakeFiles/rid_hash_join_test.dir/core/rid_hash_join_test.cc.o.d"
+  "rid_hash_join_test"
+  "rid_hash_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_hash_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_optimality_test.dir/core/schedule_optimality_test.cc.o"
+  "CMakeFiles/schedule_optimality_test.dir/core/schedule_optimality_test.cc.o.d"
+  "schedule_optimality_test"
+  "schedule_optimality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_optimality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

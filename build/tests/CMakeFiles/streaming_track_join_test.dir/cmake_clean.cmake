@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_track_join_test.dir/core/streaming_track_join_test.cc.o"
+  "CMakeFiles/streaming_track_join_test.dir/core/streaming_track_join_test.cc.o.d"
+  "streaming_track_join_test"
+  "streaming_track_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_track_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_join_test.dir/core/track_join_test.cc.o"
+  "CMakeFiles/track_join_test.dir/core/track_join_test.cc.o.d"
+  "track_join_test"
+  "track_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

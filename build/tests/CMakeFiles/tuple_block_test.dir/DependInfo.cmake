@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/tuple_block_test.cc" "tests/CMakeFiles/tuple_block_test.dir/storage/tuple_block_test.cc.o" "gcc" "tests/CMakeFiles/tuple_block_test.dir/storage/tuple_block_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/tj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/tj_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
