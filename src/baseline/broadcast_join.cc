@@ -12,6 +12,15 @@ namespace tj {
 JoinResult RunBroadcastJoin(const PartitionedTable& r,
                             const PartitionedTable& s,
                             const JoinConfig& config, Direction direction) {
+  Result<JoinResult> result = TryRunBroadcastJoin(r, s, config, direction);
+  TJ_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Result<JoinResult> TryRunBroadcastJoin(const PartitionedTable& r,
+                                       const PartitionedTable& s,
+                                       const JoinConfig& config,
+                                       Direction direction) {
   TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
   const uint32_t n = r.num_nodes();
   const bool broadcast_r = direction == Direction::kRtoS;
@@ -22,52 +31,65 @@ JoinResult RunBroadcastJoin(const PartitionedTable& r,
 
   Fabric fabric(n);
   fabric.SetThreadPool(config.thread_pool);
+  if (config.fault_policy != nullptr) {
+    fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
+  }
   std::vector<TupleBlock> moving_in(n, TupleBlock(moving.payload_width()));
   std::vector<TupleBlock> fixed_local(n, TupleBlock(fixed.payload_width()));
   std::vector<JoinChecksum> checksums(n);
   std::vector<uint64_t> outputs(n, 0);
 
-  fabric.RunPhase("broadcast tuples", [&](uint32_t node) {
-    const TupleBlock& block = moving.node(node);
-    if (block.empty()) return;
-    ByteBuffer buf;
-    block.SerializeRows(0, block.size(), config.key_bytes, &buf);
-    for (uint32_t dst = 0; dst < n; ++dst) {
-      // Self-delivery is a free local copy; remote copies are network.
-      ByteBuffer copy = (dst + 1 == n) ? std::move(buf) : buf;
-      fabric.Send(node, dst, data_type, std::move(copy));
-    }
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "broadcast tuples", [&](uint32_t node) {
+        const TupleBlock& block = moving.node(node);
+        if (block.empty()) return Status::OK();
+        ByteBuffer buf;
+        block.SerializeRows(0, block.size(), config.key_bytes, &buf);
+        for (uint32_t dst = 0; dst < n; ++dst) {
+          // Self-delivery is a free local copy; remote copies are network.
+          ByteBuffer copy = (dst + 1 == n) ? std::move(buf) : buf;
+          fabric.Send(node, dst, data_type, std::move(copy));
+        }
+        return Status::OK();
+      }));
 
-  fabric.RunPhase("sort tuples", [&](uint32_t node) {
-    for (const auto& msg : fabric.TakeInbox(node, data_type)) {
-      ByteReader reader(msg.data);
-      moving_in[node].DeserializeRows(&reader, config.key_bytes);
-    }
-    SortBlockByKey(&moving_in[node]);
-    fixed_local[node] = fixed.node(node);
-    SortBlockByKey(&fixed_local[node]);
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "sort tuples", [&](uint32_t node) -> Status {
+        for (const auto& msg : fabric.TakeInbox(node, data_type)) {
+          ByteReader reader(msg.data);
+          TJ_RETURN_IF_ERROR(
+              moving_in[node].TryDeserializeRows(&reader, config.key_bytes));
+        }
+        SortBlockByKey(&moving_in[node]);
+        fixed_local[node] = fixed.node(node);
+        SortBlockByKey(&fixed_local[node]);
+        return Status::OK();
+      }));
 
   const uint32_t out_width = r.payload_width() + s.payload_width();
   std::vector<TupleBlock> out_blocks;
   if (config.materialize) out_blocks.assign(n, TupleBlock(out_width));
-  fabric.RunPhase("final merge-join", [&](uint32_t node) {
-    JoinSink sink =
-        config.materialize
-            ? MaterializeSink(&out_blocks[node], &checksums[node],
-                              r.payload_width(), s.payload_width())
-            : ChecksumSink(&checksums[node], r.payload_width(),
-                           s.payload_width());
-    // The sink expects (key, payloadR, payloadS): keep R first.
-    const TupleBlock& r_side = broadcast_r ? moving_in[node] : fixed_local[node];
-    const TupleBlock& s_side = broadcast_r ? fixed_local[node] : moving_in[node];
-    outputs[node] = MergeJoinSorted(r_side, s_side, sink);
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "final merge-join", [&](uint32_t node) {
+        JoinSink sink =
+            config.materialize
+                ? MaterializeSink(&out_blocks[node], &checksums[node],
+                                  r.payload_width(), s.payload_width())
+                : ChecksumSink(&checksums[node], r.payload_width(),
+                               s.payload_width());
+        // The sink expects (key, payloadR, payloadS): keep R first.
+        const TupleBlock& r_side =
+            broadcast_r ? moving_in[node] : fixed_local[node];
+        const TupleBlock& s_side =
+            broadcast_r ? fixed_local[node] : moving_in[node];
+        outputs[node] = MergeJoinSorted(r_side, s_side, sink);
+        return Status::OK();
+      }));
 
   JoinResult result;
   result.traffic = fabric.traffic();
   result.phase_seconds = fabric.phase_seconds();
+  result.reliability = fabric.reliability();
   for (uint32_t node = 0; node < n; ++node) {
     result.output_rows += outputs[node];
     result.checksum.Merge(checksums[node]);

@@ -13,6 +13,16 @@ namespace tj {
 
 /// Runs the broadcast join; `direction` selects the replicated table
 /// (kRtoS broadcasts R, kStoR broadcasts S). Inputs are not modified.
+///
+/// Fails with Status::DataLoss / Status::Corruption (never aborts, never a
+/// partial result) on unrecoverable faults under an active
+/// config.fault_policy — see core/track_join.h.
+Result<JoinResult> TryRunBroadcastJoin(const PartitionedTable& r,
+                                       const PartitionedTable& s,
+                                       const JoinConfig& config,
+                                       Direction direction);
+
+/// Infallible wrapper: aborts if the run fails.
 JoinResult RunBroadcastJoin(const PartitionedTable& r,
                             const PartitionedTable& s,
                             const JoinConfig& config, Direction direction);

@@ -12,67 +12,91 @@ namespace tj {
 
 JoinResult RunHashJoin(const PartitionedTable& r, const PartitionedTable& s,
                        const JoinConfig& config) {
+  Result<JoinResult> result = TryRunHashJoin(r, s, config);
+  TJ_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Result<JoinResult> TryRunHashJoin(const PartitionedTable& r,
+                                  const PartitionedTable& s,
+                                  const JoinConfig& config) {
   TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
   const uint32_t n = r.num_nodes();
 
   Fabric fabric(n);
   fabric.SetThreadPool(config.thread_pool);
+  if (config.fault_policy != nullptr) {
+    fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
+  }
   std::vector<TupleBlock> r_in(n, TupleBlock(r.payload_width()));
   std::vector<TupleBlock> s_in(n, TupleBlock(s.payload_width()));
   std::vector<JoinChecksum> checksums(n);
   std::vector<uint64_t> outputs(n, 0);
 
   // Partition + transfer, one table at a time (paper Table 3 rows 1-4).
-  fabric.RunPhase("hash partition & transfer R tuples", [&](uint32_t node) {
-    auto parts = HashPartitionIndexes(r.node(node), n);
-    for (uint32_t dst = 0; dst < n; ++dst) {
-      if (parts[dst].empty()) continue;
-      ByteBuffer buf;
-      r.node(node).SerializeRowsIndexed(parts[dst], config.key_bytes, &buf);
-      fabric.Send(node, dst, MessageType::kDataR, std::move(buf));
-    }
-  });
-  fabric.RunPhase("hash partition & transfer S tuples", [&](uint32_t node) {
-    auto parts = HashPartitionIndexes(s.node(node), n);
-    for (uint32_t dst = 0; dst < n; ++dst) {
-      if (parts[dst].empty()) continue;
-      ByteBuffer buf;
-      s.node(node).SerializeRowsIndexed(parts[dst], config.key_bytes, &buf);
-      fabric.Send(node, dst, MessageType::kDataS, std::move(buf));
-    }
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "hash partition & transfer R tuples", [&](uint32_t node) {
+        auto parts = HashPartitionIndexes(r.node(node), n);
+        for (uint32_t dst = 0; dst < n; ++dst) {
+          if (parts[dst].empty()) continue;
+          ByteBuffer buf;
+          r.node(node).SerializeRowsIndexed(parts[dst], config.key_bytes, &buf);
+          fabric.Send(node, dst, MessageType::kDataR, std::move(buf));
+        }
+        return Status::OK();
+      }));
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "hash partition & transfer S tuples", [&](uint32_t node) {
+        auto parts = HashPartitionIndexes(s.node(node), n);
+        for (uint32_t dst = 0; dst < n; ++dst) {
+          if (parts[dst].empty()) continue;
+          ByteBuffer buf;
+          s.node(node).SerializeRowsIndexed(parts[dst], config.key_bytes, &buf);
+          fabric.Send(node, dst, MessageType::kDataS, std::move(buf));
+        }
+        return Status::OK();
+      }));
 
-  fabric.RunPhase("sort received R tuples", [&](uint32_t node) {
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataR)) {
-      ByteReader reader(msg.data);
-      r_in[node].DeserializeRows(&reader, config.key_bytes);
-    }
-    SortBlockByKey(&r_in[node]);
-  });
-  fabric.RunPhase("sort received S tuples", [&](uint32_t node) {
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataS)) {
-      ByteReader reader(msg.data);
-      s_in[node].DeserializeRows(&reader, config.key_bytes);
-    }
-    SortBlockByKey(&s_in[node]);
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "sort received R tuples", [&](uint32_t node) -> Status {
+        for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataR)) {
+          ByteReader reader(msg.data);
+          TJ_RETURN_IF_ERROR(
+              r_in[node].TryDeserializeRows(&reader, config.key_bytes));
+        }
+        SortBlockByKey(&r_in[node]);
+        return Status::OK();
+      }));
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "sort received S tuples", [&](uint32_t node) -> Status {
+        for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataS)) {
+          ByteReader reader(msg.data);
+          TJ_RETURN_IF_ERROR(
+              s_in[node].TryDeserializeRows(&reader, config.key_bytes));
+        }
+        SortBlockByKey(&s_in[node]);
+        return Status::OK();
+      }));
 
   const uint32_t out_width = r.payload_width() + s.payload_width();
   std::vector<TupleBlock> out_blocks;
   if (config.materialize) out_blocks.assign(n, TupleBlock(out_width));
-  fabric.RunPhase("final merge-join", [&](uint32_t node) {
-    JoinSink sink =
-        config.materialize
-            ? MaterializeSink(&out_blocks[node], &checksums[node],
-                              r.payload_width(), s.payload_width())
-            : ChecksumSink(&checksums[node], r.payload_width(),
-                           s.payload_width());
-    outputs[node] = MergeJoinSorted(r_in[node], s_in[node], sink);
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "final merge-join", [&](uint32_t node) {
+        JoinSink sink =
+            config.materialize
+                ? MaterializeSink(&out_blocks[node], &checksums[node],
+                                  r.payload_width(), s.payload_width())
+                : ChecksumSink(&checksums[node], r.payload_width(),
+                               s.payload_width());
+        outputs[node] = MergeJoinSorted(r_in[node], s_in[node], sink);
+        return Status::OK();
+      }));
 
   JoinResult result;
   result.traffic = fabric.traffic();
   result.phase_seconds = fabric.phase_seconds();
+  result.reliability = fabric.reliability();
   for (uint32_t node = 0; node < n; ++node) {
     result.output_rows += outputs[node];
     result.checksum.Merge(checksums[node]);

@@ -14,6 +14,15 @@
 namespace tj {
 
 /// Runs the distributed hash join. Inputs are not modified.
+///
+/// Fails with Status::DataLoss / Status::Corruption (never aborts, never a
+/// partial result) on unrecoverable faults under an active
+/// config.fault_policy — see core/track_join.h.
+Result<JoinResult> TryRunHashJoin(const PartitionedTable& r,
+                                  const PartitionedTable& s,
+                                  const JoinConfig& config);
+
+/// Infallible wrapper: aborts if the run fails.
 JoinResult RunHashJoin(const PartitionedTable& r, const PartitionedTable& s,
                        const JoinConfig& config);
 

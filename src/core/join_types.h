@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/fault_injector.h"
 #include "net/traffic.h"
 #include "storage/table.h"
 
@@ -56,6 +57,13 @@ struct JoinConfig {
   /// are identical to sequential execution). Not owned.
   class ThreadPool* thread_pool = nullptr;
 
+  /// If non-null and active(), the run's fabric injects these faults
+  /// (seeded with fault_seed) and recovers via the framed nack/retransmit
+  /// protocol; unrecoverable loss fails the query with Status::DataLoss.
+  /// Null or inactive keeps the byte-identical pristine path. Not owned.
+  const FaultPolicy* fault_policy = nullptr;
+  uint64_t fault_seed = 0;
+
   /// Location-message size M in bytes, as used by the per-key scheduler.
   uint64_t MsgBytes() const { return key_bytes + node_bytes; }
 };
@@ -72,6 +80,9 @@ struct JoinResult {
   /// <key | payloadR | payloadS> row per joined pair, partitioned across
   /// the nodes where the pairs were produced.
   std::optional<PartitionedTable> output;
+  /// Injected-fault and recovery-protocol counters for the run (all-zero
+  /// without an active fault policy).
+  ReliabilityStats reliability;
 
   /// Sum of all phase wall times.
   double TotalCpuSeconds() const {

@@ -19,6 +19,16 @@ namespace tj {
 
 /// Runs the late-materialized hash join. `rid_bytes` is the width of rid
 /// fetch requests (default 4).
+///
+/// Fails with Status::DataLoss / Status::Corruption (never aborts, never a
+/// partial result) on unrecoverable faults under an active
+/// config.fault_policy — see core/track_join.h.
+Result<JoinResult> TryRunLateMaterializedHashJoin(const PartitionedTable& r,
+                                                  const PartitionedTable& s,
+                                                  const JoinConfig& config,
+                                                  uint32_t rid_bytes = 4);
+
+/// Infallible wrapper: aborts if the run fails.
 JoinResult RunLateMaterializedHashJoin(const PartitionedTable& r,
                                        const PartitionedTable& s,
                                        const JoinConfig& config,

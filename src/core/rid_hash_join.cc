@@ -26,6 +26,15 @@ struct KeyRef {
 
 JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
                           const JoinConfig& config, uint32_t rid_bytes) {
+  Result<JoinResult> result = TryRunRidHashJoin(r, s, config, rid_bytes);
+  TJ_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Result<JoinResult> TryRunRidHashJoin(const PartitionedTable& r,
+                                     const PartitionedTable& s,
+                                     const JoinConfig& config,
+                                     uint32_t rid_bytes) {
   TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
   const uint32_t n = r.num_nodes();
   // The join result migrates to the wider side; the narrower side travels.
@@ -45,6 +54,9 @@ JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
 
   Fabric fabric(n);
   fabric.SetThreadPool(config.thread_pool);
+  if (config.fault_policy != nullptr) {
+    fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
+  }
   // Per (source node, hash node): the local rows whose keys were sent, in
   // stream order — the receiver refers to them by position (implicit rids).
   std::vector<std::vector<std::vector<uint32_t>>> exec_streams(n),
@@ -55,7 +67,8 @@ JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
   std::vector<uint64_t> outputs(n, 0);
 
   // Phase 1: ship both key columns, in row order, to the hash nodes.
-  fabric.RunPhase("transfer key columns", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "transfer key columns", [&](uint32_t node) {
     auto send_keys = [&](const TupleBlock& block, MessageType type,
                          std::vector<std::vector<uint32_t>>* streams) {
       *streams = HashPartitionIndexes(block, n);
@@ -70,29 +83,36 @@ JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
     };
     send_keys(exec_table.node(node), exec_track, &exec_streams[node]);
     send_keys(moving_table.node(node), moving_track, &moving_streams[node]);
-  });
+    return Status::OK();
+  }));
 
   // Phase 2: join the key columns; send rids home.
-  fabric.RunPhase("join keys & return rids", [&](uint32_t node) {
-    auto collect = [&](MessageType type) {
-      std::vector<KeyRef> refs;
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "join keys & return rids", [&](uint32_t node) -> Status {
+    auto collect = [&](MessageType type,
+                       std::vector<KeyRef>* refs) -> Status {
       for (const auto& msg : fabric.TakeInbox(node, type)) {
         ByteReader reader(msg.data);
+        if (reader.remaining() % config.key_bytes != 0) {
+          return Status::Corruption("key stream not a multiple of key size");
+        }
         uint32_t pos = 0;
         while (!reader.Done()) {
-          refs.push_back(
+          refs->push_back(
               KeyRef{reader.GetUint(config.key_bytes), msg.src, pos++});
         }
       }
-      std::sort(refs.begin(), refs.end(), [](const KeyRef& a, const KeyRef& b) {
-        if (a.key != b.key) return a.key < b.key;
-        if (a.node != b.node) return a.node < b.node;
-        return a.stream_pos < b.stream_pos;
-      });
-      return refs;
+      std::sort(refs->begin(), refs->end(),
+                [](const KeyRef& a, const KeyRef& b) {
+                  if (a.key != b.key) return a.key < b.key;
+                  if (a.node != b.node) return a.node < b.node;
+                  return a.stream_pos < b.stream_pos;
+                });
+      return Status::OK();
     };
-    std::vector<KeyRef> exec_refs = collect(exec_track);
-    std::vector<KeyRef> moving_refs = collect(moving_track);
+    std::vector<KeyRef> exec_refs, moving_refs;
+    TJ_RETURN_IF_ERROR(collect(exec_track, &exec_refs));
+    TJ_RETURN_IF_ERROR(collect(moving_track, &moving_refs));
 
     // Per destination: rid lists for the exec side, (rid, exec node) pairs
     // for the moving side.
@@ -146,27 +166,42 @@ JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
         fabric.Send(node, d, moving_rid_type, std::move(moving_out[d]));
       }
     }
-  });
+    return Status::OK();
+  }));
 
   // Phase 3: resolve rids; ship narrow tuples to the exec nodes.
-  fabric.RunPhase("fetch & forward tuples", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "fetch & forward tuples", [&](uint32_t node) -> Status {
     for (const auto& msg : fabric.TakeInbox(node, exec_rid_type)) {
       ByteReader reader(msg.data);
+      if (reader.remaining() % rid_bytes != 0) {
+        return Status::Corruption("rid stream not a multiple of rid size");
+      }
       const auto& stream = exec_streams[node][msg.src];
       while (!reader.Done()) {
         uint32_t pos = static_cast<uint32_t>(reader.GetUint(rid_bytes));
-        TJ_CHECK_LT(pos, stream.size());
+        if (pos >= stream.size()) {
+          return Status::Corruption("rid past the end of the sent key stream");
+        }
         exec_selected[node].push_back(stream[pos]);
       }
     }
     std::vector<std::vector<uint32_t>> rows_per_dest(n);
     for (const auto& msg : fabric.TakeInbox(node, moving_rid_type)) {
       ByteReader reader(msg.data);
+      if (reader.remaining() % (rid_bytes + config.node_bytes) != 0) {
+        return Status::Corruption("rid stream not a multiple of entry size");
+      }
       const auto& stream = moving_streams[node][msg.src];
       while (!reader.Done()) {
         uint32_t pos = static_cast<uint32_t>(reader.GetUint(rid_bytes));
         uint32_t dest = static_cast<uint32_t>(reader.GetUint(config.node_bytes));
-        TJ_CHECK_LT(pos, stream.size());
+        if (pos >= stream.size()) {
+          return Status::Corruption("rid past the end of the sent key stream");
+        }
+        if (dest >= n) {
+          return Status::Corruption("rid entry names a node out of range");
+        }
         rows_per_dest[dest].push_back(stream[pos]);
       }
     }
@@ -177,14 +212,16 @@ JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
       block.SerializeRowsIndexed(rows_per_dest[dst], config.key_bytes, &buf);
       fabric.Send(node, dst, moving_data_type, std::move(buf));
     }
-  });
+    return Status::OK();
+  }));
 
   const uint32_t out_width = r.payload_width() + s.payload_width();
   std::vector<TupleBlock> out_blocks;
   if (config.materialize) out_blocks.assign(n, TupleBlock(out_width));
 
   // Phase 4: re-join by key at the exec nodes.
-  fabric.RunPhase("final rejoin", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "final rejoin", [&](uint32_t node) -> Status {
     TupleBlock selected(exec_table.payload_width());
     std::sort(exec_selected[node].begin(), exec_selected[node].end());
     for (uint32_t row : exec_selected[node]) {
@@ -193,7 +230,8 @@ JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
     SortBlockByKey(&selected);
     for (const auto& msg : fabric.TakeInbox(node, moving_data_type)) {
       ByteReader reader(msg.data);
-      moving_in[node].DeserializeRows(&reader, config.key_bytes);
+      TJ_RETURN_IF_ERROR(
+          moving_in[node].TryDeserializeRows(&reader, config.key_bytes));
     }
     SortBlockByKey(&moving_in[node]);
     // Keep (key, payloadR, payloadS) orientation for the checksum.
@@ -206,11 +244,13 @@ JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
             : ChecksumSink(&checksums[node], r.payload_width(),
                            s.payload_width());
     outputs[node] = MergeJoinSorted(r_side, s_side, sink);
-  });
+    return Status::OK();
+  }));
 
   JoinResult result;
   result.traffic = fabric.traffic();
   result.phase_seconds = fabric.phase_seconds();
+  result.reliability = fabric.reliability();
   for (uint32_t node = 0; node < n; ++node) {
     result.output_rows += outputs[node];
     result.checksum.Merge(checksums[node]);

@@ -24,6 +24,16 @@ namespace tj {
 /// Runs the rid-based tracking-aware hash join. Local rids are
 /// `rid_bytes`-wide in rid messages (default 4: "globally unique rids must
 /// be at least 4 bytes", used here as local id + the implicit stream id).
+///
+/// Fails with Status::DataLoss / Status::Corruption (never aborts, never a
+/// partial result) on unrecoverable faults under an active
+/// config.fault_policy — see core/track_join.h.
+Result<JoinResult> TryRunRidHashJoin(const PartitionedTable& r,
+                                     const PartitionedTable& s,
+                                     const JoinConfig& config,
+                                     uint32_t rid_bytes = 4);
+
+/// Infallible wrapper: aborts if the run fails.
 JoinResult RunRidHashJoin(const PartitionedTable& r, const PartitionedTable& s,
                           const JoinConfig& config, uint32_t rid_bytes = 4);
 

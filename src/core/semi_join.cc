@@ -102,14 +102,40 @@ FilteredInputs ExchangeFiltersAndPrune(const PartitionedTable& r,
   return out;
 }
 
+Result<JoinResult> TryRunFilteredHashJoin(const PartitionedTable& r,
+                                          const PartitionedTable& s,
+                                          const JoinConfig& config,
+                                          const SemiJoinConfig& semi) {
+  FilteredInputs pre = ExchangeFiltersAndPrune(r, s, semi);
+  Result<JoinResult> run = TryRunHashJoin(pre.r, pre.s, config);
+  TJ_RETURN_IF_ERROR(run.status());
+  JoinResult result = std::move(run).value();
+  MergeResult(pre, &result);
+  return result;
+}
+
+Result<JoinResult> TryRunFilteredTrackJoin(const PartitionedTable& r,
+                                           const PartitionedTable& s,
+                                           const JoinConfig& config,
+                                           const SemiJoinConfig& semi,
+                                           TrackJoinVersion version,
+                                           Direction direction) {
+  FilteredInputs pre = ExchangeFiltersAndPrune(r, s, semi);
+  Result<JoinResult> run = TryRunTrackJoin(pre.r, pre.s, config, version,
+                                           direction);
+  TJ_RETURN_IF_ERROR(run.status());
+  JoinResult result = std::move(run).value();
+  MergeResult(pre, &result);
+  return result;
+}
+
 JoinResult RunFilteredHashJoin(const PartitionedTable& r,
                                const PartitionedTable& s,
                                const JoinConfig& config,
                                const SemiJoinConfig& semi) {
-  FilteredInputs pre = ExchangeFiltersAndPrune(r, s, semi);
-  JoinResult result = RunHashJoin(pre.r, pre.s, config);
-  MergeResult(pre, &result);
-  return result;
+  Result<JoinResult> result = TryRunFilteredHashJoin(r, s, config, semi);
+  TJ_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 JoinResult RunFilteredTrackJoin(const PartitionedTable& r,
@@ -117,10 +143,10 @@ JoinResult RunFilteredTrackJoin(const PartitionedTable& r,
                                 const JoinConfig& config,
                                 const SemiJoinConfig& semi,
                                 TrackJoinVersion version, Direction direction) {
-  FilteredInputs pre = ExchangeFiltersAndPrune(r, s, semi);
-  JoinResult result = RunTrackJoin(pre.r, pre.s, config, version, direction);
-  MergeResult(pre, &result);
-  return result;
+  Result<JoinResult> result =
+      TryRunFilteredTrackJoin(r, s, config, semi, version, direction);
+  TJ_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 }  // namespace tj

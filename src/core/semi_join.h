@@ -39,13 +39,30 @@ FilteredInputs ExchangeFiltersAndPrune(const PartitionedTable& r,
                                        const PartitionedTable& s,
                                        const SemiJoinConfig& semi);
 
-/// Grace hash join behind two-way Bloom filtering.
+/// Grace hash join behind two-way Bloom filtering. The filter broadcast is
+/// modeled-reliable (each node prunes with locally built filters; the sends
+/// exist for traffic accounting), so only the inner join is subject to an
+/// active config.fault_policy — see core/track_join.h for the error
+/// contract.
+Result<JoinResult> TryRunFilteredHashJoin(const PartitionedTable& r,
+                                          const PartitionedTable& s,
+                                          const JoinConfig& config,
+                                          const SemiJoinConfig& semi);
+
+/// Track join behind two-way Bloom filtering (any version).
+Result<JoinResult> TryRunFilteredTrackJoin(const PartitionedTable& r,
+                                           const PartitionedTable& s,
+                                           const JoinConfig& config,
+                                           const SemiJoinConfig& semi,
+                                           TrackJoinVersion version,
+                                           Direction direction =
+                                               Direction::kRtoS);
+
+/// Infallible wrappers: abort if the run fails.
 JoinResult RunFilteredHashJoin(const PartitionedTable& r,
                                const PartitionedTable& s,
                                const JoinConfig& config,
                                const SemiJoinConfig& semi);
-
-/// Track join behind two-way Bloom filtering (any version).
 JoinResult RunFilteredTrackJoin(const PartitionedTable& r,
                                 const PartitionedTable& s,
                                 const JoinConfig& config,

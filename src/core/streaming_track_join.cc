@@ -81,6 +81,17 @@ JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
                                   const PartitionedTable& s,
                                   const JoinConfig& config, Direction direction,
                                   uint64_t flush_bytes) {
+  Result<JoinResult> result =
+      TryRunStreamingTrackJoin2(r, s, config, direction, flush_bytes);
+  TJ_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
+                                             const PartitionedTable& s,
+                                             const JoinConfig& config,
+                                             Direction direction,
+                                             uint64_t flush_bytes) {
   TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
   TJ_CHECK(!config.delta_tracking && !config.group_locations)
       << "streaming driver uses the plain wire format";
@@ -100,6 +111,9 @@ JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
 
   Fabric fabric(n);
   fabric.SetThreadPool(config.thread_pool);
+  if (config.fault_policy != nullptr) {
+    fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
+  }
   std::vector<RowIndex> bcast_index(n), target_index(n);
   // Tracker state: per key, the nodes holding each side (paper's TR|S).
   std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>>
@@ -110,7 +124,8 @@ JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
 
   // Phase 1 (processR / processS first loop): stream the tables; each key
   // goes to its tracker the first time it is seen locally.
-  fabric.RunPhase("stream & track keys", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "stream & track keys", [&](uint32_t node) {
     auto track_side = [&](const TupleBlock& block, MessageType type,
                           RowIndex* index) {
       StreamWriter out(&fabric, node, type, flush_bytes);
@@ -127,21 +142,28 @@ JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
     };
     track_side(bcast.node(node), bcast_track, &bcast_index[node]);
     track_side(target.node(node), target_track, &target_index[node]);
-  });
+    return Status::OK();
+  }));
 
   // Phase 2 (processT): accumulate <key, node> facts, then stream the
   // target-side locations to every broadcast-side holder of the key.
-  fabric.RunPhase("accumulate & send locations", [&](uint32_t node) {
-    auto accumulate = [&](MessageType type, auto* table) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "accumulate & send locations", [&](uint32_t node) -> Status {
+    auto accumulate = [&](MessageType type, auto* table) -> Status {
       for (const auto& msg : fabric.TakeInbox(node, type)) {
         ByteReader reader(msg.data);
+        if (reader.remaining() % config.key_bytes != 0) {
+          return Status::Corruption(
+              "tracking stream not a multiple of key size");
+        }
         while (!reader.Done()) {
           (*table)[reader.GetUint(config.key_bytes)].push_back(msg.src);
         }
       }
+      return Status::OK();
     };
-    accumulate(bcast_track, &track_bcast[node]);
-    accumulate(target_track, &track_target[node]);
+    TJ_RETURN_IF_ERROR(accumulate(bcast_track, &track_bcast[node]));
+    TJ_RETURN_IF_ERROR(accumulate(target_track, &track_target[node]));
 
     StreamWriter out(&fabric, node, loc_type, flush_bytes);
     for (const auto& [key, bcast_nodes] : track_bcast[node]) {
@@ -153,36 +175,52 @@ JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
         }
       }
     }
-  });
+    return Status::OK();
+  }));
 
   // Phase 3 (second loop of processR): selectively broadcast local tuples
   // to the tracked locations, streaming as pairs arrive.
-  fabric.RunPhase("selective broadcast", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "selective broadcast", [&](uint32_t node) -> Status {
     StreamWriter out(&fabric, node, data_type, flush_bytes);
     const TupleBlock& block = bcast.node(node);
     for (const auto& msg : fabric.TakeInbox(node, loc_type)) {
       ByteReader reader(msg.data);
+      if (reader.remaining() % (config.key_bytes + config.node_bytes) != 0) {
+        return Status::Corruption(
+            "location stream not a multiple of pair size");
+      }
       while (!reader.Done()) {
         uint64_t key = reader.GetUint(config.key_bytes);
         uint32_t dst = static_cast<uint32_t>(reader.GetUint(config.node_bytes));
+        if (dst >= n) {
+          return Status::Corruption("location names a node out of range");
+        }
         auto it = bcast_index[node].find(key);
-        TJ_CHECK(it != bcast_index[node].end());
+        if (it == bcast_index[node].end()) {
+          // The tracker only learned this key from us; a location for a key
+          // we never held means the schedule stream is corrupt.
+          return Status::Corruption("location for a key this node never sent");
+        }
         for (uint32_t row : it->second) {
           out.PutBytes(dst, key, config.key_bytes, block.Payload(row),
                        block.payload_width());
         }
       }
     }
-  });
+    return Status::OK();
+  }));
 
   // Phase 4 (second loop of processS): hash-join arriving tuples against
   // the local index — "for all <k, payloadS pS> in TS do commit".
-  fabric.RunPhase("commit joins", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "commit joins", [&](uint32_t node) -> Status {
     const TupleBlock& local = target.node(node);
     for (const auto& msg : fabric.TakeInbox(node, data_type)) {
       ByteReader reader(msg.data);
       received[node].Clear();
-      received[node].DeserializeRows(&reader, config.key_bytes);
+      TJ_RETURN_IF_ERROR(
+          received[node].TryDeserializeRows(&reader, config.key_bytes));
       const TupleBlock& in = received[node];
       for (uint64_t row = 0; row < in.size(); ++row) {
         auto it = target_index[node].find(in.Key(row));
@@ -196,11 +234,13 @@ JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
         }
       }
     }
-  });
+    return Status::OK();
+  }));
 
   JoinResult result;
   result.traffic = fabric.traffic();
   result.phase_seconds = fabric.phase_seconds();
+  result.reliability = fabric.reliability();
   for (uint32_t node = 0; node < n; ++node) {
     result.output_rows += outputs[node];
     result.checksum.Merge(checksums[node]);

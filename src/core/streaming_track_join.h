@@ -25,6 +25,17 @@ namespace tj {
 /// implementations bound memory this way); 0 means one message per
 /// destination per phase. Requires the plain wire format
 /// (delta_tracking / group_locations off).
+///
+/// Fails with Status::DataLoss / Status::Corruption (never aborts, never a
+/// partial result) on unrecoverable faults under an active
+/// config.fault_policy — see core/track_join.h.
+Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
+                                             const PartitionedTable& s,
+                                             const JoinConfig& config,
+                                             Direction direction,
+                                             uint64_t flush_bytes = 1 << 16);
+
+/// Infallible wrapper: aborts if the run fails.
 JoinResult RunStreamingTrackJoin2(const PartitionedTable& r,
                                   const PartitionedTable& s,
                                   const JoinConfig& config, Direction direction,

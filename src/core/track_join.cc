@@ -63,6 +63,16 @@ void RouteKeyRun(const TupleBlock& block, uint64_t key,
 JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
                         const JoinConfig& config, TrackJoinVersion version,
                         Direction direction) {
+  Result<JoinResult> result = TryRunTrackJoin(r, s, config, version, direction);
+  TJ_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
+                                   const PartitionedTable& s,
+                                   const JoinConfig& config,
+                                   TrackJoinVersion version,
+                                   Direction direction) {
   TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
   const uint32_t n = r.num_nodes();
   const bool with_counts = version != TrackJoinVersion::k2Phase;
@@ -71,6 +81,9 @@ JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
 
   Fabric fabric(n);
   fabric.SetThreadPool(config.thread_pool);
+  if (config.fault_policy != nullptr) {
+    fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
+  }
   std::vector<NodeState> nodes(n);
 
   const uint32_t out_width = r.payload_width() + s.payload_width();
@@ -85,24 +98,30 @@ JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
   };
 
   // Phase 1-2: sort local copies of both tables (paper Table 4 rows 1-2).
-  fabric.RunPhase("sort local R tuples", [&](uint32_t node) {
-    nodes[node].r = r.node(node);
-    SortBlockByKey(&nodes[node].r);
-  });
-  fabric.RunPhase("sort local S tuples", [&](uint32_t node) {
-    nodes[node].s = s.node(node);
-    SortBlockByKey(&nodes[node].s);
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "sort local R tuples", [&](uint32_t node) {
+        nodes[node].r = r.node(node);
+        SortBlockByKey(&nodes[node].r);
+        return Status::OK();
+      }));
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "sort local S tuples", [&](uint32_t node) {
+        nodes[node].s = s.node(node);
+        SortBlockByKey(&nodes[node].s);
+        return Status::OK();
+      }));
 
   // Phase 3: aggregate distinct keys and local counts.
-  fabric.RunPhase("aggregate keys", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable("aggregate keys", [&](uint32_t node) {
     nodes[node].r_keys = AggregateSortedKeys(nodes[node].r);
     nodes[node].s_keys = AggregateSortedKeys(nodes[node].s);
-  });
+    return Status::OK();
+  }));
 
   // Phase 4: hash partition the key projections and send them to the
   // trackers (the tracking phase proper).
-  fabric.RunPhase("hash partition & transfer keys", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "hash partition & transfer keys", [&](uint32_t node) {
     auto r_msgs =
         EncodeTrackingMessages(nodes[node].r_keys, config, with_counts, n);
     for (uint32_t dst = 0; dst < n; ++dst) {
@@ -117,28 +136,35 @@ JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
         fabric.Send(node, dst, MessageType::kTrackS, std::move(s_msgs[dst]));
       }
     }
-  });
+    return Status::OK();
+  }));
 
   // Phase 5: trackers merge the received key streams.
-  fabric.RunPhase("merge received keys", [&](uint32_t node) {
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackR)) {
-      auto entries = DecodeTrackingMessage(msg, config, with_counts);
-      nodes[node].track_r.insert(nodes[node].track_r.end(), entries.begin(),
-                                 entries.end());
-    }
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackS)) {
-      auto entries = DecodeTrackingMessage(msg, config, with_counts);
-      nodes[node].track_s.insert(nodes[node].track_s.end(), entries.begin(),
-                                 entries.end());
-    }
-    MergeTrackEntries(&nodes[node].track_r);
-    MergeTrackEntries(&nodes[node].track_s);
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "merge received keys", [&](uint32_t node) -> Status {
+        std::vector<TrackEntry> entries;
+        for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackR)) {
+          TJ_RETURN_IF_ERROR(
+              TryDecodeTrackingMessage(msg, config, with_counts, &entries));
+          nodes[node].track_r.insert(nodes[node].track_r.end(),
+                                     entries.begin(), entries.end());
+        }
+        for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackS)) {
+          TJ_RETURN_IF_ERROR(
+              TryDecodeTrackingMessage(msg, config, with_counts, &entries));
+          nodes[node].track_s.insert(nodes[node].track_s.end(),
+                                     entries.begin(), entries.end());
+        }
+        MergeTrackEntries(&nodes[node].track_r);
+        MergeTrackEntries(&nodes[node].track_s);
+        return Status::OK();
+      }));
 
   // Phase 6: generate per-key schedules; send location lists to the
   // broadcast-side nodes and (4-phase) migration instructions to the
   // migrating target-side nodes.
-  fabric.RunPhase("generate schedules & send locations", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "generate schedules & send locations", [&](uint32_t node) {
     NodeState& st = nodes[node];
     std::vector<std::vector<KeyNodePair>> loc_to_r(n), loc_to_s(n);
     std::vector<std::vector<KeyNodePair>> migr_r(n), migr_s(n);
@@ -212,23 +238,28 @@ JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
                     EncodeKeyNodePairs(migr_s[dst], config));
       }
     }
-  });
+    return Status::OK();
+  }));
 
   // Phase 7: act on schedules — selectively broadcast local runs to the
   // listed locations and ship migrating runs to their destinations.
-  fabric.RunPhase("selective broadcast & migrate", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "selective broadcast & migrate", [&](uint32_t node) -> Status {
     NodeState& st = nodes[node];
 
     // Selective broadcasts. A location equal to self is a free local copy;
     // the fabric accounts it separately from network traffic.
+    std::vector<KeyNodePair> pairs;
     std::vector<std::vector<uint32_t>> r_rows(n), s_rows(n);
     for (const auto& msg : fabric.TakeInbox(node, MessageType::kLocationsToR)) {
-      for (const auto& pair : DecodeKeyNodePairs(msg, config)) {
+      TJ_RETURN_IF_ERROR(TryDecodeKeyNodePairs(msg, config, &pairs));
+      for (const auto& pair : pairs) {
         RouteKeyRun(st.r, pair.key, {pair.node}, &r_rows);
       }
     }
     for (const auto& msg : fabric.TakeInbox(node, MessageType::kLocationsToS)) {
-      for (const auto& pair : DecodeKeyNodePairs(msg, config)) {
+      TJ_RETURN_IF_ERROR(TryDecodeKeyNodePairs(msg, config, &pairs));
+      for (const auto& pair : pairs) {
         RouteKeyRun(st.s, pair.key, {pair.node}, &s_rows);
       }
     }
@@ -239,11 +270,12 @@ JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
 
     // Migrations (4-phase): move whole local runs and drop them locally.
     auto run_migrations = [&](MessageType instr, MessageType data,
-                              TupleBlock* block) {
+                              TupleBlock* block) -> Status {
       std::vector<std::vector<uint32_t>> rows(n);
       std::unordered_set<uint64_t> migrated;
       for (const auto& msg : fabric.TakeInbox(node, instr)) {
-        for (const auto& pair : DecodeKeyNodePairs(msg, config)) {
+        TJ_RETURN_IF_ERROR(TryDecodeKeyNodePairs(msg, config, &pairs));
+        for (const auto& pair : pairs) {
           RouteKeyRun(*block, pair.key, {pair.node}, &rows);
           migrated.insert(pair.key);
         }
@@ -254,26 +286,31 @@ JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
           return migrated.find(block->Key(row)) == migrated.end();
         });
       }
+      return Status::OK();
     };
-    run_migrations(MessageType::kMigrateR, MessageType::kMigrationDataR, &st.r);
-    run_migrations(MessageType::kMigrateS, MessageType::kMigrationDataS, &st.s);
-  });
+    TJ_RETURN_IF_ERROR(run_migrations(MessageType::kMigrateR,
+                                      MessageType::kMigrationDataR, &st.r));
+    TJ_RETURN_IF_ERROR(run_migrations(MessageType::kMigrateS,
+                                      MessageType::kMigrationDataS, &st.s));
+    return Status::OK();
+  }));
 
   // Phase 8: merge received tuples — migrated runs join the local blocks,
   // broadcast tuples form the probe blocks.
-  fabric.RunPhase("merge received tuples", [&](uint32_t node) {
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "merge received tuples", [&](uint32_t node) -> Status {
     NodeState& st = nodes[node];
     bool r_changed = false, s_changed = false;
     for (const auto& msg :
          fabric.TakeInbox(node, MessageType::kMigrationDataR)) {
       ByteReader reader(msg.data);
-      st.r.DeserializeRows(&reader, config.key_bytes);
+      TJ_RETURN_IF_ERROR(st.r.TryDeserializeRows(&reader, config.key_bytes));
       r_changed = true;
     }
     for (const auto& msg :
          fabric.TakeInbox(node, MessageType::kMigrationDataS)) {
       ByteReader reader(msg.data);
-      st.s.DeserializeRows(&reader, config.key_bytes);
+      TJ_RETURN_IF_ERROR(st.s.TryDeserializeRows(&reader, config.key_bytes));
       s_changed = true;
     }
     if (r_changed) SortBlockByKey(&st.r);
@@ -282,30 +319,36 @@ JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
     st.r_in = TupleBlock(r.payload_width());
     for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataR)) {
       ByteReader reader(msg.data);
-      st.r_in.DeserializeRows(&reader, config.key_bytes);
+      TJ_RETURN_IF_ERROR(st.r_in.TryDeserializeRows(&reader, config.key_bytes));
     }
     SortBlockByKey(&st.r_in);
     st.s_in = TupleBlock(s.payload_width());
     for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataS)) {
       ByteReader reader(msg.data);
-      st.s_in.DeserializeRows(&reader, config.key_bytes);
+      TJ_RETURN_IF_ERROR(st.s_in.TryDeserializeRows(&reader, config.key_bytes));
     }
     SortBlockByKey(&st.s_in);
-  });
+    return Status::OK();
+  }));
 
   // Phases 9-10: the final local joins, one per broadcast direction.
-  fabric.RunPhase("final merge-join R->S", [&](uint32_t node) {
-    NodeState& st = nodes[node];
-    st.output_rows += MergeJoinSorted(st.r_in, st.s, sink_for(node));
-  });
-  fabric.RunPhase("final merge-join S->R", [&](uint32_t node) {
-    NodeState& st = nodes[node];
-    st.output_rows += MergeJoinSorted(st.r, st.s_in, sink_for(node));
-  });
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "final merge-join R->S", [&](uint32_t node) {
+        NodeState& st = nodes[node];
+        st.output_rows += MergeJoinSorted(st.r_in, st.s, sink_for(node));
+        return Status::OK();
+      }));
+  TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
+      "final merge-join S->R", [&](uint32_t node) {
+        NodeState& st = nodes[node];
+        st.output_rows += MergeJoinSorted(st.r, st.s_in, sink_for(node));
+        return Status::OK();
+      }));
 
   JoinResult result;
   result.traffic = fabric.traffic();
   result.phase_seconds = fabric.phase_seconds();
+  result.reliability = fabric.reliability();
   for (const auto& st : nodes) {
     result.output_rows += st.output_rows;
     result.checksum.Merge(st.checksum);

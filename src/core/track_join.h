@@ -26,6 +26,20 @@ enum class TrackJoinVersion : uint8_t { k2Phase = 2, k3Phase = 3, k4Phase = 4 };
 
 /// Runs track join on tables r and s (same node count). `direction` is only
 /// used by the 2-phase version. Inputs are not modified.
+///
+/// Fails (never aborts) on recoverable distributed-execution errors: an
+/// active config.fault_policy whose losses exceed the retry budget or whose
+/// crash fault hits a phase yields Status::DataLoss naming the phase;
+/// payloads that decode inconsistently yield Status::Corruption. There is no
+/// partial result: the query either completes exactly or returns an error.
+Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
+                                   const PartitionedTable& s,
+                                   const JoinConfig& config,
+                                   TrackJoinVersion version,
+                                   Direction direction = Direction::kRtoS);
+
+/// Infallible wrapper: aborts if the run fails. Use only without an active
+/// fault policy.
 JoinResult RunTrackJoin(const PartitionedTable& r, const PartitionedTable& s,
                         const JoinConfig& config, TrackJoinVersion version,
                         Direction direction = Direction::kRtoS);

@@ -62,29 +62,46 @@ std::vector<TrackEntry> DecodeTrackingMessage(const Message& message,
                                               const JoinConfig& config,
                                               bool with_counts) {
   std::vector<TrackEntry> entries;
+  Status status =
+      TryDecodeTrackingMessage(message, config, with_counts, &entries);
+  TJ_CHECK(status.ok()) << status.ToString();
+  return entries;
+}
+
+Status TryDecodeTrackingMessage(const Message& message,
+                                const JoinConfig& config, bool with_counts,
+                                std::vector<TrackEntry>* out) {
+  out->clear();
   ByteReader reader(message.data);
   if (config.delta_tracking) {
-    std::vector<uint64_t> keys = DeltaDecode(&reader);
-    entries.reserve(keys.size());
+    std::vector<uint64_t> keys;
+    TJ_RETURN_IF_ERROR(TryDeltaDecode(&reader, &keys));
+    out->reserve(keys.size());
     for (uint64_t key : keys) {
-      entries.push_back(TrackEntry{key, message.src, 1});
+      out->push_back(TrackEntry{key, message.src, 1});
     }
     if (with_counts) {
-      for (auto& e : entries) e.count = DecodeLeb128(&reader);
+      for (auto& e : *out) {
+        TJ_RETURN_IF_ERROR(TryDecodeLeb128(&reader, &e.count));
+      }
     }
-    TJ_CHECK(reader.Done());
-    return entries;
+    if (!reader.Done()) {
+      return Status::Corruption("trailing bytes in tracking message");
+    }
+    return Status::OK();
   }
   const uint32_t entry_bytes =
       config.key_bytes + (with_counts ? config.count_bytes : 0);
-  TJ_CHECK_EQ(reader.remaining() % entry_bytes, 0u);
-  entries.reserve(reader.remaining() / entry_bytes);
+  if (reader.remaining() % entry_bytes != 0) {
+    return Status::Corruption("tracking message not a multiple of entry size");
+  }
+  out->reserve(reader.remaining() / entry_bytes);
   while (!reader.Done()) {
     uint64_t key = reader.GetUint(config.key_bytes);
     uint64_t count = with_counts ? reader.GetUint(config.count_bytes) : 1;
-    entries.push_back(TrackEntry{key, message.src, count});
+    out->push_back(TrackEntry{key, message.src, count});
   }
-  return entries;
+  return Status::OK();
 }
 
 void MergeTrackEntries(std::vector<TrackEntry>* entries) {
@@ -165,21 +182,31 @@ ByteBuffer EncodeKeyNodePairs(const std::vector<KeyNodePair>& pairs,
 
 std::vector<KeyNodePair> DecodeKeyNodePairs(const Message& message,
                                             const JoinConfig& config) {
+  std::vector<KeyNodePair> pairs;
+  Status status = TryDecodeKeyNodePairs(message, config, &pairs);
+  TJ_CHECK(status.ok()) << status.ToString();
+  return pairs;
+}
+
+Status TryDecodeKeyNodePairs(const Message& message, const JoinConfig& config,
+                             std::vector<KeyNodePair>* out) {
+  out->clear();
   ByteReader reader(message.data);
   if (config.group_locations) {
-    return NodeGroupDecode(&reader, config.key_bytes);
+    return TryNodeGroupDecode(&reader, config.key_bytes, out);
   }
   const uint32_t pair_bytes = config.key_bytes + config.node_bytes;
-  TJ_CHECK_EQ(reader.remaining() % pair_bytes, 0u);
-  std::vector<KeyNodePair> pairs;
-  pairs.reserve(reader.remaining() / pair_bytes);
+  if (reader.remaining() % pair_bytes != 0) {
+    return Status::Corruption("location message not a multiple of pair size");
+  }
+  out->reserve(reader.remaining() / pair_bytes);
   while (!reader.Done()) {
     KeyNodePair p;
     p.key = reader.GetUint(config.key_bytes);
     p.node = static_cast<uint32_t>(reader.GetUint(config.node_bytes));
-    pairs.push_back(p);
+    out->push_back(p);
   }
-  return pairs;
+  return Status::OK();
 }
 
 }  // namespace tj

@@ -40,9 +40,17 @@ std::vector<ByteBuffer> EncodeTrackingMessages(
 
 /// Parses one tracking message back into (key, src, count) entries.
 /// Duplicate (key, node) chunks are NOT merged here; MergeTrackEntries does.
+/// Aborts on malformed input; use the Try variant for untrusted bytes.
 std::vector<TrackEntry> DecodeTrackingMessage(const Message& message,
                                               const JoinConfig& config,
                                               bool with_counts);
+
+/// Bounds-checked variant: malformed payloads (truncated varints, sizes not
+/// a multiple of the entry width, trailing bytes) return Status::Corruption
+/// instead of aborting. Used by the Status-propagating join pipelines.
+Status TryDecodeTrackingMessage(const Message& message,
+                                const JoinConfig& config, bool with_counts,
+                                std::vector<TrackEntry>* out);
 
 /// Sorts entries by (key, node) and merges duplicate (key, node) counts.
 void MergeTrackEntries(std::vector<TrackEntry>* entries);
@@ -84,6 +92,11 @@ ByteBuffer EncodeKeyNodePairs(const std::vector<KeyNodePair>& pairs,
                               const JoinConfig& config);
 std::vector<KeyNodePair> DecodeKeyNodePairs(const Message& message,
                                             const JoinConfig& config);
+
+/// Bounds-checked variant of DecodeKeyNodePairs: malformed payloads return
+/// Status::Corruption instead of aborting.
+Status TryDecodeKeyNodePairs(const Message& message, const JoinConfig& config,
+                             std::vector<KeyNodePair>* out);
 
 }  // namespace tj
 

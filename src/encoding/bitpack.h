@@ -101,6 +101,12 @@ class BitUnpacker {
   /// Total bytes consumed so far (including the partially-consumed byte).
   size_t bytes_consumed() const { return pos_; }
 
+  /// Bits still readable without tripping the bounds check. Lets untrusted
+  /// decoders validate counts before calling Get.
+  uint64_t bits_remaining() const {
+    return (size_ - pos_) * 8ULL + acc_bits_;
+  }
+
  private:
   const uint8_t* data_;
   size_t size_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/byte_buffer.h"
+#include "common/status.h"
 
 namespace tj {
 
@@ -20,6 +21,11 @@ uint64_t DeltaEncode(std::vector<uint64_t> values, bool presorted,
 
 /// Decodes a stream produced by DeltaEncode. The values come back sorted.
 std::vector<uint64_t> DeltaDecode(ByteReader* in);
+
+/// Bounds-checked decode for untrusted input: a truncated stream or a count
+/// that exceeds what the remaining bytes could possibly hold returns
+/// Status::Corruption (and never aborts or over-reserves).
+Status TryDeltaDecode(ByteReader* in, std::vector<uint64_t>* out);
 
 /// Exact encoded size in bytes without materializing the buffer.
 uint64_t DeltaEncodedSize(std::vector<uint64_t> values, bool presorted);

@@ -4,6 +4,7 @@
 
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "encoding/varint.h"
 
 namespace tj {
 
@@ -30,6 +31,43 @@ uint64_t Dictionary::Decode(uint32_t code) const {
 
 bool Dictionary::Contains(uint64_t value) const {
   return std::binary_search(sorted_values_.begin(), sorted_values_.end(), value);
+}
+
+void Dictionary::Serialize(ByteBuffer* out) const {
+  EncodeLeb128(sorted_values_.size(), out);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < sorted_values_.size(); ++i) {
+    EncodeLeb128(sorted_values_[i] - prev, out);
+    prev = sorted_values_[i];
+  }
+}
+
+Result<Dictionary> Dictionary::Deserialize(const ByteBuffer& page) {
+  ByteReader reader(page);
+  uint64_t n = 0;
+  TJ_RETURN_IF_ERROR(TryDecodeLeb128(&reader, &n));
+  if (n > reader.remaining()) {
+    return Status::Corruption("dictionary count exceeds page");
+  }
+  Dictionary dict;
+  dict.sorted_values_.reserve(n);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t gap = 0;
+    TJ_RETURN_IF_ERROR(TryDecodeLeb128(&reader, &gap));
+    if (i > 0 && gap == 0) {
+      return Status::Corruption("dictionary values not strictly increasing");
+    }
+    if (gap > ~0ULL - prev) {
+      return Status::Corruption("dictionary value overflows 64 bits");
+    }
+    prev += gap;
+    dict.sorted_values_.push_back(prev);
+  }
+  if (!reader.Done()) {
+    return Status::Corruption("trailing bytes after dictionary page");
+  }
+  return dict;
 }
 
 uint32_t Dictionary::code_bits() const {

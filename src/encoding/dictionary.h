@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/byte_buffer.h"
 #include "common/status.h"
 
 namespace tj {
@@ -39,6 +40,16 @@ class Dictionary {
 
   /// The sorted distinct values.
   const std::vector<uint64_t>& values() const { return sorted_values_; }
+
+  /// Appends a self-describing page: LEB128 count, then the sorted distinct
+  /// values as LEB128 gaps (strictly positive after the first).
+  void Serialize(ByteBuffer* out) const;
+
+  /// Parses a page written by Serialize. Truncated input, counts that
+  /// exceed the payload, non-strictly-increasing values and trailing bytes
+  /// all return Status::Corruption — a bit-flipped page never aborts and
+  /// never yields an out-of-order dictionary.
+  static Result<Dictionary> Deserialize(const ByteBuffer& page);
 
  private:
   std::vector<uint64_t> sorted_values_;

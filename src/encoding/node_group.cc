@@ -34,6 +34,29 @@ std::vector<KeyNodePair> NodeGroupDecode(ByteReader* in, uint32_t key_bytes) {
   return pairs;
 }
 
+Status TryNodeGroupDecode(ByteReader* in, uint32_t key_bytes,
+                          std::vector<KeyNodePair>* out) {
+  out->clear();
+  uint64_t num_groups = 0;
+  TJ_RETURN_IF_ERROR(TryDecodeLeb128(in, &num_groups));
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    uint64_t node = 0;
+    uint64_t count = 0;
+    TJ_RETURN_IF_ERROR(TryDecodeLeb128(in, &node));
+    TJ_RETURN_IF_ERROR(TryDecodeLeb128(in, &count));
+    if (node > ~0u) return Status::Corruption("node-group label overflows");
+    if (count > in->remaining() / key_bytes) {
+      return Status::Corruption("node-group count exceeds payload");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      out->push_back(
+          KeyNodePair{in->GetUint(key_bytes), static_cast<uint32_t>(node)});
+    }
+  }
+  if (!in->Done()) return Status::Corruption("trailing bytes in node groups");
+  return Status::OK();
+}
+
 uint64_t NodeGroupEncodedSize(const std::vector<KeyNodePair>& pairs,
                               uint32_t key_bytes) {
   std::map<uint32_t, uint64_t> counts;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/byte_buffer.h"
+#include "common/status.h"
 
 namespace tj {
 
@@ -33,6 +34,12 @@ void NodeGroupEncode(std::vector<KeyNodePair> pairs, uint32_t key_bytes,
 
 /// Decodes a stream produced by NodeGroupEncode.
 std::vector<KeyNodePair> NodeGroupDecode(ByteReader* in, uint32_t key_bytes);
+
+/// Bounds-checked decode for untrusted input: truncated headers or group
+/// counts that exceed the remaining bytes return Status::Corruption (and
+/// never abort or over-reserve).
+Status TryNodeGroupDecode(ByteReader* in, uint32_t key_bytes,
+                          std::vector<KeyNodePair>* out);
 
 /// Exact encoded size in bytes.
 uint64_t NodeGroupEncodedSize(const std::vector<KeyNodePair>& pairs,

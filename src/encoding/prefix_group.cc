@@ -20,6 +20,16 @@ uint64_t SuffixMask(uint32_t suffix_bits) {
   return suffix_bits == 64 ? ~0ULL : ((1ULL << suffix_bits) - 1);
 }
 
+// suffix_bits equals width_bits when prefix_bits is 0 and can then be 64;
+// a shift by 64 is undefined, so the degenerate case is spelled out.
+uint64_t PrefixOf(uint64_t value, uint32_t suffix_bits) {
+  return suffix_bits == 64 ? 0 : value >> suffix_bits;
+}
+
+uint64_t Reassemble(uint64_t prefix, uint64_t suffix, uint32_t suffix_bits) {
+  return suffix_bits == 64 ? suffix : (prefix << suffix_bits) | suffix;
+}
+
 }  // namespace
 
 void PrefixGroupEncode(std::vector<uint64_t> values, uint32_t width_bits,
@@ -31,9 +41,9 @@ void PrefixGroupEncode(std::vector<uint64_t> values, uint32_t width_bits,
   BitPacker packer(out);
   size_t i = 0;
   while (i < values.size()) {
-    uint64_t prefix = values[i] >> suffix_bits;
+    uint64_t prefix = PrefixOf(values[i], suffix_bits);
     size_t j = i;
-    while (j < values.size() && (values[j] >> suffix_bits) == prefix) ++j;
+    while (j < values.size() && PrefixOf(values[j], suffix_bits) == prefix) ++j;
     if (prefix_bits > 0) packer.Put(prefix, prefix_bits);
     // Group length as a bit-packed LEB-style count would complicate the
     // stream; a full 32-bit count would bloat it. Use width_bits as the
@@ -59,11 +69,47 @@ std::vector<uint64_t> PrefixGroupDecode(ByteReader* in, uint32_t width_bits,
     uint64_t prefix = prefix_bits > 0 ? unpacker.Get(prefix_bits) : 0;
     uint64_t count = unpacker.Get(32);
     for (uint64_t k = 0; k < count; ++k) {
-      values.push_back((prefix << suffix_bits) | unpacker.Get(suffix_bits));
+      values.push_back(Reassemble(prefix, unpacker.Get(suffix_bits),
+                                  suffix_bits));
     }
   }
   in->Skip(unpacker.bytes_consumed());
   return values;
+}
+
+Status TryPrefixGroupDecode(ByteReader* in, uint32_t width_bits,
+                            uint32_t prefix_bits, std::vector<uint64_t>* out) {
+  CheckParams(width_bits, prefix_bits);
+  const uint32_t suffix_bits = width_bits - prefix_bits;
+  out->clear();
+  uint64_t total = 0;
+  TJ_RETURN_IF_ERROR(TryDecodeLeb128(in, &total));
+  BitUnpacker unpacker(in->Current(), in->remaining());
+  // Each value costs at least suffix_bits (suffix_bits >= 1), so an honest
+  // total can never exceed the remaining bit budget.
+  if (total > unpacker.bits_remaining() / suffix_bits) {
+    return Status::Corruption("prefix-group total exceeds payload");
+  }
+  out->reserve(total);
+  while (out->size() < total) {
+    if (unpacker.bits_remaining() < prefix_bits + 32) {
+      return Status::Corruption("truncated prefix-group header");
+    }
+    uint64_t prefix = prefix_bits > 0 ? unpacker.Get(prefix_bits) : 0;
+    uint64_t count = unpacker.Get(32);
+    if (count > total - out->size()) {
+      return Status::Corruption("prefix-group count exceeds declared total");
+    }
+    if (count > unpacker.bits_remaining() / suffix_bits) {
+      return Status::Corruption("prefix-group count exceeds payload");
+    }
+    for (uint64_t k = 0; k < count; ++k) {
+      out->push_back(Reassemble(prefix, unpacker.Get(suffix_bits),
+                                suffix_bits));
+    }
+  }
+  in->Skip(unpacker.bytes_consumed());
+  return Status::OK();
 }
 
 uint64_t PrefixGroupEncodedSize(std::vector<uint64_t> values,
@@ -74,9 +120,9 @@ uint64_t PrefixGroupEncodedSize(std::vector<uint64_t> values,
   uint64_t bits = 0;
   size_t i = 0;
   while (i < values.size()) {
-    uint64_t prefix = values[i] >> suffix_bits;
+    uint64_t prefix = PrefixOf(values[i], suffix_bits);
     size_t j = i;
-    while (j < values.size() && (values[j] >> suffix_bits) == prefix) ++j;
+    while (j < values.size() && PrefixOf(values[j], suffix_bits) == prefix) ++j;
     bits += prefix_bits + 32 + (j - i) * suffix_bits;
     i = j;
   }

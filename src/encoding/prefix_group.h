@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/byte_buffer.h"
+#include "common/status.h"
 
 namespace tj {
 
@@ -25,6 +26,12 @@ void PrefixGroupEncode(std::vector<uint64_t> values, uint32_t width_bits,
 /// Decodes a stream produced by PrefixGroupEncode with the same parameters.
 std::vector<uint64_t> PrefixGroupDecode(ByteReader* in, uint32_t width_bits,
                                         uint32_t prefix_bits);
+
+/// Bounds-checked decode for untrusted input: truncated streams, totals that
+/// exceed what the remaining bits could hold, and group counts past the
+/// declared total return Status::Corruption (and never abort or over-read).
+Status TryPrefixGroupDecode(ByteReader* in, uint32_t width_bits,
+                            uint32_t prefix_bits, std::vector<uint64_t>* out);
 
 /// Exact encoded size in bytes.
 uint64_t PrefixGroupEncodedSize(std::vector<uint64_t> values,

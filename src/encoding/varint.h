@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/byte_buffer.h"
+#include "common/status.h"
 
 namespace tj {
 
@@ -54,6 +55,26 @@ inline uint64_t DecodeLeb128(ByteReader* in) {
   return v;
 }
 
+/// Bounds-checked decode for untrusted input: truncated or overlong varints
+/// return Status::Corruption instead of aborting, and never read past the
+/// buffer.
+inline Status TryDecodeLeb128(ByteReader* in, uint64_t* out) {
+  uint64_t v = 0;
+  uint32_t shift = 0;
+  while (true) {
+    if (in->remaining() == 0) {
+      return Status::Corruption("truncated LEB128 varint");
+    }
+    uint8_t b = in->GetU8();
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) return Status::Corruption("overlong LEB128 varint");
+  }
+  *out = v;
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Base-100 (paper's variable byte encoding for NUMBER columns)
 // ---------------------------------------------------------------------------
@@ -87,6 +108,27 @@ inline uint64_t DecodeBase100(ByteReader* in) {
     if (b >= 100) {
       v += scale * (b - 100);
       return v;
+    }
+    v += scale * b;
+    scale *= 100;
+  }
+}
+
+/// Bounds-checked decode for untrusted input: a stream that ends without a
+/// terminator byte (>= 100) or runs longer than any encoded uint64_t returns
+/// Status::Corruption instead of aborting.
+inline Status TryDecodeBase100(ByteReader* in, uint64_t* out) {
+  uint64_t v = 0;
+  uint64_t scale = 1;
+  for (uint32_t i = 0;; ++i) {
+    if (in->remaining() == 0) {
+      return Status::Corruption("truncated base-100 value");
+    }
+    if (i >= 10) return Status::Corruption("overlong base-100 value");
+    uint8_t b = in->GetU8();
+    if (b >= 100) {
+      *out = v + scale * (b - 100);
+      return Status::OK();
     }
     v += scale * b;
     scale *= 100;

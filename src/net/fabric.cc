@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.h"
 
@@ -14,6 +15,19 @@ Fabric::Fabric(uint32_t num_nodes)
   TJ_CHECK_GT(num_nodes, 0u);
 }
 
+void Fabric::SetFaultPolicy(const FaultPolicy& policy, uint64_t seed) {
+  TJ_CHECK(!in_phase_) << "SetFaultPolicy inside a phase";
+  if (!policy.active()) {
+    // Inactive policy: stay on the pristine unframed path so results and
+    // traffic are byte-identical to a fabric with no policy at all.
+    injector_.reset();
+    return;
+  }
+  injector_.emplace(policy, seed, num_nodes_);
+  sent_log_.assign(num_nodes_, {});
+  next_seq_.assign(static_cast<uint64_t>(num_nodes_) * num_nodes_, 0);
+}
+
 void Fabric::Send(uint32_t src, uint32_t dst, MessageType type,
                   ByteBuffer data) {
   TJ_CHECK(in_phase_) << "Send outside RunPhase";
@@ -21,8 +35,27 @@ void Fabric::Send(uint32_t src, uint32_t dst, MessageType type,
   TJ_CHECK_LT(dst, num_nodes_);
   // Cells indexed by src are only written by node src's own phase work, so
   // this is race-free under concurrent phases.
-  traffic_.Add(src, dst, type, data.size());
-  queued_[src].push_back(Pending{dst, type, std::move(data)});
+  if (!injector_) {
+    traffic_.Add(src, dst, type, data.size());
+    queued_[src].push_back(Pending{dst, type, std::move(data)});
+    return;
+  }
+  uint32_t seq = NextSeq(src, dst)++;
+  ByteBuffer frame;
+  EncodeFrame(type, seq, data, &frame);
+  // The first transmission attempt is goodput (framing overhead included);
+  // injected extra copies land on the recovery ledger. The sender keeps the
+  // pristine frame for retransmission.
+  traffic_.Add(src, dst, type, frame.size());
+  std::vector<ByteBuffer> copies = injector_->Transmit(src, dst, frame);
+  if (copies.size() > 1) {
+    traffic_.AddRetransmit(src, dst, type,
+                           (copies.size() - 1) * frame.size());
+  }
+  sent_log_[src].push_back(SentFrame{dst, type, seq, std::move(frame)});
+  for (ByteBuffer& copy : copies) {
+    queued_[src].push_back(Pending{dst, type, std::move(copy)});
+  }
 }
 
 void Fabric::SendBytes(uint32_t src, uint32_t dst, MessageType type,
@@ -32,27 +65,180 @@ void Fabric::SendBytes(uint32_t src, uint32_t dst, MessageType type,
   traffic_.Add(src, dst, type, bytes);
 }
 
-void Fabric::RunPhase(const std::string& name,
-                      const std::function<void(uint32_t)>& fn) {
+Status Fabric::RunPhaseReliable(const std::string& name,
+                                const std::function<Status(uint32_t)>& fn) {
   TJ_CHECK(!in_phase_) << "nested RunPhase";
   in_phase_ = true;
+  const uint64_t phase = phase_index_++;
+  std::vector<Status> statuses(num_nodes_);
+  auto work = [&](uint32_t node) {
+    // A crashed node fail-stops: it does no work and sends nothing.
+    if (injector_ && injector_->NodeCrashed(node, phase)) return;
+    statuses[node] = fn(node);
+  };
   Stopwatch watch;
   if (pool_ != nullptr && num_nodes_ > 1) {
-    pool_->ParallelFor(num_nodes_, [&fn](size_t node) {
-      fn(static_cast<uint32_t>(node));
-    });
+    pool_->ParallelFor(num_nodes_,
+                       [&work](size_t node) { work(static_cast<uint32_t>(node)); });
   } else {
-    for (uint32_t node = 0; node < num_nodes_; ++node) fn(node);
+    for (uint32_t node = 0; node < num_nodes_; ++node) work(node);
   }
-  phase_seconds_.emplace_back(name, watch.ElapsedSeconds());
-  in_phase_ = false;
-  // Barrier: deliver, ordered by source node then send order.
-  for (uint32_t src = 0; src < num_nodes_; ++src) {
-    for (auto& p : queued_[src]) {
-      inboxes_[p.dst].push_back(Message{src, p.type, std::move(p.data)});
+  double elapsed = watch.ElapsedSeconds();
+  if (injector_) {
+    const FaultPolicy& policy = injector_->policy();
+    if (policy.slow_node != FaultPolicy::kNoNode &&
+        policy.slow_node < num_nodes_ &&
+        !injector_->NodeCrashed(policy.slow_node, phase)) {
+      // The de-pipelined barrier waits for the slowest node, so a modeled
+      // straggler stretches the whole phase.
+      elapsed += policy.slowdown_seconds;
     }
+  }
+  phase_seconds_.emplace_back(name, elapsed);
+  in_phase_ = false;
+
+  auto abandon = [this]() {
+    for (auto& q : queued_) q.clear();
+    for (auto& log : sent_log_) log.clear();
+  };
+  for (uint32_t node = 0; node < num_nodes_; ++node) {
+    if (!statuses[node].ok()) {
+      abandon();
+      return Status(statuses[node].code(),
+                    "phase '" + name + "' node " + std::to_string(node) +
+                        ": " + statuses[node].message());
+    }
+  }
+  if (injector_ && injector_->policy().crash_node < num_nodes_ &&
+      injector_->NodeCrashed(injector_->policy().crash_node, phase)) {
+    // Fail-stop is unrecoverable in this fabric: surface a precise error at
+    // the first barrier at or after the crash instead of letting the query
+    // continue on a silently partial dataset.
+    abandon();
+    return Status::DataLoss(
+        "node " + std::to_string(injector_->policy().crash_node) +
+        " crashed (fail-stop) before completing phase " +
+        std::to_string(phase) + " '" + name + "'");
+  }
+  return DeliverBarrier(name);
+}
+
+void Fabric::RunPhase(const std::string& name,
+                      const std::function<void(uint32_t)>& fn) {
+  Status status = RunPhaseReliable(name, [&fn](uint32_t node) {
+    fn(node);
+    return Status::OK();
+  });
+  TJ_CHECK(status.ok()) << "phase failed: " << status.ToString();
+}
+
+Status Fabric::DeliverBarrier(const std::string& name) {
+  if (!injector_) {
+    // Pristine barrier: deliver, ordered by source node then send order.
+    for (uint32_t src = 0; src < num_nodes_; ++src) {
+      for (auto& p : queued_[src]) {
+        inboxes_[p.dst].push_back(Message{src, p.type, std::move(p.data)});
+      }
+      queued_[src].clear();
+    }
+    return Status::OK();
+  }
+
+  // Reassembly state per (receiver, sender) link: CRC-valid frames keyed by
+  // sequence number. The map deduplicates injected duplicates and recovers
+  // per-link send order (seq ascending == send order), which makes delivery
+  // match the pristine barrier exactly when nothing was reordered.
+  struct Recv {
+    MessageType type;
+    ByteBuffer payload;
+  };
+  std::vector<std::vector<std::map<uint32_t, Recv>>> accepted(
+      num_nodes_, std::vector<std::map<uint32_t, Recv>>(num_nodes_));
+  auto absorb = [&accepted](uint32_t src, uint32_t dst, const ByteBuffer& wire) {
+    FrameHeader header;
+    ByteBuffer payload;
+    if (!DecodeFrame(wire, &header, &payload).ok()) return;  // lost to CRC
+    accepted[dst][src].emplace(header.seq,
+                               Recv{header.type, std::move(payload)});
+  };
+  for (uint32_t src = 0; src < num_nodes_; ++src) {
+    for (auto& p : queued_[src]) absorb(src, p.dst, p.data);
     queued_[src].clear();
   }
+
+  // Bounded nack/retransmit rounds. The *sender* is the source of truth for
+  // what must arrive — a receiver alone cannot detect the loss of the
+  // trailing frames of a phase. missing = sent log minus accepted.
+  const uint32_t max_retries = injector_->policy().max_retries;
+  for (uint32_t round = 0;; ++round) {
+    std::vector<std::pair<uint32_t, const SentFrame*>> missing;
+    for (uint32_t src = 0; src < num_nodes_; ++src) {
+      for (const SentFrame& f : sent_log_[src]) {
+        if (accepted[f.dst][src].find(f.seq) == accepted[f.dst][src].end()) {
+          missing.emplace_back(src, &f);
+        }
+      }
+    }
+    if (missing.empty()) break;
+    if (round >= max_retries) {
+      const auto& [src, f] = missing.front();
+      Status status = Status::DataLoss(
+          "phase '" + name + "': " + std::to_string(missing.size()) +
+          " frame(s) unrecovered after " + std::to_string(max_retries) +
+          " retries (first: link " + std::to_string(src) + "->" +
+          std::to_string(f->dst) + " seq " + std::to_string(f->seq) + ")");
+      for (auto& log : sent_log_) log.clear();
+      return status;
+    }
+    // One nack per afflicted link (receiver -> sender, control class), then
+    // the sender retransmits each nacked frame through the same faulty wire.
+    for (uint32_t src = 0; src < num_nodes_; ++src) {
+      std::vector<std::vector<const SentFrame*>> nacked(num_nodes_);
+      for (const SentFrame& f : sent_log_[src]) {
+        if (accepted[f.dst][src].find(f.seq) == accepted[f.dst][src].end()) {
+          nacked[f.dst].push_back(&f);
+        }
+      }
+      for (uint32_t dst = 0; dst < num_nodes_; ++dst) {
+        if (nacked[dst].empty()) continue;
+        traffic_.AddRetransmit(
+            dst, src, MessageType::kAck,
+            kFrameHeaderBytes + 4 * nacked[dst].size());
+        ++nack_messages_;
+        for (const SentFrame* f : nacked[dst]) {
+          traffic_.AddRetransmit(src, dst, f->type, f->frame.size());
+          ++retransmitted_frames_;
+          std::vector<ByteBuffer> copies =
+              injector_->Transmit(src, dst, f->frame);
+          if (copies.size() > 1) {
+            traffic_.AddRetransmit(src, dst, f->type,
+                                   (copies.size() - 1) * f->frame.size());
+          }
+          for (const ByteBuffer& copy : copies) absorb(src, dst, copy);
+        }
+      }
+    }
+  }
+  for (auto& log : sent_log_) log.clear();
+
+  // Deliver in canonical (source node, sequence) order, then let the
+  // injector swap adjacent messages per inbox to model reordering. Joins
+  // must not depend on arrival order within a phase.
+  for (uint32_t dst = 0; dst < num_nodes_; ++dst) {
+    size_t first_new = inboxes_[dst].size();
+    for (uint32_t src = 0; src < num_nodes_; ++src) {
+      for (auto& [seq, recv] : accepted[dst][src]) {
+        inboxes_[dst].push_back(
+            Message{src, recv.type, std::move(recv.payload)});
+      }
+    }
+    for (size_t i = first_new + 1; i < inboxes_[dst].size(); ++i) {
+      if (injector_->ShouldReorder()) {
+        std::swap(inboxes_[dst][i - 1], inboxes_[dst][i]);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<Message> Fabric::TakeInbox(uint32_t node) {
@@ -75,6 +261,14 @@ std::vector<Message> Fabric::TakeInbox(uint32_t node, MessageType type) {
   }
   inboxes_[node] = std::move(rest);
   return taken;
+}
+
+ReliabilityStats Fabric::reliability() const {
+  ReliabilityStats stats;
+  if (injector_) stats.faults = injector_->counters();
+  stats.retransmitted_frames = retransmitted_frames_;
+  stats.nack_messages = nack_messages_;
+  return stats;
 }
 
 }  // namespace tj

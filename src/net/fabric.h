@@ -15,17 +15,38 @@
 //
 // All traffic is accounted in a TrafficMatrix; src == dst sends are local
 // copies (no network bytes).
+//
+// Fault-tolerant mode (SetFaultPolicy with an active policy): every payload
+// is framed (net/message.h) with a sequence number and CRC32C, pushed
+// through a seeded FaultInjector, and the barrier runs a bounded
+// nack/retransmit protocol per directed link. Frames that stay missing or
+// corrupt after the retry budget make RunPhaseReliable return
+// Status::DataLoss naming the phase and link — callers fail the query
+// rather than compute on partial data. With an inactive (all-zero) policy
+// the fabric keeps the pristine unframed path: results, delivery order and
+// the TrafficMatrix are byte-identical to a fabric with no policy at all.
+//
+// Inbox semantics: messages delivered at a barrier stay in the receiver's
+// inbox until taken — they survive later barriers, and typed TakeInbox
+// calls leave messages of other types in place (in delivery order) for
+// later takes in the same or a later phase. Algorithms rely on this
+// (e.g. hash join sends R and S in consecutive phases and consumes both
+// two barriers later), so the fabric never drops undelivered inbox
+// messages.
 #ifndef TJ_NET_FABRIC_H_
 #define TJ_NET_FABRIC_H_
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "net/fault_injector.h"
 #include "net/message.h"
 #include "net/traffic.h"
 
@@ -42,30 +63,52 @@ class Fabric {
   /// either way.
   void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Installs a fault policy executed by a deterministic injector seeded
+  /// with `seed`. An inactive policy (FaultPolicy{}.active() == false)
+  /// leaves the fabric on the pristine path. Call before the first phase.
+  void SetFaultPolicy(const FaultPolicy& policy, uint64_t seed);
+
+  bool fault_mode() const { return injector_.has_value(); }
+
   /// Queues a message for delivery after the current phase. Callable only
   /// from inside RunPhase, and only by the node whose id is `src` (this is
   /// what makes concurrent phases race-free).
   void Send(uint32_t src, uint32_t dst, MessageType type, ByteBuffer data);
 
   /// Accounting-only variant: counts `bytes` of traffic without payload.
-  /// Used by analytic components (e.g. modeled filter broadcasts).
+  /// Used by analytic components (e.g. modeled filter broadcasts); modeled
+  /// transfers are assumed reliable and bypass fault injection.
   void SendBytes(uint32_t src, uint32_t dst, MessageType type, uint64_t bytes);
 
   /// Runs one named phase: fn(node) for every node, then the barrier:
   /// queued messages move into the receivers' inboxes ordered by source
   /// node, then send order. The phase's wall time is recorded under `name`.
+  ///
+  /// A non-OK Status from any node's work, a crash-faulted node, or
+  /// unrecoverable message loss fails the phase; the error names the phase.
+  /// Messages that were delivered reliably before the failure stay queued,
+  /// but callers are expected to abandon the fabric on error.
+  Status RunPhaseReliable(const std::string& name,
+                          const std::function<Status(uint32_t node)>& fn);
+
+  /// Infallible legacy wrapper: aborts if the phase fails. Use only on
+  /// fabrics without an active fault policy.
   void RunPhase(const std::string& name,
                 const std::function<void(uint32_t node)>& fn);
 
-  /// Consumes and returns node's inbox (messages delivered at the last
-  /// barrier).
+  /// Consumes and returns node's inbox (messages delivered at barriers so
+  /// far and not yet taken).
   std::vector<Message> TakeInbox(uint32_t node);
 
-  /// Messages of one type only; other messages remain pending for later
-  /// TakeInbox calls in the same phase.
+  /// Messages of one type only; other messages remain pending — in
+  /// delivery order — for later TakeInbox calls (same phase or later).
   std::vector<Message> TakeInbox(uint32_t node, MessageType type);
 
   const TrafficMatrix& traffic() const { return traffic_; }
+
+  /// What the injector and the retry protocol did so far. Zero-initialized
+  /// in pristine mode.
+  ReliabilityStats reliability() const;
 
   /// Named per-phase wall-clock durations, in execution order.
   const std::vector<std::pair<std::string, double>>& phase_seconds() const {
@@ -78,17 +121,42 @@ class Fabric {
     MessageType type;
     ByteBuffer data;
   };
+  /// One frame retained by the sender for possible retransmission.
+  struct SentFrame {
+    uint32_t dst;
+    MessageType type;
+    uint32_t seq;
+    ByteBuffer frame;
+  };
+
+  uint32_t& NextSeq(uint32_t src, uint32_t dst) {
+    return next_seq_[static_cast<uint64_t>(src) * num_nodes_ + dst];
+  }
+
+  /// The reliable barrier: reassembles framed messages per link, runs the
+  /// nack/retransmit rounds, and appends the recovered messages to the
+  /// inboxes in (src, seq) order. Pristine-path barrier when no injector.
+  Status DeliverBarrier(const std::string& name);
 
   uint32_t num_nodes_;
   ThreadPool* pool_ = nullptr;
   TrafficMatrix traffic_;
   /// Per-source send queues: node i only ever appends to queued_[i], so
   /// concurrent phase execution needs no locking, and merging in source
-  /// order keeps delivery deterministic.
+  /// order keeps delivery deterministic. In fault mode these hold wire
+  /// frames (post-injector); otherwise raw payloads.
   std::vector<std::vector<Pending>> queued_;
   std::vector<std::vector<Message>> inboxes_;
   std::vector<std::pair<std::string, double>> phase_seconds_;
   bool in_phase_ = false;
+
+  // Fault-tolerant mode state.
+  std::optional<FaultInjector> injector_;
+  std::vector<std::vector<SentFrame>> sent_log_;  ///< Per src, per phase.
+  std::vector<uint32_t> next_seq_;                ///< Per link, whole run.
+  uint64_t phase_index_ = 0;
+  uint64_t retransmitted_frames_ = 0;
+  uint64_t nack_messages_ = 0;
 };
 
 }  // namespace tj

@@ -1,5 +1,7 @@
 #include "net/message.h"
 
+#include <array>
+
 #include "common/logging.h"
 
 namespace tj {
@@ -16,6 +18,8 @@ const char* TrafficClassName(TrafficClass cls) {
       return "S Tuples";
     case TrafficClass::kFilter:
       return "Filter";
+    case TrafficClass::kControl:
+      return "Control";
   }
   return "Unknown";
 }
@@ -40,9 +44,97 @@ TrafficClass ClassOf(MessageType type) {
       return TrafficClass::kSTuples;
     case MessageType::kFilter:
       return TrafficClass::kFilter;
+    case MessageType::kAck:
+      return TrafficClass::kControl;
   }
   TJ_LOG(Fatal) << "unknown message type";
   return TrafficClass::kFilter;
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrc32cTable() {
+  // Castagnoli polynomial, reflected.
+  constexpr uint32_t kPoly = 0x82f63b78u;
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = MakeCrc32cTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc) {
+  const auto& table = Crc32cTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+void EncodeFrame(MessageType type, uint32_t seq, const ByteBuffer& payload,
+                 ByteBuffer* out) {
+  TJ_CHECK_LT(payload.size(), (1ULL << 32));
+  ByteWriter writer(out);
+  writer.PutU16(kFrameMagic);
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutU8(0);  // reserved
+  writer.PutU32(seq);
+  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  // CRC over everything after the magic: type, reserved, seq, length,
+  // payload. Header corruption is then as detectable as payload corruption.
+  uint32_t crc = Crc32c(out->data() + out->size() - 10, 10);
+  crc = Crc32c(payload.data(), payload.size(), crc);
+  writer.PutU32(crc);
+  writer.PutBytes(payload.data(), payload.size());
+}
+
+Status DecodeFrame(const ByteBuffer& frame, FrameHeader* header,
+                   ByteBuffer* payload) {
+  if (frame.size() < kFrameHeaderBytes) {
+    return Status::Corruption("frame shorter than header");
+  }
+  ByteReader reader(frame);
+  if (reader.GetU16() != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  const uint8_t type_byte = reader.GetU8();
+  const uint8_t reserved = reader.GetU8();
+  const uint32_t seq = reader.GetU32();
+  const uint32_t len = reader.GetU32();
+  const uint32_t crc = reader.GetU32();
+  if (type_byte > static_cast<uint8_t>(MessageType::kAck)) {
+    return Status::Corruption("unknown message type in frame header");
+  }
+  if (reserved != 0) {
+    return Status::Corruption("nonzero reserved byte in frame header");
+  }
+  if (frame.size() - kFrameHeaderBytes != len) {
+    return Status::Corruption("frame length does not match header");
+  }
+  uint32_t actual = Crc32c(frame.data() + 2, 10);
+  actual = Crc32c(frame.data() + kFrameHeaderBytes, len, actual);
+  if (actual != crc) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  header->type = static_cast<MessageType>(type_byte);
+  header->seq = seq;
+  header->payload_len = len;
+  payload->insert(payload->end(), frame.begin() + kFrameHeaderBytes,
+                  frame.end());
+  return Status::OK();
 }
 
 }  // namespace tj

@@ -6,9 +6,11 @@
 #ifndef TJ_NET_MESSAGE_H_
 #define TJ_NET_MESSAGE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/byte_buffer.h"
+#include "common/status.h"
 
 namespace tj {
 
@@ -27,6 +29,7 @@ enum class MessageType : uint8_t {
   kRidR,           ///< Late materialization: rid messages toward R side.
   kRidS,           ///< Late materialization: rid messages toward S side.
   kFilter,         ///< Semi-join Bloom filter broadcast.
+  kAck,            ///< Reliable delivery: ack/nack control messages.
 };
 
 /// Accounting classes matching the stacked bars of the paper's figures.
@@ -36,9 +39,10 @@ enum class TrafficClass : uint8_t {
   kRTuples,
   kSTuples,
   kFilter,
+  kControl,  ///< Reliable-delivery overhead (acks/nacks); not in the figures.
 };
 
-constexpr int kNumTrafficClasses = 5;
+constexpr int kNumTrafficClasses = 6;
 
 const char* TrafficClassName(TrafficClass cls);
 
@@ -51,6 +55,46 @@ struct Message {
   MessageType type;
   ByteBuffer data;
 };
+
+// ---------------------------------------------------------------------------
+// Wire framing (fault-tolerant fabric mode).
+//
+// When a Fabric runs with an active FaultPolicy, every payload crosses the
+// wire inside a frame:
+//
+//   magic   : u16  (kFrameMagic)
+//   type    : u8   (MessageType)
+//   reserved: u8   (0)
+//   seq     : u32  (per-directed-link sequence number)
+//   length  : u32  (payload bytes)
+//   crc32c  : u32  (over type, reserved, seq, length, payload)
+//
+// DecodeFrame never trusts the bytes: truncated headers, bad magic,
+// length/size mismatches and checksum failures all come back as
+// Status::Corruption, never as out-of-bounds reads.
+// ---------------------------------------------------------------------------
+
+constexpr uint16_t kFrameMagic = 0x4a54;  // "TJ"
+constexpr size_t kFrameHeaderBytes = 16;
+
+/// Parsed frame header.
+struct FrameHeader {
+  MessageType type;
+  uint32_t seq;
+  uint32_t payload_len;
+};
+
+/// CRC32C (Castagnoli), bitwise-reflected, software table implementation.
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc = 0);
+
+/// Serializes one frame (header + payload) into `out` (appended).
+void EncodeFrame(MessageType type, uint32_t seq, const ByteBuffer& payload,
+                 ByteBuffer* out);
+
+/// Validates and parses a frame. On success fills `header` and appends the
+/// payload bytes to `payload`. Returns Status::Corruption on any mismatch.
+Status DecodeFrame(const ByteBuffer& frame, FrameHeader* header,
+                   ByteBuffer* payload);
 
 }  // namespace tj
 

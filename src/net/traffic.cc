@@ -11,6 +11,8 @@ void TrafficMatrix::Reset(uint32_t num_nodes) {
   num_nodes_ = num_nodes;
   cells_.assign(
       static_cast<uint64_t>(num_nodes) * num_nodes * kNumMessageTypes, 0);
+  retrans_cells_.assign(
+      static_cast<uint64_t>(num_nodes) * num_nodes * kNumMessageTypes, 0);
 }
 
 void TrafficMatrix::Add(uint32_t src, uint32_t dst, MessageType type,
@@ -18,6 +20,13 @@ void TrafficMatrix::Add(uint32_t src, uint32_t dst, MessageType type,
   TJ_CHECK_LT(src, num_nodes_);
   TJ_CHECK_LT(dst, num_nodes_);
   Cell(src, dst, static_cast<int>(type)) += bytes;
+}
+
+void TrafficMatrix::AddRetransmit(uint32_t src, uint32_t dst, MessageType type,
+                                  uint64_t bytes) {
+  TJ_CHECK_LT(src, num_nodes_);
+  TJ_CHECK_LT(dst, num_nodes_);
+  RetransCell(src, dst, static_cast<int>(type)) += bytes;
 }
 
 uint64_t TrafficMatrix::NetworkBytes(MessageType type) const {
@@ -116,9 +125,40 @@ uint64_t TrafficMatrix::MaxNodeBytes() const {
   return best;
 }
 
+uint64_t TrafficMatrix::RetransmitBytes(MessageType type) const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < num_nodes_; ++s) {
+    for (uint32_t d = 0; d < num_nodes_; ++d) {
+      if (s != d) total += RetransCell(s, d, static_cast<int>(type));
+    }
+  }
+  return total;
+}
+
+uint64_t TrafficMatrix::RetransmitBytes(TrafficClass cls) const {
+  uint64_t total = 0;
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    if (ClassOf(static_cast<MessageType>(t)) == cls) {
+      total += RetransmitBytes(static_cast<MessageType>(t));
+    }
+  }
+  return total;
+}
+
+uint64_t TrafficMatrix::TotalRetransmitBytes() const {
+  uint64_t total = 0;
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    total += RetransmitBytes(static_cast<MessageType>(t));
+  }
+  return total;
+}
+
 void TrafficMatrix::Merge(const TrafficMatrix& other) {
   TJ_CHECK_EQ(num_nodes_, other.num_nodes_);
   for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  for (size_t i = 0; i < retrans_cells_.size(); ++i) {
+    retrans_cells_[i] += other.retrans_cells_[i];
+  }
 }
 
 std::string TrafficMatrix::Report() const {
@@ -134,6 +174,9 @@ std::string TrafficMatrix::Report() const {
     out += "\n";
   }
   out += "  total network: " + FormatBytes(TotalNetworkBytes()) + "\n";
+  if (uint64_t retrans = TotalRetransmitBytes(); retrans > 0) {
+    out += "  retransmitted: " + FormatBytes(retrans) + "\n";
+  }
   return out;
 }
 

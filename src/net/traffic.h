@@ -16,7 +16,7 @@
 
 namespace tj {
 
-constexpr int kNumMessageTypes = 13;
+constexpr int kNumMessageTypes = 14;
 
 class TrafficMatrix {
  public:
@@ -26,8 +26,16 @@ class TrafficMatrix {
 
   uint32_t num_nodes() const { return num_nodes_; }
 
-  /// Records `bytes` of type `type` from src to dst.
+  /// Records `bytes` of type `type` from src to dst (first transmission;
+  /// the "goodput" side of the ledger).
   void Add(uint32_t src, uint32_t dst, MessageType type, uint64_t bytes);
+
+  /// Records `bytes` of fault-recovery overhead from src to dst:
+  /// retransmitted frames, injected duplicate copies, and ack/nack control
+  /// messages. Kept in a separate matrix so benchmarks can report goodput
+  /// (Add) vs. total wire traffic (Add + AddRetransmit).
+  void AddRetransmit(uint32_t src, uint32_t dst, MessageType type,
+                     uint64_t bytes);
 
   /// Bytes that crossed the network (src != dst) for one message type.
   uint64_t NetworkBytes(MessageType type) const;
@@ -52,8 +60,25 @@ class TrafficMatrix {
   /// max over nodes of max(ingress, egress): the NIC bottleneck.
   uint64_t MaxNodeBytes() const;
 
+  /// Fault-recovery overhead bytes that crossed the network.
+  uint64_t RetransmitBytes(MessageType type) const;
+  uint64_t RetransmitBytes(TrafficClass cls) const;
+  uint64_t TotalRetransmitBytes() const;
+
+  /// Total bytes on the wire: first sends plus recovery overhead.
+  uint64_t TotalWireBytes() const {
+    return TotalNetworkBytes() + TotalRetransmitBytes();
+  }
+
   /// Accumulates another matrix (same node count).
   void Merge(const TrafficMatrix& other);
+
+  /// Exact equality of every (src, dst, type) cell, first-send and
+  /// retransmit alike. Used by the fault-equivalence tests.
+  bool operator==(const TrafficMatrix& other) const {
+    return num_nodes_ == other.num_nodes_ && cells_ == other.cells_ &&
+           retrans_cells_ == other.retrans_cells_;
+  }
 
   /// Multi-line human-readable per-class summary.
   std::string Report() const;
@@ -70,8 +95,20 @@ class TrafficMatrix {
                   type];
   }
 
+  uint64_t& RetransCell(uint32_t src, uint32_t dst, int type) {
+    return retrans_cells_[(static_cast<uint64_t>(src) * num_nodes_ + dst) *
+                              kNumMessageTypes +
+                          type];
+  }
+  uint64_t RetransCell(uint32_t src, uint32_t dst, int type) const {
+    return retrans_cells_[(static_cast<uint64_t>(src) * num_nodes_ + dst) *
+                              kNumMessageTypes +
+                          type];
+  }
+
   uint32_t num_nodes_ = 0;
   std::vector<uint64_t> cells_;
+  std::vector<uint64_t> retrans_cells_;
 };
 
 /// Pretty-prints a byte count as "12.34 GiB" / "56.7 MiB" / "890 B".

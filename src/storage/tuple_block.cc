@@ -53,9 +53,16 @@ std::pair<uint64_t, uint64_t> TupleBlock::EqualRange(uint64_t key) const {
 }
 
 void TupleBlock::DeserializeRows(ByteReader* in, uint32_t key_bytes) {
+  Status status = TryDeserializeRows(in, key_bytes);
+  TJ_CHECK(status.ok()) << status.ToString();
+}
+
+Status TupleBlock::TryDeserializeRows(ByteReader* in, uint32_t key_bytes) {
   const uint32_t row_bytes = key_bytes + payload_width_;
   TJ_CHECK_GT(row_bytes, 0u);
-  TJ_CHECK_EQ(in->remaining() % row_bytes, 0u);
+  if (in->remaining() % row_bytes != 0) {
+    return Status::Corruption("tuple payload not a multiple of row size");
+  }
   uint64_t rows = in->remaining() / row_bytes;
   Reserve(size() + rows);
   for (uint64_t i = 0; i < rows; ++i) {
@@ -67,6 +74,7 @@ void TupleBlock::DeserializeRows(ByteReader* in, uint32_t key_bytes) {
       in->GetBytes(payloads_.data() + old, payload_width_);
     }
   }
+  return Status::OK();
 }
 
 void TupleBlock::Permute(const std::vector<uint32_t>& perm) {

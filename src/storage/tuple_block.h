@@ -14,6 +14,7 @@
 
 #include "common/byte_buffer.h"
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace tj {
 
@@ -79,8 +80,13 @@ class TupleBlock {
   std::pair<uint64_t, uint64_t> EqualRange(uint64_t key) const;
 
   /// Appends rows parsed from `in`, each `key_bytes` + payload_width bytes,
-  /// until `in` is exhausted.
+  /// until `in` is exhausted. Aborts on malformed input; use the Try
+  /// variant for untrusted bytes.
   void DeserializeRows(ByteReader* in, uint32_t key_bytes);
+
+  /// Bounds-checked variant: input whose size is not a whole number of rows
+  /// returns Status::Corruption (and appends nothing).
+  Status TryDeserializeRows(ByteReader* in, uint32_t key_bytes);
 
   /// Drops all rows, keeping capacity.
   void Clear() {

@@ -146,5 +146,175 @@ INSTANTIATE_TEST_SUITE_P(SeedsAndDistributions, CodecFuzzTest,
                          ::testing::Combine(::testing::Range(1, 6),
                                             ::testing::Range(0, 4)));
 
+// Malformed-input hardening: every Try* decoder must reject truncated,
+// oversized-count, and bit-flipped payloads with Status::Corruption — never
+// read out of bounds, over-allocate, or abort. These are exactly the bytes
+// a faulty link can hand a join phase (net/fault_injector.h), so "CHECK and
+// die" is not an option on this path.
+TEST(CodecMalformedTest, TruncatedLeb128) {
+  ByteBuffer buf;
+  EncodeLeb128(300, &buf);  // two bytes, continuation bit on the first
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteBuffer trunc;
+    trunc.insert(trunc.end(), buf.begin(), buf.begin() + cut);
+    ByteReader reader(trunc);
+    uint64_t value = 0;
+    Status status = TryDecodeLeb128(&reader, &value);
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << "cut=" << cut;
+  }
+}
+
+TEST(CodecMalformedTest, OverlongLeb128) {
+  // 10 continuation bytes = 70 payload bits: more than a uint64 can hold.
+  ByteBuffer buf(11, 0x80);
+  buf.back() = 0x01;
+  ByteReader reader(buf);
+  uint64_t value = 0;
+  EXPECT_EQ(TryDecodeLeb128(&reader, &value).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecMalformedTest, TruncatedBase100) {
+  ByteBuffer buf;
+  EncodeBase100(987654321, &buf);
+  ByteBuffer trunc;
+  trunc.insert(trunc.end(), buf.begin(), buf.end() - 1);
+  ByteReader reader(trunc);
+  uint64_t value = 0;
+  EXPECT_EQ(TryDecodeBase100(&reader, &value).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecMalformedTest, DeltaCountExceedsPayload) {
+  // Header claims 1M values but the stream holds 3 gaps: the decoder must
+  // refuse before reserving room for the phantom million.
+  ByteBuffer buf;
+  EncodeLeb128(1000000, &buf);
+  EncodeLeb128(1, &buf);
+  EncodeLeb128(1, &buf);
+  EncodeLeb128(1, &buf);
+  ByteReader reader(buf);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(TryDeltaDecode(&reader, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecMalformedTest, DeltaTruncatedMidStream) {
+  std::vector<uint64_t> values = {5, 1000, 70000, 1 << 20};
+  ByteBuffer buf;
+  DeltaEncode(values, /*presorted=*/false, &buf);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    ByteBuffer trunc;
+    trunc.insert(trunc.end(), buf.begin(), buf.begin() + cut);
+    ByteReader reader(trunc);
+    std::vector<uint64_t> out;
+    EXPECT_EQ(TryDeltaDecode(&reader, &out).code(), StatusCode::kCorruption)
+        << "cut=" << cut;
+  }
+}
+
+TEST(CodecMalformedTest, NodeGroupBadCountsAndTrailing) {
+  std::vector<KeyNodePair> pairs = {{10, 0}, {20, 0}, {30, 2}};
+  ByteBuffer buf;
+  NodeGroupEncode(pairs, 4, &buf);
+
+  // Truncations at every boundary.
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    ByteBuffer trunc;
+    trunc.insert(trunc.end(), buf.begin(), buf.begin() + cut);
+    ByteReader reader(trunc);
+    std::vector<KeyNodePair> out;
+    EXPECT_EQ(TryNodeGroupDecode(&reader, 4, &out).code(),
+              StatusCode::kCorruption)
+        << "cut=" << cut;
+  }
+
+  // Trailing garbage after a well-formed stream.
+  ByteBuffer extra = buf;
+  extra.push_back(0x7f);
+  ByteReader reader(extra);
+  std::vector<KeyNodePair> out;
+  EXPECT_EQ(TryNodeGroupDecode(&reader, 4, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CodecMalformedTest, PrefixGroupTruncatedHeader) {
+  std::vector<uint64_t> values = {3, 9, 200, 4096, 100000};
+  ByteBuffer buf;
+  PrefixGroupEncode(values, /*width_bits=*/20, /*prefix_bits=*/8, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteBuffer trunc;
+    trunc.insert(trunc.end(), buf.begin(), buf.begin() + cut);
+    ByteReader reader(trunc);
+    std::vector<uint64_t> out;
+    Status status = TryPrefixGroupDecode(&reader, 20, 8, &out);
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << "cut=" << cut;
+  }
+}
+
+TEST(CodecMalformedTest, PrefixGroupCountOverflow) {
+  // A group header whose count field claims far more suffixes than the
+  // stream's declared total (and than the remaining bits could encode).
+  ByteBuffer buf;
+  EncodeLeb128(3, &buf);  // declared total
+  {
+    BitPacker packer(&buf);
+    packer.Put(0, 8);            // prefix
+    packer.Put(0xffffffff, 32);  // absurd count
+    packer.Put(1, 12);           // one lonely suffix
+  }
+  ByteReader reader(buf);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(TryPrefixGroupDecode(&reader, 20, 8, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CodecMalformedTest, DictionaryBitFlips) {
+  std::vector<uint64_t> values = {7, 42, 1000, 65536, 1ULL << 40};
+  Dictionary dict = Dictionary::Build(values);
+  ByteBuffer page;
+  dict.Serialize(&page);
+
+  Result<Dictionary> good = Dictionary::Deserialize(page);
+  ASSERT_TRUE(good.ok());
+
+  // Flip every bit of the page: each either still parses to a dictionary
+  // (a benign value change) or reports Corruption. It must never crash,
+  // read out of bounds, or abort.
+  for (size_t byte = 0; byte < page.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      ByteBuffer flipped = page;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      Result<Dictionary> parsed = Dictionary::Deserialize(flipped);
+      if (!parsed.ok()) {
+        EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption)
+            << "byte=" << byte << " bit=" << bit;
+      }
+    }
+  }
+
+  // Truncations, too: the count byte survives every cut below, so the page
+  // always promises more values than the remaining bytes can hold.
+  for (size_t cut = 1; cut < page.size(); ++cut) {
+    ByteBuffer trunc;
+    trunc.insert(trunc.end(), page.begin(), page.begin() + cut);
+    Result<Dictionary> parsed = Dictionary::Deserialize(trunc);
+    ASSERT_FALSE(parsed.ok()) << "cut=" << cut;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(CodecMalformedTest, DictionaryRoundTrip) {
+  std::vector<uint64_t> values = {1, 2, 3, 500, 1ULL << 33};
+  Dictionary dict = Dictionary::Build(values);
+  ByteBuffer page;
+  dict.Serialize(&page);
+  Result<Dictionary> parsed = Dictionary::Deserialize(page);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), dict.size());
+  for (uint64_t v : values) {
+    auto code = parsed->Encode(v);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(parsed->Decode(*code), v);
+  }
+}
+
 }  // namespace
 }  // namespace tj

@@ -109,5 +109,93 @@ TEST_P(ChaosTest, EveryAlgorithmMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range(1, 13));
 
+// Fault chaos: the same all-algorithms-vs-reference sweep, but behind a
+// randomized (sometimes all-zero) FaultPolicy. Recoverable fault rates must
+// leave every result exact — bit flips, drops and duplicates are absorbed
+// by the retry protocol, never joined into the output — and the all-zero
+// policy must not even change the traffic matrix.
+class FaultChaosTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultChaosTest, RecoverableFaultsLeaveResultsExact) {
+  Rng rng(GetParam() * 104729 + 7);
+  for (int round = 0; round < 3; ++round) {
+    WorkloadSpec spec = RandomSpec(&rng);
+    Workload w = GenerateWorkload(spec);
+    uint64_t expected_rows = 0;
+    JoinChecksum expected = Reference(w, &expected_rows);
+
+    // Roughly one round in four runs the all-zero policy: the equivalence
+    // branch below then asserts the byte-identical pristine path.
+    FaultPolicy policy;
+    if (rng.Below(4) != 0) {
+      policy.drop = rng.NextDouble() * 0.05;
+      policy.corrupt = rng.NextDouble() * 0.05;
+      policy.duplicate = rng.NextDouble() * 0.05;
+      policy.reorder = rng.NextDouble() * 0.2;
+      policy.max_retries = 64;  // Recoverable by construction.
+    }
+
+    JoinConfig config;
+    config.key_bytes = 4;
+    JoinConfig faulty = config;
+    faulty.fault_policy = &policy;
+    faulty.fault_seed = rng.Next();
+
+    auto check = [&](const char* name, Result<JoinResult> run,
+                     Result<JoinResult> clean) {
+      ASSERT_TRUE(run.ok()) << name << " seed=" << GetParam()
+                            << " round=" << round << ": "
+                            << run.status().ToString();
+      const JoinResult& result = *run;
+      EXPECT_EQ(result.output_rows, expected_rows)
+          << name << " seed=" << GetParam() << " round=" << round;
+      EXPECT_EQ(result.checksum.digest(), expected.digest())
+          << name << " seed=" << GetParam() << " round=" << round;
+      if (!policy.active()) {
+        // All-zero policy: identical traffic (framing stays off) and no
+        // reliability work at all.
+        ASSERT_TRUE(clean.ok());
+        EXPECT_TRUE(result.traffic == clean->traffic)
+            << name << " seed=" << GetParam() << " round=" << round;
+        EXPECT_EQ(result.reliability.retransmitted_frames, 0u);
+        EXPECT_EQ(result.traffic.TotalRetransmitBytes(), 0u);
+      } else {
+        // Goodput counts each message's first framed copy: the clean run's
+        // payload bytes plus exactly one 16-byte header per network
+        // message. Retry traffic lives only in the retransmit ledger.
+        ASSERT_TRUE(clean.ok());
+        uint64_t goodput = result.traffic.TotalNetworkBytes();
+        uint64_t unframed = clean->traffic.TotalNetworkBytes();
+        EXPECT_GE(goodput, unframed)
+            << name << " seed=" << GetParam() << " round=" << round;
+        EXPECT_EQ((goodput - unframed) % kFrameHeaderBytes, 0u)
+            << name << " seed=" << GetParam() << " round=" << round;
+      }
+    };
+    check("HJ", TryRunHashJoin(w.r, w.s, faulty),
+          TryRunHashJoin(w.r, w.s, config));
+    check("BJ-R", TryRunBroadcastJoin(w.r, w.s, faulty, Direction::kRtoS),
+          TryRunBroadcastJoin(w.r, w.s, config, Direction::kRtoS));
+    check("2TJ-R",
+          TryRunTrackJoin(w.r, w.s, faulty, TrackJoinVersion::k2Phase,
+                          Direction::kRtoS),
+          TryRunTrackJoin(w.r, w.s, config, TrackJoinVersion::k2Phase,
+                          Direction::kRtoS));
+    check("3TJ", TryRunTrackJoin(w.r, w.s, faulty, TrackJoinVersion::k3Phase),
+          TryRunTrackJoin(w.r, w.s, config, TrackJoinVersion::k3Phase));
+    check("4TJ", TryRunTrackJoin(w.r, w.s, faulty, TrackJoinVersion::k4Phase),
+          TryRunTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase));
+    check("s2TJ",
+          TryRunStreamingTrackJoin2(w.r, w.s, faulty, Direction::kRtoS, 128),
+          TryRunStreamingTrackJoin2(w.r, w.s, config, Direction::kRtoS, 128));
+    check("rid-HJ", TryRunRidHashJoin(w.r, w.s, faulty),
+          TryRunRidHashJoin(w.r, w.s, config));
+    check("late-HJ", TryRunLateMaterializedHashJoin(w.r, w.s, faulty),
+          TryRunLateMaterializedHashJoin(w.r, w.s, config));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosTest, ::testing::Range(1, 9));
+
 }  // namespace
 }  // namespace tj

@@ -87,6 +87,43 @@ TEST_P(EquivalenceTest, AllAlgorithmsAgree) {
   EXPECT_LE(schedule_bytes(tj4), schedule_bytes(tj3));
 }
 
+// The zero-fault invariant: passing an inactive FaultPolicy{} must be
+// indistinguishable from passing none — byte-identical results AND a
+// byte-identical TrafficMatrix (no framing, no control traffic, no
+// retransmit ledger entries), for every algorithm.
+TEST_P(EquivalenceTest, InactiveFaultPolicyIsByteIdentical) {
+  const WorkloadSpec& spec = GetParam().spec;
+  Workload w = GenerateWorkload(spec);
+
+  JoinConfig plain;
+  plain.key_bytes = 8;
+  FaultPolicy zero;
+  ASSERT_FALSE(zero.active());
+  JoinConfig inert = plain;
+  inert.fault_policy = &zero;
+  inert.fault_seed = 12345;  // Must be irrelevant.
+
+  auto compare = [&](const char* name, const JoinResult& a,
+                     const JoinResult& b) {
+    EXPECT_EQ(a.output_rows, b.output_rows) << name;
+    EXPECT_EQ(a.checksum.digest(), b.checksum.digest()) << name;
+    EXPECT_TRUE(a.traffic == b.traffic) << name;
+    EXPECT_EQ(b.traffic.TotalRetransmitBytes(), 0u) << name;
+    EXPECT_EQ(b.reliability.retransmitted_frames, 0u) << name;
+    EXPECT_EQ(b.reliability.nack_messages, 0u) << name;
+    EXPECT_EQ(b.reliability.faults.frames_dropped, 0u) << name;
+  };
+  compare("HJ", RunHashJoin(w.r, w.s, plain), RunHashJoin(w.r, w.s, inert));
+  compare("BJ-R", RunBroadcastJoin(w.r, w.s, plain, Direction::kRtoS),
+          RunBroadcastJoin(w.r, w.s, inert, Direction::kRtoS));
+  compare("2TJ-R", RunTrackJoin2(w.r, w.s, plain, Direction::kRtoS),
+          RunTrackJoin2(w.r, w.s, inert, Direction::kRtoS));
+  compare("3TJ", RunTrackJoin3(w.r, w.s, plain),
+          RunTrackJoin3(w.r, w.s, inert));
+  compare("4TJ", RunTrackJoin4(w.r, w.s, plain),
+          RunTrackJoin4(w.r, w.s, inert));
+}
+
 WorkloadSpec Base() {
   WorkloadSpec s;
   s.num_nodes = 4;

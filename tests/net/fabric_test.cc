@@ -144,6 +144,71 @@ TEST(FabricTest, ParallelPhaseMatchesSequential) {
   EXPECT_EQ(run(nullptr), run(&pool));
 }
 
+// The inbox contract algorithms depend on (see fabric.h): delivered
+// messages persist across later barriers until taken, and typed takes
+// leave every other type in place, in delivery order.
+TEST(FabricTest, InboxSurvivesLaterBarriers) {
+  Fabric fabric(2);
+  fabric.RunPhase("send", [&](uint32_t node) {
+    if (node == 0) fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{1});
+  });
+  // Two full barriers pass without node 1 touching its inbox.
+  fabric.RunPhase("idle1", [](uint32_t) {});
+  fabric.RunPhase("idle2", [](uint32_t) {});
+  fabric.RunPhase("receive", [&](uint32_t node) {
+    if (node != 1) return;
+    auto inbox = fabric.TakeInbox(1);
+    ASSERT_EQ(inbox.size(), 1u);
+    EXPECT_EQ(inbox[0].data, (ByteBuffer{1}));
+    EXPECT_TRUE(fabric.TakeInbox(1).empty());  // Taken means gone.
+  });
+}
+
+// The hash-join pattern: R ships in phase 1, S in phase 2, both consumed in
+// phase 3. A typed take of S must not disturb the older R messages.
+TEST(FabricTest, TypedLeftoversSurviveInterveningPhasesAndTakes) {
+  Fabric fabric(2);
+  fabric.RunPhase("send R", [&](uint32_t node) {
+    if (node == 0) {
+      fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{1});
+      fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{2});
+    }
+  });
+  fabric.RunPhase("send S", [&](uint32_t node) {
+    if (node == 0) fabric.Send(0, 1, MessageType::kDataS, ByteBuffer{7});
+  });
+  fabric.RunPhase("consume", [&](uint32_t node) {
+    if (node != 1) return;
+    // Take the newer type first; the older type must be untouched and in
+    // its original delivery order.
+    auto s = fabric.TakeInbox(1, MessageType::kDataS);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0].data, (ByteBuffer{7}));
+    auto r = fabric.TakeInbox(1, MessageType::kDataR);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].data, (ByteBuffer{1}));
+    EXPECT_EQ(r[1].data, (ByteBuffer{2}));
+  });
+  // Nothing left over after both takes.
+  fabric.RunPhase("check", [&](uint32_t node) {
+    if (node == 1) EXPECT_TRUE(fabric.TakeInbox(1).empty());
+  });
+}
+
+// A typed take for a type that was never sent is an empty result, not an
+// error, and leaves other messages pending.
+TEST(FabricTest, TypedTakeOfAbsentTypeIsEmpty) {
+  Fabric fabric(2);
+  fabric.RunPhase("send", [&](uint32_t node) {
+    if (node == 0) fabric.Send(0, 1, MessageType::kTrackR, ByteBuffer{5});
+  });
+  fabric.RunPhase("receive", [&](uint32_t node) {
+    if (node != 1) return;
+    EXPECT_TRUE(fabric.TakeInbox(1, MessageType::kAck).empty());
+    EXPECT_EQ(fabric.TakeInbox(1, MessageType::kTrackR).size(), 1u);
+  });
+}
+
 TEST(FabricTest, MessagesOrderedBySenderThenSendOrder) {
   Fabric fabric(3);
   fabric.RunPhase("send", [&](uint32_t node) {

@@ -1,0 +1,101 @@
+// Wire framing: round-trips, CRC32C vectors, and rejection of every kind of
+// mangled frame the fault injector can produce.
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace tj {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / common reference vector.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, Incremental) {
+  const char* s = "123456789";
+  uint32_t whole = Crc32c(s, 9);
+  uint32_t part = Crc32c(s, 4);
+  EXPECT_EQ(Crc32c(s + 4, 5, part), whole);
+}
+
+TEST(FrameTest, RoundTrip) {
+  ByteBuffer payload = {1, 2, 3, 4, 5};
+  ByteBuffer frame;
+  EncodeFrame(MessageType::kDataS, 42, payload, &frame);
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  FrameHeader header;
+  ByteBuffer decoded;
+  ASSERT_TRUE(DecodeFrame(frame, &header, &decoded).ok());
+  EXPECT_EQ(header.type, MessageType::kDataS);
+  EXPECT_EQ(header.seq, 42u);
+  EXPECT_EQ(header.payload_len, payload.size());
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrip) {
+  ByteBuffer frame;
+  EncodeFrame(MessageType::kAck, 0, ByteBuffer{}, &frame);
+  FrameHeader header;
+  ByteBuffer decoded;
+  ASSERT_TRUE(DecodeFrame(frame, &header, &decoded).ok());
+  EXPECT_EQ(header.payload_len, 0u);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(FrameTest, EveryTruncationRejected) {
+  ByteBuffer frame;
+  EncodeFrame(MessageType::kDataR, 7, ByteBuffer{9, 9, 9}, &frame);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    ByteBuffer trunc(frame.begin(), frame.begin() + cut);
+    FrameHeader header;
+    ByteBuffer payload;
+    Status status = DecodeFrame(trunc, &header, &payload);
+    ASSERT_FALSE(status.ok()) << "cut=" << cut;
+    EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(FrameTest, EveryBitFlipDetected) {
+  ByteBuffer frame;
+  EncodeFrame(MessageType::kTrackR, 3, ByteBuffer{0xab, 0xcd}, &frame);
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      ByteBuffer flipped = frame;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      FrameHeader header;
+      ByteBuffer payload;
+      Status status = DecodeFrame(flipped, &header, &payload);
+      ASSERT_FALSE(status.ok()) << "byte=" << byte << " bit=" << bit;
+      EXPECT_EQ(status.code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(FrameTest, TrailingBytesRejected) {
+  ByteBuffer frame;
+  EncodeFrame(MessageType::kDataR, 1, ByteBuffer{5}, &frame);
+  frame.push_back(0);
+  FrameHeader header;
+  ByteBuffer payload;
+  EXPECT_EQ(DecodeFrame(frame, &header, &payload).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  ByteBuffer frame;
+  EncodeFrame(MessageType::kDataR, 1, ByteBuffer{5}, &frame);
+  frame[0] = 0x00;
+  frame[1] = 0x00;
+  FrameHeader header;
+  ByteBuffer payload;
+  EXPECT_EQ(DecodeFrame(frame, &header, &payload).code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: build and run the test suite under ASan and UBSan.
+#
+#   tools/ci.sh            # both sanitizers
+#   tools/ci.sh address    # just one
+#
+# Each sanitizer gets its own binary dir (build-asan/, build-ubsan/) so the
+# plain build/ tree is never polluted with instrumented objects.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("${@:-address}" )
+if [[ $# -eq 0 ]]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  dir="build-${san}"
+  case "${san}" in
+    address) dir=build-asan ;;
+    undefined) dir=build-ubsan ;;
+    thread) dir=build-tsan ;;
+    *) echo "unknown sanitizer '${san}' (address|undefined|thread)" >&2; exit 1 ;;
+  esac
+  echo "=== ${san}: configure + build (${dir}) ==="
+  cmake -B "${dir}" -S . -DTJ_SANITIZE="${san}" >/dev/null
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "=== ${san}: ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure
+done
+
+echo "ci.sh: all sanitizer runs passed"

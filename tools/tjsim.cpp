@@ -47,6 +47,9 @@ struct Options {
   uint64_t seed = 42;
   double bandwidth_gbps = 0.093;
   std::vector<std::string> algos = {"all"};
+  tj::FaultPolicy fault;
+  uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
 };
 
 [[noreturn]] void Usage() {
@@ -75,6 +78,16 @@ execution:
   --delta              delta-compress tracking keys
   --group              node-group location messages
   --bandwidth=GBPS     NIC GB/s for the time model (default 0.093)
+
+fault injection (any nonzero flag frames messages and enables retry/ack):
+  --fault-drop=P       P(frame dropped) per transmission (default 0)
+  --fault-corrupt=P    P(one bit flipped) per transmission (default 0)
+  --fault-dup=P        P(frame duplicated) per transmission (default 0)
+  --fault-reorder=P    P(adjacent inbox messages swapped) (default 0)
+  --fault-crash-node=N node that fail-stops (query fails with DataLoss)
+  --fault-crash-phase=K  0-based global phase the crash takes effect
+  --fault-retries=N    retransmit rounds before giving up (default 8)
+  --fault-seed=N       injector PRNG seed (default: --seed)
 )");
   std::exit(0);
 }
@@ -153,6 +166,23 @@ Options Parse(int argc, char** argv) {
       opt.seed = std::strtoull(v, nullptr, 10);
     } else if ((v = val("--bandwidth="))) {
       opt.bandwidth_gbps = std::strtod(v, nullptr);
+    } else if ((v = val("--fault-drop="))) {
+      opt.fault.drop = std::strtod(v, nullptr);
+    } else if ((v = val("--fault-corrupt="))) {
+      opt.fault.corrupt = std::strtod(v, nullptr);
+    } else if ((v = val("--fault-dup="))) {
+      opt.fault.duplicate = std::strtod(v, nullptr);
+    } else if ((v = val("--fault-reorder="))) {
+      opt.fault.reorder = std::strtod(v, nullptr);
+    } else if ((v = val("--fault-crash-node="))) {
+      opt.fault.crash_node = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--fault-crash-phase="))) {
+      opt.fault.crash_phase = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--fault-retries="))) {
+      opt.fault.max_retries = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = val("--fault-seed="))) {
+      opt.fault_seed = std::strtoull(v, nullptr, 10);
+      opt.fault_seed_set = true;
     } else if ((v = val("--algo="))) {
       opt.algos = SplitList(v);
     } else if (std::strcmp(a, "--shuffle") == 0) {
@@ -173,33 +203,35 @@ Options Parse(int argc, char** argv) {
   return opt;
 }
 
-struct Candidate {
-  const char* name;
-  tj::JoinResult (*run)(const tj::PartitionedTable&, const tj::PartitionedTable&,
-                        const tj::JoinConfig&);
-};
-
-tj::JoinResult RunByName(const std::string& name, const tj::Workload& w,
-                         const tj::JoinConfig& config, bool* known) {
+tj::Result<tj::JoinResult> RunByName(const std::string& name,
+                                     const tj::Workload& w,
+                                     const tj::JoinConfig& config,
+                                     bool* known) {
   *known = true;
-  if (name == "hj") return tj::RunHashJoin(w.r, w.s, config);
+  if (name == "hj") return tj::TryRunHashJoin(w.r, w.s, config);
   if (name == "bj-r") {
-    return tj::RunBroadcastJoin(w.r, w.s, config, tj::Direction::kRtoS);
+    return tj::TryRunBroadcastJoin(w.r, w.s, config, tj::Direction::kRtoS);
   }
   if (name == "bj-s") {
-    return tj::RunBroadcastJoin(w.r, w.s, config, tj::Direction::kStoR);
+    return tj::TryRunBroadcastJoin(w.r, w.s, config, tj::Direction::kStoR);
   }
   if (name == "2tj-r") {
-    return tj::RunTrackJoin2(w.r, w.s, config, tj::Direction::kRtoS);
+    return tj::TryRunTrackJoin(w.r, w.s, config, tj::TrackJoinVersion::k2Phase,
+                               tj::Direction::kRtoS);
   }
   if (name == "2tj-s") {
-    return tj::RunTrackJoin2(w.r, w.s, config, tj::Direction::kStoR);
+    return tj::TryRunTrackJoin(w.r, w.s, config, tj::TrackJoinVersion::k2Phase,
+                               tj::Direction::kStoR);
   }
-  if (name == "3tj") return tj::RunTrackJoin3(w.r, w.s, config);
-  if (name == "4tj") return tj::RunTrackJoin4(w.r, w.s, config);
-  if (name == "rid-hj") return tj::RunRidHashJoin(w.r, w.s, config);
+  if (name == "3tj") {
+    return tj::TryRunTrackJoin(w.r, w.s, config, tj::TrackJoinVersion::k3Phase);
+  }
+  if (name == "4tj") {
+    return tj::TryRunTrackJoin(w.r, w.s, config, tj::TrackJoinVersion::k4Phase);
+  }
+  if (name == "rid-hj") return tj::TryRunRidHashJoin(w.r, w.s, config);
   if (name == "late-hj") {
-    return tj::RunLateMaterializedHashJoin(w.r, w.s, config);
+    return tj::TryRunLateMaterializedHashJoin(w.r, w.s, config);
   }
   *known = false;
   return tj::JoinResult{};
@@ -250,6 +282,11 @@ int main(int argc, char** argv) {
   config.balance_loads = opt.balance;
   config.delta_tracking = opt.delta;
   config.group_locations = opt.group;
+  const bool faults = opt.fault.active();
+  if (faults) {
+    config.fault_policy = &opt.fault;
+    config.fault_seed = opt.fault_seed_set ? opt.fault_seed : opt.seed;
+  }
 
   std::vector<std::string> algos = opt.algos;
   if (algos.size() == 1 && algos[0] == "all") {
@@ -272,12 +309,18 @@ int main(int argc, char** argv) {
   bool have_reference = false;
   for (const std::string& algo : algos) {
     bool known = false;
-    tj::JoinResult result = RunByName(algo, w, config, &known);
+    tj::Result<tj::JoinResult> run = RunByName(algo, w, config, &known);
     if (!known) {
       std::fprintf(stderr, "unknown algorithm '%s' (try --help)\n",
                    algo.c_str());
       return 1;
     }
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", algo.c_str(),
+                   run.status().ToString().c_str());
+      return 2;
+    }
+    tj::JoinResult result = std::move(run).value();
     if (!have_reference) {
       reference_digest = result.checksum.digest();
       reference_rows = result.output_rows;
@@ -296,8 +339,21 @@ int main(int argc, char** argv) {
         mib(t.NetworkBytes(tj::TrafficClass::kSTuples)),
         mib(t.TotalNetworkBytes()), mib(t.MaxNodeBytes()),
         model.BottleneckSeconds(t));
+    if (faults) {
+      const tj::ReliabilityStats& rel = result.reliability;
+      std::printf(
+          "  faults: dropped=%" PRIu64 " corrupted=%" PRIu64
+          " duplicated=%" PRIu64 " reordered=%" PRIu64
+          " retransmitted=%" PRIu64 " nacks=%" PRIu64 " retrans_bytes=%" PRIu64
+          "\n",
+          rel.faults.frames_dropped, rel.faults.frames_corrupted,
+          rel.faults.frames_duplicated, rel.faults.messages_reordered,
+          rel.retransmitted_frames, rel.nack_messages,
+          t.TotalRetransmitBytes());
+    }
   }
-  std::printf("\n%" PRIu64 " output rows (all algorithms verified equal)\n",
-              reference_rows);
+  std::printf("\noutcome: digest=%016" PRIx64 " rows=%" PRIu64
+              " (all algorithms verified equal)\n",
+              reference_digest, reference_rows);
   return 0;
 }
