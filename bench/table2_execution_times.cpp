@@ -13,12 +13,15 @@
 // linearly; network seconds are modeled as the busiest NIC's byte volume
 // through the paper's measured 0.093 GB/s edge rate. Absolute values
 // differ from the paper's hardware; the algorithm-to-algorithm ratios are
-// the reproduced result.
+// the reproduced result. Both rows come from each run's StepProfile
+// (obs/step_profile.h): CPU is the summed per-step wall time, net is the
+// whole-run NIC bottleneck the profile carries.
 #include <cinttypes>
 #include <cstdio>
 
 #include "bench/real_bench.h"
 #include "net/time_model.h"
+#include "obs/step_profile.h"
 
 namespace tj {
 namespace bench {
@@ -40,10 +43,13 @@ Row RunSuite(const RealJoinSpec& spec, bool original_order, uint64_t scale,
       JoinAlgorithm::kTrack4};
   for (int i = 0; i < 4; ++i) {
     JoinResult result = RunAlgorithm(algorithms[i], w.r, w.s, config);
-    row.cpu[i] = result.TotalCpuSeconds() * static_cast<double>(scale);
-    // Scale the traffic matrix linearly: bytes scale with cardinality.
-    row.net[i] =
-        model.BottleneckSeconds(result.traffic) * static_cast<double>(scale);
+    const StepProfile& prof = result.profile;
+    row.cpu[i] = prof.TotalWallSeconds() * static_cast<double>(scale);
+    // Scale linearly: bytes scale with cardinality. run_max_node_bytes is
+    // the whole-run NIC bottleneck (== TrafficMatrix::MaxNodeBytes).
+    row.net[i] = static_cast<double>(prof.run_max_node_bytes) /
+                 model.node_bandwidth_bytes_per_sec *
+                 static_cast<double>(scale);
   }
   return row;
 }

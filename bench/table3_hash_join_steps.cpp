@@ -8,12 +8,15 @@
 // CPU rows are measured phase wall times on the scaled input (projected
 // linearly); transfer and local-copy rows are modeled from the measured
 // byte counts (0.093 GB/s NIC, 12.4 GB/s RAM-to-RAM copy — the paper's
-// hardware numbers).
+// hardware numbers). All rows come from the run's StepProfile records
+// (obs/step_profile.h) — the same per-phase observability data the
+// production path records and `tjsim --profile` prints.
 #include <cinttypes>
 #include <cstdio>
 
 #include "baseline/hash_join.h"
 #include "bench/real_bench.h"
+#include "obs/step_profile.h"
 
 namespace tj {
 namespace bench {
@@ -35,22 +38,22 @@ Steps RunSteps(const RealJoinSpec& spec, bool original_order, uint64_t scale,
   JoinConfig config = RealConfig(spec);
   Workload w = InstantiateReal(spec, nodes, scale, original_order, seed);
   JoinResult result = RunHashJoin(w.r, w.s, config);
+  const StepProfile& prof = result.profile;
   double p = static_cast<double>(scale);
   Steps steps{};
-  for (const auto& [name, secs] : result.phase_seconds) {
-    if (name == "hash partition & transfer R tuples") steps.partition_r = secs * p;
-    if (name == "hash partition & transfer S tuples") steps.partition_s = secs * p;
-    if (name == "sort received R tuples") steps.sort_r = secs * p;
-    if (name == "sort received S tuples") steps.sort_s = secs * p;
-    if (name == "final merge-join") steps.merge_join = secs * p;
-  }
-  const TrafficMatrix& t = result.traffic;
+  steps.partition_r =
+      prof.WallSeconds("hash partition & transfer R tuples") * p;
+  steps.partition_s =
+      prof.WallSeconds("hash partition & transfer S tuples") * p;
+  steps.sort_r = prof.WallSeconds("sort received R tuples") * p;
+  steps.sort_s = prof.WallSeconds("sort received S tuples") * p;
+  steps.merge_join = prof.WallSeconds("final merge-join") * p;
   // Per-node transfers overlap; the busiest sender bounds the step time.
   steps.transfer_r =
-      t.NetworkBytes(MessageType::kDataR) / nodes * p / kNicBytesPerSec;
+      prof.NetworkBytes(MessageType::kDataR) / nodes * p / kNicBytesPerSec;
   steps.transfer_s =
-      t.NetworkBytes(MessageType::kDataS) / nodes * p / kNicBytesPerSec;
-  steps.local_copy = t.TotalLocalBytes() / nodes * p / kRamCopyBytesPerSec;
+      prof.NetworkBytes(MessageType::kDataS) / nodes * p / kNicBytesPerSec;
+  steps.local_copy = prof.TotalLocalBytes() / nodes * p / kRamCopyBytesPerSec;
   return steps;
 }
 

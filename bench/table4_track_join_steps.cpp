@@ -10,12 +10,15 @@
 //
 // CPU rows: measured phase wall times projected linearly; transfer and
 // local-copy rows modeled from byte counts (0.093 GB/s NIC, 12.4 GB/s RAM
-// copy), split by message type exactly as the paper's rows are.
+// copy), split by message type exactly as the paper's rows are. All rows
+// come from the run's StepProfile records (obs/step_profile.h) — the same
+// per-phase observability data `tjsim --profile` prints.
 #include <cinttypes>
 #include <cstdio>
 
 #include "bench/real_bench.h"
 #include "core/track_join.h"
+#include "obs/step_profile.h"
 
 namespace tj {
 namespace bench {
@@ -24,27 +27,20 @@ namespace {
 constexpr double kNicBytesPerSec = 0.093e9;
 constexpr double kRamCopyBytesPerSec = 12.4e9;
 
-double PhaseSeconds(const JoinResult& result, const char* name) {
-  for (const auto& [phase, secs] : result.phase_seconds) {
-    if (phase == name) return secs;
-  }
-  return 0.0;
-}
-
 void RunColumn(const char* header, const RealJoinSpec& spec,
                bool original_order, uint64_t scale, uint32_t nodes,
                uint64_t seed) {
   JoinConfig config = RealConfig(spec);
   Workload w = InstantiateReal(spec, nodes, scale, original_order, seed);
   JoinResult result = RunTrackJoin4(w.r, w.s, config);
-  const TrafficMatrix& t = result.traffic;
+  const StepProfile& prof = result.profile;
   const double p = static_cast<double>(scale);
-  auto cpu = [&](const char* name) { return PhaseSeconds(result, name) * p; };
+  auto cpu = [&](const char* name) { return prof.WallSeconds(name) * p; };
   auto nic = [&](MessageType type) {
-    return t.NetworkBytes(type) / nodes * p / kNicBytesPerSec;
+    return prof.NetworkBytes(type) / nodes * p / kNicBytesPerSec;
   };
   auto ram = [&](MessageType type) {
-    return t.LocalBytes(type) / nodes * p / kRamCopyBytesPerSec;
+    return prof.LocalBytes(type) / nodes * p / kRamCopyBytesPerSec;
   };
 
   std::printf("%s\n", header);

@@ -97,6 +97,7 @@ Result<JoinResult> TryRunHashJoin(const PartitionedTable& r,
   result.traffic = fabric.traffic();
   result.phase_seconds = fabric.phase_seconds();
   result.reliability = fabric.reliability();
+  result.profile = BuildStepProfile("hj", fabric);
   for (uint32_t node = 0; node < n; ++node) {
     result.output_rows += outputs[node];
     result.checksum.Merge(checksums[node]);

@@ -45,15 +45,30 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  auto next = std::make_shared<std::atomic<size_t>>(0);
+  // Waiting is batch-scoped: each ParallelFor waits on its own latch, so
+  // concurrent batches (or a batch racing an unrelated Submit) never block
+  // on each other's work. The whole-pool drain stays available as Wait().
+  struct Batch {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending = 0;
+  };
+  auto batch = std::make_shared<Batch>();
   size_t workers = std::min(n, threads_.size());
+  batch->pending = workers;
   for (size_t w = 0; w < workers; ++w) {
-    Submit([next, n, &fn] {
+    // Capturing &fn is safe: ParallelFor returns only after every worker in
+    // this batch has finished.
+    Submit([batch, n, &fn] {
       size_t i;
-      while ((i = next->fetch_add(1)) < n) fn(i);
+      while ((i = batch->next.fetch_add(1)) < n) fn(i);
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (--batch->pending == 0) batch->done.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done.wait(lock, [&batch] { return batch->pending == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

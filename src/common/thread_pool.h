@@ -29,10 +29,13 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every task submitted to the pool has finished — a
+  /// whole-pool drain, including tasks other threads submitted.
   void Wait();
 
-  /// Runs fn(i) for i in [0, n), distributing across the pool, and waits.
+  /// Runs fn(i) for i in [0, n), distributing across the pool, and waits
+  /// for exactly this batch: concurrent ParallelFor calls (or unrelated
+  /// Submits) do not extend the wait.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }

@@ -10,6 +10,7 @@
 
 #include "net/fault_injector.h"
 #include "net/traffic.h"
+#include "obs/step_profile.h"
 #include "storage/table.h"
 
 namespace tj {
@@ -83,6 +84,11 @@ struct JoinResult {
   /// Injected-fault and recovery-protocol counters for the run (all-zero
   /// without an active fault policy).
   ReliabilityStats reliability;
+  /// The de-pipelined step breakdown: one record per phase with wall
+  /// seconds, modeled network seconds, and goodput/local/retransmit byte
+  /// splits (obs/step_profile.h). phase_seconds above is its wall-time
+  /// projection, kept for existing consumers.
+  StepProfile profile;
 
   /// Sum of all phase wall times.
   double TotalCpuSeconds() const {

@@ -251,6 +251,7 @@ Result<JoinResult> TryRunRidHashJoin(const PartitionedTable& r,
   result.traffic = fabric.traffic();
   result.phase_seconds = fabric.phase_seconds();
   result.reliability = fabric.reliability();
+  result.profile = BuildStepProfile("rid-hj", fabric);
   for (uint32_t node = 0; node < n; ++node) {
     result.output_rows += outputs[node];
     result.checksum.Merge(checksums[node]);

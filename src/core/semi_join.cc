@@ -33,6 +33,8 @@ void MergeResult(const FilteredInputs& pre, JoinResult* result) {
   result->phase_seconds.insert(result->phase_seconds.begin(),
                                pre.phase_seconds.begin(),
                                pre.phase_seconds.end());
+  result->profile.Prepend(pre.profile);
+  result->profile.algorithm = "sj+" + result->profile.algorithm;
 }
 
 }  // namespace
@@ -63,6 +65,7 @@ FilteredInputs ExchangeFiltersAndPrune(const PartitionedTable& r,
   FilteredInputs out{PartitionedTable(r.name(), n, r.payload_width()),
                      PartitionedTable(s.name(), n, s.payload_width()),
                      TrafficMatrix(n),
+                     {},
                      {},
                      0,
                      0};
@@ -99,6 +102,7 @@ FilteredInputs ExchangeFiltersAndPrune(const PartitionedTable& r,
 
   out.filter_traffic = fabric.traffic();
   out.phase_seconds = fabric.phase_seconds();
+  out.profile = BuildStepProfile("semi-join filter", fabric);
   return out;
 }
 

@@ -32,6 +32,9 @@ struct FilteredInputs {
   PartitionedTable s;
   TrafficMatrix filter_traffic;
   std::vector<std::pair<std::string, double>> phase_seconds;
+  /// Step records of the filter exchange, spliced in front of the inner
+  /// join's profile by the wrappers.
+  StepProfile profile;
   uint64_t r_rows_pruned = 0;
   uint64_t s_rows_pruned = 0;
 };

@@ -241,6 +241,8 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
   result.traffic = fabric.traffic();
   result.phase_seconds = fabric.phase_seconds();
   result.reliability = fabric.reliability();
+  result.profile = BuildStepProfile(
+      direction == Direction::kRtoS ? "stj-r" : "stj-s", fabric);
   for (uint32_t node = 0; node < n; ++node) {
     result.output_rows += outputs[node];
     result.checksum.Merge(checksums[node]);

@@ -11,7 +11,9 @@ Fabric::Fabric(uint32_t num_nodes)
     : num_nodes_(num_nodes),
       traffic_(num_nodes),
       queued_(num_nodes),
-      inboxes_(num_nodes) {
+      inboxes_(num_nodes),
+      seen_ingress_(num_nodes, 0),
+      seen_egress_(num_nodes, 0) {
   TJ_CHECK_GT(num_nodes, 0u);
 }
 
@@ -120,7 +122,53 @@ Status Fabric::RunPhaseReliable(const std::string& name,
         " crashed (fail-stop) before completing phase " +
         std::to_string(phase) + " '" + name + "'");
   }
-  return DeliverBarrier(name);
+  TJ_RETURN_IF_ERROR(DeliverBarrier(name));
+  RecordPhaseStats(name, elapsed);
+  return Status::OK();
+}
+
+void Fabric::RecordPhaseStats(const std::string& name, double wall_seconds) {
+  PhaseStats stats;
+  stats.name = name;
+  stats.wall_seconds = wall_seconds;
+  for (int t = 0; t < kNumMessageTypes; ++t) {
+    MessageType type = static_cast<MessageType>(t);
+    uint64_t network = traffic_.NetworkBytes(type);
+    uint64_t local = traffic_.LocalBytes(type);
+    uint64_t retransmit = traffic_.RetransmitBytes(type);
+    stats.network_bytes[t] = network - seen_network_[t];
+    stats.local_bytes[t] = local - seen_local_[t];
+    stats.retransmit_bytes[t] = retransmit - seen_retransmit_[t];
+    seen_network_[t] = network;
+    seen_local_[t] = local;
+    seen_retransmit_[t] = retransmit;
+  }
+  for (uint32_t node = 0; node < num_nodes_; ++node) {
+    uint64_t ingress = traffic_.IngressBytes(node);
+    uint64_t egress = traffic_.EgressBytes(node);
+    stats.max_node_bytes = std::max(
+        {stats.max_node_bytes, ingress - seen_ingress_[node],
+         egress - seen_egress_[node]});
+    seen_ingress_[node] = ingress;
+    seen_egress_[node] = egress;
+  }
+  stats.retransmitted_frames =
+      retransmitted_frames_ - seen_retransmitted_frames_;
+  stats.nack_messages = nack_messages_ - seen_nack_messages_;
+  seen_retransmitted_frames_ = retransmitted_frames_;
+  seen_nack_messages_ = nack_messages_;
+  if (injector_) {
+    FaultCounters now = injector_->counters();
+    stats.faults.frames_dropped = now.frames_dropped - seen_faults_.frames_dropped;
+    stats.faults.frames_corrupted =
+        now.frames_corrupted - seen_faults_.frames_corrupted;
+    stats.faults.frames_duplicated =
+        now.frames_duplicated - seen_faults_.frames_duplicated;
+    stats.faults.messages_reordered =
+        now.messages_reordered - seen_faults_.messages_reordered;
+    seen_faults_ = now;
+  }
+  phase_stats_.push_back(std::move(stats));
 }
 
 void Fabric::RunPhase(const std::string& name,

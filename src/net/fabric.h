@@ -36,6 +36,7 @@
 #ifndef TJ_NET_FABRIC_H_
 #define TJ_NET_FABRIC_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -115,6 +116,32 @@ class Fabric {
     return phase_seconds_;
   }
 
+  /// Phase-scoped instrumentation, captured once per successful barrier:
+  /// everything the phase put on the wire (as deltas of the run ledgers)
+  /// plus what the injector and the retry protocol did during it. Phases
+  /// are labeled here, at the barrier, so algorithms never thread profiling
+  /// state through their per-node work. Purely observational — recording
+  /// never writes the TrafficMatrix or perturbs delivery.
+  struct PhaseStats {
+    std::string name;
+    double wall_seconds = 0;
+    /// max over nodes of max(ingress, egress) goodput this phase.
+    uint64_t max_node_bytes = 0;
+    uint64_t retransmitted_frames = 0;
+    uint64_t nack_messages = 0;
+    /// Injected-fault events observed during this phase.
+    FaultCounters faults;
+    /// Per-message-type byte deltas: network (src != dst) first sends,
+    /// local copies, and recovery overhead.
+    std::array<uint64_t, kNumMessageTypes> network_bytes{};
+    std::array<uint64_t, kNumMessageTypes> local_bytes{};
+    std::array<uint64_t, kNumMessageTypes> retransmit_bytes{};
+  };
+
+  /// One entry per completed phase, in execution order. Failed phases are
+  /// not recorded (callers abandon the fabric on error).
+  const std::vector<PhaseStats>& phase_stats() const { return phase_stats_; }
+
  private:
   struct Pending {
     uint32_t dst;
@@ -138,6 +165,10 @@ class Fabric {
   /// inboxes in (src, seq) order. Pristine-path barrier when no injector.
   Status DeliverBarrier(const std::string& name);
 
+  /// Appends this phase's PhaseStats entry by diffing the run ledgers
+  /// against the snapshots taken at the previous barrier.
+  void RecordPhaseStats(const std::string& name, double wall_seconds);
+
   uint32_t num_nodes_;
   ThreadPool* pool_ = nullptr;
   TrafficMatrix traffic_;
@@ -149,6 +180,18 @@ class Fabric {
   std::vector<std::vector<Message>> inboxes_;
   std::vector<std::pair<std::string, double>> phase_seconds_;
   bool in_phase_ = false;
+
+  // Phase-scoped instrumentation: per-phase records plus the ledger
+  // snapshots ("state at the last barrier") the deltas are diffed against.
+  std::vector<PhaseStats> phase_stats_;
+  std::array<uint64_t, kNumMessageTypes> seen_network_{};
+  std::array<uint64_t, kNumMessageTypes> seen_local_{};
+  std::array<uint64_t, kNumMessageTypes> seen_retransmit_{};
+  std::vector<uint64_t> seen_ingress_;
+  std::vector<uint64_t> seen_egress_;
+  uint64_t seen_retransmitted_frames_ = 0;
+  uint64_t seen_nack_messages_ = 0;
+  FaultCounters seen_faults_;
 
   // Fault-tolerant mode state.
   std::optional<FaultInjector> injector_;

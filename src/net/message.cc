@@ -24,6 +24,40 @@ const char* TrafficClassName(TrafficClass cls) {
   return "Unknown";
 }
 
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kTrackR:
+      return "track_r";
+    case MessageType::kTrackS:
+      return "track_s";
+    case MessageType::kLocationsToR:
+      return "locations_to_r";
+    case MessageType::kLocationsToS:
+      return "locations_to_s";
+    case MessageType::kMigrateR:
+      return "migrate_r";
+    case MessageType::kMigrateS:
+      return "migrate_s";
+    case MessageType::kDataR:
+      return "data_r";
+    case MessageType::kDataS:
+      return "data_s";
+    case MessageType::kMigrationDataR:
+      return "migration_data_r";
+    case MessageType::kMigrationDataS:
+      return "migration_data_s";
+    case MessageType::kRidR:
+      return "rid_r";
+    case MessageType::kRidS:
+      return "rid_s";
+    case MessageType::kFilter:
+      return "filter";
+    case MessageType::kAck:
+      return "ack";
+  }
+  return "unknown";
+}
+
 TrafficClass ClassOf(MessageType type) {
   switch (type) {
     case MessageType::kTrackR:

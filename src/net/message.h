@@ -46,6 +46,10 @@ constexpr int kNumTrafficClasses = 6;
 
 const char* TrafficClassName(TrafficClass cls);
 
+/// Stable lowercase identifier for a message type ("track_r", "data_s",
+/// ...), as used by the profiling layer's JSON/CSV output.
+const char* MessageTypeName(MessageType type);
+
 /// The figure class a message type is accounted under.
 TrafficClass ClassOf(MessageType type);
 

@@ -1,0 +1,106 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+namespace tj {
+
+namespace {
+
+template <typename Map>
+auto& GetOrCreate(std::mutex& mu, Map& map, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = map[name];
+  if (!slot) slot = std::make_unique<typename Map::mapped_type::element_type>();
+  return *slot;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return GetOrCreate(mu_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return GetOrCreate(mu_, gauges_, name);
+}
+
+TimerMetric& MetricsRegistry::timer(const std::string& name) {
+  return GetOrCreate(mu_, timers_, name);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    out.push_back(Sample{name, "counter", static_cast<double>(c->Value()), 0});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back(Sample{name, "gauge", g->Value(), 0});
+  }
+  for (const auto& [name, t] : timers_) {
+    out.push_back(Sample{name, "timer", t->TotalSeconds(), t->Count()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Sample& s : Snapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(s.name, &out);
+    char buf[96];
+    if (std::string_view(s.kind) == "timer") {
+      std::snprintf(buf, sizeof(buf),
+                    ": {\"kind\": \"timer\", \"total_seconds\": %.9g, "
+                    "\"count\": %llu}",
+                    s.value, static_cast<unsigned long long>(s.count));
+    } else {
+      std::snprintf(buf, sizeof(buf), ": {\"kind\": \"%s\", \"value\": %.9g}",
+                    s.kind, s.value);
+    }
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace tj

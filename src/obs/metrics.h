@@ -1,0 +1,109 @@
+// Process-wide metrics registry: named counters, gauges and timers.
+//
+// The simulator-side observability layer (obs/step_profile.h) produces one
+// structured record per join phase; this registry is the complementary
+// always-on aggregate view — how many joins ran, how many bytes moved, how
+// much recovery traffic the fault protocol generated — cheap enough to stay
+// enabled on every run. All instruments are thread-safe; reads are
+// wait-free snapshots.
+#ifndef TJ_OBS_METRICS_H_
+#define TJ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tj {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated duration plus observation count (mean = total / count).
+class TimerMetric {
+ public:
+  void Record(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_seconds_ += seconds;
+    ++count_;
+  }
+  double TotalSeconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_seconds_;
+  }
+  uint64_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double MeanSeconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ > 0 ? total_seconds_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double total_seconds_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+/// Registry of named instruments. Instruments are created on first use and
+/// live for the registry's lifetime, so returned references stay valid.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  TimerMetric& timer(const std::string& name);
+
+  /// One instrument's state at snapshot time.
+  struct Sample {
+    std::string name;
+    const char* kind;  // "counter" | "gauge" | "timer"
+    double value;      // counter/gauge value, timer total seconds
+    uint64_t count;    // timer observation count (0 otherwise)
+  };
+
+  /// All instruments, sorted by name.
+  std::vector<Sample> Snapshot() const;
+
+  /// Snapshot as a JSON object keyed by instrument name.
+  std::string ToJson() const;
+
+  /// Drops every instrument (invalidates outstanding references); only for
+  /// test isolation.
+  void ResetForTest();
+
+  /// The process-wide registry the join pipelines report into.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_OBS_METRICS_H_

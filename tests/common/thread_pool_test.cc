@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace tj {
@@ -58,6 +60,70 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
     pool.Wait();
     EXPECT_EQ(counter.load(), (wave + 1) * 20);
   }
+}
+
+// Regression: ParallelFor used to drain the whole pool, so an unrelated
+// in-flight task kept the batch blocked (and this test hung here).
+TEST(ThreadPoolTest, ParallelForWaitsForItsBatchOnly) {
+  ThreadPool pool(4);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> gated_done{false};
+  pool.Submit([&, gate] {
+    gate.wait();
+    gated_done.store(true);
+  });
+  std::vector<std::atomic<int>> hits(200);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_FALSE(gated_done.load());  // The batch did not wait for the task.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  release.set_value();
+  pool.Wait();  // Whole-pool drain still covers unrelated tasks.
+  EXPECT_TRUE(gated_done.load());
+}
+
+// Regression: two concurrent ParallelFor batches used to block on each
+// other; the fast batch must finish while the slow one is still gated.
+TEST(ThreadPoolTest, ConcurrentBatchesDoNotBlockEachOther) {
+  ThreadPool pool(4);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> slow_started{0};
+  std::atomic<int> slow_done{0};
+  std::thread slow_caller([&] {
+    pool.ParallelFor(2, [&](size_t) {
+      slow_started.fetch_add(1);
+      gate.wait();
+      slow_done.fetch_add(1);
+    });
+  });
+  while (slow_started.load() < 2) std::this_thread::yield();
+
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(slow_done.load(), 0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  release.set_value();
+  slow_caller.join();
+  EXPECT_EQ(slow_done.load(), 2);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentBatchesCoverAllIndexes) {
+  ThreadPool pool(4);
+  constexpr int kBatches = 8;
+  constexpr size_t kPerBatch = 100;
+  std::vector<std::atomic<int>> hits(kBatches * kPerBatch);
+  std::vector<std::thread> callers;
+  for (int b = 0; b < kBatches; ++b) {
+    callers.emplace_back([&, b] {
+      pool.ParallelFor(kPerBatch, [&, b](size_t i) {
+        hits[b * kPerBatch + i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPoolTest, DefaultThreadCountPositive) {

@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tj {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, HoldsLastWrittenValue) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.Value(), -1.25);
+}
+
+TEST(TimerMetricTest, AccumulatesAndAverages) {
+  TimerMetric t;
+  EXPECT_EQ(t.Count(), 0u);
+  EXPECT_EQ(t.MeanSeconds(), 0.0);
+  t.Record(1.0);
+  t.Record(3.0);
+  EXPECT_EQ(t.Count(), 2u);
+  EXPECT_DOUBLE_EQ(t.TotalSeconds(), 4.0);
+  EXPECT_DOUBLE_EQ(t.MeanSeconds(), 2.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  a.Increment(7);
+  EXPECT_EQ(registry.counter("x").Value(), 7u);
+  // Distinct kinds with the same name are distinct instruments.
+  registry.gauge("x").Set(1.0);
+  EXPECT_EQ(registry.counter("x").Value(), 7u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta").Increment(1);
+  registry.gauge("alpha").Set(2.0);
+  registry.timer("mid").Record(0.5);
+  std::vector<MetricsRegistry::Sample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[1].name, "mid");
+  EXPECT_EQ(samples[2].name, "zeta");
+  EXPECT_STREQ(samples[0].kind, "gauge");
+  EXPECT_STREQ(samples[1].kind, "timer");
+  EXPECT_STREQ(samples[2].kind, "counter");
+  EXPECT_EQ(samples[1].count, 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonGolden) {
+  MetricsRegistry registry;
+  registry.counter("join.runs").Increment(3);
+  registry.gauge("join.last_net_seconds").Set(0.5);
+  registry.timer("join.wall_seconds").Record(1.5);
+  EXPECT_EQ(registry.ToJson(),
+            "{\"join.last_net_seconds\": {\"kind\": \"gauge\", \"value\": 0.5}"
+            ", \"join.runs\": {\"kind\": \"counter\", \"value\": 3}"
+            ", \"join.wall_seconds\": {\"kind\": \"timer\", "
+            "\"total_seconds\": 1.5, \"count\": 1}}");
+}
+
+TEST(MetricsRegistryTest, JsonEscapesControlCharacters) {
+  MetricsRegistry registry;
+  registry.counter("a\"b\\c\nd").Increment();
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"a\\\"b\\\\c\\nd\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("hits").Increment();
+        registry.timer("latency").Record(1e-6);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("hits").Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.timer("latency").Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ResetForTestDropsInstruments) {
+  MetricsRegistry registry;
+  registry.counter("gone").Increment(5);
+  registry.ResetForTest();
+  EXPECT_TRUE(registry.Snapshot().empty());
+  EXPECT_EQ(registry.counter("gone").Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, GlobalIsOneRegistry) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validates `tjsim --profile=json` output read from stdin.
+
+The profile JSON is a stable interface (EXPERIMENTS.md documents how its
+columns map onto the paper's tables), so CI pipes a smoke run through this
+check: the output must be a non-empty array of per-algorithm objects, each
+carrying totals and one record per (algorithm, phase) with wall seconds,
+modeled network seconds, and the goodput/local/retransmit byte split.
+"""
+import json
+import sys
+
+TOTALS_KEYS = {
+    "wall_seconds": float,
+    "net_seconds": float,
+    "goodput_bytes": int,
+    "local_bytes": int,
+    "retransmit_bytes": int,
+    "run_max_node_bytes": int,
+}
+STEP_KEYS = {
+    "phase": str,
+    "wall_seconds": float,
+    "net_seconds": float,
+    "goodput_bytes": int,
+    "local_bytes": int,
+    "retransmit_bytes": int,
+    "max_node_bytes": int,
+    "retransmitted_frames": int,
+    "nack_messages": int,
+    "frames_dropped": int,
+    "frames_corrupted": int,
+    "frames_duplicated": int,
+    "bytes_by_type": dict,
+}
+
+
+def fail(msg):
+    sys.exit("profile schema check FAILED: %s" % msg)
+
+
+def check_fields(obj, spec, where):
+    for key, kind in spec.items():
+        if key not in obj:
+            fail("%s: missing key %r" % (where, key))
+        value = obj[key]
+        if kind is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, kind) and not isinstance(value, bool)
+        if not ok:
+            fail("%s: key %r has %r, expected %s" %
+                 (where, key, value, kind.__name__))
+
+
+def main():
+    try:
+        profiles = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        fail("not valid JSON: %s" % e)
+    if not isinstance(profiles, list) or not profiles:
+        fail("expected a non-empty array of per-algorithm profiles")
+    for profile in profiles:
+        algo = profile.get("algorithm")
+        if not isinstance(algo, str) or not algo:
+            fail("profile without an algorithm name: %r" % profile)
+        if not isinstance(profile.get("nodes"), int) or profile["nodes"] < 1:
+            fail("%s: bad node count" % algo)
+        check_fields(profile.get("totals", {}), TOTALS_KEYS, algo + ".totals")
+        steps = profile.get("steps")
+        if not isinstance(steps, list) or not steps:
+            fail("%s: expected a non-empty steps array" % algo)
+        for step in steps:
+            check_fields(step, STEP_KEYS, "%s step %r" %
+                         (algo, step.get("phase")))
+        # The per-step records must add up to the advertised totals.
+        for key in ("goodput_bytes", "local_bytes", "retransmit_bytes"):
+            total = sum(s[key] for s in steps)
+            if total != profile["totals"][key]:
+                fail("%s: step %s sum %d != total %d" %
+                     (algo, key, total, profile["totals"][key]))
+    print("profile schema check passed: %d algorithm(s), %d step(s)" %
+          (len(profiles), sum(len(p["steps"]) for p in profiles)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# CI gate: build and run the test suite under ASan and UBSan.
+# CI gate: build and run the test suite under ASan and UBSan, smoke the
+# profiling CLI against its JSON schema, and run the thread-pool tests
+# under TSan.
 #
-#   tools/ci.sh            # both sanitizers
-#   tools/ci.sh address    # just one
+#   tools/ci.sh            # default gates: address + undefined
+#   tools/ci.sh address    # just one sanitizer
 #
-# Each sanitizer gets its own binary dir (build-asan/, build-ubsan/) so the
-# plain build/ tree is never polluted with instrumented objects.
+# Each sanitizer gets its own binary dir (build-asan/, build-ubsan/,
+# build-tsan/) so the plain build/ tree is never polluted with
+# instrumented objects.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,5 +32,33 @@ for san in "${sanitizers[@]}"; do
   echo "=== ${san}: ctest ==="
   ctest --test-dir "${dir}" --output-on-failure
 done
+
+# Profiling smoke: the structured output of `tjsim --profile=json` is an
+# interface (EXPERIMENTS.md maps it onto the paper's tables), so CI pins
+# its schema. The asan tree always exists at this point when the default
+# sanitizer set ran; otherwise reuse whatever tree the caller built.
+first="${sanitizers[0]}"
+case "${first}" in
+  address) smoke_dir=build-asan ;;
+  undefined) smoke_dir=build-ubsan ;;
+  thread) smoke_dir=build-tsan ;;
+esac
+echo "=== profile smoke: tjsim --profile=json | check_profile_schema ==="
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=500 --smult=2 \
+    --algo=hj,bj-r,2tj-r,3tj,4tj --profile=json \
+  | python3 tools/check_profile_schema.py
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=400 --fault-drop=0.02 \
+    --fault-corrupt=0.02 --fault-retries=64 --algo=hj,4tj --profile=json \
+  | python3 tools/check_profile_schema.py
+
+# The batch-scoped ParallelFor is lock-order sensitive; run its tests (and
+# the rest of tj_common's concurrency surface) under TSan even when the
+# caller only asked for the default sanitizers.
+if [[ ! " ${sanitizers[*]} " == *" thread "* ]]; then
+  echo "=== thread: thread_pool tests under TSan (build-tsan) ==="
+  cmake -B build-tsan -S . -DTJ_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target thread_pool_test
+  ctest --test-dir build-tsan -R thread_pool_test --output-on-failure
+fi
 
 echo "ci.sh: all sanitizer runs passed"

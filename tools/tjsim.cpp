@@ -8,7 +8,9 @@
 //   tjsim --smult=5 --spattern=2,2,1 --collocation=intra --algo=4tj
 //   tjsim --zipf=1.1 --balance --algo=4tj,hj
 //   tjsim --keys=50000 --runmatched=450000 --algo=all --bandwidth=1.25
+#include <cerrno>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +23,7 @@
 #include "core/rid_hash_join.h"
 #include "core/track_join.h"
 #include "net/time_model.h"
+#include "obs/step_profile.h"
 #include "workload/generator.h"
 
 namespace {
@@ -50,6 +53,7 @@ struct Options {
   tj::FaultPolicy fault;
   uint64_t fault_seed = 0;
   bool fault_seed_set = false;
+  std::string profile;  // "" (off) | json | csv | table
 };
 
 [[noreturn]] void Usage() {
@@ -88,15 +92,74 @@ fault injection (any nonzero flag frames messages and enables retry/ack):
   --fault-crash-phase=K  0-based global phase the crash takes effect
   --fault-retries=N    retransmit rounds before giving up (default 8)
   --fault-seed=N       injector PRNG seed (default: --seed)
+
+observability:
+  --profile=FORMAT     per-step breakdown after each run: json | csv | table
+                       (json/csv replace the default report on stdout)
 )");
   std::exit(0);
 }
 
-std::vector<uint32_t> ParsePattern(const char* s) {
+// --- Strict numeric flag parsing -------------------------------------------
+//
+// Every numeric flag must consume its whole value and fall inside the
+// flag's documented range; anything else (empty value, trailing junk,
+// negative numbers fed to unsigned flags, overflow) is a hard error.
+// strtoul-with-null-endptr silently turned "--nodes=foo" into a 0-node
+// cluster before.
+
+[[noreturn]] void FlagError(const char* flag, const char* value,
+                            const char* expected) {
+  std::fprintf(stderr, "invalid value '%s' for %s (expected %s)\n", value,
+               flag, expected);
+  std::exit(1);
+}
+
+uint64_t ParseUint64Flag(const char* flag, const char* value, uint64_t min,
+                         uint64_t max, const char* expected) {
+  if (*value == '\0' || *value == '-' || *value == '+') {
+    FlagError(flag, value, expected);
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < min ||
+      parsed > max) {
+    FlagError(flag, value, expected);
+  }
+  return parsed;
+}
+
+uint32_t ParseUint32Flag(const char* flag, const char* value, uint32_t min,
+                         uint32_t max, const char* expected) {
+  return static_cast<uint32_t>(ParseUint64Flag(flag, value, min, max,
+                                               expected));
+}
+
+double ParseDoubleFlag(const char* flag, const char* value, double min,
+                       double max, const char* expected) {
+  if (*value == '\0') FlagError(flag, value, expected);
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      std::isnan(parsed) || parsed < min || parsed > max) {
+    FlagError(flag, value, expected);
+  }
+  return parsed;
+}
+
+std::vector<uint32_t> ParsePattern(const char* flag, const char* s) {
   std::vector<uint32_t> out;
-  while (*s) {
-    out.push_back(static_cast<uint32_t>(std::strtoul(s, const_cast<char**>(&s), 10)));
-    if (*s == ',') ++s;
+  const char* p = s;
+  while (true) {
+    const char* item_end = p;
+    while (*item_end && *item_end != ',') ++item_end;
+    std::string item(p, item_end);
+    out.push_back(ParseUint32Flag(flag, item.c_str(), 1, 1u << 20,
+                                  "comma list of positive integers"));
+    if (*item_end == '\0') break;
+    p = item_end + 1;
   }
   return out;
 }
@@ -126,17 +189,21 @@ Options Parse(int argc, char** argv) {
     };
     const char* v;
     if ((v = val("--nodes="))) {
-      opt.nodes = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.nodes = ParseUint32Flag("--nodes", v, 1, 1u << 16,
+                                  "integer in [1, 65536]");
     } else if ((v = val("--keys="))) {
-      opt.keys = std::strtoull(v, nullptr, 10);
+      opt.keys = ParseUint64Flag("--keys", v, 0, UINT64_MAX,
+                                 "non-negative integer");
     } else if ((v = val("--rmult="))) {
-      opt.r_mult = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.r_mult = ParseUint32Flag("--rmult", v, 1, 1u << 20,
+                                   "integer in [1, 1048576]");
     } else if ((v = val("--smult="))) {
-      opt.s_mult = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.s_mult = ParseUint32Flag("--smult", v, 1, 1u << 20,
+                                   "integer in [1, 1048576]");
     } else if ((v = val("--rpattern="))) {
-      opt.r_pattern = ParsePattern(v);
+      opt.r_pattern = ParsePattern("--rpattern", v);
     } else if ((v = val("--spattern="))) {
-      opt.s_pattern = ParsePattern(v);
+      opt.s_pattern = ParsePattern("--spattern", v);
     } else if ((v = val("--collocation="))) {
       if (std::strcmp(v, "intra") == 0) {
         opt.collocation = tj::Collocation::kIntra;
@@ -149,42 +216,70 @@ Options Parse(int argc, char** argv) {
         std::exit(1);
       }
     } else if ((v = val("--collocated="))) {
-      opt.collocated_fraction = std::strtod(v, nullptr);
+      opt.collocated_fraction =
+          ParseDoubleFlag("--collocated", v, 0.0, 1.0, "fraction in [0, 1]");
     } else if ((v = val("--runmatched="))) {
-      opt.r_unmatched = std::strtoull(v, nullptr, 10);
+      opt.r_unmatched = ParseUint64Flag("--runmatched", v, 0, UINT64_MAX,
+                                        "non-negative integer");
     } else if ((v = val("--sunmatched="))) {
-      opt.s_unmatched = std::strtoull(v, nullptr, 10);
+      opt.s_unmatched = ParseUint64Flag("--sunmatched", v, 0, UINT64_MAX,
+                                        "non-negative integer");
     } else if ((v = val("--rpayload="))) {
-      opt.r_payload = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.r_payload = ParseUint32Flag("--rpayload", v, 0, 1u << 20,
+                                      "bytes in [0, 1048576]");
     } else if ((v = val("--spayload="))) {
-      opt.s_payload = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.s_payload = ParseUint32Flag("--spayload", v, 0, 1u << 20,
+                                      "bytes in [0, 1048576]");
     } else if ((v = val("--key-bytes="))) {
-      opt.key_bytes = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.key_bytes = ParseUint32Flag("--key-bytes", v, 1, 8,
+                                      "bytes in [1, 8]");
     } else if ((v = val("--zipf="))) {
-      opt.zipf = std::strtod(v, nullptr);
+      opt.zipf = ParseDoubleFlag("--zipf", v, 0.0, 100.0,
+                                 "theta in [0, 100]");
     } else if ((v = val("--seed="))) {
-      opt.seed = std::strtoull(v, nullptr, 10);
+      opt.seed = ParseUint64Flag("--seed", v, 0, UINT64_MAX,
+                                 "non-negative integer");
     } else if ((v = val("--bandwidth="))) {
-      opt.bandwidth_gbps = std::strtod(v, nullptr);
+      opt.bandwidth_gbps = ParseDoubleFlag("--bandwidth", v, 1e-6, 1e6,
+                                           "GB/s in [1e-6, 1e6]");
     } else if ((v = val("--fault-drop="))) {
-      opt.fault.drop = std::strtod(v, nullptr);
+      opt.fault.drop = ParseDoubleFlag("--fault-drop", v, 0.0, 1.0,
+                                       "probability in [0, 1]");
     } else if ((v = val("--fault-corrupt="))) {
-      opt.fault.corrupt = std::strtod(v, nullptr);
+      opt.fault.corrupt = ParseDoubleFlag("--fault-corrupt", v, 0.0, 1.0,
+                                          "probability in [0, 1]");
     } else if ((v = val("--fault-dup="))) {
-      opt.fault.duplicate = std::strtod(v, nullptr);
+      opt.fault.duplicate = ParseDoubleFlag("--fault-dup", v, 0.0, 1.0,
+                                            "probability in [0, 1]");
     } else if ((v = val("--fault-reorder="))) {
-      opt.fault.reorder = std::strtod(v, nullptr);
+      opt.fault.reorder = ParseDoubleFlag("--fault-reorder", v, 0.0, 1.0,
+                                          "probability in [0, 1]");
     } else if ((v = val("--fault-crash-node="))) {
-      opt.fault.crash_node = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.fault.crash_node = ParseUint32Flag(
+          "--fault-crash-node", v, 0, UINT32_MAX, "node index");
     } else if ((v = val("--fault-crash-phase="))) {
-      opt.fault.crash_phase = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.fault.crash_phase = ParseUint32Flag(
+          "--fault-crash-phase", v, 0, UINT32_MAX, "phase index");
     } else if ((v = val("--fault-retries="))) {
-      opt.fault.max_retries = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      opt.fault.max_retries = ParseUint32Flag(
+          "--fault-retries", v, 1, 1u << 20,
+          "integer in [1, 1048576]; 0 retries cannot recover any loss");
     } else if ((v = val("--fault-seed="))) {
-      opt.fault_seed = std::strtoull(v, nullptr, 10);
+      opt.fault_seed = ParseUint64Flag("--fault-seed", v, 0, UINT64_MAX,
+                                       "non-negative integer");
       opt.fault_seed_set = true;
     } else if ((v = val("--algo="))) {
       opt.algos = SplitList(v);
+      if (opt.algos.empty()) {
+        std::fprintf(stderr, "--algo needs at least one algorithm\n");
+        std::exit(1);
+      }
+    } else if ((v = val("--profile="))) {
+      opt.profile = v;
+      if (opt.profile != "json" && opt.profile != "csv" &&
+          opt.profile != "table") {
+        FlagError("--profile", v, "json | csv | table");
+      }
     } else if (std::strcmp(a, "--shuffle") == 0) {
       opt.shuffle = true;
     } else if (std::strcmp(a, "--balance") == 0) {
@@ -294,19 +389,26 @@ int main(int argc, char** argv) {
              "rid-hj", "late-hj"};
   }
 
-  std::printf("%" PRIu64 " x %" PRIu64 " tuples on %u nodes (%u/%u byte "
-              "payloads, wk=%u)\n\n",
-              w.r.TotalRows(), w.s.TotalRows(), opt.nodes, opt.r_payload,
-              opt.s_payload, opt.key_bytes);
-  std::printf("%-8s %12s %12s %12s %12s %12s %10s %10s\n", "algo",
-              "keys&counts", "keys&nodes", "R tuples", "S tuples", "total",
-              "max NIC", "net sec");
+  // json/csv profile output owns stdout (pipeable into schema checks or
+  // spreadsheets); the human-readable report is suppressed.
+  const bool machine_profile =
+      opt.profile == "json" || opt.profile == "csv";
+  if (!machine_profile) {
+    std::printf("%" PRIu64 " x %" PRIu64 " tuples on %u nodes (%u/%u byte "
+                "payloads, wk=%u)\n\n",
+                w.r.TotalRows(), w.s.TotalRows(), opt.nodes, opt.r_payload,
+                opt.s_payload, opt.key_bytes);
+    std::printf("%-8s %12s %12s %12s %12s %12s %10s %10s\n", "algo",
+                "keys&counts", "keys&nodes", "R tuples", "S tuples", "total",
+                "max NIC", "net sec");
+  }
 
   tj::NetworkTimeModel model;
   model.node_bandwidth_bytes_per_sec = opt.bandwidth_gbps * 1e9;
   uint64_t reference_digest = 0;
   uint64_t reference_rows = 0;
   bool have_reference = false;
+  std::vector<tj::StepProfile> profiles;
   for (const std::string& algo : algos) {
     bool known = false;
     tj::Result<tj::JoinResult> run = RunByName(algo, w, config, &known);
@@ -329,6 +431,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "result mismatch in %s!\n", algo.c_str());
       return 1;
     }
+    if (!opt.profile.empty()) {
+      result.profile.ApplyTimeModel(model);
+      profiles.push_back(result.profile);
+    }
+    if (machine_profile) continue;
     const tj::TrafficMatrix& t = result.traffic;
     auto mib = [](uint64_t b) { return b / double(1 << 20); };
     std::printf(
@@ -350,6 +457,27 @@ int main(int argc, char** argv) {
           rel.faults.frames_duplicated, rel.faults.messages_reordered,
           rel.retransmitted_frames, rel.nack_messages,
           t.TotalRetransmitBytes());
+    }
+  }
+  if (opt.profile == "json") {
+    std::printf("[");
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ",\n " : "", tj::ToJson(profiles[i]).c_str());
+    }
+    std::printf("]\n");
+    return 0;
+  }
+  if (opt.profile == "csv") {
+    std::printf("%s\n", tj::StepCsvHeader().c_str());
+    for (const tj::StepProfile& p : profiles) {
+      std::printf("%s", tj::ToCsv(p).c_str());
+    }
+    return 0;
+  }
+  if (opt.profile == "table") {
+    std::printf("\n");
+    for (const tj::StepProfile& p : profiles) {
+      std::printf("%s\n", tj::ToTable(p).c_str());
     }
   }
   std::printf("\noutcome: digest=%016" PRIx64 " rows=%" PRIu64
