@@ -5,6 +5,8 @@
 //                       per bench); reported traffic is projected back up.
 //   --nodes=<n>         cluster size (default: the paper's setting).
 //   --seed=<n>          workload seed.
+//   --threads=<n>       thread pool size for the local kernels (partition,
+//                       sort, merge); 1 = the sequential path.
 #ifndef TJ_BENCH_BENCH_UTIL_H_
 #define TJ_BENCH_BENCH_UTIL_H_
 
@@ -12,11 +14,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baseline/broadcast_join.h"
 #include "baseline/hash_join.h"
+#include "common/thread_pool.h"
 #include "core/track_join.h"
 #include "costmodel/reprice.h"
 #include "net/traffic.h"
@@ -26,9 +30,10 @@ namespace tj {
 namespace bench {
 
 struct Args {
-  uint64_t scale = 0;  // 0 = bench default.
-  uint32_t nodes = 0;  // 0 = bench default.
+  uint64_t scale = 0;   // 0 = bench default.
+  uint32_t nodes = 0;   // 0 = bench default.
   uint64_t seed = 42;
+  uint32_t threads = 1;  // 1 = sequential local kernels.
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -41,13 +46,25 @@ inline Args ParseArgs(int argc, char** argv) {
       args.nodes = static_cast<uint32_t>(std::strtoul(arg + 8, nullptr, 10));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       args.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.threads = static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
+      if (args.threads == 0) args.threads = 1;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("usage: %s [--scale=<divisor>] [--nodes=<n>] [--seed=<n>]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--scale=<divisor>] [--nodes=<n>] [--seed=<n>] "
+          "[--threads=<n>]\n",
+          argv[0]);
       std::exit(0);
     }
   }
   return args;
+}
+
+/// The pool backing JoinConfig::thread_pool for `--threads`; null keeps
+/// the sequential kernels (results are bit-identical either way).
+inline std::unique_ptr<ThreadPool> MakePool(const Args& args) {
+  if (args.threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(args.threads);
 }
 
 /// Runs one of the seven evaluated algorithms.

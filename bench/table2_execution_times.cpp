@@ -33,8 +33,9 @@ struct Row {
 };
 
 Row RunSuite(const RealJoinSpec& spec, bool original_order, uint64_t scale,
-             uint32_t nodes, uint64_t seed) {
+             uint32_t nodes, uint64_t seed, ThreadPool* pool) {
   JoinConfig config = RealConfig(spec);
+  config.thread_pool = pool;
   Workload w = InstantiateReal(spec, nodes, scale, original_order, seed);
   NetworkTimeModel model;
   Row row{};
@@ -82,13 +83,18 @@ int main(int argc, char** argv) {
       nodes);
   std::printf("  %-7s %-6s %8s %8s %8s %8s\n", "input", "", "HJ", "2TJ", "3TJ",
               "4TJ");
-  tj::bench::PrintRow("X orig", tj::bench::RunSuite(tj::WorkloadX(1), true,
-                                                    x_scale, nodes, args.seed));
-  tj::bench::PrintRow("X shuf", tj::bench::RunSuite(tj::WorkloadX(1), false,
-                                                    x_scale, nodes, args.seed));
-  tj::bench::PrintRow("Y orig", tj::bench::RunSuite(tj::WorkloadY(), true,
-                                                    y_scale, nodes, args.seed));
-  tj::bench::PrintRow("Y shuf", tj::bench::RunSuite(tj::WorkloadY(), false,
-                                                    y_scale, nodes, args.seed));
+  auto pool = tj::bench::MakePool(args);
+  tj::bench::PrintRow(
+      "X orig", tj::bench::RunSuite(tj::WorkloadX(1), true, x_scale, nodes,
+                                    args.seed, pool.get()));
+  tj::bench::PrintRow(
+      "X shuf", tj::bench::RunSuite(tj::WorkloadX(1), false, x_scale, nodes,
+                                    args.seed, pool.get()));
+  tj::bench::PrintRow(
+      "Y orig", tj::bench::RunSuite(tj::WorkloadY(), true, y_scale, nodes,
+                                    args.seed, pool.get()));
+  tj::bench::PrintRow(
+      "Y shuf", tj::bench::RunSuite(tj::WorkloadY(), false, y_scale, nodes,
+                                    args.seed, pool.get()));
   return 0;
 }

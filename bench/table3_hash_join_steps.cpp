@@ -34,8 +34,9 @@ struct Steps {
 };
 
 Steps RunSteps(const RealJoinSpec& spec, bool original_order, uint64_t scale,
-               uint32_t nodes, uint64_t seed) {
+               uint32_t nodes, uint64_t seed, ThreadPool* pool) {
   JoinConfig config = RealConfig(spec);
+  config.thread_pool = pool;
   Workload w = InstantiateReal(spec, nodes, scale, original_order, seed);
   JoinResult result = RunHashJoin(w.r, w.s, config);
   const StepProfile& prof = result.profile;
@@ -84,17 +85,22 @@ int main(int argc, char** argv) {
       "Paper X orig: 0.347/0.478 partition, 29.46/57.20 transfer, 0.115 "
       "copy,\n1.145/1.627 sort, 0.601 merge-join.\n\n",
       nodes);
+  auto pool = tj::bench::MakePool(args);
   tj::bench::PrintColumn(
       "Workload X, original ordering:",
-      tj::bench::RunSteps(tj::WorkloadX(1), true, x_scale, nodes, args.seed));
+      tj::bench::RunSteps(tj::WorkloadX(1), true, x_scale, nodes, args.seed,
+                          pool.get()));
   tj::bench::PrintColumn(
       "Workload X, shuffled:",
-      tj::bench::RunSteps(tj::WorkloadX(1), false, x_scale, nodes, args.seed));
+      tj::bench::RunSteps(tj::WorkloadX(1), false, x_scale, nodes, args.seed,
+                          pool.get()));
   tj::bench::PrintColumn(
       "Workload Y, original ordering:",
-      tj::bench::RunSteps(tj::WorkloadY(), true, y_scale, nodes, args.seed));
+      tj::bench::RunSteps(tj::WorkloadY(), true, y_scale, nodes, args.seed,
+                          pool.get()));
   tj::bench::PrintColumn(
       "Workload Y, shuffled:",
-      tj::bench::RunSteps(tj::WorkloadY(), false, y_scale, nodes, args.seed));
+      tj::bench::RunSteps(tj::WorkloadY(), false, y_scale, nodes, args.seed,
+                          pool.get()));
   return 0;
 }

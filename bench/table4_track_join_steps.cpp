@@ -29,8 +29,9 @@ constexpr double kRamCopyBytesPerSec = 12.4e9;
 
 void RunColumn(const char* header, const RealJoinSpec& spec,
                bool original_order, uint64_t scale, uint32_t nodes,
-               uint64_t seed) {
+               uint64_t seed, ThreadPool* pool) {
   JoinConfig config = RealConfig(spec);
+  config.thread_pool = pool;
   Workload w = InstantiateReal(spec, nodes, scale, original_order, seed);
   JoinResult result = RunTrackJoin4(w.r, w.s, config);
   const StepProfile& prof = result.profile;
@@ -98,13 +99,14 @@ int main(int argc, char** argv) {
       "=== Table 4: 4-phase track join steps (seconds, projected), %u nodes "
       "===\n\n",
       nodes);
+  auto pool = tj::bench::MakePool(args);
   tj::bench::RunColumn("Workload X, original ordering:", tj::WorkloadX(1),
-                       true, x_scale, nodes, args.seed);
+                       true, x_scale, nodes, args.seed, pool.get());
   tj::bench::RunColumn("Workload X, shuffled:", tj::WorkloadX(1), false,
-                       x_scale, nodes, args.seed);
+                       x_scale, nodes, args.seed, pool.get());
   tj::bench::RunColumn("Workload Y, original ordering:", tj::WorkloadY(), true,
-                       y_scale, nodes, args.seed);
+                       y_scale, nodes, args.seed, pool.get());
   tj::bench::RunColumn("Workload Y, shuffled:", tj::WorkloadY(), false,
-                       y_scale, nodes, args.seed);
+                       y_scale, nodes, args.seed, pool.get());
   return 0;
 }

@@ -60,9 +60,9 @@ Result<JoinResult> TryRunBroadcastJoin(const PartitionedTable& r,
           TJ_RETURN_IF_ERROR(
               moving_in[node].TryDeserializeRows(&reader, config.key_bytes));
         }
-        SortBlockByKey(&moving_in[node]);
+        SortBlockByKey(&moving_in[node], config.thread_pool);
         fixed_local[node] = fixed.node(node);
-        SortBlockByKey(&fixed_local[node]);
+        SortBlockByKey(&fixed_local[node], config.thread_pool);
         return Status::OK();
       }));
 

@@ -34,27 +34,31 @@ Result<JoinResult> TryRunHashJoin(const PartitionedTable& r,
   std::vector<uint64_t> outputs(n, 0);
 
   // Partition + transfer, one table at a time (paper Table 3 rows 1-4).
+  // The radix partitioner materializes contiguous per-partition runs
+  // (stable, so the serialized streams are byte-identical to row-indexed
+  // serialization in input order) and each run ships with one straight
+  // SerializeRows scan.
+  auto partition_and_send = [&](const PartitionedTable& table,
+                                MessageType type, uint32_t node) -> Status {
+    Result<PartitionLayout> layout =
+        TryRadixPartition(table.node(node), n, config.thread_pool);
+    TJ_RETURN_IF_ERROR(layout.status());
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      if (layout->Size(dst) == 0) continue;
+      ByteBuffer buf;
+      layout->tuples.SerializeRows(layout->Begin(dst), layout->End(dst),
+                                   config.key_bytes, &buf);
+      fabric.Send(node, dst, type, std::move(buf));
+    }
+    return Status::OK();
+  };
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "hash partition & transfer R tuples", [&](uint32_t node) {
-        auto parts = HashPartitionIndexes(r.node(node), n);
-        for (uint32_t dst = 0; dst < n; ++dst) {
-          if (parts[dst].empty()) continue;
-          ByteBuffer buf;
-          r.node(node).SerializeRowsIndexed(parts[dst], config.key_bytes, &buf);
-          fabric.Send(node, dst, MessageType::kDataR, std::move(buf));
-        }
-        return Status::OK();
+        return partition_and_send(r, MessageType::kDataR, node);
       }));
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "hash partition & transfer S tuples", [&](uint32_t node) {
-        auto parts = HashPartitionIndexes(s.node(node), n);
-        for (uint32_t dst = 0; dst < n; ++dst) {
-          if (parts[dst].empty()) continue;
-          ByteBuffer buf;
-          s.node(node).SerializeRowsIndexed(parts[dst], config.key_bytes, &buf);
-          fabric.Send(node, dst, MessageType::kDataS, std::move(buf));
-        }
-        return Status::OK();
+        return partition_and_send(s, MessageType::kDataS, node);
       }));
 
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
@@ -64,7 +68,7 @@ Result<JoinResult> TryRunHashJoin(const PartitionedTable& r,
           TJ_RETURN_IF_ERROR(
               r_in[node].TryDeserializeRows(&reader, config.key_bytes));
         }
-        SortBlockByKey(&r_in[node]);
+        SortBlockByKey(&r_in[node], config.thread_pool);
         return Status::OK();
       }));
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
@@ -74,7 +78,7 @@ Result<JoinResult> TryRunHashJoin(const PartitionedTable& r,
           TJ_RETURN_IF_ERROR(
               s_in[node].TryDeserializeRows(&reader, config.key_bytes));
         }
-        SortBlockByKey(&s_in[node]);
+        SortBlockByKey(&s_in[node], config.thread_pool);
         return Status::OK();
       }));
 

@@ -48,27 +48,42 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // Waiting is batch-scoped: each ParallelFor waits on its own latch, so
   // concurrent batches (or a batch racing an unrelated Submit) never block
   // on each other's work. The whole-pool drain stays available as Wait().
+  //
+  // Completion is counted in *items done*, not helper tasks finished, and
+  // the calling thread claims items too. Together these make nested calls
+  // (a pool task running its own ParallelFor) deadlock-free: even when
+  // every worker is blocked inside an outer batch, the caller drains its
+  // whole batch by itself, and the queued helper tasks — which may then
+  // never be scheduled before the batch ends — find it exhausted and
+  // return without being waited on.
   struct Batch {
     std::atomic<size_t> next{0};
+    std::atomic<size_t> items_done{0};
     std::mutex mu;
     std::condition_variable done;
-    size_t pending = 0;
   };
   auto batch = std::make_shared<Batch>();
-  size_t workers = std::min(n, threads_.size());
-  batch->pending = workers;
-  for (size_t w = 0; w < workers; ++w) {
-    // Capturing &fn is safe: ParallelFor returns only after every worker in
-    // this batch has finished.
-    Submit([batch, n, &fn] {
-      size_t i;
-      while ((i = batch->next.fetch_add(1)) < n) fn(i);
-      std::lock_guard<std::mutex> lock(batch->mu);
-      if (--batch->pending == 0) batch->done.notify_all();
-    });
+  // A claim loop shared by helpers and the caller. Capturing &fn in the
+  // helpers is safe: once all n items are claimed, next only returns >= n,
+  // so a helper running after ParallelFor returned never touches fn.
+  auto run_batch = [batch, n](const std::function<void(size_t)>& f) {
+    size_t i;
+    while ((i = batch->next.fetch_add(1)) < n) {
+      f(i);
+      if (batch->items_done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(batch->mu);
+        batch->done.notify_all();
+      }
+    }
+  };
+  size_t helpers = std::min(n, threads_.size());
+  for (size_t w = 0; w < helpers; ++w) {
+    Submit([run_batch, &fn] { run_batch(fn); });
   }
+  run_batch(fn);
   std::unique_lock<std::mutex> lock(batch->mu);
-  batch->done.wait(lock, [&batch] { return batch->pending == 0; });
+  batch->done.wait(lock,
+                   [&batch, n] { return batch->items_done.load() == n; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -35,7 +35,9 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), distributing across the pool, and waits
   /// for exactly this batch: concurrent ParallelFor calls (or unrelated
-  /// Submits) do not extend the wait.
+  /// Submits) do not extend the wait. The calling thread participates in
+  /// the batch, so nesting (a pool task calling ParallelFor on its own
+  /// pool) cannot deadlock even with every worker busy.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }

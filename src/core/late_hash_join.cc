@@ -79,21 +79,31 @@ Result<JoinResult> TryRunLateMaterializedHashJoin(const PartitionedTable& r,
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "transfer key columns", [&](uint32_t node) -> Status {
         auto send_keys = [&](const TupleBlock& block, MessageType type,
-                             std::vector<std::vector<uint32_t>>* streams) {
-          *streams = HashPartitionIndexes(block, n);
+                             std::vector<std::vector<uint32_t>>* streams)
+            -> Status {
+          // Radix-partition the key column into contiguous per-destination
+          // runs; the stable layout keeps each stream in row order.
+          Result<KeyPartitionLayout> layout =
+              TryRadixPartitionKeys(block, n, config.thread_pool);
+          TJ_RETURN_IF_ERROR(layout.status());
+          streams->assign(n, {});
           for (uint32_t dst = 0; dst < n; ++dst) {
-            const auto& rows = (*streams)[dst];
-            if (rows.empty()) continue;
+            if (layout->Size(dst) == 0) continue;
+            (*streams)[dst].assign(layout->row_ids.begin() + layout->Begin(dst),
+                                   layout->row_ids.begin() + layout->End(dst));
             ByteBuffer buf;
             ByteWriter writer(&buf);
-            for (uint32_t row : rows) {
-              writer.PutUint(block.Key(row), config.key_bytes);
+            for (uint64_t i = layout->Begin(dst); i < layout->End(dst); ++i) {
+              writer.PutUint(layout->keys[i], config.key_bytes);
             }
             fabric.Send(node, dst, type, std::move(buf));
           }
+          return Status::OK();
         };
-        send_keys(r.node(node), MessageType::kTrackR, &r_streams[node]);
-        send_keys(s.node(node), MessageType::kTrackS, &s_streams[node]);
+        TJ_RETURN_IF_ERROR(
+            send_keys(r.node(node), MessageType::kTrackR, &r_streams[node]));
+        TJ_RETURN_IF_ERROR(
+            send_keys(s.node(node), MessageType::kTrackS, &s_streams[node]));
         return Status::OK();
       }));
 

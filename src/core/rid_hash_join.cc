@@ -70,19 +70,31 @@ Result<JoinResult> TryRunRidHashJoin(const PartitionedTable& r,
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "transfer key columns", [&](uint32_t node) {
     auto send_keys = [&](const TupleBlock& block, MessageType type,
-                         std::vector<std::vector<uint32_t>>* streams) {
-      *streams = HashPartitionIndexes(block, n);
+                         std::vector<std::vector<uint32_t>>* streams)
+        -> Status {
+      // Radix-partition the key column into contiguous per-destination
+      // runs; the stable layout keeps each stream in row order.
+      Result<KeyPartitionLayout> layout =
+          TryRadixPartitionKeys(block, n, config.thread_pool);
+      TJ_RETURN_IF_ERROR(layout.status());
+      streams->assign(n, {});
       for (uint32_t dst = 0; dst < n; ++dst) {
-        const auto& rows = (*streams)[dst];
-        if (rows.empty()) continue;
+        if (layout->Size(dst) == 0) continue;
+        (*streams)[dst].assign(layout->row_ids.begin() + layout->Begin(dst),
+                               layout->row_ids.begin() + layout->End(dst));
         ByteBuffer buf;
         ByteWriter writer(&buf);
-        for (uint32_t row : rows) writer.PutUint(block.Key(row), config.key_bytes);
+        for (uint64_t i = layout->Begin(dst); i < layout->End(dst); ++i) {
+          writer.PutUint(layout->keys[i], config.key_bytes);
+        }
         fabric.Send(node, dst, type, std::move(buf));
       }
+      return Status::OK();
     };
-    send_keys(exec_table.node(node), exec_track, &exec_streams[node]);
-    send_keys(moving_table.node(node), moving_track, &moving_streams[node]);
+    TJ_RETURN_IF_ERROR(
+        send_keys(exec_table.node(node), exec_track, &exec_streams[node]));
+    TJ_RETURN_IF_ERROR(send_keys(moving_table.node(node), moving_track,
+                                 &moving_streams[node]));
     return Status::OK();
   }));
 
@@ -227,13 +239,13 @@ Result<JoinResult> TryRunRidHashJoin(const PartitionedTable& r,
     for (uint32_t row : exec_selected[node]) {
       selected.AppendFrom(exec_table.node(node), row);
     }
-    SortBlockByKey(&selected);
+    SortBlockByKey(&selected, config.thread_pool);
     for (const auto& msg : fabric.TakeInbox(node, moving_data_type)) {
       ByteReader reader(msg.data);
       TJ_RETURN_IF_ERROR(
           moving_in[node].TryDeserializeRows(&reader, config.key_bytes));
     }
-    SortBlockByKey(&moving_in[node]);
+    SortBlockByKey(&moving_in[node], config.thread_pool);
     // Keep (key, payloadR, payloadS) orientation for the checksum.
     const TupleBlock& r_side = exec_on_r ? selected : moving_in[node];
     const TupleBlock& s_side = exec_on_r ? moving_in[node] : selected;

@@ -101,13 +101,13 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "sort local R tuples", [&](uint32_t node) {
         nodes[node].r = r.node(node);
-        SortBlockByKey(&nodes[node].r);
+        SortBlockByKey(&nodes[node].r, config.thread_pool);
         return Status::OK();
       }));
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "sort local S tuples", [&](uint32_t node) {
         nodes[node].s = s.node(node);
-        SortBlockByKey(&nodes[node].s);
+        SortBlockByKey(&nodes[node].s, config.thread_pool);
         return Status::OK();
       }));
 
@@ -313,21 +313,21 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
       TJ_RETURN_IF_ERROR(st.s.TryDeserializeRows(&reader, config.key_bytes));
       s_changed = true;
     }
-    if (r_changed) SortBlockByKey(&st.r);
-    if (s_changed) SortBlockByKey(&st.s);
+    if (r_changed) SortBlockByKey(&st.r, config.thread_pool);
+    if (s_changed) SortBlockByKey(&st.s, config.thread_pool);
 
     st.r_in = TupleBlock(r.payload_width());
     for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataR)) {
       ByteReader reader(msg.data);
       TJ_RETURN_IF_ERROR(st.r_in.TryDeserializeRows(&reader, config.key_bytes));
     }
-    SortBlockByKey(&st.r_in);
+    SortBlockByKey(&st.r_in, config.thread_pool);
     st.s_in = TupleBlock(s.payload_width());
     for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataS)) {
       ByteReader reader(msg.data);
       TJ_RETURN_IF_ERROR(st.s_in.TryDeserializeRows(&reader, config.key_bytes));
     }
-    SortBlockByKey(&st.s_in);
+    SortBlockByKey(&st.s_in, config.thread_pool);
     return Status::OK();
   }));
 

@@ -40,9 +40,10 @@ uint64_t MergeJoinSorted(const TupleBlock& r, const TupleBlock& s,
   return output;
 }
 
-uint64_t SortMergeJoin(TupleBlock* r, TupleBlock* s, const JoinSink& sink) {
-  if (!IsSortedByKey(*r)) SortBlockByKey(r);
-  if (!IsSortedByKey(*s)) SortBlockByKey(s);
+uint64_t SortMergeJoin(TupleBlock* r, TupleBlock* s, const JoinSink& sink,
+                       ThreadPool* pool) {
+  if (!IsSortedByKey(*r)) SortBlockByKey(r, pool);
+  if (!IsSortedByKey(*s)) SortBlockByKey(s, pool);
   return MergeJoinSorted(*r, *s, sink);
 }
 

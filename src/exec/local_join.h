@@ -20,9 +20,11 @@ using JoinSink =
     std::function<void(uint64_t key, const uint8_t* payload_r,
                        const uint8_t* payload_s)>;
 
-/// Sort-merge join of two blocks (sorts them in place if needed), invoking
-/// `sink` once per output tuple. Returns the output cardinality.
-uint64_t SortMergeJoin(TupleBlock* r, TupleBlock* s, const JoinSink& sink);
+/// Sort-merge join of two blocks (sorts them in place if needed, in
+/// parallel when given a pool), invoking `sink` once per output tuple.
+/// Returns the output cardinality.
+uint64_t SortMergeJoin(TupleBlock* r, TupleBlock* s, const JoinSink& sink,
+                       class ThreadPool* pool = nullptr);
 
 /// Merge join over already-sorted blocks. Precondition: both sorted by key.
 uint64_t MergeJoinSorted(const TupleBlock& r, const TupleBlock& s,

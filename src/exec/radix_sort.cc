@@ -1,6 +1,7 @@
 #include "exec/radix_sort.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -9,11 +10,18 @@ namespace tj {
 namespace {
 
 constexpr uint64_t kInsertionSortThreshold = 48;
+// A range at least this large histograms/scatters chunk-parallel and fans
+// its bucket recursion out across the pool. Doubles as the skew guard: a
+// heavy-hitter bucket above this size re-enters the parallel pass instead
+// of serializing on one thread.
+constexpr uint64_t kParallelSortThreshold = 1 << 15;
+constexpr uint64_t kMinChunkRows = 1 << 13;
 
 inline uint32_t Digit(uint64_t key, int shift) {
   return static_cast<uint32_t>(key >> shift) & 0xff;
 }
 
+// Stable: shifts only while strictly greater.
 void InsertionSort(uint64_t* keys, uint32_t* values, uint64_t n) {
   for (uint64_t i = 1; i < n; ++i) {
     uint64_t k = keys[i];
@@ -29,78 +37,125 @@ void InsertionSort(uint64_t* keys, uint32_t* values, uint64_t n) {
   }
 }
 
-// In-place MSD radix sort (American-flag style) on the byte at `shift`.
-void MsdRadixSort(uint64_t* keys, uint32_t* values, uint64_t n, int shift) {
-  if (n <= kInsertionSortThreshold) {
-    InsertionSort(keys, values, n);
+// Stable MSD radix sort of the `n` pairs currently held in (k, v), on the
+// byte at `shift` and all bytes below. (ak, av) is equal-sized scratch.
+// `k_is_final` says whether (k, v) is the caller-visible output range; the
+// sorted pairs always end up in the final range.
+void StableMsdSort(uint64_t* k, uint32_t* v, uint64_t* ak, uint32_t* av,
+                   uint64_t n, int shift, bool k_is_final, ThreadPool* pool) {
+  if (n <= kInsertionSortThreshold || shift < 0) {
+    // shift < 0 means every byte was scattered already: the range holds one
+    // repeated key and is trivially sorted.
+    if (n > 1 && shift >= 0) InsertionSort(k, v, n);
+    if (!k_is_final) {
+      std::memcpy(ak, k, n * sizeof(uint64_t));
+      std::memcpy(av, v, n * sizeof(uint32_t));
+    }
     return;
   }
-  uint64_t counts[256] = {0};
-  for (uint64_t i = 0; i < n; ++i) ++counts[Digit(keys[i], shift)];
 
-  uint64_t starts[256];
-  uint64_t ends[256];
+  const bool parallel =
+      pool != nullptr && pool->num_threads() > 1 && n >= kParallelSortThreshold;
+  const uint64_t chunks =
+      parallel ? std::min<uint64_t>(pool->num_threads() * 4, n / kMinChunkRows)
+               : 1;
+  const uint64_t rows_per_chunk = (n + chunks - 1) / chunks;
+
+  // Pass 1: per-chunk digit histograms.
+  std::vector<uint64_t> counts(chunks * 256, 0);
+  auto histogram = [&](uint64_t c) {
+    const uint64_t begin = c * rows_per_chunk;
+    const uint64_t end = std::min(n, begin + rows_per_chunk);
+    uint64_t* hist = counts.data() + c * 256;
+    for (uint64_t i = begin; i < end; ++i) ++hist[Digit(k[i], shift)];
+  };
+  if (parallel) {
+    pool->ParallelFor(chunks, [&](size_t c) { histogram(c); });
+  } else {
+    histogram(0);
+  }
+
+  // Bucket starts + chunk-major write cursors (stability: chunk c writes
+  // into bucket d after chunks < c).
+  uint64_t starts[257];
   uint64_t pos = 0;
   for (int d = 0; d < 256; ++d) {
     starts[d] = pos;
-    pos += counts[d];
-    ends[d] = pos;
+    for (uint64_t c = 0; c < chunks; ++c) {
+      uint64_t cnt = counts[c * 256 + d];
+      counts[c * 256 + d] = pos;
+      pos += cnt;
+    }
   }
+  starts[256] = n;
 
-  // Permute in place: cycle elements into their buckets.
-  uint64_t heads[256];
-  std::copy(starts, starts + 256, heads);
+  // Degenerate histogram (all n pairs share this byte — e.g. one dominant
+  // key): skip the scatter and move straight to the next byte.
+  uint64_t max_bucket = 0;
   for (int d = 0; d < 256; ++d) {
-    uint64_t i = heads[d];
-    while (i < ends[d]) {
-      uint32_t digit = Digit(keys[i], shift);
-      if (digit == static_cast<uint32_t>(d)) {
-        ++i;
-        ++heads[d];
-      } else {
-        uint64_t target = heads[digit]++;
-        std::swap(keys[i], keys[target]);
-        std::swap(values[i], values[target]);
-      }
-    }
+    max_bucket = std::max(max_bucket, starts[d + 1] - starts[d]);
+  }
+  if (max_bucket == n) {
+    StableMsdSort(k, v, ak, av, n, shift - 8, k_is_final, pool);
+    return;
   }
 
-  if (shift > 0) {
-    for (int d = 0; d < 256; ++d) {
-      if (counts[d] > 1) {
-        MsdRadixSort(keys + starts[d], values + starts[d], counts[d], shift - 8);
-      }
+  // Pass 2: stable scatter (k, v) -> (ak, av).
+  auto scatter = [&](uint64_t c) {
+    const uint64_t begin = c * rows_per_chunk;
+    const uint64_t end = std::min(n, begin + rows_per_chunk);
+    uint64_t* cursor = counts.data() + c * 256;
+    for (uint64_t i = begin; i < end; ++i) {
+      const uint64_t dst = cursor[Digit(k[i], shift)]++;
+      ak[dst] = k[i];
+      av[dst] = v[i];
     }
+  };
+  if (parallel) {
+    pool->ParallelFor(chunks, [&](size_t c) { scatter(c); });
+  } else {
+    scatter(0);
+  }
+
+  // Recurse into the buckets on the next byte; data now lives in (ak, av).
+  auto recurse = [&](int d) {
+    const uint64_t b = starts[d];
+    const uint64_t cnt = starts[d + 1] - b;
+    if (cnt == 0) return;
+    StableMsdSort(ak + b, av + b, k + b, v + b, cnt, shift - 8, !k_is_final,
+                  pool);
+  };
+  if (parallel) {
+    pool->ParallelFor(256, [&](size_t d) { recurse(static_cast<int>(d)); });
+  } else {
+    for (int d = 0; d < 256; ++d) recurse(d);
   }
 }
 
 }  // namespace
 
-void RadixSortPairs(std::vector<uint64_t>* keys, std::vector<uint32_t>* values) {
+void RadixSortPairs(std::vector<uint64_t>* keys, std::vector<uint32_t>* values,
+                    ThreadPool* pool) {
   TJ_CHECK_EQ(keys->size(), values->size());
-  if (keys->size() < 2) return;
+  const uint64_t n = keys->size();
+  if (n < 2) return;
   // Skip leading all-zero bytes: start at the highest byte actually used.
   uint64_t max_key = *std::max_element(keys->begin(), keys->end());
   int shift = 0;
   while (shift < 56 && (max_key >> (shift + 8)) != 0) shift += 8;
-  MsdRadixSort(keys->data(), values->data(), keys->size(), shift);
+  std::vector<uint64_t> scratch_keys(n);
+  std::vector<uint32_t> scratch_values(n);
+  StableMsdSort(keys->data(), values->data(), scratch_keys.data(),
+                scratch_values.data(), n, shift, /*k_is_final=*/true, pool);
 }
 
-void SortBlockByKey(TupleBlock* block) {
+void SortBlockByKey(TupleBlock* block, ThreadPool* pool) {
   if (block->size() < 2) return;
-  if (block->payload_width() == 0) {
-    std::vector<uint64_t> keys = block->keys();
-    std::vector<uint32_t> perm(keys.size());
-    for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
-    RadixSortPairs(&keys, &perm);
-    block->Permute(perm);
-    return;
-  }
   std::vector<uint64_t> keys = block->keys();
   std::vector<uint32_t> perm(keys.size());
   for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
-  RadixSortPairs(&keys, &perm);
-  block->Permute(perm);
+  RadixSortPairs(&keys, &perm, pool);
+  block->Permute(perm, pool);
 }
 
 bool IsSortedByKey(const TupleBlock& block) {

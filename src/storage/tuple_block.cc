@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace tj {
 
 void TupleBlock::SerializeRows(uint64_t begin, uint64_t end, uint32_t key_bytes,
@@ -77,17 +79,33 @@ Status TupleBlock::TryDeserializeRows(ByteReader* in, uint32_t key_bytes) {
   return Status::OK();
 }
 
-void TupleBlock::Permute(const std::vector<uint32_t>& perm) {
+void TupleBlock::Permute(const std::vector<uint32_t>& perm, ThreadPool* pool) {
   TJ_CHECK_EQ(perm.size(), keys_.size());
   std::vector<uint64_t> new_keys(keys_.size());
   std::vector<uint8_t> new_payloads(payloads_.size());
-  for (uint64_t i = 0; i < perm.size(); ++i) {
-    new_keys[i] = keys_[perm[i]];
-    if (payload_width_ > 0) {
-      std::memcpy(new_payloads.data() + i * payload_width_,
-                  payloads_.data() + static_cast<uint64_t>(perm[i]) * payload_width_,
-                  payload_width_);
+  auto gather = [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      new_keys[i] = keys_[perm[i]];
+      if (payload_width_ > 0) {
+        std::memcpy(
+            new_payloads.data() + i * payload_width_,
+            payloads_.data() + static_cast<uint64_t>(perm[i]) * payload_width_,
+            payload_width_);
+      }
     }
+  };
+  constexpr uint64_t kMinChunkRows = 1 << 14;
+  const uint64_t n = perm.size();
+  if (pool == nullptr || n < 2 * kMinChunkRows) {
+    gather(0, n);
+  } else {
+    const uint64_t chunks =
+        std::min<uint64_t>(pool->num_threads() * 4, n / kMinChunkRows);
+    const uint64_t per = (n + chunks - 1) / chunks;
+    pool->ParallelFor(chunks, [&](size_t c) {
+      uint64_t begin = c * per;
+      gather(begin, std::min(n, begin + per));
+    });
   }
   keys_ = std::move(new_keys);
   payloads_ = std::move(new_payloads);

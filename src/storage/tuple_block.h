@@ -57,6 +57,19 @@ class TupleBlock {
 
   const std::vector<uint64_t>& keys() const { return keys_; }
 
+  /// Grows (or shrinks) the block to `rows` rows. New rows are
+  /// zero-initialized; the radix kernels overwrite every row through the
+  /// mutable accessors below before reading any.
+  void Resize(uint64_t rows) {
+    keys_.resize(rows);
+    payloads_.resize(rows * payload_width_);
+  }
+
+  /// Raw write access for the scatter kernels (exec/partition.cc,
+  /// exec/radix_sort.cc): concurrent writers must target disjoint rows.
+  uint64_t* MutableKeys() { return keys_.data(); }
+  uint8_t* MutablePayloads() { return payloads_.data(); }
+
   /// Width of one serialized row: key_bytes + payload bytes.
   uint32_t RowBytes(uint32_t key_bytes) const {
     return key_bytes + payload_width_;
@@ -96,7 +109,9 @@ class TupleBlock {
 
   /// In-place reorder by a permutation: row i moves to position perm[i]...
   /// (see .cc for the exact convention: output[i] = input[perm[i]]).
-  void Permute(const std::vector<uint32_t>& perm);
+  /// With a pool, the gather runs chunk-parallel; output is identical.
+  void Permute(const std::vector<uint32_t>& perm,
+               class ThreadPool* pool = nullptr);
 
   /// Total resident bytes (keys at 8 bytes + payloads).
   uint64_t MemoryBytes() const {

@@ -126,6 +126,31 @@ TEST(ThreadPoolTest, ManyConcurrentBatchesCoverAllIndexes) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+// Nested use: a pool task running its own ParallelFor on the same pool.
+// The calling thread participates in its batch, so this terminates even
+// when every worker is already occupied by the outer batch (the join
+// kernels nest exactly like this: per-node phase work on the pool, chunked
+// partition/sort inside it).
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForOnSingleWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(3, [&](size_t) {
+    pool.ParallelFor(3, [&](size_t) {
+      pool.ParallelFor(3, [&](size_t) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(total.load(), 27);
+}
+
 TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.num_threads(), 1u);

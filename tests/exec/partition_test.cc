@@ -2,17 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/hash.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace tj {
 namespace {
 
 TupleBlock RandomBlock(Rng* rng, size_t n, uint32_t width) {
   TupleBlock block(width);
-  std::vector<uint8_t> payload(width, 7);
+  std::vector<uint8_t> payload(width);
   for (size_t i = 0; i < n; ++i) {
-    block.Append(rng->Below(100000), width ? payload.data() : nullptr);
+    uint64_t key = rng->Below(100000);
+    for (uint32_t b = 0; b < width; ++b) {
+      payload[b] = static_cast<uint8_t>((key + i) >> (b % 8));
+    }
+    block.Append(key, width ? payload.data() : nullptr);
   }
   return block;
 }
@@ -67,6 +74,144 @@ TEST(PartitionTest, EmptyBlock) {
   TupleBlock block(4);
   auto parts = HashPartitionBlock(block, 3);
   for (const auto& p : parts) EXPECT_TRUE(p.empty());
+
+  Result<PartitionLayout> layout = TryRadixPartition(block, 3);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->num_parts(), 3u);
+  EXPECT_TRUE(layout->tuples.empty());
+  for (uint32_t p = 0; p < 3; ++p) EXPECT_EQ(layout->Size(p), 0u);
+
+  Result<KeyPartitionLayout> keys = TryRadixPartitionKeys(block, 3);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->keys.empty());
+  EXPECT_EQ(keys->bounds.size(), 4u);
+}
+
+TEST(PartitionTest, ZeroPartitionCountIsInvalidArgument) {
+  TupleBlock block(4);
+  uint8_t payload[4] = {0};
+  block.Append(1, payload);
+
+  Result<PartitionLayout> layout = TryRadixPartition(block, 0);
+  ASSERT_FALSE(layout.ok());
+  EXPECT_EQ(layout.status().code(), StatusCode::kInvalidArgument);
+
+  Result<KeyPartitionLayout> keys = TryRadixPartitionKeys(block, 0);
+  ASSERT_FALSE(keys.ok());
+  EXPECT_EQ(keys.status().code(), StatusCode::kInvalidArgument);
+
+  Result<std::vector<std::vector<uint32_t>>> indexes =
+      TryHashPartitionIndexes(block, 0);
+  ASSERT_FALSE(indexes.ok());
+  EXPECT_EQ(indexes.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The contiguous runs must hold each partition's rows in input order
+// (stability) — serialized streams depend on it being bit-identical to the
+// legacy row-index serialization.
+TEST(PartitionTest, LayoutIsStableAndMatchesIndexes) {
+  Rng rng(11);
+  TupleBlock block = RandomBlock(&rng, 5000, 6);
+  for (uint32_t parts : {1u, 4u, 7u, 13u}) {  // Not only powers of two.
+    Result<PartitionLayout> layout = TryRadixPartition(block, parts);
+    ASSERT_TRUE(layout.ok());
+    auto indexes = HashPartitionIndexes(block, parts);
+    ASSERT_EQ(layout->bounds.back(), block.size());
+    for (uint32_t p = 0; p < parts; ++p) {
+      ASSERT_EQ(layout->Size(p), indexes[p].size());
+      for (uint64_t i = 0; i < indexes[p].size(); ++i) {
+        uint64_t row = layout->Begin(p) + i;
+        ASSERT_EQ(layout->tuples.Key(row), block.Key(indexes[p][i]));
+        ASSERT_EQ(std::memcmp(layout->tuples.Payload(row),
+                              block.Payload(indexes[p][i]), 6),
+                  0);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, KeyLayoutRowIdsMapBack) {
+  Rng rng(13);
+  TupleBlock block = RandomBlock(&rng, 3000, 0);
+  Result<KeyPartitionLayout> layout = TryRadixPartitionKeys(block, 5);
+  ASSERT_TRUE(layout.ok());
+  for (uint32_t p = 0; p < 5; ++p) {
+    for (uint64_t i = layout->Begin(p); i < layout->End(p); ++i) {
+      EXPECT_EQ(layout->keys[i], block.Key(layout->row_ids[i]));
+      EXPECT_EQ(HashPartition(layout->keys[i], 5), p);
+    }
+    // Row ids ascend inside a partition: stable layout.
+    for (uint64_t i = layout->Begin(p) + 1; i < layout->End(p); ++i) {
+      EXPECT_LT(layout->row_ids[i - 1], layout->row_ids[i]);
+    }
+  }
+}
+
+// Same input => identical partition layout for every thread count,
+// including no pool at all.
+TEST(PartitionTest, DeterministicAcrossThreadCounts) {
+  Rng rng(17);
+  TupleBlock block = RandomBlock(&rng, 120000, 8);
+  for (uint32_t parts : {3u, 16u}) {
+    Result<PartitionLayout> base = TryRadixPartition(block, parts, nullptr);
+    ASSERT_TRUE(base.ok());
+    for (size_t threads : {2u, 3u, 8u}) {
+      ThreadPool pool(threads);
+      Result<PartitionLayout> got = TryRadixPartition(block, parts, &pool);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->bounds, base->bounds);
+      ASSERT_EQ(got->tuples.keys(), base->tuples.keys());
+      ASSERT_EQ(std::memcmp(got->tuples.Payload(0), base->tuples.Payload(0),
+                            block.size() * 8),
+                0);
+
+      Result<KeyPartitionLayout> kgot =
+          TryRadixPartitionKeys(block, parts, &pool);
+      Result<KeyPartitionLayout> kbase =
+          TryRadixPartitionKeys(block, parts, nullptr);
+      ASSERT_TRUE(kgot.ok());
+      ASSERT_EQ(kgot->keys, kbase->keys);
+      ASSERT_EQ(kgot->row_ids, kbase->row_ids);
+      ASSERT_EQ(kgot->bounds, kbase->bounds);
+    }
+  }
+}
+
+// Maximal skew: a single distinct key routes every row to one partition.
+// The chunk-parallel scatter must still fill it correctly, and the skew
+// guard must flag it.
+TEST(PartitionTest, SingleDistinctKeyMaximalSkew) {
+  TupleBlock block(4);
+  uint8_t payload[4];
+  for (uint32_t i = 0; i < 100000; ++i) {
+    std::memcpy(payload, &i, 4);
+    block.Append(42, payload);
+  }
+  ThreadPool pool(4);
+  Result<PartitionLayout> layout = TryRadixPartition(block, 8, &pool);
+  ASSERT_TRUE(layout.ok());
+  const uint32_t target = HashPartition(42, 8);
+  for (uint32_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(layout->Size(p), p == target ? block.size() : 0u);
+  }
+  // Stable: payloads stay in append order.
+  for (uint32_t i = 0; i < block.size(); ++i) {
+    uint32_t got;
+    std::memcpy(&got, layout->tuples.Payload(layout->Begin(target) + i), 4);
+    ASSERT_EQ(got, i);
+  }
+  auto heavy = HeavyPartitions(layout->bounds, 2.0);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0], target);
+}
+
+TEST(PartitionTest, HeavyPartitionsOnBalancedLayoutIsEmpty) {
+  Rng rng(19);
+  TupleBlock block(0);
+  for (uint64_t k = 0; k < 32000; ++k) block.Append(k, nullptr);
+  Result<PartitionLayout> layout = TryRadixPartition(block, 16);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_TRUE(HeavyPartitions(layout->bounds, 2.0).empty());
 }
 
 }  // namespace

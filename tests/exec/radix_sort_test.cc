@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace tj {
 namespace {
@@ -28,12 +30,12 @@ TEST(RadixSortTest, SortsPairsLikeStdSort) {
                      });
     RadixSortPairs(&keys, &values);
     ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
-    // Radix sort is not stable across our in-place passes; compare multisets
-    // of (key, value) pairs instead of exact sequences.
-    std::multiset<std::pair<uint64_t, uint32_t>> got, want;
-    for (size_t i = 0; i < n; ++i) got.emplace(keys[i], values[i]);
-    for (const auto& p : expect) want.insert(p);
-    EXPECT_EQ(got, want);
+    // The scatter-based passes are stable, so the exact sequence must match
+    // a stable std::sort — including the value order of duplicate keys.
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(keys[i], expect[i].first);
+      ASSERT_EQ(values[i], expect[i].second);
+    }
   }
 }
 
@@ -100,6 +102,86 @@ TEST(RadixSortTest, FullWidthKeys) {
   for (auto& k : keys) k = rng.Next();  // Uses all 8 bytes.
   RadixSortPairs(&keys, &values);
   EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+// Parallel sort must produce bit-identical output to the sequential sort
+// for every thread count: both are stable, so duplicate keys keep their
+// input value order too.
+TEST(RadixSortTest, ParallelMatchesSequentialExactly) {
+  Rng rng(23);
+  const size_t n = 300000;  // Above the parallel threshold.
+  std::vector<uint64_t> base_keys(n);
+  std::vector<uint32_t> base_values(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Heavy duplication (few distinct keys) exercises stability.
+    base_keys[i] = rng.Below(5000) << rng.Below(3);
+    base_values[i] = static_cast<uint32_t>(i);
+  }
+  std::vector<uint64_t> seq_keys = base_keys;
+  std::vector<uint32_t> seq_values = base_values;
+  RadixSortPairs(&seq_keys, &seq_values);
+  for (size_t threads : {2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> keys = base_keys;
+    std::vector<uint32_t> values = base_values;
+    RadixSortPairs(&keys, &values, &pool);
+    ASSERT_EQ(keys, seq_keys) << threads << " threads";
+    ASSERT_EQ(values, seq_values) << threads << " threads";
+  }
+}
+
+// Skew guard: one dominant key (half the input) plus noise. The heavy
+// bucket must re-enter the parallel pass without corrupting the layout.
+TEST(RadixSortTest, ParallelSingleDominantKey) {
+  Rng rng(29);
+  const size_t n = 200000;
+  std::vector<uint64_t> base_keys(n);
+  std::vector<uint32_t> base_values(n);
+  for (size_t i = 0; i < n; ++i) {
+    base_keys[i] = (i % 2 == 0) ? 0xdeadbeefULL : rng.Next();
+    base_values[i] = static_cast<uint32_t>(i);
+  }
+  std::vector<uint64_t> seq_keys = base_keys;
+  std::vector<uint32_t> seq_values = base_values;
+  RadixSortPairs(&seq_keys, &seq_values);
+  ThreadPool pool(8);
+  RadixSortPairs(&base_keys, &base_values, &pool);
+  EXPECT_EQ(base_keys, seq_keys);
+  EXPECT_EQ(base_values, seq_values);
+}
+
+// All-equal keys at parallel scale: every histogram is degenerate, so the
+// sort must fall through its single-bucket fast path on each byte.
+TEST(RadixSortTest, ParallelAllEqualKeys) {
+  const size_t n = 150000;
+  std::vector<uint64_t> keys(n, 0x0123456789abcdefULL);
+  std::vector<uint32_t> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = static_cast<uint32_t>(i);
+  ThreadPool pool(4);
+  RadixSortPairs(&keys, &values, &pool);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], 0x0123456789abcdefULL);
+    ASSERT_EQ(values[i], i);  // Stability keeps the input order.
+  }
+}
+
+TEST(RadixSortTest, SortBlockParallelMatchesSequential) {
+  Rng rng(31);
+  TupleBlock base(8);
+  uint8_t payload[8];
+  for (size_t i = 0; i < 120000; ++i) {
+    uint64_t key = rng.Below(4000);
+    std::memcpy(payload, &i, 8);
+    base.Append(key, payload);
+  }
+  TupleBlock seq = base;
+  SortBlockByKey(&seq);
+  ThreadPool pool(8);
+  TupleBlock par = base;
+  SortBlockByKey(&par, &pool);
+  ASSERT_EQ(par.keys(), seq.keys());
+  ASSERT_EQ(
+      std::memcmp(par.Payload(0), seq.Payload(0), par.size() * 8), 0);
 }
 
 TEST(RadixSortTest, IsSortedDetector) {

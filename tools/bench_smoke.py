@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Benchmark smoke + regression gate.
+
+Runs the table2/3/4 benches at a small fixed scale (they must complete),
+then the local_kernels throughput bench, writes BENCH_local_kernels.json,
+and fails when any gated kernel throughput regresses more than the
+tolerance (default 25%) below the checked-in baseline
+(tools/bench_baseline.json).
+
+Usage:
+  tools/bench_smoke.py [--build-dir build] [--threads N]
+                       [--baseline tools/bench_baseline.json]
+                       [--out BENCH_local_kernels.json]
+                       [--tolerance 0.25]
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+# Small fixed scales: large divisors shrink the paper cardinalities so the
+# whole smoke stays in CI-friendly time while every phase still runs.
+TABLE_BENCHES = [
+    ("table2_execution_times", ["--scale=20000", "--nodes=4"]),
+    ("table3_hash_join_steps", ["--scale=20000", "--nodes=4"]),
+    ("table4_track_join_steps", ["--scale=20000", "--nodes=4"]),
+]
+BENCH_TIMEOUT_S = 600
+
+
+def run(cmd, timeout=BENCH_TIMEOUT_S):
+    start = time.monotonic()
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+    wall = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.stderr.write(f"FAIL: {' '.join(cmd)} exited {proc.returncode}\n")
+        sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+        sys.exit(1)
+    return proc.stdout, wall
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (default: tools/bench_baseline.json)")
+    ap.add_argument("--out", default="BENCH_local_kernels.json")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="allowed fractional regression (default: baseline "
+                         "file's tolerance, else 0.25)")
+    ap.add_argument("--threads", type=int,
+                    default=min(8, os.cpu_count() or 1))
+    args = ap.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = args.baseline or os.path.join(repo, "tools",
+                                                  "bench_baseline.json")
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else baseline.get("tolerance", 0.25))
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+    threads = [f"--threads={args.threads}"]
+
+    table_wall = {}
+    for name, flags in TABLE_BENCHES:
+        print(f"=== smoke: {name} ===", flush=True)
+        _, wall = run([os.path.join(bench_dir, name)] + flags + threads)
+        table_wall[name] = round(wall, 3)
+        print(f"    ok ({wall:.1f}s)")
+
+    print("=== local_kernels throughput ===", flush=True)
+    out, wall = run([os.path.join(bench_dir, "local_kernels")] + threads)
+    kernels = json.loads(out)
+
+    gate = []
+    failures = []
+    for metric, base_tps in baseline["tps"].items():
+        measured = kernels.get(metric)
+        if measured is None:
+            failures.append(f"{metric}: missing from bench output")
+            continue
+        floor = base_tps * (1.0 - tolerance)
+        ok = measured >= floor
+        gate.append({"metric": metric, "measured_tps": measured,
+                     "baseline_tps": base_tps, "floor_tps": round(floor),
+                     "pass": ok})
+        status = "ok" if ok else "REGRESSION"
+        print(f"    {metric}: {measured:.3e} vs floor {floor:.3e} "
+              f"(baseline {base_tps:.3e}) {status}")
+        if not ok:
+            failures.append(
+                f"{metric}: {measured:.3e} tuples/s is more than "
+                f"{tolerance:.0%} below baseline {base_tps:.3e}")
+
+    report = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "threads": args.threads,
+        "tolerance": tolerance,
+        "kernels": kernels,
+        "table_bench_wall_s": table_wall,
+        "gate": gate,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        for msg in failures:
+            sys.stderr.write(f"bench gate FAILED: {msg}\n")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

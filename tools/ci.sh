@@ -29,8 +29,12 @@ for san in "${sanitizers[@]}"; do
   echo "=== ${san}: configure + build (${dir}) ==="
   cmake -B "${dir}" -S . -DTJ_SANITIZE="${san}" >/dev/null
   cmake --build "${dir}" -j "$(nproc)"
-  echo "=== ${san}: ctest ==="
-  ctest --test-dir "${dir}" --output-on-failure
+  # Labels run cheapest-first so a broken kernel fails in the unit leg
+  # before the integration/fault joins spend their (longer) timeouts.
+  for label in unit integration fault; do
+    echo "=== ${san}: ctest -L ${label} ==="
+    ctest --test-dir "${dir}" -L "${label}" --output-on-failure
+  done
 done
 
 # Profiling smoke: the structured output of `tjsim --profile=json` is an
