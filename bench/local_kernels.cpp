@@ -9,11 +9,13 @@
 //
 //   --scale=<divisor>  divide the 8Mi-row base input by this (default 4).
 //   --threads=<n>      thread pool size for the kernels (default 1).
+//   --trace=<file>     enable span tracing and write Chrome trace JSON.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <numeric>
+#include <string>
 
 #include "bench/real_bench.h"
 #include "common/rng.h"
@@ -21,6 +23,7 @@
 #include "exec/partition.h"
 #include "exec/radix_sort.h"
 #include "obs/step_profile.h"
+#include "obs/trace.h"
 
 namespace tj {
 namespace bench {
@@ -61,6 +64,12 @@ void PrintPhases(const char* key, const StepProfile& prof, const char* tail) {
 int main(int argc, char** argv) {
   using namespace tj;
   bench::Args args = bench::ParseArgs(argc, argv);
+  // ParseArgs ignores flags it does not know; --trace is bench-local.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
+  if (!trace_path.empty()) Tracer::Global().Enable();
   const uint64_t divisor = args.scale ? args.scale : 4;
   const uint64_t rows = (1ULL << 23) / divisor;
   auto pool = bench::MakePool(args);
@@ -123,5 +132,17 @@ int main(int argc, char** argv) {
   bench::PrintPhases("hj_phase_wall_s", hj, ",");
   bench::PrintPhases("tj4_phase_wall_s", tj4, "");
   std::printf("}\n");
+  if (!trace_path.empty()) {
+    const std::string json = Tracer::Global().ToChromeJson();
+    FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n",
+                   trace_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+  }
   return 0;
 }

@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
+
+#include "obs/trace.h"
 
 namespace tj {
 
@@ -44,6 +47,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 1 || threads_.size() == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
+  }
+  // The batch span covers submit through last-item-done on the calling
+  // thread; items run by helpers open their own spans if instrumented.
+  std::optional<TraceSpan> batch_span;
+  if (Tracer::enabled()) {
+    batch_span.emplace("pool", "ParallelFor", static_cast<int64_t>(n));
   }
   // Waiting is batch-scoped: each ParallelFor waits on its own latch, so
   // concurrent batches (or a batch racing an unrelated Submit) never block

@@ -58,6 +58,13 @@ struct JoinConfig {
   /// are identical to sequential execution). Not owned.
   class ThreadPool* thread_pool = nullptr;
 
+  /// If non-null, the track-join scheduling phase records one
+  /// KeyScheduleAudit per distinct key into this log (core/schedule.h) for
+  /// `tjsim --explain` / BuildScheduleExplain. Strictly passive: schedules,
+  /// results and traffic are identical with or without it. Not owned; the
+  /// log is Reset() at the start of each run that uses it.
+  class ScheduleAuditLog* schedule_audit = nullptr;
+
   /// If non-null and active(), the run's fabric injects these faults
   /// (seeded with fault_seed) and recovers via the framed nack/retransmit
   /// protocol; unrecoverable loss fails the query with Status::DataLoss.

@@ -107,6 +107,27 @@ MigrationPlan PlanMigrateAndBroadcast(const KeyPlacement& placement,
   return plan;
 }
 
+KeyScheduleAudit AuditPlacement(const KeyPlacement& placement) {
+  KeyScheduleAudit audit;
+  for (Direction dir : {Direction::kRtoS, Direction::kStoR}) {
+    const int d = static_cast<int>(dir);
+    audit.broadcast_cost[d] = SelectiveBroadcastCost(placement, dir);
+    MigrationPlan plan = PlanMigrateAndBroadcast(placement, dir);
+    audit.plan_cost[d] = plan.cost;
+    audit.migrate_count[d] = static_cast<uint32_t>(plan.migrate.size());
+  }
+  audit.r_bytes = SumBytes(placement.r);
+  audit.s_bytes = SumBytes(placement.s);
+  audit.r_nodes = static_cast<uint32_t>(placement.r.size());
+  audit.s_nodes = static_cast<uint32_t>(placement.s.size());
+  // Grace hash join ships every matching tuple to the key's hash
+  // destination — the tracker node itself — except the bytes already there.
+  audit.hash_join_cost = audit.r_bytes + audit.s_bytes -
+                         BytesAt(placement.r, placement.tracker) -
+                         BytesAt(placement.s, placement.tracker);
+  return audit;
+}
+
 KeySchedule PlanOptimal(const KeyPlacement& placement) {
   KeySchedule schedule;
   MigrationPlan rs = PlanMigrateAndBroadcast(placement, Direction::kRtoS);

@@ -77,6 +77,110 @@ KeySchedule PlanOptimal(const KeyPlacement& placement);
 Direction CheaperBroadcastDirection(const KeyPlacement& placement,
                                     uint64_t* cost_out = nullptr);
 
+// --- Scheduler audit ("EXPLAIN") ------------------------------------------
+//
+// When a ScheduleAuditLog is attached (JoinConfig::schedule_audit), the
+// track-join scheduling phase records one KeyScheduleAudit per distinct
+// key: both selective-broadcast costs, both migrate-and-broadcast plans,
+// the decision actually taken, and the per-key cost a Grace hash join
+// would have paid. Recording is strictly passive — the audited costs are
+// recomputed from the same pure cost functions the scheduler uses, so
+// attaching a log changes neither schedules nor traffic.
+
+/// How one key's schedule is classified for aggregate reporting.
+enum class ScheduleClass : uint8_t {
+  kFree = 0,           ///< Chosen cost 0: single-node or unmatched key.
+  kBroadcastRtoS = 1,  ///< Plain selective broadcast, R tuples travel.
+  kBroadcastStoR = 2,  ///< Plain selective broadcast, S tuples travel.
+  kMigrated = 3,       ///< 4-phase plan with a non-empty migration set.
+};
+inline constexpr int kNumScheduleClasses = 4;
+
+inline const char* ScheduleClassName(ScheduleClass cls) {
+  switch (cls) {
+    case ScheduleClass::kFree: return "free";
+    case ScheduleClass::kBroadcastRtoS: return "broadcast_r_to_s";
+    case ScheduleClass::kBroadcastStoR: return "broadcast_s_to_r";
+    case ScheduleClass::kMigrated: return "migrated";
+  }
+  return "unknown";
+}
+
+/// Everything the scheduler considered and decided for one distinct key.
+/// Direction-indexed arrays use static_cast<int>(Direction): 0 = R->S.
+struct KeyScheduleAudit {
+  uint64_t key = 0;
+  /// SelectiveBroadcastCost in each direction (2-/3-phase candidates).
+  uint64_t broadcast_cost[2] = {0, 0};
+  /// PlanMigrateAndBroadcast cost in each direction (4-phase candidates).
+  uint64_t plan_cost[2] = {0, 0};
+  /// Size of each direction's optimal migration set.
+  uint32_t migrate_count[2] = {0, 0};
+  /// What the run actually did for this key.
+  Direction chosen_dir = Direction::kRtoS;
+  uint64_t chosen_cost = 0;
+  uint32_t chosen_migrations = 0;
+  /// What a Grace hash join would move for this key: all matching bytes
+  /// except those already resident at the key's hash destination (which is
+  /// the tracker node, by construction).
+  uint64_t hash_join_cost = 0;
+  /// Total matching bytes and node counts per side (placement summary).
+  uint64_t r_bytes = 0, s_bytes = 0;
+  uint32_t r_nodes = 0, s_nodes = 0;
+  ScheduleClass cls = ScheduleClass::kFree;
+};
+
+/// Fills the decision-independent audit fields (both directions' costs and
+/// plans, the hash-join reference cost, placement summary) from one
+/// placement. The caller sets chosen_* and then ClassifyAudit.
+KeyScheduleAudit AuditPlacement(const KeyPlacement& placement);
+
+/// Derives the decision class from the chosen_* fields.
+inline ScheduleClass ClassifyAudit(const KeyScheduleAudit& audit) {
+  if (audit.chosen_cost == 0 && audit.chosen_migrations == 0) {
+    return ScheduleClass::kFree;
+  }
+  if (audit.chosen_migrations > 0) return ScheduleClass::kMigrated;
+  return audit.chosen_dir == Direction::kRtoS
+             ? ScheduleClass::kBroadcastRtoS
+             : ScheduleClass::kBroadcastStoR;
+}
+
+/// Per-key audit sink. Mirrors the fabric's race-free queue design: each
+/// tracker node appends only to its own lane during the scheduling phase,
+/// so concurrent phase execution needs no locking, and collection in node
+/// order keeps output deterministic. Fully inline so obs/ renderers can
+/// consume audits without linking the core scheduler.
+class ScheduleAuditLog {
+ public:
+  /// Arms the log for a run over `num_nodes` tracker nodes, dropping any
+  /// previous run's records.
+  void Reset(uint32_t num_nodes) { lanes_.assign(num_nodes, {}); }
+
+  bool armed() const { return !lanes_.empty(); }
+
+  /// Appends one key's audit. Only node `node`'s phase work may call this
+  /// (same ownership rule as Fabric::Send).
+  void Record(uint32_t node, const KeyScheduleAudit& audit) {
+    lanes_[node].push_back(audit);
+  }
+
+  /// All records, concatenated in tracker-node order.
+  std::vector<KeyScheduleAudit> Collect() const {
+    std::vector<KeyScheduleAudit> out;
+    size_t total = 0;
+    for (const auto& lane : lanes_) total += lane.size();
+    out.reserve(total);
+    for (const auto& lane : lanes_) {
+      out.insert(out.end(), lane.begin(), lane.end());
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<KeyScheduleAudit>> lanes_;
+};
+
 /// Reference implementation for testing: exhaustively minimizes the paper's
 /// integer program (min sum x_ij|R_i| + y_ij|S_j| s.t. every (i,j) pair is
 /// joined somewhere) over all keep/migrate subsets in both directions, with

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "core/schedule.h"
 #include "core/tracker.h"
 #include "exec/key_aggregate.h"
 #include "exec/local_join.h"
@@ -84,6 +85,8 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
   if (config.fault_policy != nullptr) {
     fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
   }
+  ScheduleAuditLog* audit = config.schedule_audit;
+  if (audit != nullptr) audit->Reset(n);
   std::vector<NodeState> nodes(n);
 
   const uint32_t out_width = r.payload_width() + s.payload_width();
@@ -184,15 +187,33 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
       std::vector<uint32_t> migrate;
       bool has_migration_phase = false;
       uint32_t dest = 0;
+      uint64_t chosen_cost = 0;
       if (version == TrackJoinVersion::k3Phase) {
-        dir = CheaperBroadcastDirection(p);
+        dir = CheaperBroadcastDirection(p, &chosen_cost);
       } else if (version == TrackJoinVersion::k4Phase) {
         KeySchedule sched =
             config.balance_loads ? balancer.PlanBalanced(p) : PlanOptimal(p);
         dir = sched.dir;
         dest = sched.plan.dest;
+        chosen_cost = sched.plan.cost;
         migrate = std::move(sched.plan.migrate);
         has_migration_phase = true;
+      }
+
+      if (audit != nullptr) {
+        KeyScheduleAudit rec = AuditPlacement(p);
+        rec.key = key;
+        rec.chosen_dir = dir;
+        if (version == TrackJoinVersion::k2Phase) {
+          // 2-phase sends in the fixed direction at plain broadcast cost
+          // (modeled; 2-phase tracking carries no counts, so multiplicity
+          // > 1 makes actual bytes exceed this model).
+          chosen_cost = rec.broadcast_cost[static_cast<int>(dir)];
+        }
+        rec.chosen_cost = chosen_cost;
+        rec.chosen_migrations = static_cast<uint32_t>(migrate.size());
+        rec.cls = ClassifyAudit(rec);
+        audit->Record(node, rec);
       }
 
       const auto& bcast_side = dir == Direction::kRtoS ? p.r : p.s;

@@ -6,11 +6,14 @@
 #include "common/bit_util.h"
 #include "common/hash.h"
 #include "exec/radix_sort.h"
+#include "obs/trace.h"
 
 namespace tj {
 
 uint64_t MergeJoinSorted(const TupleBlock& r, const TupleBlock& s,
                          const JoinSink& sink) {
+  TraceSpan span("kernel", "MergeJoinSorted",
+                 static_cast<int64_t>(r.size() + s.size()));
   uint64_t output = 0;
   uint64_t i = 0, j = 0;
   const uint64_t nr = r.size(), ns = s.size();
@@ -50,6 +53,8 @@ uint64_t SortMergeJoin(TupleBlock* r, TupleBlock* s, const JoinSink& sink,
 uint64_t HashTableJoin(const TupleBlock& r, const TupleBlock& s,
                        const JoinSink& sink) {
   if (r.empty() || s.empty()) return 0;
+  TraceSpan span("kernel", "HashTableJoin",
+                 static_cast<int64_t>(r.size() + s.size()));
   // Open-addressing table of row indexes into r, chained by probing: equal
   // keys occupy consecutive probe positions.
   const uint64_t capacity = NextPowerOfTwo(r.size() * 2);

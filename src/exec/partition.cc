@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace tj {
 
@@ -88,6 +89,7 @@ Result<PartitionLayout> TryRadixPartition(const TupleBlock& block,
   }
   const uint64_t n = block.size();
   const uint32_t width = block.payload_width();
+  TraceSpan span("kernel", "TryRadixPartition", static_cast<int64_t>(n));
 
   PartitionLayout layout;
   layout.tuples = TupleBlock(width);
@@ -161,6 +163,7 @@ Result<KeyPartitionLayout> TryRadixPartitionKeys(const TupleBlock& block,
   if (n >= (1ULL << 32)) {
     return Status::OutOfRange("block too large for 32-bit row ids");
   }
+  TraceSpan span("kernel", "TryRadixPartitionKeys", static_cast<int64_t>(n));
 
   KeyPartitionLayout layout;
   if (n == 0) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace tj {
 
@@ -139,6 +140,7 @@ void RadixSortPairs(std::vector<uint64_t>* keys, std::vector<uint32_t>* values,
   TJ_CHECK_EQ(keys->size(), values->size());
   const uint64_t n = keys->size();
   if (n < 2) return;
+  TraceSpan span("kernel", "RadixSortPairs", static_cast<int64_t>(n));
   // Skip leading all-zero bytes: start at the highest byte actually used.
   uint64_t max_key = *std::max_element(keys->begin(), keys->end());
   int shift = 0;
@@ -151,6 +153,8 @@ void RadixSortPairs(std::vector<uint64_t>* keys, std::vector<uint32_t>* values,
 
 void SortBlockByKey(TupleBlock* block, ThreadPool* pool) {
   if (block->size() < 2) return;
+  TraceSpan span("kernel", "SortBlockByKey",
+                 static_cast<int64_t>(block->size()));
   std::vector<uint64_t> keys = block->keys();
   std::vector<uint32_t> perm(keys.size());
   for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tj {
 
@@ -15,6 +17,14 @@ Fabric::Fabric(uint32_t num_nodes)
       seen_ingress_(num_nodes, 0),
       seen_egress_(num_nodes, 0) {
   TJ_CHECK_GT(num_nodes, 0u);
+  msg_bytes_hist_ = &MetricsRegistry::Global().histogram("fabric.message_bytes");
+  if (Tracer::enabled()) {
+    Tracer& tracer = Tracer::Global();
+    for (uint32_t node = 0; node < num_nodes_; ++node) {
+      tracer.SetProcessLabel(node, "node " + std::to_string(node));
+    }
+    tracer.SetProcessLabel(num_nodes_, "fabric");
+  }
 }
 
 void Fabric::SetFaultPolicy(const FaultPolicy& policy, uint64_t seed) {
@@ -37,6 +47,7 @@ void Fabric::Send(uint32_t src, uint32_t dst, MessageType type,
   TJ_CHECK_LT(dst, num_nodes_);
   // Cells indexed by src are only written by node src's own phase work, so
   // this is race-free under concurrent phases.
+  msg_bytes_hist_->Observe(static_cast<double>(data.size()));
   if (!injector_) {
     traffic_.Add(src, dst, type, data.size());
     queued_[src].push_back(Pending{dst, type, std::move(data)});
@@ -76,6 +87,10 @@ Status Fabric::RunPhaseReliable(const std::string& name,
   auto work = [&](uint32_t node) {
     // A crashed node fail-stops: it does no work and sends nothing.
     if (injector_ && injector_->NodeCrashed(node, phase)) return;
+    // Attribute the node's phase work (and any kernel spans it opens) to
+    // the node's pid in the trace.
+    ScopedTraceNode traced_node(node);
+    TraceSpan span("phase", name);
     statuses[node] = fn(node);
   };
   Stopwatch watch;
@@ -169,6 +184,17 @@ void Fabric::RecordPhaseStats(const std::string& name, double wall_seconds) {
     seen_faults_ = now;
   }
   phase_stats_.push_back(std::move(stats));
+  if (Tracer::enabled()) {
+    // Cumulative per-node NIC counters, one sample per barrier: the trace
+    // viewer renders these as step functions per node process.
+    Tracer& tracer = Tracer::Global();
+    for (uint32_t node = 0; node < num_nodes_; ++node) {
+      tracer.RecordCounter("nic.ingress_bytes", node,
+                           static_cast<int64_t>(traffic_.IngressBytes(node)));
+      tracer.RecordCounter("nic.egress_bytes", node,
+                           static_cast<int64_t>(traffic_.EgressBytes(node)));
+    }
+  }
 }
 
 void Fabric::RunPhase(const std::string& name,
@@ -181,6 +207,14 @@ void Fabric::RunPhase(const std::string& name,
 }
 
 Status Fabric::DeliverBarrier(const std::string& name) {
+  // The barrier runs outside any node's work; attribute it to the fabric
+  // pseudo-process (pid = num_nodes_).
+  std::optional<ScopedTraceNode> barrier_node;
+  std::optional<TraceSpan> barrier_span;
+  if (Tracer::enabled()) {
+    barrier_node.emplace(num_nodes_);
+    barrier_span.emplace("fabric", "barrier: " + name);
+  }
   if (!injector_) {
     // Pristine barrier: deliver, ordered by source node then send order.
     for (uint32_t src = 0; src < num_nodes_; ++src) {
@@ -228,6 +262,13 @@ Status Fabric::DeliverBarrier(const std::string& name) {
       }
     }
     if (missing.empty()) break;
+    std::optional<TraceSpan> round_span;
+    if (Tracer::enabled()) {
+      round_span.emplace("fabric",
+                         "retry round " + std::to_string(round) + ": " +
+                             std::to_string(missing.size()) + " missing",
+                         static_cast<int64_t>(missing.size()));
+    }
     if (round >= max_retries) {
       const auto& [src, f] = missing.front();
       Status status = Status::DataLoss(

@@ -53,6 +53,8 @@
 
 namespace tj {
 
+class Histogram;
+
 class Fabric {
  public:
   explicit Fabric(uint32_t num_nodes);
@@ -171,6 +173,11 @@ class Fabric {
 
   uint32_t num_nodes_;
   ThreadPool* pool_ = nullptr;
+  /// Payload-size distribution instrument, resolved once at construction.
+  /// Registry instruments live for the process, so the pointer stays valid
+  /// for any normally-scoped fabric (tests that ResetForTest() construct
+  /// their fabrics afterwards).
+  Histogram* msg_bytes_hist_ = nullptr;
   TrafficMatrix traffic_;
   /// Per-source send queues: node i only ever appends to queued_[i], so
   /// concurrent phase execution needs no locking, and merging in source

@@ -1,0 +1,199 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/text_escape.h"
+
+namespace tj {
+
+namespace {
+
+/// The message types whose bytes the per-key schedules decide (everything a
+/// track join sends after the tracking phase).
+constexpr MessageType kScheduledTypes[] = {
+    MessageType::kLocationsToR, MessageType::kLocationsToS,
+    MessageType::kMigrateR,     MessageType::kMigrateS,
+    MessageType::kDataR,        MessageType::kDataS,
+    MessageType::kMigrationDataR, MessageType::kMigrationDataS,
+};
+
+const char* DirName(Direction dir) {
+  return dir == Direction::kRtoS ? "r_to_s" : "s_to_r";
+}
+
+void AppendU64(const char* key, uint64_t value, bool* first, std::string* out) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu", *first ? "" : ", ", key,
+                static_cast<unsigned long long>(value));
+  *first = false;
+  *out += buf;
+}
+
+}  // namespace
+
+ScheduleExplain BuildScheduleExplain(const std::string& algorithm,
+                                     const ScheduleAuditLog& log,
+                                     const TrafficMatrix& traffic,
+                                     size_t top_k) {
+  ScheduleExplain explain;
+  explain.algorithm = algorithm;
+
+  std::vector<KeyScheduleAudit> records = log.Collect();
+  Histogram& cost_hist =
+      MetricsRegistry::Global().histogram("schedule.key_cost_bytes");
+  for (const KeyScheduleAudit& rec : records) {
+    ScheduleExplain::ClassTotals& cls =
+        explain.by_class[static_cast<int>(rec.cls)];
+    ++cls.keys;
+    cls.bytes += rec.chosen_cost;
+    explain.scheduled_bytes += rec.chosen_cost;
+    explain.hash_join_bytes += rec.hash_join_cost;
+    cost_hist.Observe(static_cast<double>(rec.chosen_cost));
+  }
+  explain.total_keys = records.size();
+
+  for (MessageType type : kScheduledTypes) {
+    explain.traffic_scheduled_bytes += traffic.NetworkBytes(type);
+  }
+  explain.tracking_bytes = traffic.NetworkBytes(MessageType::kTrackR) +
+                           traffic.NetworkBytes(MessageType::kTrackS);
+  explain.traffic_total_bytes = traffic.TotalNetworkBytes();
+  explain.matches_traffic =
+      explain.scheduled_bytes == explain.traffic_scheduled_bytes;
+  explain.saved_vs_hash_bytes =
+      static_cast<int64_t>(explain.hash_join_bytes) -
+      static_cast<int64_t>(explain.scheduled_bytes);
+
+  // Heavy hitters: the keys whose schedules move the most bytes. Full sort
+  // is avoidable, but audit sizes are per-run key counts — fine.
+  std::sort(records.begin(), records.end(),
+            [](const KeyScheduleAudit& a, const KeyScheduleAudit& b) {
+              if (a.chosen_cost != b.chosen_cost) {
+                return a.chosen_cost > b.chosen_cost;
+              }
+              return a.key < b.key;
+            });
+  if (records.size() > top_k) records.resize(top_k);
+  explain.top = std::move(records);
+  return explain;
+}
+
+std::string ToJson(const ScheduleExplain& explain) {
+  std::string out = "{\"algorithm\": ";
+  AppendJsonEscaped(explain.algorithm, &out);
+  bool first = false;
+  AppendU64("total_keys", explain.total_keys, &first, &out);
+  out += ", \"classes\": {";
+  for (int c = 0; c < kNumScheduleClasses; ++c) {
+    if (c > 0) out += ", ";
+    AppendJsonEscaped(ScheduleClassName(static_cast<ScheduleClass>(c)), &out);
+    out += ": {";
+    bool f = true;
+    AppendU64("keys", explain.by_class[c].keys, &f, &out);
+    AppendU64("bytes", explain.by_class[c].bytes, &f, &out);
+    out += "}";
+  }
+  out += "}";
+  AppendU64("scheduled_bytes", explain.scheduled_bytes, &first, &out);
+  AppendU64("traffic_scheduled_bytes", explain.traffic_scheduled_bytes, &first,
+            &out);
+  AppendU64("tracking_bytes", explain.tracking_bytes, &first, &out);
+  AppendU64("traffic_total_bytes", explain.traffic_total_bytes, &first, &out);
+  out += ", \"matches_traffic\": ";
+  out += explain.matches_traffic ? "true" : "false";
+  AppendU64("hash_join_bytes", explain.hash_join_bytes, &first, &out);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", \"saved_vs_hash_bytes\": %lld",
+                static_cast<long long>(explain.saved_vs_hash_bytes));
+  out += buf;
+  out += ", \"top_keys\": [";
+  for (size_t i = 0; i < explain.top.size(); ++i) {
+    const KeyScheduleAudit& rec = explain.top[i];
+    if (i > 0) out += ", ";
+    out += "{";
+    bool f = true;
+    AppendU64("key", rec.key, &f, &out);
+    out += ", \"class\": ";
+    AppendJsonEscaped(ScheduleClassName(rec.cls), &out);
+    out += ", \"chosen_dir\": ";
+    AppendJsonEscaped(DirName(rec.chosen_dir), &out);
+    AppendU64("chosen_cost", rec.chosen_cost, &f, &out);
+    AppendU64("chosen_migrations", rec.chosen_migrations, &f, &out);
+    AppendU64("broadcast_cost_r_to_s", rec.broadcast_cost[0], &f, &out);
+    AppendU64("broadcast_cost_s_to_r", rec.broadcast_cost[1], &f, &out);
+    AppendU64("plan_cost_r_to_s", rec.plan_cost[0], &f, &out);
+    AppendU64("plan_cost_s_to_r", rec.plan_cost[1], &f, &out);
+    AppendU64("hash_join_cost", rec.hash_join_cost, &f, &out);
+    AppendU64("r_bytes", rec.r_bytes, &f, &out);
+    AppendU64("s_bytes", rec.s_bytes, &f, &out);
+    AppendU64("r_nodes", rec.r_nodes, &f, &out);
+    AppendU64("s_nodes", rec.s_nodes, &f, &out);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToTable(const ScheduleExplain& explain) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "EXPLAIN %s: %llu distinct keys scheduled\n",
+                explain.algorithm.c_str(),
+                static_cast<unsigned long long>(explain.total_keys));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %12s %14s\n", "decision class",
+                "keys", "bytes");
+  out += buf;
+  for (int c = 0; c < kNumScheduleClasses; ++c) {
+    std::snprintf(buf, sizeof(buf), "  %-18s %12llu %14llu\n",
+                  ScheduleClassName(static_cast<ScheduleClass>(c)),
+                  static_cast<unsigned long long>(explain.by_class[c].keys),
+                  static_cast<unsigned long long>(explain.by_class[c].bytes));
+    out += buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "  scheduled %llu B; actual scheduled traffic %llu B (%s); "
+      "tracking %llu B; total %llu B\n",
+      static_cast<unsigned long long>(explain.scheduled_bytes),
+      static_cast<unsigned long long>(explain.traffic_scheduled_bytes),
+      explain.matches_traffic ? "exact match" : "model mismatch",
+      static_cast<unsigned long long>(explain.tracking_bytes),
+      static_cast<unsigned long long>(explain.traffic_total_bytes));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  hash join would move %llu B -> saved %lld B\n",
+                static_cast<unsigned long long>(explain.hash_join_bytes),
+                static_cast<long long>(explain.saved_vs_hash_bytes));
+  out += buf;
+  if (!explain.top.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "  top %zu keys by scheduled bytes:\n", explain.top.size());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  %16s %-18s %-6s %10s %6s %10s %10s %10s\n", "key",
+                  "class", "dir", "cost B", "migr", "bc r->s", "bc s->r",
+                  "hash B");
+    out += buf;
+    for (const KeyScheduleAudit& rec : explain.top) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "  %16llu %-18s %-6s %10llu %6u %10llu %10llu %10llu\n",
+          static_cast<unsigned long long>(rec.key), ScheduleClassName(rec.cls),
+          DirName(rec.chosen_dir),
+          static_cast<unsigned long long>(rec.chosen_cost),
+          rec.chosen_migrations,
+          static_cast<unsigned long long>(rec.broadcast_cost[0]),
+          static_cast<unsigned long long>(rec.broadcast_cost[1]),
+          static_cast<unsigned long long>(rec.hash_join_cost));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace tj

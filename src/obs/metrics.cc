@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string_view>
 
+#include "obs/text_escape.h"
+
 namespace tj {
 
 namespace {
@@ -16,25 +18,17 @@ auto& GetOrCreate(std::mutex& mu, Map& map, const std::string& name) {
   return *slot;
 }
 
-void AppendJsonString(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
+/// Prometheus metric names allow [a-zA-Z0-9_:] only; dotted registry names
+/// ("join.goodput_bytes") map onto underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
   }
-  out->push_back('"');
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
 }
 
 }  // namespace
@@ -51,17 +45,30 @@ TimerMetric& MetricsRegistry::timer(const std::string& name) {
   return GetOrCreate(mu_, timers_, name);
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return GetOrCreate(mu_, histograms_, name);
+}
+
 std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
   std::vector<Sample> out;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) {
-    out.push_back(Sample{name, "counter", static_cast<double>(c->Value()), 0});
+    out.push_back(
+        Sample{name, "counter", static_cast<double>(c->Value()), 0, {}});
   }
   for (const auto& [name, g] : gauges_) {
-    out.push_back(Sample{name, "gauge", g->Value(), 0});
+    out.push_back(Sample{name, "gauge", g->Value(), 0, {}});
   }
   for (const auto& [name, t] : timers_) {
-    out.push_back(Sample{name, "timer", t->TotalSeconds(), t->Count()});
+    out.push_back(Sample{name, "timer", t->TotalSeconds(), t->Count(), {}});
+  }
+  for (const auto& [name, h] : histograms_) {
+    Sample s{name, "histogram", h->Sum(), h->Count(), {}};
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      uint64_t n = h->BucketCount(b);
+      if (n > 0) s.buckets.emplace_back(Histogram::BucketUpperBound(b), n);
+    }
+    out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
             [](const Sample& a, const Sample& b) { return a.name < b.name; });
@@ -74,20 +81,79 @@ std::string MetricsRegistry::ToJson() const {
   for (const Sample& s : Snapshot()) {
     if (!first) out += ", ";
     first = false;
-    AppendJsonString(s.name, &out);
+    AppendJsonEscaped(s.name, &out);
     char buf[96];
-    if (std::string_view(s.kind) == "timer") {
+    std::string_view kind(s.kind);
+    if (kind == "timer") {
       std::snprintf(buf, sizeof(buf),
                     ": {\"kind\": \"timer\", \"total_seconds\": %.9g, "
                     "\"count\": %llu}",
                     s.value, static_cast<unsigned long long>(s.count));
+      out += buf;
+    } else if (kind == "histogram") {
+      std::snprintf(buf, sizeof(buf),
+                    ": {\"kind\": \"histogram\", \"sum\": %.9g, "
+                    "\"count\": %llu, \"buckets\": {",
+                    s.value, static_cast<unsigned long long>(s.count));
+      out += buf;
+      for (size_t i = 0; i < s.buckets.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%s\"%.9g\": %llu", i ? ", " : "",
+                      s.buckets[i].first,
+                      static_cast<unsigned long long>(s.buckets[i].second));
+        out += buf;
+      }
+      out += "}}";
     } else {
       std::snprintf(buf, sizeof(buf), ": {\"kind\": \"%s\", \"value\": %.9g}",
                     s.kind, s.value);
+      out += buf;
     }
-    out += buf;
   }
   out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::string out;
+  char buf[160];
+  for (const Sample& s : Snapshot()) {
+    std::string name = PrometheusName(s.name);
+    std::string_view kind(s.kind);
+    if (kind == "counter") {
+      std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %.9g\n",
+                    name.c_str(), name.c_str(), s.value);
+      out += buf;
+    } else if (kind == "gauge") {
+      std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %.9g\n",
+                    name.c_str(), name.c_str(), s.value);
+      out += buf;
+    } else if (kind == "timer") {
+      // A timer is a sum + count pair: Prometheus summary without quantiles.
+      std::snprintf(buf, sizeof(buf),
+                    "# TYPE %s summary\n%s_sum %.9g\n%s_count %llu\n",
+                    name.c_str(), name.c_str(), s.value, name.c_str(),
+                    static_cast<unsigned long long>(s.count));
+      out += buf;
+    } else if (kind == "histogram") {
+      std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n", name.c_str());
+      out += buf;
+      uint64_t cumulative = 0;
+      for (const auto& [bound, n] : s.buckets) {
+        cumulative += n;
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %llu\n",
+                      name.c_str(), bound,
+                      static_cast<unsigned long long>(cumulative));
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %.9g\n"
+                    "%s_count %llu\n",
+                    name.c_str(), static_cast<unsigned long long>(s.count),
+                    name.c_str(), s.value, name.c_str(),
+                    static_cast<unsigned long long>(s.count));
+      out += buf;
+    }
+  }
   return out;
 }
 
@@ -96,6 +162,7 @@ void MetricsRegistry::ResetForTest() {
   counters_.clear();
   gauges_.clear();
   timers_.clear();
+  histograms_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

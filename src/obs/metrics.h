@@ -1,15 +1,19 @@
-// Process-wide metrics registry: named counters, gauges and timers.
+// Process-wide metrics registry: named counters, gauges, timers and
+// log-bucketed histograms.
 //
 // The simulator-side observability layer (obs/step_profile.h) produces one
 // structured record per join phase; this registry is the complementary
 // always-on aggregate view — how many joins ran, how many bytes moved, how
-// much recovery traffic the fault protocol generated — cheap enough to stay
-// enabled on every run. All instruments are thread-safe; reads are
-// wait-free snapshots.
+// much recovery traffic the fault protocol generated, how message sizes
+// and phase times distribute — cheap enough to stay enabled on every run.
+// All instruments are thread-safe and lock-free on the write path; reads
+// are wait-free snapshots.
 #ifndef TJ_OBS_METRICS_H_
 #define TJ_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -18,6 +22,19 @@
 #include <vector>
 
 namespace tj {
+
+namespace metrics_internal {
+
+/// Relaxed add for atomic<double> (C++20's fetch_add on atomic<double> is
+/// not universally available): a plain CAS loop.
+inline void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace metrics_internal
 
 /// Monotonically increasing event count.
 class Counter {
@@ -42,30 +59,73 @@ class Gauge {
 };
 
 /// Accumulated duration plus observation count (mean = total / count).
+/// Record is two relaxed atomic operations — no mutex, so phase workers on
+/// every thread can report timings without serializing on the instrument.
 class TimerMetric {
  public:
   void Record(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
-    total_seconds_ += seconds;
-    ++count_;
+    metrics_internal::AtomicAdd(&total_seconds_, seconds);
+    count_.fetch_add(1, std::memory_order_relaxed);
   }
   double TotalSeconds() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_seconds_;
+    return total_seconds_.load(std::memory_order_relaxed);
   }
-  uint64_t Count() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_;
-  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double MeanSeconds() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ > 0 ? total_seconds_ / static_cast<double>(count_) : 0.0;
+    uint64_t n = Count();
+    return n > 0 ? TotalSeconds() / static_cast<double>(n) : 0.0;
   }
 
  private:
-  mutable std::mutex mu_;
-  double total_seconds_ = 0.0;
-  uint64_t count_ = 0;
+  std::atomic<double> total_seconds_{0.0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Log-bucketed (power-of-two) distribution: message sizes, phase wall/net
+/// seconds, per-key schedule costs. Bucket b counts observations with
+/// upper bound 2^(b - kBucketBias); the span 2^-32 .. 2^31 covers
+/// microseconds through gigabytes. Observations are two relaxed atomics.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kBucketBias = 32;
+
+  /// The bucket index for `value`: non-positive values land in bucket 0,
+  /// values past the top range saturate into the last bucket.
+  static int BucketFor(double value) {
+    if (!(value > 0.0)) return 0;
+    int exp = 0;
+    double f = std::frexp(value, &exp);  // value = f * 2^exp, f in [0.5, 1).
+    if (f == 0.5) --exp;  // Exact powers of two sit on their own bound.
+    exp += kBucketBias;
+    if (exp < 0) return 0;
+    if (exp >= kNumBuckets) return kNumBuckets - 1;
+    return exp;
+  }
+
+  /// Inclusive upper bound of bucket b (matches Prometheus `le` labels).
+  static double BucketUpperBound(int bucket) {
+    return std::ldexp(1.0, bucket - kBucketBias);
+  }
+
+  void Observe(double value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    metrics_internal::AtomicAdd(&sum_, value);
+  }
+
+  uint64_t Count() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<double> sum_{0.0};
 };
 
 /// Registry of named instruments. Instruments are created on first use and
@@ -75,13 +135,16 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   TimerMetric& timer(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   /// One instrument's state at snapshot time.
   struct Sample {
     std::string name;
-    const char* kind;  // "counter" | "gauge" | "timer"
-    double value;      // counter/gauge value, timer total seconds
-    uint64_t count;    // timer observation count (0 otherwise)
+    const char* kind;  // "counter" | "gauge" | "timer" | "histogram"
+    double value;      // counter/gauge value, timer/histogram total
+    uint64_t count;    // timer/histogram observation count (0 otherwise)
+    /// Histograms only: (upper bound, count) for each non-empty bucket.
+    std::vector<std::pair<double, uint64_t>> buckets;
   };
 
   /// All instruments, sorted by name.
@@ -89,6 +152,11 @@ class MetricsRegistry {
 
   /// Snapshot as a JSON object keyed by instrument name.
   std::string ToJson() const;
+
+  /// Snapshot in the Prometheus text exposition format (one family per
+  /// instrument; '.' in names becomes '_'; histograms render cumulative
+  /// `_bucket{le=...}` series plus `_sum`/`_count`). `tjsim --metrics`.
+  std::string ToPrometheus() const;
 
   /// Drops every instrument (invalidates outstanding references); only for
   /// test isolation.
@@ -102,6 +170,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace tj

@@ -6,6 +6,7 @@
 
 #include "net/fabric.h"
 #include "obs/metrics.h"
+#include "obs/text_escape.h"
 
 namespace tj {
 
@@ -16,24 +17,7 @@ uint64_t Sum(const std::array<uint64_t, kNumMessageTypes>& a) {
 }
 
 void AppendJsonString(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
+  AppendJsonEscaped(s, out);
 }
 
 void AppendField(const char* key, double value, bool* first, std::string* out) {
@@ -181,6 +165,12 @@ StepProfile BuildStepProfile(const std::string& algorithm,
   metrics.counter("join.nack_messages").Increment(profile.TotalNackMessages());
   metrics.timer("join.wall_seconds").Record(profile.TotalWallSeconds());
   metrics.gauge("join.last_net_seconds").Set(profile.TotalNetSeconds());
+  Histogram& wall_hist = metrics.histogram("join.phase_wall_seconds");
+  Histogram& net_hist = metrics.histogram("join.phase_net_seconds");
+  for (const StepRecord& s : profile.steps) {
+    wall_hist.Observe(s.wall_seconds);
+    net_hist.Observe(s.net_seconds);
+  }
   return profile;
 }
 
@@ -248,13 +238,20 @@ std::string StepCsvHeader() {
 
 std::string ToCsv(const StepProfile& profile) {
   std::string out;
+  // Algorithm and phase are caller-supplied strings: the algorithm field is
+  // quoted only when it needs to be (plain names stay byte-identical), the
+  // phase field keeps its historical always-quoted form with internal
+  // quotes doubled per RFC 4180.
+  const std::string algorithm = CsvField(profile.algorithm);
   for (const StepRecord& s : profile.steps) {
-    char buf[512];
+    out += algorithm;
+    out += ',';
+    out += CsvQuoted(s.phase);
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
-                  "%s,\"%s\",%.9g,%.9g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+                  ",%.9g,%.9g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
                   "%llu,%llu\n",
-                  profile.algorithm.c_str(), s.phase.c_str(), s.wall_seconds,
-                  s.net_seconds,
+                  s.wall_seconds, s.net_seconds,
                   static_cast<unsigned long long>(s.goodput_bytes),
                   static_cast<unsigned long long>(s.local_bytes),
                   static_cast<unsigned long long>(s.retransmit_bytes),

@@ -1,0 +1,67 @@
+// Shared text-escaping helpers for the observability renderers.
+//
+// Phase names, algorithm labels and span names are caller-supplied strings;
+// every structured renderer (StepProfile CSV/JSON, the metrics dump, the
+// Chrome trace export, the EXPLAIN output) must escape them rather than
+// trust them. Header-only so the std-only trace library can use it too.
+#ifndef TJ_OBS_TEXT_ESCAPE_H_
+#define TJ_OBS_TEXT_ESCAPE_H_
+
+#include <cstdio>
+#include <string>
+
+namespace tj {
+
+/// Appends `s` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes and control characters.
+inline void AppendJsonEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  AppendJsonEscaped(s, &out);
+  return out;
+}
+
+/// RFC 4180 quoting: always wraps `s` in double quotes and doubles internal
+/// quotes, so commas, quotes and newlines survive in a single CSV cell.
+inline std::string CsvQuoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Quotes only when the field contains a comma, quote or line break; plain
+/// fields render unchanged (keeps existing CSV goldens byte-stable).
+inline std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  return CsvQuoted(s);
+}
+
+}  // namespace tj
+
+#endif  // TJ_OBS_TEXT_ESCAPE_H_

@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/text_escape.h"
+
+namespace tj {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One fixed epoch for the whole process so timestamps from different
+/// threads and different fabrics share a timeline.
+Clock::time_point ProcessEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+thread_local uint32_t tls_trace_node = kTraceNoNode;
+
+/// Chrome wants distinct integer pids; node ids are small, so pseudo
+/// processes (the "(host)" track for un-attributed work) get offset ids.
+constexpr uint32_t kHostPid = 1000000;
+
+uint32_t ExportPid(uint32_t node) {
+  return node == kTraceNoNode ? kHostPid : node;
+}
+
+}  // namespace
+
+std::atomic<int> Tracer::enabled_{0};
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  (void)ProcessEpoch();  // Pin the epoch no later than first use.
+  return *tracer;
+}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               ProcessEpoch())
+      .count();
+}
+
+Tracer::ThreadLog* Tracer::LogForThisThread() {
+  // Each thread registers one log on first use and caches the pointer; the
+  // logs are owned by the (leaked) tracer, so the cache can never dangle.
+  thread_local ThreadLog* log = nullptr;
+  if (log == nullptr) {
+    auto owned = std::make_unique<ThreadLog>();
+    log = owned.get();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    owned->tid = logs_.size() + 1;
+    logs_.push_back(std::move(owned));
+  }
+  return log;
+}
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadLog* log = LogForThisThread();
+  event.tid = log->tid;
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->events.push_back(std::move(event));
+}
+
+void Tracer::RecordCounter(const std::string& name, uint32_t node,
+                           int64_t value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = "counter";
+  event.node = node;
+  event.t_start_us = NowMicros();
+  event.phase = 'C';
+  event.value = value;
+  Record(std::move(event));
+}
+
+void Tracer::SetProcessLabel(uint32_t node, std::string label) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  process_labels_[node] = std::move(label);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& log : logs_) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      out.insert(out.end(), log->events.begin(), log->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t_start_us < b.t_start_us;
+                   });
+  return out;
+}
+
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t n = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    n += log->events.size();
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+  process_labels_.clear();
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::map<uint32_t, std::string> labels;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    labels = process_labels_;
+  }
+  if (labels.find(kTraceNoNode) == labels.end()) labels[kTraceNoNode] = "(host)";
+
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[160];
+  for (const auto& [node, label] : labels) {
+    if (!first) out += ",\n ";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %u, "
+                  "\"tid\": 0, \"args\": {\"name\": ",
+                  ExportPid(node));
+    out += buf;
+    AppendJsonEscaped(label, &out);
+    out += "}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n ";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonEscaped(e.name, &out);
+    out += ", \"cat\": ";
+    AppendJsonEscaped(e.category, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"ph\": \"%c\", \"pid\": %u, \"tid\": %llu, "
+                  "\"ts\": %lld",
+                  e.phase, ExportPid(e.node),
+                  static_cast<unsigned long long>(e.tid),
+                  static_cast<long long>(e.t_start_us));
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ", \"dur\": %lld",
+                    static_cast<long long>(e.dur_us));
+      out += buf;
+      if (e.value >= 0) {
+        std::snprintf(buf, sizeof(buf), ", \"args\": {\"rows\": %lld}",
+                      static_cast<long long>(e.value));
+        out += buf;
+      }
+    } else if (e.phase == 'C') {
+      std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %lld}",
+                    static_cast<long long>(e.value));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+uint32_t CurrentTraceNode() { return tls_trace_node; }
+
+ScopedTraceNode::ScopedTraceNode(uint32_t node) : saved_(tls_trace_node) {
+  tls_trace_node = node;
+}
+
+ScopedTraceNode::~ScopedTraceNode() { tls_trace_node = saved_; }
+
+TraceSpan::TraceSpan(const char* category, std::string_view name,
+                     int64_t rows) {
+  if (!Tracer::enabled()) return;
+  Tracer& tracer = Tracer::Global();
+  start_us_ = tracer.NowMicros();
+  rows_ = rows;
+  name_.assign(name);
+  category_ = category;
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0) return;
+  Tracer& tracer = Tracer::Global();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;
+  event.node = tls_trace_node;
+  event.t_start_us = start_us_;
+  event.dur_us = tracer.NowMicros() - start_us_;
+  event.phase = 'X';
+  event.value = rows_;
+  tracer.Record(std::move(event));
+}
+
+}  // namespace tj

@@ -1,0 +1,152 @@
+// Low-overhead span tracer with Chrome trace-event export.
+//
+// One process-wide Tracer collects timestamped spans ("this node spent
+// 1.2ms in phase X"), counter samples (per-node NIC ingress/egress) and
+// instant events into per-thread buffers, and exports them as Chrome
+// trace-event JSON (the `chrome://tracing` / Perfetto format): pid = the
+// simulated node, tid = the OS thread that did the work.
+//
+// Tracing is strictly passive and off by default. The enabled check is a
+// single relaxed atomic load; a disabled TraceSpan does no allocation, no
+// clock read and no buffer write, so instrumentation can stay in the
+// fabric, the thread pool and the kernels permanently. Enabling tracing
+// must never change join results, traffic matrices or StepProfile bytes —
+// the tracer only ever reads the clock and appends to its own buffers.
+//
+// Node attribution: the fabric sets a thread-local "current node" around
+// each per-node phase work item (ScopedTraceNode), so spans opened further
+// down the stack (kernels, ParallelFor batches) inherit the node that
+// logically runs them. Work outside any node (the barrier itself, bench
+// drivers) lands on a pseudo-process labeled by SetProcessLabel.
+#ifndef TJ_OBS_TRACE_H_
+#define TJ_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tj {
+
+/// "No simulated node": spans recorded outside ScopedTraceNode scopes.
+/// Exported as its own pseudo-process (labeled "(host)" by default).
+inline constexpr uint32_t kTraceNoNode = 0xFFFFFFFFu;
+
+/// One recorded event. `phase` is the Chrome trace-event phase: 'X' is a
+/// complete span (t_start + duration), 'C' a counter sample, 'i' an
+/// instant event. `value` is the counter value ('C') or an optional row
+/// count ('X', -1 = absent), rendered into the event's args.
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  uint32_t node = kTraceNoNode;
+  uint64_t tid = 0;
+  int64_t t_start_us = 0;
+  int64_t dur_us = 0;
+  char phase = 'X';
+  int64_t value = -1;
+};
+
+/// Process-wide trace collector. All methods are thread-safe.
+class Tracer {
+ public:
+  /// The tracer every TraceSpan records into (leaked singleton).
+  static Tracer& Global();
+
+  /// True when tracing is on. One relaxed atomic load — cheap enough for
+  /// the hottest instrumented paths.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed) != 0;
+  }
+  void Enable() { enabled_.store(1, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(0, std::memory_order_relaxed); }
+
+  /// Microseconds since the tracer's construction (steady clock).
+  int64_t NowMicros() const;
+
+  /// Appends one event to the calling thread's buffer. No-op unless
+  /// enabled (callers on hot paths should check enabled() first and skip
+  /// building the event at all).
+  void Record(TraceEvent event);
+
+  /// Records a counter sample (Chrome 'C' event): the exported track plots
+  /// `value` over time for `name` under process `node`.
+  void RecordCounter(const std::string& name, uint32_t node, int64_t value);
+
+  /// Labels an exported process (Chrome process_name metadata). node may
+  /// be a real node id or a pseudo-process id such as a fabric's
+  /// num_nodes() barrier track.
+  void SetProcessLabel(uint32_t node, std::string label);
+
+  /// All recorded events merged across threads, ordered by start time.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Number of events recorded so far.
+  size_t EventCount() const;
+
+  /// Drops all recorded events and process labels (not the enabled flag).
+  void Clear();
+
+  /// The full trace as Chrome trace-event JSON ({"traceEvents": [...]}),
+  /// loadable in Perfetto / chrome://tracing. Timestamps in microseconds.
+  std::string ToChromeJson() const;
+
+ private:
+  struct ThreadLog {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint64_t tid = 0;
+  };
+
+  Tracer() = default;
+  ThreadLog* LogForThisThread();
+
+  static std::atomic<int> enabled_;
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+  std::map<uint32_t, std::string> process_labels_;
+};
+
+/// The simulated node the calling thread is currently working for
+/// (kTraceNoNode outside any ScopedTraceNode scope).
+uint32_t CurrentTraceNode();
+
+/// RAII: attributes spans opened on this thread inside the scope to `node`.
+class ScopedTraceNode {
+ public:
+  explicit ScopedTraceNode(uint32_t node);
+  ~ScopedTraceNode();
+  ScopedTraceNode(const ScopedTraceNode&) = delete;
+  ScopedTraceNode& operator=(const ScopedTraceNode&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+/// RAII complete-span scope. When tracing is disabled the constructor is a
+/// single atomic load and the destructor a branch; nothing is copied.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, std::string_view name)
+      : TraceSpan(category, name, -1) {}
+  /// `rows >= 0` is exported as args {"rows": rows}.
+  TraceSpan(const char* category, std::string_view name, int64_t rows);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  int64_t start_us_ = -1;  // -1: disabled at construction, record nothing.
+  int64_t rows_ = -1;
+  std::string name_;
+  const char* category_ = "";
+};
+
+}  // namespace tj
+
+#endif  // TJ_OBS_TRACE_H_

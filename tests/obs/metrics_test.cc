@@ -36,6 +36,51 @@ TEST(TimerMetricTest, AccumulatesAndAverages) {
   EXPECT_DOUBLE_EQ(t.MeanSeconds(), 2.0);
 }
 
+TEST(HistogramTest, BucketForCoversRange) {
+  // Non-positive values land in bucket 0; the top saturates.
+  EXPECT_EQ(Histogram::BucketFor(0.0), 0);
+  EXPECT_EQ(Histogram::BucketFor(-3.0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1e300), Histogram::kNumBuckets - 1);
+  // A value is counted in a bucket whose upper bound is >= the value and
+  // whose predecessor's bound is below it.
+  for (double v : {1e-6, 0.5, 1.0, 3.0, 1024.0, 5e8}) {
+    int b = Histogram::BucketFor(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b)) << v;
+    if (b > 0) EXPECT_GT(v, Histogram::BucketUpperBound(b - 1)) << v;
+  }
+  // Exact powers of two sit at their bucket's inclusive upper bound.
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketFor(8.0)), 8.0);
+}
+
+TEST(HistogramTest, ObserveAccumulatesSumAndCounts) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  h.Observe(3.0);
+  h.Observe(3.5);
+  h.Observe(1000.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1006.5);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(3.0)), 2u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(1000.0)), 1u);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(2.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t expect = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.Count(), expect);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(2.0)), expect);
+  EXPECT_DOUBLE_EQ(h.Sum(), 2.0 * static_cast<double>(expect));
+}
+
 TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
   MetricsRegistry registry;
   Counter& a = registry.counter("x");
@@ -72,6 +117,58 @@ TEST(MetricsRegistryTest, ToJsonGolden) {
             ", \"join.runs\": {\"kind\": \"counter\", \"value\": 3}"
             ", \"join.wall_seconds\": {\"kind\": \"timer\", "
             "\"total_seconds\": 1.5, \"count\": 1}}");
+}
+
+TEST(MetricsRegistryTest, HistogramAppearsInSnapshotAndJson) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("fabric.message_bytes");
+  h.Observe(100.0);
+  h.Observe(100.0);
+  h.Observe(4096.0);
+  std::vector<MetricsRegistry::Sample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_STREQ(samples[0].kind, "histogram");
+  EXPECT_EQ(samples[0].count, 3u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 4296.0);
+  ASSERT_EQ(samples[0].buckets.size(), 2u);
+  EXPECT_EQ(samples[0].buckets[0].second, 2u);  // the two 100s
+  EXPECT_EQ(samples[0].buckets[1].second, 1u);
+  EXPECT_EQ(registry.ToJson(),
+            "{\"fabric.message_bytes\": {\"kind\": \"histogram\", "
+            "\"sum\": 4296, \"count\": 3, "
+            "\"buckets\": {\"128\": 2, \"4096\": 1}}}");
+}
+
+TEST(MetricsRegistryTest, ToPrometheusRendersAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("join.runs").Increment(3);
+  registry.gauge("join.last_net_seconds").Set(0.5);
+  registry.timer("join.wall_seconds").Record(1.5);
+  Histogram& h = registry.histogram("fabric.message_bytes");
+  h.Observe(100.0);
+  h.Observe(4096.0);
+  std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE join_runs counter\njoin_runs 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE join_last_net_seconds gauge\n"
+                      "join_last_net_seconds 0.5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE join_wall_seconds summary\n"
+                      "join_wall_seconds_sum 1.5\n"
+                      "join_wall_seconds_count 1\n"),
+            std::string::npos)
+      << text;
+  // Histogram buckets are cumulative and close with +Inf / _sum / _count.
+  EXPECT_NE(text.find("# TYPE fabric_message_bytes histogram\n"
+                      "fabric_message_bytes_bucket{le=\"128\"} 1\n"
+                      "fabric_message_bytes_bucket{le=\"4096\"} 2\n"
+                      "fabric_message_bytes_bucket{le=\"+Inf\"} 2\n"
+                      "fabric_message_bytes_sum 4196\n"
+                      "fabric_message_bytes_count 2\n"),
+            std::string::npos)
+      << text;
 }
 
 TEST(MetricsRegistryTest, JsonEscapesControlCharacters) {

@@ -236,6 +236,41 @@ TEST(StepProfileTest, CsvGolden) {
             "hj,\"p\",0.5,0.25,10,4,2,7,1,1,1,0,0\n");
 }
 
+TEST(StepProfileTest, CsvEscapesHostilePhaseAndAlgorithmNames) {
+  StepProfile prof = GoldenProfile();
+  // A phase name carrying every CSV-hostile character: delimiter, quote,
+  // newline, carriage return.
+  prof.steps[0].phase = "track, \"phase\"\r\none";
+  prof.algorithm = "h,j\"x";
+  std::string csv = ToCsv(prof);
+  // RFC 4180: both fields quoted, internal quotes doubled, separators and
+  // line breaks preserved inside the quotes — exactly one record row.
+  EXPECT_EQ(csv,
+            "\"h,j\"\"x\",\"track, \"\"phase\"\"\r\none\","
+            "0.5,0.25,10,4,2,7,1,1,1,0,0\n");
+}
+
+TEST(StepProfileTest, CsvDoesNotTruncateLongNames) {
+  StepProfile prof = GoldenProfile();
+  prof.steps[0].phase = std::string(2000, 'p') + ",\"";
+  std::string csv = ToCsv(prof);
+  EXPECT_NE(csv.find(std::string(2000, 'p')), std::string::npos);
+  EXPECT_EQ(csv.back(), '\n');
+}
+
+TEST(StepProfileTest, JsonEscapesHostileNames) {
+  StepProfile prof = GoldenProfile();
+  prof.algorithm = "a\"b\\c";
+  prof.steps[0].phase = "p\nq\tr";
+  std::string json = ToJson(prof);
+  EXPECT_NE(json.find("\"algorithm\": \"a\\\"b\\\\c\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"phase\": \"p\\nq\\tr\""), std::string::npos) << json;
+  // No raw control characters may survive into the JSON text.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
 TEST(StepProfileTest, ApplyTimeModelReprices) {
   StepProfile prof = GoldenProfile();
   NetworkTimeModel model;

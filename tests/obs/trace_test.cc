@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tj {
+namespace {
+
+/// The tracer is a process-wide singleton; every test leaves it disabled
+/// and empty so the others (and any instrumented code the gtest harness
+/// touches) see a clean slate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndSpansRecordNothing) {
+  EXPECT_FALSE(Tracer::enabled());
+  { TraceSpan span("kernel", "ignored", 42); }
+  Tracer::Global().RecordCounter("nic.ingress_bytes", 0, 7);
+  EXPECT_EQ(Tracer::Global().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsCompleteEvent) {
+  Tracer::Global().Enable();
+  { TraceSpan span("phase", "track", 123); }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "track");
+  EXPECT_STREQ(events[0].category, "phase");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].value, 123);
+  EXPECT_EQ(events[0].node, kTraceNoNode);
+  EXPECT_GE(events[0].dur_us, 0);
+}
+
+TEST_F(TraceTest, ScopedTraceNodeAttributesAndRestores) {
+  Tracer::Global().Enable();
+  EXPECT_EQ(CurrentTraceNode(), kTraceNoNode);
+  {
+    ScopedTraceNode node(3);
+    EXPECT_EQ(CurrentTraceNode(), 3u);
+    {
+      ScopedTraceNode inner(5);
+      TraceSpan span("kernel", "inner");
+    }
+    EXPECT_EQ(CurrentTraceNode(), 3u);
+    TraceSpan span("kernel", "outer");
+  }
+  EXPECT_EQ(CurrentTraceNode(), kTraceNoNode);
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].node, 5u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].node, 3u);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossEnableDoesNotRecord) {
+  // A span constructed while disabled must stay silent even if tracing is
+  // switched on before it closes — it never read the clock.
+  TraceSpan* span = new TraceSpan("kernel", "late");
+  Tracer::Global().Enable();
+  delete span;
+  EXPECT_EQ(Tracer::Global().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, CountersAndLabelsExportToChromeJson) {
+  Tracer::Global().Enable();
+  Tracer::Global().SetProcessLabel(0, "node 0");
+  Tracer::Global().RecordCounter("nic.ingress_bytes", 0, 4096);
+  {
+    ScopedTraceNode node(0);
+    TraceSpan span("phase", "track", 10);
+  }
+  std::string json = Tracer::Global().ToChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u) << json;
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"node 0\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nic.ingress_bytes\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\": 4096"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rows\": 10"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, HostileSpanNamesAreEscaped) {
+  Tracer::Global().Enable();
+  { TraceSpan span("phase", "a\"b\\c\nd"); }
+  std::string json = Tracer::Global().ToChromeJson();
+  EXPECT_NE(json.find("\"a\\\"b\\\\c\\nd\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ThreadsMergeSortedByStartTime) {
+  Tracer::Global().Enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      ScopedTraceNode node(static_cast<uint32_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("kernel", "work");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t_start_us, events[i].t_start_us);
+  }
+}
+
+TEST_F(TraceTest, ClearDropsEventsButKeepsEnabled) {
+  Tracer::Global().Enable();
+  { TraceSpan span("kernel", "x"); }
+  EXPECT_EQ(Tracer::Global().EventCount(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().EventCount(), 0u);
+  EXPECT_TRUE(Tracer::enabled());
+}
+
+}  // namespace
+}  // namespace tj

@@ -7,11 +7,16 @@ and fails when any gated kernel throughput regresses more than the
 tolerance (default 25%) below the checked-in baseline
 (tools/bench_baseline.json).
 
+Also runs one *traced* local_kernels iteration (--trace=) and fails when
+span tracing costs more than --trace-tolerance (default 10%) of the
+untraced throughput on any gated kernel: the tracer is advertised as
+low-overhead, so CI holds it to that.
+
 Usage:
   tools/bench_smoke.py [--build-dir build] [--threads N]
                        [--baseline tools/bench_baseline.json]
                        [--out BENCH_local_kernels.json]
-                       [--tolerance 0.25]
+                       [--tolerance 0.25] [--trace-tolerance 0.10]
 """
 import argparse
 import json
@@ -52,6 +57,9 @@ def main():
                          "file's tolerance, else 0.25)")
     ap.add_argument("--threads", type=int,
                     default=min(8, os.cpu_count() or 1))
+    ap.add_argument("--trace-tolerance", type=float, default=0.10,
+                    help="allowed fractional throughput loss with span "
+                         "tracing enabled (default: 0.10)")
     args = ap.parse_args()
 
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -76,6 +84,29 @@ def main():
     out, wall = run([os.path.join(bench_dir, "local_kernels")] + threads)
     kernels = json.loads(out)
 
+    # Traced iterations: same bench with span tracing on. The trace file
+    # must come out as loadable Chrome JSON, and throughput on the gated
+    # kernels may drop at most --trace-tolerance below the untraced run.
+    # Runner jitter at this scale exceeds the tolerance, so the traced side
+    # takes the best of two runs — that still catches real instrumentation
+    # overhead (which hits every run) without tripping on scheduler noise.
+    print("=== local_kernels throughput (traced) ===", flush=True)
+    trace_path = os.path.join(args.build_dir, "bench_smoke_trace.json")
+    traced_kernels = {}
+    for _ in range(2):
+        traced_out, _ = run([os.path.join(bench_dir, "local_kernels"),
+                             f"--trace={trace_path}"] + threads)
+        for metric, tps in json.loads(traced_out).items():
+            if isinstance(tps, (int, float)) and not isinstance(tps, bool):
+                traced_kernels[metric] = max(tps,
+                                             traced_kernels.get(metric, tps))
+    with open(trace_path) as f:
+        trace_doc = json.load(f)
+    if not trace_doc.get("traceEvents"):
+        sys.stderr.write(f"FAIL: {trace_path} has no traceEvents\n")
+        return 1
+    print(f"    trace ok ({len(trace_doc['traceEvents'])} events)")
+
     gate = []
     failures = []
     for metric, base_tps in baseline["tps"].items():
@@ -96,6 +127,26 @@ def main():
                 f"{metric}: {measured:.3e} tuples/s is more than "
                 f"{tolerance:.0%} below baseline {base_tps:.3e}")
 
+    trace_gate = []
+    for metric in baseline["tps"]:
+        untraced = kernels.get(metric)
+        traced = traced_kernels.get(metric)
+        if untraced is None or traced is None:
+            failures.append(f"{metric}: missing from traced bench output")
+            continue
+        floor = untraced * (1.0 - args.trace_tolerance)
+        ok = traced >= floor
+        trace_gate.append({"metric": metric, "traced_tps": traced,
+                           "untraced_tps": untraced, "pass": ok})
+        status = "ok" if ok else "OVERHEAD"
+        print(f"    {metric} traced: {traced:.3e} vs untraced "
+              f"{untraced:.3e} {status}")
+        if not ok:
+            failures.append(
+                f"{metric}: tracing costs more than "
+                f"{args.trace_tolerance:.0%} throughput "
+                f"({traced:.3e} traced vs {untraced:.3e} untraced)")
+
     report = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "threads": args.threads,
@@ -103,6 +154,8 @@ def main():
         "kernels": kernels,
         "table_bench_wall_s": table_wall,
         "gate": gate,
+        "trace_gate": trace_gate,
+        "trace_tolerance": args.trace_tolerance,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validates the tracing/EXPLAIN observability interfaces.
+
+Two modes, mirroring check_profile_schema.py:
+
+  check_trace_schema.py trace FILE   # Chrome trace JSON from `tjsim --trace=`
+  check_trace_schema.py explain      # `tjsim --explain=json` read from stdin
+
+The trace file must be a Chrome trace-event object (`{"traceEvents": [...]}`)
+that Perfetto can load: only complete spans (X), counters (C), instants (i)
+and metadata (M), integer pid/tid/ts, non-negative durations, at least one
+"phase"-category span and one NIC counter, and process_name metadata so the
+per-node lanes are labeled. The explain output must be a non-empty array of
+per-algorithm audits whose decision-class byte totals reconcile exactly with
+the audited scheduled bytes.
+"""
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "C", "M", "i"}
+EXPLAIN_CLASSES = ("free", "broadcast_r_to_s", "broadcast_s_to_r", "migrated")
+EXPLAIN_KEYS = {
+    "algorithm": str,
+    "total_keys": int,
+    "classes": dict,
+    "scheduled_bytes": int,
+    "traffic_scheduled_bytes": int,
+    "tracking_bytes": int,
+    "traffic_total_bytes": int,
+    "matches_traffic": bool,
+    "hash_join_bytes": int,
+    "saved_vs_hash_bytes": int,
+    "top_keys": list,
+}
+TOP_KEY_KEYS = {
+    "key": int,
+    "class": str,
+    "chosen_dir": str,
+    "chosen_cost": int,
+    "chosen_migrations": int,
+    "broadcast_cost_r_to_s": int,
+    "broadcast_cost_s_to_r": int,
+    "plan_cost_r_to_s": int,
+    "plan_cost_s_to_r": int,
+    "hash_join_cost": int,
+}
+
+
+def fail(msg):
+    sys.exit("trace schema check FAILED: %s" % msg)
+
+
+def check_fields(obj, spec, where):
+    for key, kind in spec.items():
+        if key not in obj:
+            fail("%s: missing key %r" % (where, key))
+        value = obj[key]
+        if kind is bool:
+            ok = isinstance(value, bool)
+        else:
+            ok = isinstance(value, kind) and not isinstance(value, bool)
+        if not ok:
+            fail("%s: key %r has %r, expected %s" %
+                 (where, key, value, kind.__name__))
+
+
+def check_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail("cannot read %s: %s" % (path, e))
+    except json.JSONDecodeError as e:
+        fail("%s is not valid JSON: %s" % (path, e))
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("expected a non-empty traceEvents array")
+
+    phase_spans = 0
+    nic_counters = 0
+    process_names = 0
+    for i, e in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(e, dict):
+            fail("%s: not an object: %r" % (where, e))
+        ph = e.get("ph")
+        if ph not in ALLOWED_PHASES:
+            fail("%s: ph %r not in %s" % (where, ph, sorted(ALLOWED_PHASES)))
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            fail("%s: missing/empty name" % where)
+        for key in ("pid", "tid"):
+            v = e.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail("%s (%s): bad %s %r" % (where, name, key, v))
+        if ph == "M":
+            if name == "process_name":
+                if not isinstance(e.get("args", {}).get("name"), str):
+                    fail("%s: process_name without args.name" % where)
+                process_names += 1
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+            fail("%s (%s): bad ts %r" % (where, name, ts))
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
+                fail("%s (%s): X event with bad dur %r" % (where, name, dur))
+            if e.get("cat") == "phase":
+                phase_spans += 1
+        elif ph == "C":
+            value = e.get("args", {}).get("value")
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail("%s (%s): C event without integer args.value" %
+                     (where, name))
+            if name.startswith("nic."):
+                nic_counters += 1
+    if process_names == 0:
+        fail("no process_name metadata (per-node lanes would be unlabeled)")
+    if phase_spans == 0:
+        fail("no 'phase'-category spans (fabric instrumentation missing)")
+    if nic_counters == 0:
+        fail("no nic.* counter events (NIC byte counters missing)")
+    print("trace schema check passed: %d event(s), %d phase span(s), "
+          "%d nic counter(s), %d process name(s)" %
+          (len(events), phase_spans, nic_counters, process_names))
+
+
+def check_explain():
+    try:
+        explains = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        fail("stdin is not valid JSON: %s" % e)
+    if not isinstance(explains, list) or not explains:
+        fail("expected a non-empty array of per-algorithm explains")
+    for explain in explains:
+        algo = explain.get("algorithm")
+        if not isinstance(algo, str) or not algo:
+            fail("explain without an algorithm name: %r" % explain)
+        check_fields(explain, EXPLAIN_KEYS, algo)
+        classes = explain["classes"]
+        for cls in EXPLAIN_CLASSES:
+            if cls not in classes:
+                fail("%s: missing decision class %r" % (algo, cls))
+            check_fields(classes[cls], {"keys": int, "bytes": int},
+                         "%s class %s" % (algo, cls))
+        # The audit must reconcile: class totals add up to the scheduled
+        # bytes/keys, and the headline invariant holds when advertised.
+        class_keys = sum(classes[c]["keys"] for c in EXPLAIN_CLASSES)
+        class_bytes = sum(classes[c]["bytes"] for c in EXPLAIN_CLASSES)
+        if class_keys != explain["total_keys"]:
+            fail("%s: class keys sum %d != total_keys %d" %
+                 (algo, class_keys, explain["total_keys"]))
+        if class_bytes != explain["scheduled_bytes"]:
+            fail("%s: class bytes sum %d != scheduled_bytes %d" %
+                 (algo, class_bytes, explain["scheduled_bytes"]))
+        if explain["matches_traffic"] and (
+                explain["scheduled_bytes"] !=
+                explain["traffic_scheduled_bytes"]):
+            fail("%s: matches_traffic yet %d != %d" %
+                 (algo, explain["scheduled_bytes"],
+                  explain["traffic_scheduled_bytes"]))
+        if explain["saved_vs_hash_bytes"] != (
+                explain["hash_join_bytes"] - explain["scheduled_bytes"]):
+            fail("%s: saved_vs_hash_bytes is not hash - scheduled" % algo)
+        for rec in explain["top_keys"]:
+            check_fields(rec, TOP_KEY_KEYS,
+                         "%s top key %r" % (algo, rec.get("key")))
+            if rec["class"] not in EXPLAIN_CLASSES:
+                fail("%s: top key %d has unknown class %r" %
+                     (algo, rec["key"], rec["class"]))
+    print("explain schema check passed: %d algorithm(s), %d audited key(s)" %
+          (len(explains), sum(e["total_keys"] for e in explains)))
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "trace":
+        check_trace(sys.argv[2])
+    elif len(sys.argv) == 2 and sys.argv[1] == "explain":
+        check_explain()
+    else:
+        sys.exit("usage: check_trace_schema.py trace FILE\n"
+                 "       check_trace_schema.py explain < explain.json")
+
+
+if __name__ == "__main__":
+    main()

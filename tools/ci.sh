@@ -55,6 +55,21 @@ echo "=== profile smoke: tjsim --profile=json | check_profile_schema ==="
     --fault-corrupt=0.02 --fault-retries=64 --algo=hj,4tj --profile=json \
   | python3 tools/check_profile_schema.py
 
+# Observability smoke: the Chrome trace export and the EXPLAIN audit are
+# interfaces too (README documents the Perfetto workflow, EXPERIMENTS.md
+# maps decision classes onto the paper's cost terms), so pin their schemas
+# the same way. The explain check also re-verifies the exact-reconciliation
+# invariant (class byte sums == audited scheduled bytes).
+echo "=== obs smoke: tjsim --trace / --explain=json | check_trace_schema ==="
+trace_tmp="$(mktemp -t tjsim_trace.XXXXXX.json)"
+trap 'rm -f "${trace_tmp}"' EXIT
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=300 --algo=hj,4tj \
+    --trace="${trace_tmp}" >/dev/null
+python3 tools/check_trace_schema.py trace "${trace_tmp}"
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=500 --smult=2 \
+    --algo=2tj-r,3tj,4tj --explain=json \
+  | python3 tools/check_trace_schema.py explain
+
 # The batch-scoped ParallelFor is lock-order sensitive; run its tests (and
 # the rest of tj_common's concurrency surface) under TSan even when the
 # caller only asked for the default sanitizers.

@@ -21,9 +21,13 @@
 #include "baseline/hash_join.h"
 #include "core/late_hash_join.h"
 #include "core/rid_hash_join.h"
+#include "core/schedule.h"
 #include "core/track_join.h"
 #include "net/time_model.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
 #include "obs/step_profile.h"
+#include "obs/trace.h"
 #include "workload/generator.h"
 
 namespace {
@@ -54,6 +58,10 @@ struct Options {
   uint64_t fault_seed = 0;
   bool fault_seed_set = false;
   std::string profile;  // "" (off) | json | csv | table
+  std::string trace_path;  // "" (off) | Chrome trace output file
+  std::string explain;     // "" (off) | json | table
+  uint64_t explain_top = 10;
+  bool metrics = false;
 };
 
 [[noreturn]] void Usage() {
@@ -96,6 +104,12 @@ fault injection (any nonzero flag frames messages and enables retry/ack):
 observability:
   --profile=FORMAT     per-step breakdown after each run: json | csv | table
                        (json/csv replace the default report on stdout)
+  --trace=FILE         record spans and write Chrome trace-event JSON to FILE
+                       (open in Perfetto / chrome://tracing)
+  --explain=FORMAT     per-key scheduler audit for track joins: json | table
+                       (json replaces the default report on stdout)
+  --explain-top=N      heavy-hitter keys listed per audit (default 10)
+  --metrics            dump the metrics registry (Prometheus text format)
 )");
   std::exit(0);
 }
@@ -280,6 +294,21 @@ Options Parse(int argc, char** argv) {
           opt.profile != "table") {
         FlagError("--profile", v, "json | csv | table");
       }
+    } else if ((v = val("--trace="))) {
+      opt.trace_path = v;
+      if (opt.trace_path.empty()) {
+        FlagError("--trace", v, "output file path");
+      }
+    } else if ((v = val("--explain="))) {
+      opt.explain = v;
+      if (opt.explain != "json" && opt.explain != "table") {
+        FlagError("--explain", v, "json | table");
+      }
+    } else if ((v = val("--explain-top="))) {
+      opt.explain_top = ParseUint64Flag("--explain-top", v, 0, 1u << 20,
+                                        "integer in [0, 1048576]");
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      opt.metrics = true;
     } else if (std::strcmp(a, "--shuffle") == 0) {
       opt.shuffle = true;
     } else if (std::strcmp(a, "--balance") == 0) {
@@ -390,10 +419,20 @@ int main(int argc, char** argv) {
   }
 
   // json/csv profile output owns stdout (pipeable into schema checks or
-  // spreadsheets); the human-readable report is suppressed.
+  // spreadsheets); the human-readable report is suppressed. --explain=json
+  // wants stdout the same way, so the two machine formats are exclusive.
   const bool machine_profile =
       opt.profile == "json" || opt.profile == "csv";
-  if (!machine_profile) {
+  const bool machine_explain = opt.explain == "json";
+  if (machine_profile && machine_explain) {
+    std::fprintf(stderr,
+                 "--profile=%s and --explain=json both write machine output "
+                 "to stdout; pick one\n",
+                 opt.profile.c_str());
+    return 1;
+  }
+  if (!opt.trace_path.empty()) tj::Tracer::Global().Enable();
+  if (!machine_profile && !machine_explain) {
     std::printf("%" PRIu64 " x %" PRIu64 " tuples on %u nodes (%u/%u byte "
                 "payloads, wk=%u)\n\n",
                 w.r.TotalRows(), w.s.TotalRows(), opt.nodes, opt.r_payload,
@@ -409,9 +448,19 @@ int main(int argc, char** argv) {
   uint64_t reference_rows = 0;
   bool have_reference = false;
   std::vector<tj::StepProfile> profiles;
+  std::vector<tj::ScheduleExplain> explains;
   for (const std::string& algo : algos) {
     bool known = false;
-    tj::Result<tj::JoinResult> run = RunByName(algo, w, config, &known);
+    // The scheduler audit only exists for the track joins — the baselines
+    // never make per-key decisions.
+    const bool track_algo = algo == "2tj-r" || algo == "2tj-s" ||
+                            algo == "3tj" || algo == "4tj";
+    tj::ScheduleAuditLog audit;
+    tj::JoinConfig run_config = config;
+    if (!opt.explain.empty() && track_algo) {
+      run_config.schedule_audit = &audit;
+    }
+    tj::Result<tj::JoinResult> run = RunByName(algo, w, run_config, &known);
     if (!known) {
       std::fprintf(stderr, "unknown algorithm '%s' (try --help)\n",
                    algo.c_str());
@@ -435,7 +484,11 @@ int main(int argc, char** argv) {
       result.profile.ApplyTimeModel(model);
       profiles.push_back(result.profile);
     }
-    if (machine_profile) continue;
+    if (run_config.schedule_audit != nullptr) {
+      explains.push_back(tj::BuildScheduleExplain(algo, audit, result.traffic,
+                                                  opt.explain_top));
+    }
+    if (machine_profile || machine_explain) continue;
     const tj::TrafficMatrix& t = result.traffic;
     auto mib = [](uint64_t b) { return b / double(1 << 20); };
     std::printf(
@@ -465,23 +518,54 @@ int main(int argc, char** argv) {
       std::printf("%s%s", i > 0 ? ",\n " : "", tj::ToJson(profiles[i]).c_str());
     }
     std::printf("]\n");
-    return 0;
-  }
-  if (opt.profile == "csv") {
+  } else if (opt.profile == "csv") {
     std::printf("%s\n", tj::StepCsvHeader().c_str());
     for (const tj::StepProfile& p : profiles) {
       std::printf("%s", tj::ToCsv(p).c_str());
     }
-    return 0;
-  }
-  if (opt.profile == "table") {
+  } else if (opt.profile == "table") {
     std::printf("\n");
     for (const tj::StepProfile& p : profiles) {
       std::printf("%s\n", tj::ToTable(p).c_str());
     }
   }
-  std::printf("\noutcome: digest=%016" PRIx64 " rows=%" PRIu64
-              " (all algorithms verified equal)\n",
-              reference_digest, reference_rows);
+  if (machine_explain) {
+    std::printf("[");
+    for (size_t i = 0; i < explains.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ",\n " : "", tj::ToJson(explains[i]).c_str());
+    }
+    std::printf("]\n");
+  } else if (opt.explain == "table") {
+    // Human-readable audit; routed to stderr when a machine profile owns
+    // stdout so piped output stays parseable.
+    FILE* out = machine_profile ? stderr : stdout;
+    for (const tj::ScheduleExplain& e : explains) {
+      std::fprintf(out, "\n%s", tj::ToTable(e).c_str());
+    }
+  }
+  if (opt.metrics) {
+    FILE* out = (machine_profile || machine_explain) ? stderr : stdout;
+    std::fprintf(out, "\n%s",
+                 tj::MetricsRegistry::Global().ToPrometheus().c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    const std::string json = tj::Tracer::Global().ToChromeJson();
+    FILE* f = std::fopen(opt.trace_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n",
+                   opt.trace_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::fprintf(stderr, "trace: %zu events written to %s\n",
+                 tj::Tracer::Global().EventCount(), opt.trace_path.c_str());
+  }
+  if (!machine_profile && !machine_explain) {
+    std::printf("\noutcome: digest=%016" PRIx64 " rows=%" PRIu64
+                " (all algorithms verified equal)\n",
+                reference_digest, reference_rows);
+  }
   return 0;
 }
