@@ -1,0 +1,99 @@
+// Loser-tree k-way merge of sorted cursors.
+//
+// The tracker's merge phase consumes k per-source tracking streams that are
+// already key-sorted (delta coding requires sorted keys, and senders
+// aggregate over sorted blocks), so merging them is an O(n log k) streaming
+// problem, not an O(n log n) sort. A loser tree holds one comparison per
+// pop: each internal node caches the loser of its subtree's match, so
+// replacing the winner replays exactly one root-to-leaf path.
+//
+// Cursor requirements:
+//   bool Valid() const;  // false once exhausted
+//   void Next();         // advance to the next element (Valid() required)
+// plus whatever head accessors the comparator reads. Exhausted cursors lose
+// every match; ties break toward the lower cursor index, which makes the
+// pop order a strict total order and the merge deterministic.
+#ifndef TJ_COMMON_KWAY_MERGE_H_
+#define TJ_COMMON_KWAY_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tj {
+
+template <typename Cursor, typename Less>
+class LoserTree {
+ public:
+  /// `cursors` is borrowed and must outlive the tree. `less` compares the
+  /// heads of two valid cursors.
+  LoserTree(std::vector<Cursor>* cursors, Less less = Less())
+      : cursors_(cursors), less_(less), k_(cursors->size()) {
+    if (k_ == 0) return;
+    // Bottom-up build: leaves are the cursors, each internal node stores
+    // the loser of its match and forwards the winner upward.
+    std::vector<size_t> winner(2 * k_);
+    tree_.assign(k_, 0);
+    for (size_t j = 0; j < k_; ++j) winner[k_ + j] = j;
+    for (size_t i = k_ - 1; i >= 1; --i) {
+      size_t a = winner[2 * i];
+      size_t b = winner[2 * i + 1];
+      if (Beats(b, a)) {
+        winner[i] = b;
+        tree_[i] = a;
+      } else {
+        winner[i] = a;
+        tree_[i] = b;
+      }
+    }
+    tree_[0] = winner[1];
+  }
+
+  /// True when every cursor is exhausted (or there are none).
+  bool Done() const { return k_ == 0 || !(*cursors_)[tree_[0]].Valid(); }
+
+  /// The cursor currently holding the smallest head. Done() must be false.
+  Cursor& Top() { return (*cursors_)[tree_[0]]; }
+  size_t TopIndex() const { return tree_[0]; }
+
+  /// Advances the winning cursor and replays its leaf-to-root path.
+  /// Done() must be false.
+  void Pop() {
+    size_t w = tree_[0];
+    (*cursors_)[w].Next();
+    if (k_ == 1) return;
+    for (size_t i = (k_ + w) / 2; i >= 1; i /= 2) {
+      if (Beats(tree_[i], w)) {
+        size_t loser = w;
+        w = tree_[i];
+        tree_[i] = loser;
+      }
+    }
+    tree_[0] = w;
+  }
+
+ private:
+  /// Strict total order over cursor indexes: valid beats exhausted, then
+  /// the comparator on heads, then the lower index.
+  bool Beats(size_t a, size_t b) const {
+    const Cursor& ca = (*cursors_)[a];
+    const Cursor& cb = (*cursors_)[b];
+    if (!ca.Valid()) return false;
+    if (!cb.Valid()) return true;
+    if (less_(ca, cb)) return true;
+    if (less_(cb, ca)) return false;
+    return a < b;
+  }
+
+  std::vector<Cursor>* cursors_;
+  Less less_;
+  size_t k_;
+  /// tree_[0] = overall winner; tree_[1..k-1] = loser at each internal node.
+  std::vector<size_t> tree_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_KWAY_MERGE_H_

@@ -1,12 +1,12 @@
 #include "core/streaming_track_join.h"
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "exec/local_join.h"
+#include "net/buffer_pool.h"
 #include "net/fabric.h"
 
 namespace tj {
@@ -18,12 +18,15 @@ namespace {
 /// implementation uses.
 class StreamWriter {
  public:
+  /// `pool` (optional) recycles flushed-and-consumed buffers so steady-state
+  /// streaming stops allocating per flush.
   StreamWriter(Fabric* fabric, uint32_t src, MessageType type,
-               uint64_t flush_bytes)
+               uint64_t flush_bytes, BufferPool* pool = nullptr)
       : fabric_(fabric),
         src_(src),
         type_(type),
         flush_bytes_(flush_bytes),
+        pool_(pool),
         buffers_(fabric->num_nodes()) {}
 
   ~StreamWriter() { FlushAll(); }
@@ -52,28 +55,23 @@ class StreamWriter {
   void Flush(uint32_t dst) {
     if (buffers_[dst].empty()) return;
     fabric_->Send(src_, dst, type_, std::move(buffers_[dst]));
-    buffers_[dst].clear();
+    // The moved-from buffer lost its capacity; restart from the pool so the
+    // next batch reserves once instead of re-growing from zero.
+    buffers_[dst] =
+        pool_ != nullptr ? pool_->Acquire(flush_bytes_) : ByteBuffer{};
   }
 
   Fabric* fabric_;
   uint32_t src_;
   MessageType type_;
   uint64_t flush_bytes_;
+  BufferPool* pool_;
   std::vector<ByteBuffer> buffers_;
 };
 
 /// Hash multimap from key to local row indexes (the paper's TR / TS).
-using RowIndex = std::unordered_map<uint64_t, std::vector<uint32_t>>;
-
-RowIndex BuildIndex(const TupleBlock& block) {
-  RowIndex index;
-  index.reserve(block.size());
-  TJ_CHECK_LT(block.size(), (1ULL << 32));
-  for (uint64_t row = 0; row < block.size(); ++row) {
-    index[block.Key(row)].push_back(static_cast<uint32_t>(row));
-  }
-  return index;
-}
+/// Flat open-addressing: one contiguous slot array, no per-key heap node.
+using RowIndex = FlatMap<std::vector<uint32_t>>;
 
 }  // namespace
 
@@ -116,8 +114,10 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
   }
   std::vector<RowIndex> bcast_index(n), target_index(n);
   // Tracker state: per key, the nodes holding each side (paper's TR|S).
-  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>>
-      track_bcast(n), track_target(n);
+  std::vector<FlatMap<std::vector<uint32_t>>> track_bcast(n), track_target(n);
+  // Per-node buffer pools (ownership rule: node i's phase work only touches
+  // node i's pool) recycling consumed inbox payloads into stream writers.
+  std::vector<BufferPool> pools(n);
   std::vector<TupleBlock> received(n, TupleBlock(bcast.payload_width()));
   std::vector<JoinChecksum> checksums(n);
   std::vector<uint64_t> outputs(n, 0);
@@ -128,16 +128,17 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
       "stream & track keys", [&](uint32_t node) {
     auto track_side = [&](const TupleBlock& block, MessageType type,
                           RowIndex* index) {
-      StreamWriter out(&fabric, node, type, flush_bytes);
-      std::unordered_set<uint64_t> seen;
-      seen.reserve(block.size());
+      StreamWriter out(&fabric, node, type, flush_bytes, &pools[node]);
+      index->Reserve(block.size());
       TJ_CHECK_LT(block.size(), (1ULL << 32));
       for (uint64_t row = 0; row < block.size(); ++row) {
         uint64_t key = block.Key(row);
-        if (seen.insert(key).second) {
+        std::vector<uint32_t>& rows = (*index)[key];
+        // First sighting of the key locally: tell its tracker.
+        if (rows.empty()) {
           out.PutEntry(HashPartition(key, n), key, config.key_bytes);
         }
-        (*index)[key].push_back(static_cast<uint32_t>(row));
+        rows.push_back(static_cast<uint32_t>(row));
       }
     };
     track_side(bcast.node(node), bcast_track, &bcast_index[node]);
@@ -150,31 +151,37 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "accumulate & send locations", [&](uint32_t node) -> Status {
     auto accumulate = [&](MessageType type, auto* table) -> Status {
-      for (const auto& msg : fabric.TakeInbox(node, type)) {
+      auto msgs = fabric.TakeInbox(node, type);
+      for (const auto& msg : msgs) {
         ByteReader reader(msg.data);
         if (reader.remaining() % config.key_bytes != 0) {
           return Status::Corruption(
               "tracking stream not a multiple of key size");
         }
+        // Each wire key is distinct per source, so the payload size bounds
+        // the new-entry count exactly — one reserve, no mid-phase rehash.
+        table->Reserve(table->size() + reader.remaining() / config.key_bytes);
         while (!reader.Done()) {
           (*table)[reader.GetUint(config.key_bytes)].push_back(msg.src);
         }
       }
+      for (auto& msg : msgs) pools[node].Recycle(std::move(msg.data));
       return Status::OK();
     };
     TJ_RETURN_IF_ERROR(accumulate(bcast_track, &track_bcast[node]));
     TJ_RETURN_IF_ERROR(accumulate(target_track, &track_target[node]));
 
-    StreamWriter out(&fabric, node, loc_type, flush_bytes);
-    for (const auto& [key, bcast_nodes] : track_bcast[node]) {
-      auto it = track_target[node].find(key);
-      if (it == track_target[node].end()) continue;  // No match: filtered.
-      for (uint32_t b : bcast_nodes) {
-        for (uint32_t t : it->second) {
-          out.PutEntry(b, key, config.key_bytes, t, config.node_bytes);
-        }
-      }
-    }
+    StreamWriter out(&fabric, node, loc_type, flush_bytes, &pools[node]);
+    track_bcast[node].ForEach(
+        [&](uint64_t key, const std::vector<uint32_t>& bcast_nodes) {
+          const std::vector<uint32_t>* targets = track_target[node].Find(key);
+          if (targets == nullptr) return;  // No match: filtered.
+          for (uint32_t b : bcast_nodes) {
+            for (uint32_t t : *targets) {
+              out.PutEntry(b, key, config.key_bytes, t, config.node_bytes);
+            }
+          }
+        });
     return Status::OK();
   }));
 
@@ -182,9 +189,10 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
   // to the tracked locations, streaming as pairs arrive.
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "selective broadcast", [&](uint32_t node) -> Status {
-    StreamWriter out(&fabric, node, data_type, flush_bytes);
+    StreamWriter out(&fabric, node, data_type, flush_bytes, &pools[node]);
     const TupleBlock& block = bcast.node(node);
-    for (const auto& msg : fabric.TakeInbox(node, loc_type)) {
+    auto loc_msgs = fabric.TakeInbox(node, loc_type);
+    for (const auto& msg : loc_msgs) {
       ByteReader reader(msg.data);
       if (reader.remaining() % (config.key_bytes + config.node_bytes) != 0) {
         return Status::Corruption(
@@ -196,18 +204,19 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
         if (dst >= n) {
           return Status::Corruption("location names a node out of range");
         }
-        auto it = bcast_index[node].find(key);
-        if (it == bcast_index[node].end()) {
+        const std::vector<uint32_t>* rows = bcast_index[node].Find(key);
+        if (rows == nullptr) {
           // The tracker only learned this key from us; a location for a key
           // we never held means the schedule stream is corrupt.
           return Status::Corruption("location for a key this node never sent");
         }
-        for (uint32_t row : it->second) {
+        for (uint32_t row : *rows) {
           out.PutBytes(dst, key, config.key_bytes, block.Payload(row),
                        block.payload_width());
         }
       }
     }
+    for (auto& msg : loc_msgs) pools[node].Recycle(std::move(msg.data));
     return Status::OK();
   }));
 
@@ -216,16 +225,18 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "commit joins", [&](uint32_t node) -> Status {
     const TupleBlock& local = target.node(node);
-    for (const auto& msg : fabric.TakeInbox(node, data_type)) {
+    auto data_msgs = fabric.TakeInbox(node, data_type);
+    for (const auto& msg : data_msgs) {
       ByteReader reader(msg.data);
       received[node].Clear();
       TJ_RETURN_IF_ERROR(
           received[node].TryDeserializeRows(&reader, config.key_bytes));
       const TupleBlock& in = received[node];
       for (uint64_t row = 0; row < in.size(); ++row) {
-        auto it = target_index[node].find(in.Key(row));
-        if (it == target_index[node].end()) continue;
-        for (uint32_t local_row : it->second) {
+        const std::vector<uint32_t>* local_rows =
+            target_index[node].Find(in.Key(row));
+        if (local_rows == nullptr) continue;
+        for (uint32_t local_row : *local_rows) {
           const uint8_t* pr = r_to_s ? in.Payload(row) : local.Payload(local_row);
           const uint8_t* ps = r_to_s ? local.Payload(local_row) : in.Payload(row);
           checksums[node].Accumulate(in.Key(row), pr, r.payload_width(), ps,
@@ -234,6 +245,7 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
         }
       }
     }
+    for (auto& msg : data_msgs) pools[node].Recycle(std::move(msg.data));
     return Status::OK();
   }));
 

@@ -1,9 +1,9 @@
 #include "core/track_join.h"
 
 #include <algorithm>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/logging.h"
 #include "core/schedule.h"
 #include "core/tracker.h"
@@ -31,16 +31,20 @@ struct NodeState {
   // Local output accumulation.
   JoinChecksum checksum;
   uint64_t output_rows = 0;
+  // Recycles retired message buffers across phases. Per-node by the
+  // fabric's ownership rule, so no locking under concurrent phases.
+  BufferPool pool;
 };
 
 /// Sends the rows of `block` listed per destination node as one message per
 /// destination. Empty destinations send nothing.
 void SendRowsPerDest(Fabric* fabric, uint32_t src, MessageType type,
                      const TupleBlock& block, uint32_t key_bytes,
-                     const std::vector<std::vector<uint32_t>>& rows_per_dest) {
+                     const std::vector<std::vector<uint32_t>>& rows_per_dest,
+                     BufferPool* pool) {
   for (uint32_t dst = 0; dst < rows_per_dest.size(); ++dst) {
     if (rows_per_dest[dst].empty()) continue;
-    ByteBuffer buf;
+    ByteBuffer buf = pool != nullptr ? pool->Acquire() : ByteBuffer{};
     block.SerializeRowsIndexed(rows_per_dest[dst], key_bytes, &buf);
     fabric->Send(src, dst, type, std::move(buf));
   }
@@ -125,41 +129,44 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
   // trackers (the tracking phase proper).
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "hash partition & transfer keys", [&](uint32_t node) {
-    auto r_msgs =
-        EncodeTrackingMessages(nodes[node].r_keys, config, with_counts, n);
+    BufferPool* pool = &nodes[node].pool;
+    auto r_msgs = EncodeTrackingMessages(nodes[node].r_keys, config,
+                                         with_counts, n, pool);
     for (uint32_t dst = 0; dst < n; ++dst) {
       if (!r_msgs[dst].empty()) {
         fabric.Send(node, dst, MessageType::kTrackR, std::move(r_msgs[dst]));
+      } else {
+        pool->Recycle(std::move(r_msgs[dst]));
       }
     }
-    auto s_msgs =
-        EncodeTrackingMessages(nodes[node].s_keys, config, with_counts, n);
+    auto s_msgs = EncodeTrackingMessages(nodes[node].s_keys, config,
+                                         with_counts, n, pool);
     for (uint32_t dst = 0; dst < n; ++dst) {
       if (!s_msgs[dst].empty()) {
         fabric.Send(node, dst, MessageType::kTrackS, std::move(s_msgs[dst]));
+      } else {
+        pool->Recycle(std::move(s_msgs[dst]));
       }
     }
     return Status::OK();
   }));
 
-  // Phase 5: trackers merge the received key streams.
+  // Phase 5: trackers merge the received key streams. Every per-source
+  // stream arrives key-sorted, so this is a streaming k-way merge with
+  // inline (key, node) aggregation — O(n log k), no concatenated entry
+  // vector, no comparison sort ("we can aggregate at the destination",
+  // Section 2.2).
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "merge received keys", [&](uint32_t node) -> Status {
-        std::vector<TrackEntry> entries;
-        for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackR)) {
-          TJ_RETURN_IF_ERROR(
-              TryDecodeTrackingMessage(msg, config, with_counts, &entries));
-          nodes[node].track_r.insert(nodes[node].track_r.end(),
-                                     entries.begin(), entries.end());
-        }
-        for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackS)) {
-          TJ_RETURN_IF_ERROR(
-              TryDecodeTrackingMessage(msg, config, with_counts, &entries));
-          nodes[node].track_s.insert(nodes[node].track_s.end(),
-                                     entries.begin(), entries.end());
-        }
-        MergeTrackEntries(&nodes[node].track_r);
-        MergeTrackEntries(&nodes[node].track_s);
+        NodeState& st = nodes[node];
+        auto r_msgs = fabric.TakeInbox(node, MessageType::kTrackR);
+        TJ_RETURN_IF_ERROR(TryMergeTrackingMessages(r_msgs, config,
+                                                    with_counts, &st.track_r));
+        for (auto& msg : r_msgs) st.pool.Recycle(std::move(msg.data));
+        auto s_msgs = fabric.TakeInbox(node, MessageType::kTrackS);
+        TJ_RETURN_IF_ERROR(TryMergeTrackingMessages(s_msgs, config,
+                                                    with_counts, &st.track_s));
+        for (auto& msg : s_msgs) st.pool.Recycle(std::move(msg.data));
         return Status::OK();
       }));
 
@@ -244,19 +251,19 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
     for (uint32_t dst = 0; dst < n; ++dst) {
       if (!loc_to_r[dst].empty()) {
         fabric.Send(node, dst, MessageType::kLocationsToR,
-                    EncodeKeyNodePairs(loc_to_r[dst], config));
+                    EncodeKeyNodePairs(loc_to_r[dst], config, &st.pool));
       }
       if (!loc_to_s[dst].empty()) {
         fabric.Send(node, dst, MessageType::kLocationsToS,
-                    EncodeKeyNodePairs(loc_to_s[dst], config));
+                    EncodeKeyNodePairs(loc_to_s[dst], config, &st.pool));
       }
       if (!migr_r[dst].empty()) {
         fabric.Send(node, dst, MessageType::kMigrateR,
-                    EncodeKeyNodePairs(migr_r[dst], config));
+                    EncodeKeyNodePairs(migr_r[dst], config, &st.pool));
       }
       if (!migr_s[dst].empty()) {
         fabric.Send(node, dst, MessageType::kMigrateS,
-                    EncodeKeyNodePairs(migr_s[dst], config));
+                    EncodeKeyNodePairs(migr_s[dst], config, &st.pool));
       }
     }
     return Status::OK();
@@ -272,39 +279,47 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
     // the fabric accounts it separately from network traffic.
     std::vector<KeyNodePair> pairs;
     std::vector<std::vector<uint32_t>> r_rows(n), s_rows(n);
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kLocationsToR)) {
+    auto loc_r_msgs = fabric.TakeInbox(node, MessageType::kLocationsToR);
+    for (const auto& msg : loc_r_msgs) {
       TJ_RETURN_IF_ERROR(TryDecodeKeyNodePairs(msg, config, &pairs));
       for (const auto& pair : pairs) {
         RouteKeyRun(st.r, pair.key, {pair.node}, &r_rows);
       }
     }
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kLocationsToS)) {
+    for (auto& msg : loc_r_msgs) st.pool.Recycle(std::move(msg.data));
+    auto loc_s_msgs = fabric.TakeInbox(node, MessageType::kLocationsToS);
+    for (const auto& msg : loc_s_msgs) {
       TJ_RETURN_IF_ERROR(TryDecodeKeyNodePairs(msg, config, &pairs));
       for (const auto& pair : pairs) {
         RouteKeyRun(st.s, pair.key, {pair.node}, &s_rows);
       }
     }
+    for (auto& msg : loc_s_msgs) st.pool.Recycle(std::move(msg.data));
     SendRowsPerDest(&fabric, node, MessageType::kDataR, st.r, config.key_bytes,
-                    r_rows);
+                    r_rows, &st.pool);
     SendRowsPerDest(&fabric, node, MessageType::kDataS, st.s, config.key_bytes,
-                    s_rows);
+                    s_rows, &st.pool);
 
     // Migrations (4-phase): move whole local runs and drop them locally.
     auto run_migrations = [&](MessageType instr, MessageType data,
                               TupleBlock* block) -> Status {
       std::vector<std::vector<uint32_t>> rows(n);
-      std::unordered_set<uint64_t> migrated;
-      for (const auto& msg : fabric.TakeInbox(node, instr)) {
+      FlatSet migrated;
+      auto instr_msgs = fabric.TakeInbox(node, instr);
+      for (const auto& msg : instr_msgs) {
         TJ_RETURN_IF_ERROR(TryDecodeKeyNodePairs(msg, config, &pairs));
+        migrated.Reserve(migrated.size() + pairs.size());
         for (const auto& pair : pairs) {
           RouteKeyRun(*block, pair.key, {pair.node}, &rows);
-          migrated.insert(pair.key);
+          migrated.Insert(pair.key);
         }
       }
-      SendRowsPerDest(&fabric, node, data, *block, config.key_bytes, rows);
+      for (auto& msg : instr_msgs) st.pool.Recycle(std::move(msg.data));
+      SendRowsPerDest(&fabric, node, data, *block, config.key_bytes, rows,
+                      &st.pool);
       if (!migrated.empty()) {
         block->Filter([&](uint64_t row) {
-          return migrated.find(block->Key(row)) == migrated.end();
+          return !migrated.Contains(block->Key(row));
         });
       }
       return Status::OK();
@@ -322,32 +337,28 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
       "merge received tuples", [&](uint32_t node) -> Status {
     NodeState& st = nodes[node];
     bool r_changed = false, s_changed = false;
-    for (const auto& msg :
-         fabric.TakeInbox(node, MessageType::kMigrationDataR)) {
-      ByteReader reader(msg.data);
-      TJ_RETURN_IF_ERROR(st.r.TryDeserializeRows(&reader, config.key_bytes));
-      r_changed = true;
-    }
-    for (const auto& msg :
-         fabric.TakeInbox(node, MessageType::kMigrationDataS)) {
-      ByteReader reader(msg.data);
-      TJ_RETURN_IF_ERROR(st.s.TryDeserializeRows(&reader, config.key_bytes));
-      s_changed = true;
-    }
+    auto drain = [&](MessageType type, TupleBlock* block,
+                     bool* changed) -> Status {
+      auto msgs = fabric.TakeInbox(node, type);
+      for (const auto& msg : msgs) {
+        ByteReader reader(msg.data);
+        TJ_RETURN_IF_ERROR(
+            block->TryDeserializeRows(&reader, config.key_bytes));
+        if (changed != nullptr) *changed = true;
+      }
+      for (auto& msg : msgs) st.pool.Recycle(std::move(msg.data));
+      return Status::OK();
+    };
+    TJ_RETURN_IF_ERROR(drain(MessageType::kMigrationDataR, &st.r, &r_changed));
+    TJ_RETURN_IF_ERROR(drain(MessageType::kMigrationDataS, &st.s, &s_changed));
     if (r_changed) SortBlockByKey(&st.r, config.thread_pool);
     if (s_changed) SortBlockByKey(&st.s, config.thread_pool);
 
     st.r_in = TupleBlock(r.payload_width());
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataR)) {
-      ByteReader reader(msg.data);
-      TJ_RETURN_IF_ERROR(st.r_in.TryDeserializeRows(&reader, config.key_bytes));
-    }
+    TJ_RETURN_IF_ERROR(drain(MessageType::kDataR, &st.r_in, nullptr));
     SortBlockByKey(&st.r_in, config.thread_pool);
     st.s_in = TupleBlock(s.payload_width());
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kDataS)) {
-      ByteReader reader(msg.data);
-      TJ_RETURN_IF_ERROR(st.s_in.TryDeserializeRows(&reader, config.key_bytes));
-    }
+    TJ_RETURN_IF_ERROR(drain(MessageType::kDataS, &st.s_in, nullptr));
     SortBlockByKey(&st.s_in, config.thread_pool);
     return Status::OK();
   }));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "common/kway_merge.h"
 #include "encoding/delta.h"
 #include "encoding/varint.h"
 
@@ -10,8 +11,25 @@ namespace tj {
 
 std::vector<ByteBuffer> EncodeTrackingMessages(
     const std::vector<KeyCount>& keys, const JoinConfig& config,
-    bool with_counts, uint32_t num_nodes) {
+    bool with_counts, uint32_t num_nodes, BufferPool* pool) {
   std::vector<ByteBuffer> per_dest(num_nodes);
+  const uint32_t entry_bytes =
+      config.key_bytes + (with_counts ? config.count_bytes : 0);
+  if (num_nodes > 0 &&
+      (pool != nullptr || keys.size() >= static_cast<size_t>(num_nodes) * 4)) {
+    // Hash partitioning spreads keys near-uniformly, so pre-size each
+    // destination close to its final footprint. Delta streams come in under
+    // the hint; the hint only bounds the growth-reallocation chain, never
+    // the emitted bytes.
+    const size_t hint = keys.size() * entry_bytes / num_nodes + 16;
+    for (auto& buf : per_dest) {
+      if (pool != nullptr) {
+        buf = pool->Acquire(hint);
+      } else {
+        buf.reserve(hint);
+      }
+    }
+  }
   if (config.delta_tracking) {
     // Sorted keys per destination, delta-coded; counts (if any) follow as
     // LEB128 in key order. Input keys arrive sorted, so per-destination
@@ -125,6 +143,172 @@ void MergeTrackEntries(std::vector<TrackEntry>* entries) {
   entries->resize(out);
 }
 
+uint64_t TrackingMessageCursor::ReadLeb(size_t* pos) {
+  // Bounds and termination were proven by Init's validation pass.
+  uint64_t v = 0;
+  uint32_t shift = 0;
+  while (true) {
+    uint8_t b = data_[(*pos)++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+uint64_t TrackingMessageCursor::ReadUint(size_t* pos, uint32_t bytes) {
+  uint64_t v = 0;
+  for (uint32_t i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(data_[(*pos)++]) << (8 * i);
+  }
+  return v;
+}
+
+void TrackingMessageCursor::DecodeHead() {
+  if (delta_) {
+    key_ += ReadLeb(&key_pos_);  // Gaps accumulate from zero.
+    count_ = with_counts_ ? ReadLeb(&count_pos_) : 1;
+  } else {
+    key_ = ReadUint(&key_pos_, key_bytes_);
+    count_ = with_counts_ ? ReadUint(&key_pos_, count_bytes_) : 1;
+  }
+}
+
+void TrackingMessageCursor::Next() {
+  --remaining_;
+  if (remaining_ > 0) DecodeHead();
+}
+
+Status TrackingMessageCursor::Init(const Message& message,
+                                   const JoinConfig& config,
+                                   bool with_counts) {
+  data_ = message.data.data();
+  node_ = message.src;
+  key_bytes_ = config.key_bytes;
+  count_bytes_ = config.count_bytes;
+  delta_ = config.delta_tracking;
+  with_counts_ = with_counts;
+  sorted_ = true;
+  total_ = 0;
+  remaining_ = 0;
+  key_ = 0;
+  count_ = 1;
+  ByteReader reader(message.data);
+  if (delta_) {
+    uint64_t n = 0;
+    TJ_RETURN_IF_ERROR(TryDecodeLeb128(&reader, &n));
+    if (n > reader.remaining()) {
+      return Status::Corruption("delta stream count exceeds payload");
+    }
+    key_pos_ = message.data.size() - reader.remaining();
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t gap = 0;
+      TJ_RETURN_IF_ERROR(TryDecodeLeb128(&reader, &gap));
+      // Delta streams are sorted by construction, but an adversarial stream
+      // can wrap uint64_t and decode non-monotonically; mirror the decoded
+      // key sequence so such input falls back to the reference path.
+      uint64_t next = prev + gap;
+      if (next < prev) sorted_ = false;
+      prev = next;
+    }
+    count_pos_ = message.data.size() - reader.remaining();
+    if (with_counts) {
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t c = 0;
+        TJ_RETURN_IF_ERROR(TryDecodeLeb128(&reader, &c));
+      }
+    }
+    if (!reader.Done()) {
+      return Status::Corruption("trailing bytes in tracking message");
+    }
+    total_ = n;
+  } else {
+    const uint32_t entry_bytes =
+        key_bytes_ + (with_counts ? count_bytes_ : 0);
+    if (reader.remaining() % entry_bytes != 0) {
+      return Status::Corruption(
+          "tracking message not a multiple of entry size");
+    }
+    total_ = reader.remaining() / entry_bytes;
+    key_pos_ = 0;
+    // One sortedness scan over the keys; saturated count chunks repeat a
+    // key (non-decreasing), which the merge aggregates like any duplicate.
+    uint64_t prev = 0;
+    size_t pos = 0;
+    for (uint64_t i = 0; i < total_; ++i) {
+      uint64_t k = ReadUint(&pos, key_bytes_);
+      if (with_counts_) pos += count_bytes_;
+      if (i > 0 && k < prev) {
+        sorted_ = false;
+        break;
+      }
+      prev = k;
+    }
+  }
+  remaining_ = total_;
+  if (remaining_ > 0) DecodeHead();
+  return Status::OK();
+}
+
+namespace {
+
+/// Orders merge cursors by (key, node) — the MergeTrackEntries order.
+struct TrackCursorLess {
+  bool operator()(const TrackingMessageCursor& a,
+                  const TrackingMessageCursor& b) const {
+    if (a.key() != b.key()) return a.key() < b.key();
+    return a.node() < b.node();
+  }
+};
+
+}  // namespace
+
+Status TryMergeTrackingMessages(const std::vector<Message>& messages,
+                                const JoinConfig& config, bool with_counts,
+                                std::vector<TrackEntry>* out) {
+  out->clear();
+  std::vector<TrackingMessageCursor> cursors;
+  cursors.reserve(messages.size());
+  uint64_t total = 0;
+  bool sorted = true;
+  for (const auto& msg : messages) {
+    TrackingMessageCursor cursor;
+    TJ_RETURN_IF_ERROR(cursor.Init(msg, config, with_counts));
+    sorted = sorted && cursor.sorted();
+    total += cursor.entries();
+    if (cursor.Valid()) cursors.push_back(cursor);
+  }
+  if (!sorted) {
+    // Unsorted stream (legacy sender or adversarial input): concatenate and
+    // take the reference path.
+    out->reserve(total);
+    std::vector<TrackEntry> entries;
+    for (const auto& msg : messages) {
+      TJ_RETURN_IF_ERROR(
+          TryDecodeTrackingMessage(msg, config, with_counts, &entries));
+      out->insert(out->end(), entries.begin(), entries.end());
+    }
+    MergeTrackEntries(out);
+    return Status::OK();
+  }
+  out->reserve(total);
+  LoserTree<TrackingMessageCursor, TrackCursorLess> tree(&cursors);
+  while (!tree.Done()) {
+    const TrackingMessageCursor& top = tree.Top();
+    if (!out->empty()) {
+      TrackEntry& back = out->back();
+      if (back.key == top.key() && back.node == top.node()) {
+        back.count += top.count();
+        tree.Pop();
+        continue;
+      }
+    }
+    out->push_back(TrackEntry{top.key(), top.node(), top.count()});
+    tree.Pop();
+  }
+  return Status::OK();
+}
+
 PlacementIterator::PlacementIterator(const std::vector<TrackEntry>& r_entries,
                                      const std::vector<TrackEntry>& s_entries,
                                      uint32_t width_r, uint32_t width_s,
@@ -166,11 +350,18 @@ bool PlacementIterator::Next() {
 }
 
 ByteBuffer EncodeKeyNodePairs(const std::vector<KeyNodePair>& pairs,
-                              const JoinConfig& config) {
+                              const JoinConfig& config, BufferPool* pool) {
   ByteBuffer out;
   if (config.group_locations) {
+    if (pool != nullptr) out = pool->Acquire();
     NodeGroupEncode(pairs, config.key_bytes, &out);
     return out;
+  }
+  const size_t hint = pairs.size() * (config.key_bytes + config.node_bytes);
+  if (pool != nullptr) {
+    out = pool->Acquire(hint);
+  } else {
+    out.reserve(hint);
   }
   ByteWriter writer(&out);
   for (const auto& p : pairs) {

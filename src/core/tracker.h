@@ -14,6 +14,7 @@
 #include "core/schedule.h"
 #include "encoding/node_group.h"
 #include "exec/key_aggregate.h"
+#include "net/buffer_pool.h"
 #include "net/message.h"
 
 namespace tj {
@@ -34,9 +35,11 @@ struct TrackEntry {
 /// chunks the tracker re-aggregates ("we can aggregate at the destination").
 /// With cfg.delta_tracking, key streams are sorted+delta coded and counts
 /// are LEB128.
+/// When `pool` is non-null, per-destination buffers are acquired from it so
+/// retired message capacity is reused across phases.
 std::vector<ByteBuffer> EncodeTrackingMessages(
     const std::vector<KeyCount>& keys, const JoinConfig& config,
-    bool with_counts, uint32_t num_nodes);
+    bool with_counts, uint32_t num_nodes, BufferPool* pool = nullptr);
 
 /// Parses one tracking message back into (key, src, count) entries.
 /// Duplicate (key, node) chunks are NOT merged here; MergeTrackEntries does.
@@ -53,7 +56,68 @@ Status TryDecodeTrackingMessage(const Message& message,
                                 std::vector<TrackEntry>* out);
 
 /// Sorts entries by (key, node) and merges duplicate (key, node) counts.
+/// Reference implementation: the streaming path (TryMergeTrackingMessages)
+/// must produce byte-identical output; property tests cross-check the two.
 void MergeTrackEntries(std::vector<TrackEntry>* entries);
+
+/// Streaming cursor over the (key, node, count) facts of one tracking
+/// message, decoded lazily in wire order. Init validates the whole payload
+/// up front (same rejection set as TryDecodeTrackingMessage), so Next() is
+/// infallible and the merge loop stays Status-free. Duplicate adjacent keys
+/// (saturated count chunks) are NOT merged here; the k-way merge aggregates
+/// them. The cursor borrows the message's bytes — the Message must outlive
+/// it.
+class TrackingMessageCursor {
+ public:
+  /// Validates `message` end to end and positions on the first entry.
+  Status Init(const Message& message, const JoinConfig& config,
+              bool with_counts);
+
+  /// True when keys arrive non-decreasing. Delta streams are sorted by
+  /// construction; plain streams are scanned during Init. Unsorted streams
+  /// (legacy senders, adversarial input) must take the MergeTrackEntries
+  /// reference path instead of the k-way merge.
+  bool sorted() const { return sorted_; }
+  /// Total entries in the message (before aggregation).
+  uint64_t entries() const { return total_; }
+
+  bool Valid() const { return remaining_ > 0; }
+  uint64_t key() const { return key_; }
+  uint32_t node() const { return node_; }
+  uint64_t count() const { return count_; }
+  /// Advances to the next wire entry. Valid() must be true.
+  void Next();
+
+ private:
+  uint64_t ReadLeb(size_t* pos);
+  uint64_t ReadUint(size_t* pos, uint32_t bytes);
+  void DecodeHead();
+
+  const uint8_t* data_ = nullptr;
+  size_t key_pos_ = 0;    ///< Cursor into the key region.
+  size_t count_pos_ = 0;  ///< Cursor into the trailing count region (delta).
+  uint64_t remaining_ = 0;
+  uint64_t total_ = 0;
+  uint64_t key_ = 0;
+  uint64_t count_ = 1;
+  uint32_t node_ = 0;
+  uint32_t key_bytes_ = 0;
+  uint32_t count_bytes_ = 0;
+  bool delta_ = false;
+  bool with_counts_ = false;
+  bool sorted_ = true;
+};
+
+/// Merges all tracking messages of one inbox into a merged (key, node)
+/// entry vector in one pass: a loser-tree k-way merge over the per-source
+/// sorted cursors, aggregating duplicate (key, node) runs as they surface.
+/// O(n log k) with no intermediate concatenated vector and no comparison
+/// sort. Output is byte-identical to decoding every message and running
+/// MergeTrackEntries; if any stream is unsorted, that reference path is
+/// taken automatically.
+Status TryMergeTrackingMessages(const std::vector<Message>& messages,
+                                const JoinConfig& config, bool with_counts,
+                                std::vector<TrackEntry>* out);
 
 /// Iterates the distinct keys that have at least one R and one S entry,
 /// building the per-key placement for the scheduler. Both entry vectors
@@ -89,7 +153,8 @@ class PlacementIterator {
 /// migration instructions). With cfg.group_locations the node-grouped
 /// encoding of Section 2.4 is used.
 ByteBuffer EncodeKeyNodePairs(const std::vector<KeyNodePair>& pairs,
-                              const JoinConfig& config);
+                              const JoinConfig& config,
+                              BufferPool* pool = nullptr);
 std::vector<KeyNodePair> DecodeKeyNodePairs(const Message& message,
                                             const JoinConfig& config);
 

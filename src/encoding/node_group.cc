@@ -1,19 +1,29 @@
 #include "encoding/node_group.h"
 
 #include <algorithm>
-#include <map>
 
+#include "common/flat_table.h"
 #include "encoding/varint.h"
 
 namespace tj {
 
 void NodeGroupEncode(std::vector<KeyNodePair> pairs, uint32_t key_bytes,
                      ByteBuffer* out) {
-  std::map<uint32_t, std::vector<uint64_t>> groups;
+  // Flat table for grouping; the wire format orders groups by node, so emit
+  // over an explicitly sorted node list (byte-identical to the former
+  // ordered-map implementation).
+  FlatMap<std::vector<uint64_t>> groups;
   for (const auto& p : pairs) groups[p.node].push_back(p.key);
+  std::vector<uint32_t> nodes;
+  nodes.reserve(groups.size());
+  groups.ForEach([&](uint64_t node, const std::vector<uint64_t>&) {
+    nodes.push_back(static_cast<uint32_t>(node));
+  });
+  std::sort(nodes.begin(), nodes.end());
   EncodeLeb128(groups.size(), out);
   ByteWriter writer(out);
-  for (auto& [node, keys] : groups) {
+  for (uint32_t node : nodes) {
+    std::vector<uint64_t>& keys = *groups.Find(node);
     std::sort(keys.begin(), keys.end());
     EncodeLeb128(node, out);
     EncodeLeb128(keys.size(), out);
@@ -59,12 +69,13 @@ Status TryNodeGroupDecode(ByteReader* in, uint32_t key_bytes,
 
 uint64_t NodeGroupEncodedSize(const std::vector<KeyNodePair>& pairs,
                               uint32_t key_bytes) {
-  std::map<uint32_t, uint64_t> counts;
+  // The size is a sum over groups, so iteration order is irrelevant here.
+  FlatMap<uint64_t> counts;
   for (const auto& p : pairs) ++counts[p.node];
   uint64_t bytes = Leb128Size(counts.size());
-  for (const auto& [node, count] : counts) {
+  counts.ForEach([&](uint64_t node, const uint64_t& count) {
     bytes += Leb128Size(node) + Leb128Size(count) + count * key_bytes;
-  }
+  });
   return bytes;
 }
 

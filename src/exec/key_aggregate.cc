@@ -1,7 +1,5 @@
 #include "exec/key_aggregate.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 #include "exec/radix_sort.h"
 
@@ -23,7 +21,7 @@ std::vector<KeyCount> AggregateSortedKeys(const TupleBlock& block) {
 
 std::vector<KeyCount> AggregateKeys(const TupleBlock& block) {
   std::vector<uint64_t> keys = block.keys();
-  std::sort(keys.begin(), keys.end());
+  RadixSortKeys(&keys);
   std::vector<KeyCount> out;
   uint64_t i = 0;
   while (i < keys.size()) {

@@ -22,35 +22,39 @@ inline uint32_t Digit(uint64_t key, int shift) {
   return static_cast<uint32_t>(key >> shift) & 0xff;
 }
 
-// Stable: shifts only while strictly greater.
+// Stable: shifts only while strictly greater. With kHasValues false the
+// value array is ignored (keys-only sort) and may be null.
+template <bool kHasValues>
 void InsertionSort(uint64_t* keys, uint32_t* values, uint64_t n) {
   for (uint64_t i = 1; i < n; ++i) {
     uint64_t k = keys[i];
-    uint32_t v = values[i];
+    uint32_t v = kHasValues ? values[i] : 0;
     uint64_t j = i;
     while (j > 0 && keys[j - 1] > k) {
       keys[j] = keys[j - 1];
-      values[j] = values[j - 1];
+      if constexpr (kHasValues) values[j] = values[j - 1];
       --j;
     }
     keys[j] = k;
-    values[j] = v;
+    if constexpr (kHasValues) values[j] = v;
   }
 }
 
 // Stable MSD radix sort of the `n` pairs currently held in (k, v), on the
 // byte at `shift` and all bytes below. (ak, av) is equal-sized scratch.
 // `k_is_final` says whether (k, v) is the caller-visible output range; the
-// sorted pairs always end up in the final range.
+// sorted pairs always end up in the final range. With kHasValues false, v
+// and av are unused (keys-only sort, half the scatter bandwidth).
+template <bool kHasValues>
 void StableMsdSort(uint64_t* k, uint32_t* v, uint64_t* ak, uint32_t* av,
                    uint64_t n, int shift, bool k_is_final, ThreadPool* pool) {
   if (n <= kInsertionSortThreshold || shift < 0) {
     // shift < 0 means every byte was scattered already: the range holds one
     // repeated key and is trivially sorted.
-    if (n > 1 && shift >= 0) InsertionSort(k, v, n);
+    if (n > 1 && shift >= 0) InsertionSort<kHasValues>(k, v, n);
     if (!k_is_final) {
       std::memcpy(ak, k, n * sizeof(uint64_t));
-      std::memcpy(av, v, n * sizeof(uint32_t));
+      if constexpr (kHasValues) std::memcpy(av, v, n * sizeof(uint32_t));
     }
     return;
   }
@@ -97,7 +101,7 @@ void StableMsdSort(uint64_t* k, uint32_t* v, uint64_t* ak, uint32_t* av,
     max_bucket = std::max(max_bucket, starts[d + 1] - starts[d]);
   }
   if (max_bucket == n) {
-    StableMsdSort(k, v, ak, av, n, shift - 8, k_is_final, pool);
+    StableMsdSort<kHasValues>(k, v, ak, av, n, shift - 8, k_is_final, pool);
     return;
   }
 
@@ -109,7 +113,7 @@ void StableMsdSort(uint64_t* k, uint32_t* v, uint64_t* ak, uint32_t* av,
     for (uint64_t i = begin; i < end; ++i) {
       const uint64_t dst = cursor[Digit(k[i], shift)]++;
       ak[dst] = k[i];
-      av[dst] = v[i];
+      if constexpr (kHasValues) av[dst] = v[i];
     }
   };
   if (parallel) {
@@ -123,8 +127,9 @@ void StableMsdSort(uint64_t* k, uint32_t* v, uint64_t* ak, uint32_t* av,
     const uint64_t b = starts[d];
     const uint64_t cnt = starts[d + 1] - b;
     if (cnt == 0) return;
-    StableMsdSort(ak + b, av + b, k + b, v + b, cnt, shift - 8, !k_is_final,
-                  pool);
+    StableMsdSort<kHasValues>(ak + b, kHasValues ? av + b : nullptr, k + b,
+                              kHasValues ? v + b : nullptr, cnt, shift - 8,
+                              !k_is_final, pool);
   };
   if (parallel) {
     pool->ParallelFor(256, [&](size_t d) { recurse(static_cast<int>(d)); });
@@ -147,8 +152,21 @@ void RadixSortPairs(std::vector<uint64_t>* keys, std::vector<uint32_t>* values,
   while (shift < 56 && (max_key >> (shift + 8)) != 0) shift += 8;
   std::vector<uint64_t> scratch_keys(n);
   std::vector<uint32_t> scratch_values(n);
-  StableMsdSort(keys->data(), values->data(), scratch_keys.data(),
-                scratch_values.data(), n, shift, /*k_is_final=*/true, pool);
+  StableMsdSort<true>(keys->data(), values->data(), scratch_keys.data(),
+                      scratch_values.data(), n, shift, /*k_is_final=*/true,
+                      pool);
+}
+
+void RadixSortKeys(std::vector<uint64_t>* keys, ThreadPool* pool) {
+  const uint64_t n = keys->size();
+  if (n < 2) return;
+  TraceSpan span("kernel", "RadixSortKeys", static_cast<int64_t>(n));
+  uint64_t max_key = *std::max_element(keys->begin(), keys->end());
+  int shift = 0;
+  while (shift < 56 && (max_key >> (shift + 8)) != 0) shift += 8;
+  std::vector<uint64_t> scratch(n);
+  StableMsdSort<false>(keys->data(), nullptr, scratch.data(), nullptr, n,
+                       shift, /*k_is_final=*/true, pool);
 }
 
 void SortBlockByKey(TupleBlock* block, ThreadPool* pool) {

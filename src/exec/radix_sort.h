@@ -34,6 +34,11 @@ namespace tj {
 void RadixSortPairs(std::vector<uint64_t>* keys, std::vector<uint32_t>* values,
                     ThreadPool* pool = nullptr);
 
+/// Keys-only variant: same MSB radix sort without a value array (half the
+/// scatter bandwidth). Used by key aggregation, where only the sorted key
+/// multiset matters.
+void RadixSortKeys(std::vector<uint64_t>* keys, ThreadPool* pool = nullptr);
+
 /// Sorts the block's rows by key ascending (payloads move with their keys).
 /// Stable; with a pool the sort and payload gather run in parallel.
 void SortBlockByKey(TupleBlock* block, ThreadPool* pool = nullptr);

@@ -1,0 +1,73 @@
+// Capacity-preserving free-list of ByteBuffers.
+//
+// Every message the fabric carries is built by appending into a fresh
+// ByteBuffer, which costs a heap allocation plus a geometric-growth
+// reallocation chain per message. A BufferPool recycles retired buffers —
+// consumed inbox payloads, retired wire frames — so the next message starts
+// with warmed capacity and (on Acquire with a hint) reserves once instead
+// of growing.
+//
+// Not thread-safe by design: pools follow the fabric's ownership rule that
+// node i's phase work only touches node i's state, so per-node (or
+// per-source) pools need no locking under concurrent phases.
+#ifndef TJ_NET_BUFFER_POOL_H_
+#define TJ_NET_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/byte_buffer.h"
+
+namespace tj {
+
+class BufferPool {
+ public:
+  /// At most `max_buffers` retired buffers are retained; buffers whose
+  /// capacity exceeds `max_buffer_bytes` are dropped instead of cached so
+  /// one outlier transfer cannot pin its peak footprint forever.
+  explicit BufferPool(size_t max_buffers = 64,
+                      size_t max_buffer_bytes = 4u << 20)
+      : max_buffers_(max_buffers), max_buffer_bytes_(max_buffer_bytes) {}
+
+  /// Returns an empty buffer, recycled if one is available (its capacity
+  /// survives). `reserve_hint` pre-sizes fresh or undersized buffers.
+  ByteBuffer Acquire(size_t reserve_hint = 0) {
+    ByteBuffer buf;
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+      ++reuses_;
+    } else {
+      ++misses_;
+    }
+    if (reserve_hint > buf.capacity()) buf.reserve(reserve_hint);
+    return buf;
+  }
+
+  /// Returns a retired buffer to the pool (cleared, capacity kept).
+  void Recycle(ByteBuffer buf) {
+    if (free_.size() >= max_buffers_ || buf.capacity() == 0 ||
+        buf.capacity() > max_buffer_bytes_) {
+      return;  // Dropped; the allocator reclaims it.
+    }
+    buf.clear();
+    free_.push_back(std::move(buf));
+  }
+
+  size_t available() const { return free_.size(); }
+  uint64_t reuses() const { return reuses_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::vector<ByteBuffer> free_;
+  size_t max_buffers_;
+  size_t max_buffer_bytes_;
+  uint64_t reuses_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tj
+
+#endif  // TJ_NET_BUFFER_POOL_H_

@@ -1,7 +1,6 @@
 #include "net/fabric.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -33,11 +32,13 @@ void Fabric::SetFaultPolicy(const FaultPolicy& policy, uint64_t seed) {
     // Inactive policy: stay on the pristine unframed path so results and
     // traffic are byte-identical to a fabric with no policy at all.
     injector_.reset();
+    frame_pools_.clear();
     return;
   }
   injector_.emplace(policy, seed, num_nodes_);
   sent_log_.assign(num_nodes_, {});
   next_seq_.assign(static_cast<uint64_t>(num_nodes_) * num_nodes_, 0);
+  frame_pools_ = std::vector<BufferPool>(num_nodes_);
 }
 
 void Fabric::Send(uint32_t src, uint32_t dst, MessageType type,
@@ -54,7 +55,7 @@ void Fabric::Send(uint32_t src, uint32_t dst, MessageType type,
     return;
   }
   uint32_t seq = NextSeq(src, dst)++;
-  ByteBuffer frame;
+  ByteBuffer frame = frame_pools_[src].Acquire(kFrameHeaderBytes + data.size());
   EncodeFrame(type, seq, data, &frame);
   // The first transmission attempt is goodput (framing overhead included);
   // injected extra copies land on the recovery ledger. The sender keeps the
@@ -217,6 +218,15 @@ Status Fabric::DeliverBarrier(const std::string& name) {
   }
   if (!injector_) {
     // Pristine barrier: deliver, ordered by source node then send order.
+    std::vector<size_t> per_dst(num_nodes_, 0);
+    for (uint32_t src = 0; src < num_nodes_; ++src) {
+      for (const auto& p : queued_[src]) ++per_dst[p.dst];
+    }
+    for (uint32_t dst = 0; dst < num_nodes_; ++dst) {
+      if (per_dst[dst] > 0) {
+        inboxes_[dst].reserve(inboxes_[dst].size() + per_dst[dst]);
+      }
+    }
     for (uint32_t src = 0; src < num_nodes_; ++src) {
       for (auto& p : queued_[src]) {
         inboxes_[p.dst].push_back(Message{src, p.type, std::move(p.data)});
@@ -226,25 +236,63 @@ Status Fabric::DeliverBarrier(const std::string& name) {
     return Status::OK();
   }
 
-  // Reassembly state per (receiver, sender) link: CRC-valid frames keyed by
-  // sequence number. The map deduplicates injected duplicates and recovers
-  // per-link send order (seq ascending == send order), which makes delivery
-  // match the pristine barrier exactly when nothing was reordered.
+  // Reassembly state per (receiver, sender) link: CRC-valid frames tagged
+  // with their sequence number, appended in absorb order. Canonicalize()
+  // sorts each link by seq and drops duplicate seqs keeping the first
+  // absorbed copy — the same dedup-and-recover-send-order semantics the
+  // former std::map gave, without a heap node per frame. Seq ascending ==
+  // send order, which makes delivery match the pristine barrier exactly
+  // when nothing was reordered.
   struct Recv {
+    uint32_t seq;
     MessageType type;
     ByteBuffer payload;
   };
-  std::vector<std::vector<std::map<uint32_t, Recv>>> accepted(
-      num_nodes_, std::vector<std::map<uint32_t, Recv>>(num_nodes_));
+  std::vector<std::vector<std::vector<Recv>>> accepted(
+      num_nodes_, std::vector<std::vector<Recv>>(num_nodes_));
+  // Pre-size each link from the queued wire copies (known counts: S2
+  // reserve audit) so absorption never reallocates mid-link.
+  for (uint32_t src = 0; src < num_nodes_; ++src) {
+    std::vector<size_t> per_dst(num_nodes_, 0);
+    for (const auto& p : queued_[src]) ++per_dst[p.dst];
+    for (uint32_t dst = 0; dst < num_nodes_; ++dst) {
+      if (per_dst[dst] > 0) accepted[dst][src].reserve(per_dst[dst]);
+    }
+  }
   auto absorb = [&accepted](uint32_t src, uint32_t dst, const ByteBuffer& wire) {
     FrameHeader header;
     ByteBuffer payload;
     if (!DecodeFrame(wire, &header, &payload).ok()) return;  // lost to CRC
-    accepted[dst][src].emplace(header.seq,
-                               Recv{header.type, std::move(payload)});
+    accepted[dst][src].push_back(
+        Recv{header.seq, header.type, std::move(payload)});
+  };
+  auto canonicalize = [this, &accepted]() {
+    for (auto& by_src : accepted) {
+      for (auto& link : by_src) {
+        std::stable_sort(link.begin(), link.end(),
+                         [](const Recv& a, const Recv& b) {
+                           return a.seq < b.seq;
+                         });
+        link.erase(std::unique(link.begin(), link.end(),
+                               [](const Recv& a, const Recv& b) {
+                                 return a.seq == b.seq;
+                               }),
+                   link.end());
+      }
+    }
+  };
+  auto link_has_seq = [](const std::vector<Recv>& link, uint32_t seq) {
+    auto it = std::lower_bound(
+        link.begin(), link.end(), seq,
+        [](const Recv& r, uint32_t s) { return r.seq < s; });
+    return it != link.end() && it->seq == seq;
   };
   for (uint32_t src = 0; src < num_nodes_; ++src) {
-    for (auto& p : queued_[src]) absorb(src, p.dst, p.data);
+    for (auto& p : queued_[src]) {
+      absorb(src, p.dst, p.data);
+      // The wire copy is spent; its capacity feeds src's next frames.
+      frame_pools_[src].Recycle(std::move(p.data));
+    }
     queued_[src].clear();
   }
 
@@ -253,10 +301,14 @@ Status Fabric::DeliverBarrier(const std::string& name) {
   // trailing frames of a phase. missing = sent log minus accepted.
   const uint32_t max_retries = injector_->policy().max_retries;
   for (uint32_t round = 0;; ++round) {
+    // Absorption appended out of order; restore per-link seq order (and
+    // dedup) before membership checks — and, on the final round, before
+    // delivery below.
+    canonicalize();
     std::vector<std::pair<uint32_t, const SentFrame*>> missing;
     for (uint32_t src = 0; src < num_nodes_; ++src) {
       for (const SentFrame& f : sent_log_[src]) {
-        if (accepted[f.dst][src].find(f.seq) == accepted[f.dst][src].end()) {
+        if (!link_has_seq(accepted[f.dst][src], f.seq)) {
           missing.emplace_back(src, &f);
         }
       }
@@ -284,7 +336,7 @@ Status Fabric::DeliverBarrier(const std::string& name) {
     for (uint32_t src = 0; src < num_nodes_; ++src) {
       std::vector<std::vector<const SentFrame*>> nacked(num_nodes_);
       for (const SentFrame& f : sent_log_[src]) {
-        if (accepted[f.dst][src].find(f.seq) == accepted[f.dst][src].end()) {
+        if (!link_has_seq(accepted[f.dst][src], f.seq)) {
           nacked[f.dst].push_back(&f);
         }
       }
@@ -303,20 +355,34 @@ Status Fabric::DeliverBarrier(const std::string& name) {
             traffic_.AddRetransmit(src, dst, f->type,
                                    (copies.size() - 1) * f->frame.size());
           }
-          for (const ByteBuffer& copy : copies) absorb(src, dst, copy);
+          for (ByteBuffer& copy : copies) {
+            absorb(src, dst, copy);
+            frame_pools_[src].Recycle(std::move(copy));
+          }
         }
       }
     }
   }
-  for (auto& log : sent_log_) log.clear();
+  for (uint32_t src = 0; src < num_nodes_; ++src) {
+    // The phase is recovered; retire the retained retransmission frames
+    // into the sender's pool.
+    for (auto& f : sent_log_[src]) frame_pools_[src].Recycle(std::move(f.frame));
+    sent_log_[src].clear();
+  }
 
-  // Deliver in canonical (source node, sequence) order, then let the
-  // injector swap adjacent messages per inbox to model reordering. Joins
-  // must not depend on arrival order within a phase.
+  // Deliver in canonical (source node, sequence) order — each link is
+  // seq-sorted by the final canonicalize() — then let the injector swap
+  // adjacent messages per inbox to model reordering. Joins must not depend
+  // on arrival order within a phase.
   for (uint32_t dst = 0; dst < num_nodes_; ++dst) {
     size_t first_new = inboxes_[dst].size();
+    size_t incoming = 0;
     for (uint32_t src = 0; src < num_nodes_; ++src) {
-      for (auto& [seq, recv] : accepted[dst][src]) {
+      incoming += accepted[dst][src].size();
+    }
+    inboxes_[dst].reserve(first_new + incoming);
+    for (uint32_t src = 0; src < num_nodes_; ++src) {
+      for (Recv& recv : accepted[dst][src]) {
         inboxes_[dst].push_back(
             Message{src, recv.type, std::move(recv.payload)});
       }
@@ -339,8 +405,14 @@ std::vector<Message> Fabric::TakeInbox(uint32_t node) {
 
 std::vector<Message> Fabric::TakeInbox(uint32_t node, MessageType type) {
   TJ_CHECK_LT(node, num_nodes_);
+  size_t matches = 0;
+  for (const auto& m : inboxes_[node]) {
+    if (m.type == type) ++matches;
+  }
   std::vector<Message> taken;
   std::vector<Message> rest;
+  taken.reserve(matches);
+  rest.reserve(inboxes_[node].size() - matches);
   for (auto& m : inboxes_[node]) {
     if (m.type == type) {
       taken.push_back(std::move(m));

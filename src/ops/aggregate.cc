@@ -64,6 +64,15 @@ AggregateResult RunDistributedAggregate(const PartitionedTable& table,
         p.sum += ReadField(block, row, config.value);
         p.count += 1;
       }
+      // Hash partitioning spreads the groups near-uniformly; one reserve
+      // per destination instead of a growth chain per stream.
+      const uint32_t record_bytes =
+          config.group_bytes + config.sum_bytes + kCountBytes;
+      if (partials.size() >= static_cast<size_t>(n)) {
+        for (uint32_t d = 0; d < n; ++d) {
+          out[d].reserve(partials.size() / n * record_bytes + record_bytes);
+        }
+      }
       for (const auto& [group, partial] : partials) {
         uint32_t dst = HashPartition(group, n);
         writers[dst].PutUint(group, config.group_bytes);
@@ -90,7 +99,16 @@ AggregateResult RunDistributedAggregate(const PartitionedTable& table,
   });
 
   fabric.RunPhase("final aggregate", [&](uint32_t node) {
-    for (const auto& msg : fabric.TakeInbox(node, MessageType::kTrackR)) {
+    auto msgs = fabric.TakeInbox(node, MessageType::kTrackR);
+    // Size the final table from the incoming bytes: every fixed-width wire
+    // record is at most one new group, so this bound is exact for disjoint
+    // senders and avoids every mid-phase rehash (S2 reserve audit).
+    const uint32_t record_bytes =
+        config.group_bytes + config.sum_bytes + kCountBytes;
+    uint64_t incoming_bytes = 0;
+    for (const auto& msg : msgs) incoming_bytes += msg.data.size();
+    finals[node].reserve(incoming_bytes / record_bytes);
+    for (const auto& msg : msgs) {
       ByteReader reader(msg.data);
       while (!reader.Done()) {
         uint64_t group = reader.GetUint(config.group_bytes);

@@ -2,13 +2,44 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/hash.h"
+#include "common/rng.h"
+#include "encoding/varint.h"
 
 namespace tj {
 namespace {
 
 Message Msg(uint32_t src, ByteBuffer data) {
   return Message{src, MessageType::kTrackR, std::move(data)};
+}
+
+/// Reference path: decode every message, concatenate, comparison-sort merge.
+std::vector<TrackEntry> ReferenceMerge(const std::vector<Message>& messages,
+                                       const JoinConfig& config,
+                                       bool with_counts) {
+  std::vector<TrackEntry> all;
+  for (const Message& msg : messages) {
+    std::vector<TrackEntry> entries;
+    Status s = TryDecodeTrackingMessage(msg, config, with_counts, &entries);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    all.insert(all.end(), entries.begin(), entries.end());
+  }
+  MergeTrackEntries(&all);
+  return all;
+}
+
+/// One source's sorted aggregated keys drawn from [0, universe).
+std::vector<KeyCount> RandomSource(Rng* rng, size_t draws, uint64_t universe,
+                                   uint64_t max_count) {
+  std::vector<uint64_t> keys(draws);
+  for (uint64_t& k : keys) k = rng->Below(universe);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<KeyCount> out;
+  for (uint64_t k : keys) out.push_back({k, 1 + rng->Below(max_count)});
+  return out;
 }
 
 TEST(TrackerTest, EncodeDecodeWithoutCounts) {
@@ -138,6 +169,174 @@ TEST(TrackerTest, GroupedKeyNodePairCodecs) {
   auto decoded = DecodeKeyNodePairs(msg, config);
   ASSERT_EQ(decoded.size(), 50u);
   for (const auto& p : decoded) EXPECT_EQ(p.node, 2u);
+}
+
+TEST(TrackerMergeTest, MatchesReferenceOnRandomStreams) {
+  // Property: the k-way merge is byte-identical to decode + MergeTrackEntries
+  // across formats, counts modes, fan-ins, and duplication levels.
+  Rng rng(21);
+  for (bool delta : {false, true}) {
+    for (bool with_counts : {false, true}) {
+      for (uint32_t k : {1u, 2u, 5u, 13u}) {
+        JoinConfig config;
+        config.key_bytes = 4;
+        config.count_bytes = 2;
+        config.delta_tracking = delta;
+        std::vector<Message> msgs;
+        for (uint32_t src = 0; src < k; ++src) {
+          // Universe 400 with up to 300 draws: keys collide across sources.
+          auto kcs = RandomSource(&rng, rng.Below(300), 400, 1000);
+          auto bufs = EncodeTrackingMessages(kcs, config, with_counts, 1);
+          msgs.push_back(Msg(src, std::move(bufs[0])));
+        }
+        std::vector<TrackEntry> merged;
+        Status s = TryMergeTrackingMessages(msgs, config, with_counts, &merged);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        EXPECT_EQ(merged, ReferenceMerge(msgs, config, with_counts))
+            << "delta=" << delta << " with_counts=" << with_counts
+            << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(TrackerMergeTest, AggregatesSaturatedCountChunks) {
+  // count_bytes=1 saturates at 255, so a count of 700 ships as three
+  // adjacent chunks per source; the merge must re-aggregate them and then
+  // sum across sources ("we can aggregate at the destination").
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 1;
+  std::vector<Message> msgs;
+  for (uint32_t src = 0; src < 3; ++src) {
+    auto bufs = EncodeTrackingMessages({{5, 700}, {9, 2}}, config, true, 1);
+    msgs.push_back(Msg(src, std::move(bufs[0])));
+  }
+  std::vector<TrackEntry> merged;
+  ASSERT_TRUE(TryMergeTrackingMessages(msgs, config, true, &merged).ok());
+  ASSERT_EQ(merged.size(), 6u);
+  for (uint32_t src = 0; src < 3; ++src) {
+    EXPECT_EQ(merged[src], (TrackEntry{5, src, 700}));
+    EXPECT_EQ(merged[3 + src], (TrackEntry{9, src, 2}));
+  }
+  EXPECT_EQ(merged, ReferenceMerge(msgs, config, true));
+}
+
+TEST(TrackerMergeTest, EmptyInboxAndEmptyMessages) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 2;
+  std::vector<TrackEntry> merged = {{1, 2, 3}};  // Must be replaced.
+  ASSERT_TRUE(TryMergeTrackingMessages({}, config, true, &merged).ok());
+  EXPECT_TRUE(merged.empty());
+
+  // Zero-length payloads (a source with no keys for this tracker) vanish.
+  std::vector<Message> msgs;
+  msgs.push_back(Msg(0, ByteBuffer{}));
+  auto bufs = EncodeTrackingMessages({{42, 7}}, config, true, 1);
+  msgs.push_back(Msg(1, std::move(bufs[0])));
+  msgs.push_back(Msg(2, ByteBuffer{}));
+  ASSERT_TRUE(TryMergeTrackingMessages(msgs, config, true, &merged).ok());
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (TrackEntry{42, 1, 7}));
+}
+
+TEST(TrackerMergeTest, UnsortedPlainStreamTakesReferencePath) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 2;
+  // Hand-built plain message with descending keys — a legacy/adversarial
+  // sender the cursor must flag so the merge falls back to the sort path.
+  ByteBuffer data;
+  ByteWriter w(&data);
+  for (uint64_t key : {30u, 20u, 10u}) {
+    w.PutUint(key, config.key_bytes);
+    w.PutUint(2, config.count_bytes);
+  }
+  std::vector<Message> msgs;
+  msgs.push_back(Msg(0, std::move(data)));
+  TrackingMessageCursor cursor;
+  ASSERT_TRUE(cursor.Init(msgs[0], config, true).ok());
+  EXPECT_FALSE(cursor.sorted());
+
+  auto bufs = EncodeTrackingMessages({{15, 1}, {25, 1}}, config, true, 1);
+  msgs.push_back(Msg(1, std::move(bufs[0])));
+  std::vector<TrackEntry> merged;
+  ASSERT_TRUE(TryMergeTrackingMessages(msgs, config, true, &merged).ok());
+  EXPECT_EQ(merged, ReferenceMerge(msgs, config, true));
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged.front(), (TrackEntry{10, 0, 2}));
+  EXPECT_EQ(merged.back(), (TrackEntry{30, 0, 2}));
+}
+
+TEST(TrackerMergeTest, DeltaWraparoundFlagsUnsorted) {
+  JoinConfig config;
+  config.key_bytes = 8;
+  config.delta_tracking = true;
+  // Two gaps whose prefix sum wraps uint64: decoded keys are 1 then 0, a
+  // descending stream the sorted-by-construction assumption must not trust.
+  ByteBuffer data;
+  EncodeLeb128(2, &data);                      // Entry count.
+  EncodeLeb128(1, &data);                      // First key: 1.
+  EncodeLeb128(~uint64_t{0}, &data);           // 1 + 2^64-1 wraps to 0.
+  std::vector<Message> msgs;
+  msgs.push_back(Msg(0, std::move(data)));
+  TrackingMessageCursor cursor;
+  ASSERT_TRUE(cursor.Init(msgs[0], config, false).ok());
+  EXPECT_FALSE(cursor.sorted());
+
+  std::vector<TrackEntry> merged;
+  ASSERT_TRUE(TryMergeTrackingMessages(msgs, config, false, &merged).ok());
+  EXPECT_EQ(merged, ReferenceMerge(msgs, config, false));
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].key, 0u);
+  EXPECT_EQ(merged[1].key, 1u);
+}
+
+TEST(TrackerMergeTest, RejectsCorruptStreams) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 2;
+  auto bufs = EncodeTrackingMessages({{1, 2}, {3, 4}}, config, true, 1);
+  ByteBuffer good = bufs[0];
+
+  // Truncated mid-entry: not a multiple of the entry width.
+  ByteBuffer truncated(good.begin(), good.end() - 3);
+  std::vector<TrackEntry> merged;
+  EXPECT_FALSE(TryMergeTrackingMessages({Msg(0, truncated)}, config, true,
+                                        &merged)
+                   .ok());
+
+  // Delta stream whose declared count exceeds the payload.
+  JoinConfig delta_config = config;
+  delta_config.delta_tracking = true;
+  ByteBuffer bogus;
+  EncodeLeb128(1000, &bogus);
+  EXPECT_FALSE(TryMergeTrackingMessages({Msg(0, bogus)}, delta_config, true,
+                                        &merged)
+                   .ok());
+}
+
+TEST(TrackerMergeTest, CursorWalksWireOrder) {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 2;
+  auto bufs = EncodeTrackingMessages({{10, 3}, {20, 5}}, config, true, 1);
+  Message msg = Msg(6, std::move(bufs[0]));  // Must outlive the cursor.
+  TrackingMessageCursor cursor;
+  ASSERT_TRUE(cursor.Init(msg, config, true).ok());
+  EXPECT_TRUE(cursor.sorted());
+  EXPECT_EQ(cursor.entries(), 2u);
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_EQ(cursor.key(), 10u);
+  EXPECT_EQ(cursor.node(), 6u);
+  EXPECT_EQ(cursor.count(), 3u);
+  cursor.Next();
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_EQ(cursor.key(), 20u);
+  EXPECT_EQ(cursor.count(), 5u);
+  cursor.Next();
+  EXPECT_FALSE(cursor.Valid());
 }
 
 }  // namespace

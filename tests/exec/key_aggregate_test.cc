@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "exec/radix_sort.h"
 
@@ -50,6 +52,32 @@ TEST(KeyAggregateTest, CountsSumToRows) {
   // Distinct keys and sorted order.
   for (size_t i = 1; i < agg.size(); ++i) {
     EXPECT_LT(agg[i - 1].key, agg[i].key);
+  }
+}
+
+TEST(KeyAggregateTest, ShuffledAndSortedInputsAgree) {
+  // AggregateKeys sorts internally (radix), so any permutation of the same
+  // key multiset — including already-sorted input — must produce the same
+  // (key, count) runs as a std::sort reference.
+  Rng rng(17);
+  for (uint64_t universe : {uint64_t{50}, uint64_t{1} << 40}) {
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 4000; ++i) keys.push_back(rng.Below(universe));
+
+    std::vector<uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<KeyCount> expected;
+    for (size_t i = 0; i < sorted.size();) {
+      size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      expected.push_back(KeyCount{sorted[i], j - i});
+      i = j;
+    }
+
+    EXPECT_EQ(AggregateKeys(KeysOnly(keys)), expected);
+    EXPECT_EQ(AggregateKeys(KeysOnly(sorted)), expected);
+    std::vector<uint64_t> reversed(sorted.rbegin(), sorted.rend());
+    EXPECT_EQ(AggregateKeys(KeysOnly(reversed)), expected);
   }
 }
 

@@ -1,0 +1,78 @@
+#include "net/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace tj {
+namespace {
+
+ByteBuffer Filled(size_t n) {
+  ByteBuffer buf;
+  buf.resize(n, 0xab);
+  return buf;
+}
+
+TEST(BufferPoolTest, FreshAcquireCountsMiss) {
+  BufferPool pool;
+  ByteBuffer buf = pool.Acquire();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.reuses(), 0u);
+}
+
+TEST(BufferPoolTest, RecycleClearsAndKeepsCapacity) {
+  BufferPool pool;
+  ByteBuffer buf = Filled(1000);
+  size_t cap = buf.capacity();
+  pool.Recycle(std::move(buf));
+  EXPECT_EQ(pool.available(), 1u);
+  ByteBuffer again = pool.Acquire();
+  EXPECT_TRUE(again.empty());          // Content gone...
+  EXPECT_GE(again.capacity(), cap);    // ...capacity survived.
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(BufferPoolTest, AcquireHintReservesOnce) {
+  BufferPool pool;
+  ByteBuffer buf = pool.Acquire(4096);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_GE(buf.capacity(), 4096u);
+  // A recycled buffer already at capacity is not re-reserved smaller.
+  pool.Recycle(std::move(buf));
+  ByteBuffer again = pool.Acquire(16);
+  EXPECT_GE(again.capacity(), 4096u);
+}
+
+TEST(BufferPoolTest, DropsZeroCapacityBuffers) {
+  BufferPool pool;
+  pool.Recycle(ByteBuffer{});
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(BufferPoolTest, DropsOversizedBuffers) {
+  BufferPool pool(/*max_buffers=*/4, /*max_buffer_bytes=*/100);
+  pool.Recycle(Filled(1000));  // Over the byte cap: dropped.
+  EXPECT_EQ(pool.available(), 0u);
+  pool.Recycle(Filled(50));
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(BufferPoolTest, CapsRetainedBufferCount) {
+  BufferPool pool(/*max_buffers=*/2, /*max_buffer_bytes=*/1 << 20);
+  for (int i = 0; i < 5; ++i) pool.Recycle(Filled(64));
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(BufferPoolTest, SteadyStateStopsMissing) {
+  BufferPool pool;
+  for (int round = 0; round < 10; ++round) {
+    ByteBuffer buf = pool.Acquire(256);
+    buf.push_back(1);
+    pool.Recycle(std::move(buf));
+  }
+  EXPECT_EQ(pool.misses(), 1u);  // Only the cold start allocates.
+  EXPECT_EQ(pool.reuses(), 9u);
+}
+
+}  // namespace
+}  // namespace tj

@@ -2,8 +2,9 @@
 """Benchmark smoke + regression gate.
 
 Runs the table2/3/4 benches at a small fixed scale (they must complete),
-then the local_kernels throughput bench, writes BENCH_local_kernels.json,
-and fails when any gated kernel throughput regresses more than the
+then the local_kernels throughput bench and the micro_tracker merge bench,
+writes BENCH_local_kernels.json, and fails when any gated throughput
+(baseline sections "tps" and "micro_tps") regresses more than the
 tolerance (default 25%) below the checked-in baseline
 (tools/bench_baseline.json).
 
@@ -84,6 +85,14 @@ def main():
     out, wall = run([os.path.join(bench_dir, "local_kernels")] + threads)
     kernels = json.loads(out)
 
+    # Tracker-merge microbench: single-threaded by construction (the k-way
+    # merge is one tracker's local work), gated through the separate
+    # "micro_tps" baseline section so the traced-overhead loop below stays
+    # scoped to local_kernels.
+    print("=== micro_tracker merge throughput ===", flush=True)
+    micro_out, _ = run([os.path.join(bench_dir, "micro_tracker")])
+    micro = json.loads(micro_out)
+
     # Traced iterations: same bench with span tracing on. The trace file
     # must come out as loadable Chrome JSON, and throughput on the gated
     # kernels may drop at most --trace-tolerance below the untraced run.
@@ -109,8 +118,11 @@ def main():
 
     gate = []
     failures = []
-    for metric, base_tps in baseline["tps"].items():
-        measured = kernels.get(metric)
+    gated = [(metric, base, kernels.get(metric))
+             for metric, base in baseline["tps"].items()]
+    gated += [(metric, base, micro.get(metric))
+              for metric, base in baseline.get("micro_tps", {}).items()]
+    for metric, base_tps, measured in gated:
         if measured is None:
             failures.append(f"{metric}: missing from bench output")
             continue
@@ -152,6 +164,7 @@ def main():
         "threads": args.threads,
         "tolerance": tolerance,
         "kernels": kernels,
+        "micro_tracker": micro,
         "table_bench_wall_s": table_wall,
         "gate": gate,
         "trace_gate": trace_gate,

@@ -18,6 +18,24 @@ TOTALS_KEYS = {
     "retransmit_bytes": int,
     "run_max_node_bytes": int,
 }
+# The track-join phase labels are themselves an interface: EXPERIMENTS.md,
+# the bench suite, and the tracker-merge baseline reference phases like
+# "merge received keys" by name, so an accidental rename must fail CI here
+# rather than silently detach those references.
+TRACK_JOIN_PHASES = {
+    "sort local R tuples",
+    "sort local S tuples",
+    "aggregate keys",
+    "hash partition & transfer keys",
+    "merge received keys",
+    "generate schedules & send locations",
+    "selective broadcast & migrate",
+    "merge received tuples",
+    "final merge-join R->S",
+    "final merge-join S->R",
+}
+TRACK_JOIN_ALGOS = {"2tj-r", "2tj-s", "3tj", "4tj"}
+
 STEP_KEYS = {
     "phase": str,
     "wall_seconds": float,
@@ -73,6 +91,15 @@ def main():
         for step in steps:
             check_fields(step, STEP_KEYS, "%s step %r" %
                          (algo, step.get("phase")))
+        if algo in TRACK_JOIN_ALGOS:
+            labels = {s["phase"] for s in steps}
+            unknown = labels - TRACK_JOIN_PHASES
+            if unknown:
+                fail("%s: unrecognized phase label(s) %s" %
+                     (algo, sorted(unknown)))
+            if "merge received keys" not in labels:
+                fail("%s: canonical phase 'merge received keys' missing" %
+                     algo)
         # The per-step records must add up to the advertised totals.
         for key in ("goodput_bytes", "local_bytes", "retransmit_bytes"):
             total = sum(s[key] for s in steps)

@@ -29,6 +29,17 @@ for san in "${sanitizers[@]}"; do
   echo "=== ${san}: configure + build (${dir}) ==="
   cmake -B "${dir}" -S . -DTJ_SANITIZE="${san}" >/dev/null
   cmake --build "${dir}" -j "$(nproc)"
+  # The hot-path containers and the tracker merge must stay in the
+  # sanitized unit leg: their probe/tombstone and cursor arithmetic is
+  # exactly what ASan/UBSan exist to check. Guard against a CMake
+  # registration regression silently shrinking that coverage.
+  for required in kway_merge_test flat_table_test buffer_pool_test \
+                  tracker_test; do
+    if ! ctest --test-dir "${dir}" -N -L unit | grep -q " ${required}\$"; then
+      echo "ci.sh: ${required} missing from the unit label in ${dir}" >&2
+      exit 1
+    fi
+  done
   # Labels run cheapest-first so a broken kernel fails in the unit leg
   # before the integration/fault joins spend their (longer) timeouts.
   for label in unit integration fault; do
