@@ -34,6 +34,8 @@ Result<JoinResult> TryRunBroadcastJoin(const PartitionedTable& r,
   if (config.fault_policy != nullptr) {
     fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
   }
+  fabric.SetPhaseDeadline(config.phase_deadline_seconds);
+  fabric.SetDiagnosticsSink(config.diagnostics);
   std::vector<TupleBlock> moving_in(n, TupleBlock(moving.payload_width()));
   std::vector<TupleBlock> fixed_local(n, TupleBlock(fixed.payload_width()));
   std::vector<JoinChecksum> checksums(n);

@@ -28,6 +28,8 @@ Result<JoinResult> TryRunHashJoin(const PartitionedTable& r,
   if (config.fault_policy != nullptr) {
     fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
   }
+  fabric.SetPhaseDeadline(config.phase_deadline_seconds);
+  fabric.SetDiagnosticsSink(config.diagnostics);
   std::vector<TupleBlock> r_in(n, TupleBlock(r.payload_width()));
   std::vector<TupleBlock> s_in(n, TupleBlock(s.payload_width()));
   std::vector<JoinChecksum> checksums(n);

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/failure.h"
 #include "net/fault_injector.h"
 #include "net/traffic.h"
 #include "obs/step_profile.h"
@@ -71,6 +72,17 @@ struct JoinConfig {
   /// Null or inactive keeps the byte-identical pristine path. Not owned.
   const FaultPolicy* fault_policy = nullptr;
   uint64_t fault_seed = 0;
+
+  /// If non-null, a failed run fills this with the fabric's structured
+  /// failure report plus the partial attempt's traffic and phase times
+  /// (net/failure.h) — the machine-readable side of the error Status.
+  /// Strictly an error-path output; untouched on success. Not owned.
+  RunDiagnostics* diagnostics = nullptr;
+
+  /// Modeled per-phase deadline in seconds (0 disables): a straggler whose
+  /// modeled slowdown exceeds it is promoted to suspected-dead and the
+  /// phase fails with DeadlineExceeded. See Fabric::SetPhaseDeadline.
+  double phase_deadline_seconds = 0;
 
   /// Location-message size M in bytes, as used by the per-key scheduler.
   uint64_t MsgBytes() const { return key_bytes + node_bytes; }

@@ -66,6 +66,8 @@ Result<JoinResult> TryRunLateMaterializedHashJoin(const PartitionedTable& r,
   if (config.fault_policy != nullptr) {
     fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
   }
+  fabric.SetPhaseDeadline(config.phase_deadline_seconds);
+  fabric.SetDiagnosticsSink(config.diagnostics);
   // Sender-side memory of which rows went into each key stream.
   std::vector<std::vector<std::vector<uint32_t>>> r_streams(n), s_streams(n);
   // Hash-node state: output pairs and per-source fetch request counts.

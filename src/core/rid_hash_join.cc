@@ -57,6 +57,8 @@ Result<JoinResult> TryRunRidHashJoin(const PartitionedTable& r,
   if (config.fault_policy != nullptr) {
     fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
   }
+  fabric.SetPhaseDeadline(config.phase_deadline_seconds);
+  fabric.SetDiagnosticsSink(config.diagnostics);
   // Per (source node, hash node): the local rows whose keys were sent, in
   // stream order — the receiver refers to them by position (implicit rids).
   std::vector<std::vector<std::vector<uint32_t>>> exec_streams(n),

@@ -17,6 +17,7 @@
 #ifndef TJ_CORE_SCHEDULE_H_
 #define TJ_CORE_SCHEDULE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -93,8 +94,10 @@ enum class ScheduleClass : uint8_t {
   kBroadcastRtoS = 1,  ///< Plain selective broadcast, R tuples travel.
   kBroadcastStoR = 2,  ///< Plain selective broadcast, S tuples travel.
   kMigrated = 3,       ///< 4-phase plan with a non-empty migration set.
+  kFailover = 4,       ///< Key re-planned against surviving replicas after
+                       ///< a node death (any shape of transfer).
 };
-inline constexpr int kNumScheduleClasses = 4;
+inline constexpr int kNumScheduleClasses = 5;
 
 inline const char* ScheduleClassName(ScheduleClass cls) {
   switch (cls) {
@@ -102,6 +105,7 @@ inline const char* ScheduleClassName(ScheduleClass cls) {
     case ScheduleClass::kBroadcastRtoS: return "broadcast_r_to_s";
     case ScheduleClass::kBroadcastStoR: return "broadcast_s_to_r";
     case ScheduleClass::kMigrated: return "migrated";
+    case ScheduleClass::kFailover: return "failover";
   }
   return "unknown";
 }
@@ -154,14 +158,37 @@ inline ScheduleClass ClassifyAudit(const KeyScheduleAudit& audit) {
 class ScheduleAuditLog {
  public:
   /// Arms the log for a run over `num_nodes` tracker nodes, dropping any
-  /// previous run's records.
+  /// previous run's records. The failover key set survives: recovery arms
+  /// it once per failover and then replays the (audited) join.
   void Reset(uint32_t num_nodes) { lanes_.assign(num_nodes, {}); }
 
   bool armed() const { return !lanes_.empty(); }
 
+  /// Marks keys whose rows were re-homed onto surviving replicas: their
+  /// audits are re-classified as ScheduleClass::kFailover at Record time.
+  /// Chosen costs are untouched, so the EXPLAIN byte reconciliation keeps
+  /// holding — failover only changes which class a key's bytes bill to.
+  /// Sorts and dedups in place; an empty vector clears the marking.
+  void SetFailoverKeys(std::vector<uint64_t> keys) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    failover_keys_ = std::move(keys);
+  }
+
+  bool IsFailoverKey(uint64_t key) const {
+    return std::binary_search(failover_keys_.begin(), failover_keys_.end(),
+                              key);
+  }
+
   /// Appends one key's audit. Only node `node`'s phase work may call this
   /// (same ownership rule as Fabric::Send).
   void Record(uint32_t node, const KeyScheduleAudit& audit) {
+    if (!failover_keys_.empty() && IsFailoverKey(audit.key)) {
+      KeyScheduleAudit tagged = audit;
+      tagged.cls = ScheduleClass::kFailover;
+      lanes_[node].push_back(tagged);
+      return;
+    }
     lanes_[node].push_back(audit);
   }
 
@@ -179,6 +206,8 @@ class ScheduleAuditLog {
 
  private:
   std::vector<std::vector<KeyScheduleAudit>> lanes_;
+  /// Sorted, deduped keys re-homed by replica failover.
+  std::vector<uint64_t> failover_keys_;
 };
 
 /// Reference implementation for testing: exhaustively minimizes the paper's

@@ -112,6 +112,8 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
   if (config.fault_policy != nullptr) {
     fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
   }
+  fabric.SetPhaseDeadline(config.phase_deadline_seconds);
+  fabric.SetDiagnosticsSink(config.diagnostics);
   std::vector<RowIndex> bcast_index(n), target_index(n);
   // Tracker state: per key, the nodes holding each side (paper's TR|S).
   std::vector<FlatMap<std::vector<uint32_t>>> track_bcast(n), track_target(n);

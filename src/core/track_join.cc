@@ -89,6 +89,8 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
   if (config.fault_policy != nullptr) {
     fabric.SetFaultPolicy(*config.fault_policy, config.fault_seed);
   }
+  fabric.SetPhaseDeadline(config.phase_deadline_seconds);
+  fabric.SetDiagnosticsSink(config.diagnostics);
   ScheduleAuditLog* audit = config.schedule_audit;
   if (audit != nullptr) audit->Reset(n);
   std::vector<NodeState> nodes(n);

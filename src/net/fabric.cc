@@ -28,9 +28,13 @@ Fabric::Fabric(uint32_t num_nodes)
 
 void Fabric::SetFaultPolicy(const FaultPolicy& policy, uint64_t seed) {
   TJ_CHECK(!in_phase_) << "SetFaultPolicy inside a phase";
+  has_policy_ = true;
+  policy_ = policy;
   if (!policy.active()) {
-    // Inactive policy: stay on the pristine unframed path so results and
-    // traffic are byte-identical to a fabric with no policy at all.
+    // Delivery-inert policy (all-zero, or a pure straggler): stay on the
+    // pristine unframed path so results and traffic are byte-identical to a
+    // fabric with no policy at all. A straggler's slowdown is modeled at
+    // the barrier from policy_, which needs no injector.
     injector_.reset();
     frame_pools_.clear();
     return;
@@ -102,18 +106,23 @@ Status Fabric::RunPhaseReliable(const std::string& name,
     for (uint32_t node = 0; node < num_nodes_; ++node) work(node);
   }
   double elapsed = watch.ElapsedSeconds();
-  if (injector_) {
-    const FaultPolicy& policy = injector_->policy();
-    if (policy.slow_node != FaultPolicy::kNoNode &&
-        policy.slow_node < num_nodes_ &&
-        !injector_->NodeCrashed(policy.slow_node, phase)) {
-      // The de-pipelined barrier waits for the slowest node, so a modeled
-      // straggler stretches the whole phase.
-      elapsed += policy.slowdown_seconds;
-    }
+  const bool straggling =
+      has_policy_ && policy_.models_straggler() &&
+      policy_.slow_node < num_nodes_ &&
+      !(injector_ && injector_->NodeCrashed(policy_.slow_node, phase));
+  if (straggling) {
+    // The de-pipelined barrier waits for the slowest node, so a modeled
+    // straggler stretches the whole phase — on either wire path.
+    elapsed += policy_.slowdown_seconds;
   }
   phase_seconds_.emplace_back(name, elapsed);
   in_phase_ = false;
+
+  // Arm a fresh failure report for this phase; every error path below adds
+  // its structured findings before returning through Fail().
+  failure_ = FailureReport();
+  failure_.phase = name;
+  failure_.phase_index = phase;
 
   auto abandon = [this]() {
     for (auto& q : queued_) q.clear();
@@ -122,25 +131,51 @@ Status Fabric::RunPhaseReliable(const std::string& name,
   for (uint32_t node = 0; node < num_nodes_; ++node) {
     if (!statuses[node].ok()) {
       abandon();
-      return Status(statuses[node].code(),
-                    "phase '" + name + "' node " + std::to_string(node) +
-                        ": " + statuses[node].message());
+      return Fail(Status(statuses[node].code(),
+                         "phase '" + name + "' node " + std::to_string(node) +
+                             ": " + statuses[node].message()));
     }
   }
   if (injector_ && injector_->policy().crash_node < num_nodes_ &&
       injector_->NodeCrashed(injector_->policy().crash_node, phase)) {
     // Fail-stop is unrecoverable in this fabric: surface a precise error at
     // the first barrier at or after the crash instead of letting the query
-    // continue on a silently partial dataset.
+    // continue on a silently partial dataset. Recovery (if any) re-plans
+    // the query on the surviving nodes with replica failover.
     abandon();
-    return Status::DataLoss(
+    failure_.dead_nodes.push_back(injector_->policy().crash_node);
+    return Fail(Status::DataLoss(
         "node " + std::to_string(injector_->policy().crash_node) +
         " crashed (fail-stop) before completing phase " +
-        std::to_string(phase) + " '" + name + "'");
+        std::to_string(phase) + " '" + name + "'"));
   }
-  TJ_RETURN_IF_ERROR(DeliverBarrier(name));
+  if (straggling && phase_deadline_seconds_ > 0 &&
+      policy_.slowdown_seconds > phase_deadline_seconds_) {
+    // The modeled slowdown alone blows the phase deadline: promote the
+    // straggler to suspected-dead. Deterministic — measured wall time never
+    // participates, so a given policy either always or never trips this.
+    abandon();
+    failure_.suspected_nodes.push_back(policy_.slow_node);
+    return Fail(Status::DeadlineExceeded(
+        "phase '" + name + "': node " + std::to_string(policy_.slow_node) +
+        " straggled " + std::to_string(policy_.slowdown_seconds) +
+        "s past the " + std::to_string(phase_deadline_seconds_) +
+        "s phase deadline; promoted to suspected-dead"));
+  }
+  if (Status barrier = DeliverBarrier(name); !barrier.ok()) {
+    return Fail(std::move(barrier));
+  }
   RecordPhaseStats(name, elapsed);
   return Status::OK();
+}
+
+Status Fabric::Fail(Status status) {
+  if (diag_sink_ != nullptr) {
+    diag_sink_->failure = failure_;
+    diag_sink_->traffic = traffic_;
+    diag_sink_->phase_seconds = phase_seconds_;
+  }
+  return status;
 }
 
 void Fabric::RecordPhaseStats(const std::string& name, double wall_seconds) {
@@ -322,12 +357,36 @@ Status Fabric::DeliverBarrier(const std::string& name) {
                          static_cast<int64_t>(missing.size()));
     }
     if (round >= max_retries) {
-      const auto& [src, f] = missing.front();
+      // Retry budget exhausted. Collapse the missing frames into per-link
+      // sequence ranges: the structured report feeds recovery, and the
+      // Status names the exhausted range and retry count for humans.
+      for (const auto& [src, f] : missing) {
+        LinkLoss* loss = nullptr;
+        for (LinkLoss& l : failure_.lost_links) {
+          if (l.src == src && l.dst == f->dst) {
+            loss = &l;
+            break;
+          }
+        }
+        if (loss == nullptr) {
+          failure_.lost_links.push_back(
+              LinkLoss{src, f->dst, f->seq, f->seq, 0});
+          loss = &failure_.lost_links.back();
+        }
+        loss->seq_begin = std::min(loss->seq_begin, f->seq);
+        loss->seq_end = std::max(loss->seq_end, f->seq);
+        ++loss->frames;
+      }
+      failure_.retry_rounds = max_retries;
+      const LinkLoss& first = failure_.lost_links.front();
       Status status = Status::DataLoss(
           "phase '" + name + "': " + std::to_string(missing.size()) +
-          " frame(s) unrecovered after " + std::to_string(max_retries) +
-          " retries (first: link " + std::to_string(src) + "->" +
-          std::to_string(f->dst) + " seq " + std::to_string(f->seq) + ")");
+          " frame(s) on " + std::to_string(failure_.lost_links.size()) +
+          " link(s) unrecovered after " + std::to_string(max_retries) +
+          " retry rounds (first: link " + std::to_string(first.src) + "->" +
+          std::to_string(first.dst) + ", " + std::to_string(first.frames) +
+          " frame(s) in seq range [" + std::to_string(first.seq_begin) +
+          ".." + std::to_string(first.seq_end) + "])");
       for (auto& log : sent_log_) log.clear();
       return status;
     }

@@ -48,6 +48,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "net/buffer_pool.h"
+#include "net/failure.h"
 #include "net/fault_injector.h"
 #include "net/message.h"
 #include "net/traffic.h"
@@ -68,11 +69,29 @@ class Fabric {
   void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
 
   /// Installs a fault policy executed by a deterministic injector seeded
-  /// with `seed`. An inactive policy (FaultPolicy{}.active() == false)
-  /// leaves the fabric on the pristine path. Call before the first phase.
+  /// with `seed`. A delivery-inert policy (active() == false) leaves the
+  /// fabric on the pristine unframed path — a pure straggler only stretches
+  /// modeled phase time there, so traffic stays byte-identical to a fabric
+  /// with no policy at all. Call before the first phase.
   void SetFaultPolicy(const FaultPolicy& policy, uint64_t seed);
 
   bool fault_mode() const { return injector_.has_value(); }
+
+  /// Modeled per-phase deadline: a phase whose modeled straggler slowdown
+  /// alone exceeds `seconds` fails with DeadlineExceeded and the straggler
+  /// is promoted to suspected-dead in the failure report. Deterministic by
+  /// construction — only modeled time counts, never measured wall time.
+  /// Zero (the default) disables the deadline.
+  void SetPhaseDeadline(double seconds) { phase_deadline_seconds_ = seconds; }
+
+  /// Structured diagnostics sink, filled on every RunPhaseReliable error
+  /// path with the failure report plus the partial run's traffic and phase
+  /// times. Not owned; pass nullptr to detach. Survives across phases.
+  void SetDiagnosticsSink(RunDiagnostics* sink) { diag_sink_ = sink; }
+
+  /// The structured report of the most recent phase failure (empty while
+  /// every phase has succeeded).
+  const FailureReport& failure() const { return failure_; }
 
   /// Queues a message for delivery after the current phase. Callable only
   /// from inside RunPhase, and only by the node whose id is `src` (this is
@@ -168,6 +187,11 @@ class Fabric {
   /// inboxes in (src, seq) order. Pristine-path barrier when no injector.
   Status DeliverBarrier(const std::string& name);
 
+  /// Funnels every phase-failure Status through one place: copies the
+  /// failure report, traffic and phase times into the diagnostics sink (if
+  /// any), then returns `status` unchanged.
+  Status Fail(Status status);
+
   /// Appends this phase's PhaseStats entry by diffing the run ledgers
   /// against the snapshots taken at the previous barrier.
   void RecordPhaseStats(const std::string& name, double wall_seconds);
@@ -201,7 +225,14 @@ class Fabric {
   uint64_t seen_nack_messages_ = 0;
   FaultCounters seen_faults_;
 
-  // Fault-tolerant mode state.
+  // Fault-tolerant mode state. The policy is retained even when it is
+  // delivery-inert (pure straggler): the slowdown is modeled on the
+  // pristine path, where no injector exists.
+  bool has_policy_ = false;
+  FaultPolicy policy_;
+  double phase_deadline_seconds_ = 0;
+  RunDiagnostics* diag_sink_ = nullptr;
+  FailureReport failure_;
   std::optional<FaultInjector> injector_;
   std::vector<std::vector<SentFrame>> sent_log_;  ///< Per src, per phase.
   std::vector<uint32_t> next_seq_;                ///< Per link, whole run.

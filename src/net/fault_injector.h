@@ -49,12 +49,23 @@ struct FaultPolicy {
   /// Retransmit rounds per phase before the barrier declares data loss.
   uint32_t max_retries = 8;
 
-  /// True if this policy can perturb an execution (the fabric frames
-  /// messages and runs the ack/retransmit protocol only in that case).
+  /// True if this policy can perturb *delivery* (the fabric frames messages
+  /// and runs the ack/retransmit protocol only in that case). A pure
+  /// straggler (slow_node set, everything else zero) does not qualify: it
+  /// only stretches modeled phase time, so the fabric models the slowdown
+  /// on the pristine unframed path and traffic stays byte-identical.
   bool active() const {
     return drop > 0 || duplicate > 0 || corrupt > 0 || reorder > 0 ||
-           crash_node != kNoNode || slow_node != kNoNode;
+           crash_node != kNoNode;
   }
+
+  /// True if the policy models a straggler (handled on either wire path).
+  bool models_straggler() const {
+    return slow_node != kNoNode && slowdown_seconds > 0;
+  }
+
+  /// True if installing this policy changes anything at all about a run.
+  bool any_effect() const { return active() || models_straggler(); }
 };
 
 /// Counters of what the injector actually did (summed over per-source

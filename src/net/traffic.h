@@ -37,6 +37,14 @@ class TrafficMatrix {
   void AddRetransmit(uint32_t src, uint32_t dst, MessageType type,
                      uint64_t bytes);
 
+  /// Records `bytes` on the recovery ledger: wire traffic a *failed* join
+  /// attempt spent before RecoveryManager replayed the query. A third
+  /// matrix, separate from goodput and retransmits, so a recovered run can
+  /// report "what the answer cost" vs. "what the failures cost" — and so
+  /// pristine runs can assert the ledger is exactly zero.
+  void AddRecovery(uint32_t src, uint32_t dst, MessageType type,
+                   uint64_t bytes);
+
   /// Bytes that crossed the network (src != dst) for one message type.
   uint64_t NetworkBytes(MessageType type) const;
   /// Bytes that crossed the network for one figure class.
@@ -65,19 +73,42 @@ class TrafficMatrix {
   uint64_t RetransmitBytes(TrafficClass cls) const;
   uint64_t TotalRetransmitBytes() const;
 
+  /// Bytes failed attempts burned before recovery succeeded (network,
+  /// src != dst). Exactly zero on any run that never failed a phase.
+  uint64_t RecoveryBytes(MessageType type) const;
+  uint64_t RecoveryBytes(TrafficClass cls) const;
+  uint64_t TotalRecoveryBytes() const;
+
   /// Total bytes on the wire: first sends plus recovery overhead.
   uint64_t TotalWireBytes() const {
-    return TotalNetworkBytes() + TotalRetransmitBytes();
+    return TotalNetworkBytes() + TotalRetransmitBytes() +
+           TotalRecoveryBytes();
   }
 
   /// Accumulates another matrix (same node count).
   void Merge(const TrafficMatrix& other);
 
-  /// Exact equality of every (src, dst, type) cell, first-send and
-  /// retransmit alike. Used by the fault-equivalence tests.
+  /// Folds a *failed* attempt's wire traffic (goodput + retransmits +
+  /// recovery) into this matrix's recovery ledger. `node_map[i]` gives the
+  /// id in this matrix of `other`'s node i (other may have run degraded on
+  /// fewer nodes); every entry must be < num_nodes().
+  void AccumulateRecovery(const TrafficMatrix& other,
+                          const std::vector<uint32_t>& node_map);
+
+  /// Returns this matrix re-indexed onto `num_nodes` nodes: every ledger
+  /// cell (src, dst, type) moves to (node_map[src], node_map[dst], type),
+  /// additively. Used to express a degraded (N-1 node) run's traffic in the
+  /// original cluster's node ids.
+  TrafficMatrix MappedTo(uint32_t num_nodes,
+                         const std::vector<uint32_t>& node_map) const;
+
+  /// Exact equality of every (src, dst, type) cell across all three
+  /// ledgers (first-send, retransmit, recovery). Used by the
+  /// fault-equivalence tests.
   bool operator==(const TrafficMatrix& other) const {
     return num_nodes_ == other.num_nodes_ && cells_ == other.cells_ &&
-           retrans_cells_ == other.retrans_cells_;
+           retrans_cells_ == other.retrans_cells_ &&
+           recovery_cells_ == other.recovery_cells_;
   }
 
   /// Multi-line human-readable per-class summary.
@@ -106,9 +137,21 @@ class TrafficMatrix {
                           type];
   }
 
+  uint64_t& RecoveryCell(uint32_t src, uint32_t dst, int type) {
+    return recovery_cells_[(static_cast<uint64_t>(src) * num_nodes_ + dst) *
+                               kNumMessageTypes +
+                           type];
+  }
+  uint64_t RecoveryCell(uint32_t src, uint32_t dst, int type) const {
+    return recovery_cells_[(static_cast<uint64_t>(src) * num_nodes_ + dst) *
+                               kNumMessageTypes +
+                           type];
+  }
+
   uint32_t num_nodes_ = 0;
   std::vector<uint64_t> cells_;
   std::vector<uint64_t> retrans_cells_;
+  std::vector<uint64_t> recovery_cells_;
 };
 
 /// Pretty-prints a byte count as "12.34 GiB" / "56.7 MiB" / "890 B".

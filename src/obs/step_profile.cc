@@ -131,6 +131,7 @@ StepProfile BuildStepProfile(const std::string& algorithm,
   profile.algorithm = algorithm;
   profile.num_nodes = fabric.num_nodes();
   profile.run_max_node_bytes = fabric.traffic().MaxNodeBytes();
+  profile.recovery_bytes = fabric.traffic().TotalRecoveryBytes();
   profile.steps.reserve(fabric.phase_stats().size());
   for (const Fabric::PhaseStats& st : fabric.phase_stats()) {
     StepRecord rec;
@@ -189,6 +190,7 @@ std::string ToJson(const StepProfile& profile) {
   AppendField("retransmit_bytes", profile.TotalRetransmitBytes(), &first,
               &out);
   AppendField("run_max_node_bytes", profile.run_max_node_bytes, &first, &out);
+  AppendField("recovery_bytes", profile.recovery_bytes, &first, &out);
   out += "}, \"steps\": [";
   for (size_t i = 0; i < profile.steps.size(); ++i) {
     const StepRecord& s = profile.steps[i];

@@ -83,6 +83,11 @@ struct StepProfile {
   /// matrix) — the basis of Table 2's network seconds. Not the sum of the
   /// per-step bottlenecks: different phases may stress different nodes.
   uint64_t run_max_node_bytes = 0;
+  /// Wire bytes failed attempts burned before recovery replayed the query
+  /// (the TrafficMatrix recovery ledger). Run-level, not per step: failed
+  /// attempts have no surviving step records. Exactly zero on pristine
+  /// runs — CI pins this via tools/check_profile_schema.py.
+  uint64_t recovery_bytes = 0;
 
   double TotalWallSeconds() const;
   /// Sum of the per-step modeled transfer times (de-pipelined steps run

@@ -1,0 +1,109 @@
+// Replicated partition placement (chained declustering).
+//
+// Each table partition gets a primary plus k-1 replicas: copy c of
+// partition p lives on node (p + c) mod N, the classic chained-declustering
+// map — successive copies chain onto the next nodes, so any single node
+// failure leaves every partition with a surviving holder when k >= 2, and
+// the failover load spreads over the dead node's neighbors instead of
+// doubling one mirror's work.
+//
+// Replicas are views, not copies: payload synthesis is deterministic from
+// (table seed, key, copy index) — see storage/table.h — so the rows a
+// replica holder would serve are bit-identical to the primary partition.
+// FailoverView materializes exactly the surviving assignment the recovery
+// layer needs: dead partitions re-homed onto their first surviving holder,
+// live nodes compacted to a dense [0, N_live) id space.
+#ifndef TJ_STORAGE_REPLICA_H_
+#define TJ_STORAGE_REPLICA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace tj {
+
+/// Chained-declustering placement map for one cluster size and replication
+/// factor. Pure arithmetic; shared by every table on the cluster.
+class ReplicaMap {
+ public:
+  static constexpr uint32_t kNoNode = ~0u;
+
+  /// `replication` is clamped to [1, num_nodes] (more copies than nodes
+  /// would chain onto the same node again and add nothing).
+  ReplicaMap(uint32_t num_nodes, uint32_t replication);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t replication() const { return replication_; }
+
+  /// Node holding copy `copy` (0 = primary) of partition `partition`.
+  uint32_t HolderOf(uint32_t partition, uint32_t copy) const {
+    return (partition + copy) % num_nodes_;
+  }
+
+  /// Lowest-copy holder of `partition` that is still alive
+  /// (alive[node] == false marks a dead node). kNoNode if every copy died.
+  uint32_t SurvivingHolder(uint32_t partition,
+                           const std::vector<bool>& alive) const;
+
+  /// True iff every partition keeps at least one surviving holder.
+  bool CanRecover(const std::vector<bool>& alive) const;
+
+ private:
+  uint32_t num_nodes_;
+  uint32_t replication_;
+};
+
+/// Dense renumbering of the survivors of a failure. Both join inputs (and
+/// the traffic remap) must agree on it, so it is built once per failover.
+struct SurvivorPlan {
+  /// live_to_original[new_id] = original node id, ascending.
+  std::vector<uint32_t> live_to_original;
+  /// original_to_live[original_id] = new id, or ReplicaMap::kNoNode if dead.
+  std::vector<uint32_t> original_to_live;
+
+  uint32_t num_live() const {
+    return static_cast<uint32_t>(live_to_original.size());
+  }
+};
+
+/// Compacts the survivors of `dead` (original node ids; duplicates and
+/// out-of-range ids ignored) into a dense id space. Fails with Unavailable
+/// when no node survives.
+Result<SurvivorPlan> PlanSurvivors(uint32_t num_nodes,
+                                   const std::vector<uint32_t>& dead);
+
+/// A partitioned table plus its replica placement. Holds a pointer to the
+/// primary table (not owned; must outlive this view).
+class ReplicatedTable {
+ public:
+  ReplicatedTable(const PartitionedTable* primary, uint32_t replication)
+      : primary_(primary), map_(primary->num_nodes(), replication) {}
+
+  const PartitionedTable& primary() const { return *primary_; }
+  const ReplicaMap& map() const { return map_; }
+  uint32_t replication() const { return map_.replication(); }
+
+  /// Extra storage the replicas imply: (k-1) copies of every row's
+  /// key + payload bytes.
+  uint64_t ReplicaBytes() const;
+
+  /// The degraded table after the nodes in `plan` died: every dead node's
+  /// partition is appended onto its first surviving replica holder, and
+  /// partitions are renumbered by `plan`. Keys of every re-homed row are
+  /// appended to `rehomed_keys` (unsorted, with duplicates) when non-null —
+  /// the EXPLAIN audit marks those keys' schedules as failover decisions.
+  /// Fails with Unavailable when a dead partition has no surviving copy
+  /// (replication too small for this failure).
+  Result<PartitionedTable> FailoverView(
+      const SurvivorPlan& plan, std::vector<uint64_t>* rehomed_keys) const;
+
+ private:
+  const PartitionedTable* primary_;
+  ReplicaMap map_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_STORAGE_REPLICA_H_

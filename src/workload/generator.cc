@@ -193,4 +193,10 @@ void ShuffleTable(PartitionedTable* table, uint64_t seed) {
   *table = std::move(shuffled);
 }
 
+ReplicatedWorkload ReplicateWorkload(const Workload& workload,
+                                     uint32_t replication) {
+  return ReplicatedWorkload{ReplicatedTable(&workload.r, replication),
+                            ReplicatedTable(&workload.s, replication)};
+}
+
 }  // namespace tj

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "storage/replica.h"
 #include "storage/table.h"
 
 namespace tj {
@@ -69,6 +70,16 @@ struct Workload {
 /// (matched), with unmatched keys in disjoint ranges above them; callers
 /// must pick JoinConfig::key_bytes large enough.
 Workload GenerateWorkload(const WorkloadSpec& spec);
+
+/// Replicated placement of a workload's tables: chained declustering with
+/// `replication` copies per partition (storage/replica.h). The views point
+/// into `workload`, which must outlive them.
+struct ReplicatedWorkload {
+  ReplicatedTable r;
+  ReplicatedTable s;
+};
+ReplicatedWorkload ReplicateWorkload(const Workload& workload,
+                                     uint32_t replication);
 
 /// Reassigns every tuple of `table` to an independent uniform-random node —
 /// the paper's "shuffled tuple ordering" that destroys all locality.

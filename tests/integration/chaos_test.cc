@@ -8,6 +8,7 @@
 #include "baseline/hash_join.h"
 #include "common/rng.h"
 #include "core/late_hash_join.h"
+#include "core/recovery.h"
 #include "core/rid_hash_join.h"
 #include "core/streaming_track_join.h"
 #include "core/track_join.h"
@@ -196,6 +197,180 @@ TEST_P(FaultChaosTest, RecoverableFaultsLeaveResultsExact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosTest, ::testing::Range(1, 9));
+
+// --- Recovery chaos --------------------------------------------------------
+
+/// The nine named algorithms as recovery runners, in tjsim's order.
+std::vector<std::pair<const char*, JoinRunner>> AllRunners() {
+  auto tj = [](TrackJoinVersion version, Direction dir) {
+    return [version, dir](const PartitionedTable& r, const PartitionedTable& s,
+                          const JoinConfig& cfg) {
+      return TryRunTrackJoin(r, s, cfg, version, dir);
+    };
+  };
+  return {
+      {"bj-r",
+       [](const PartitionedTable& r, const PartitionedTable& s,
+          const JoinConfig& cfg) {
+         return TryRunBroadcastJoin(r, s, cfg, Direction::kRtoS);
+       }},
+      {"bj-s",
+       [](const PartitionedTable& r, const PartitionedTable& s,
+          const JoinConfig& cfg) {
+         return TryRunBroadcastJoin(r, s, cfg, Direction::kStoR);
+       }},
+      {"hj",
+       [](const PartitionedTable& r, const PartitionedTable& s,
+          const JoinConfig& cfg) { return TryRunHashJoin(r, s, cfg); }},
+      {"2tj-r", tj(TrackJoinVersion::k2Phase, Direction::kRtoS)},
+      {"2tj-s", tj(TrackJoinVersion::k2Phase, Direction::kStoR)},
+      {"3tj", tj(TrackJoinVersion::k3Phase, Direction::kRtoS)},
+      {"4tj", tj(TrackJoinVersion::k4Phase, Direction::kRtoS)},
+      {"rid-hj",
+       [](const PartitionedTable& r, const PartitionedTable& s,
+          const JoinConfig& cfg) { return TryRunRidHashJoin(r, s, cfg); }},
+      {"late-hj",
+       [](const PartitionedTable& r, const PartitionedTable& s,
+          const JoinConfig& cfg) {
+         return TryRunLateMaterializedHashJoin(r, s, cfg);
+       }},
+  };
+}
+
+// Randomized crash / loss / straggler schedules against replicated
+// placement: every within-budget recovery must land on the byte-identical
+// checksum of the pristine reference, with accounting in the original
+// cluster's coordinates.
+class RecoveryChaosTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryChaosTest, WithinBudgetSchedulesRecoverExactly) {
+  Rng rng(GetParam() * 48611 + 101);
+  for (int round = 0; round < 2; ++round) {
+    WorkloadSpec spec = RandomSpec(&rng);
+    // Failover needs survivors: at least 3 nodes, and chained
+    // declustering's neighbor must outlive a single death (k=2).
+    spec.num_nodes = 3 + static_cast<uint32_t>(rng.Below(6));
+    Workload w = GenerateWorkload(spec);
+    uint64_t expected_rows = 0;
+    JoinChecksum expected = Reference(w, &expected_rows);
+    ReplicatedWorkload rw = ReplicateWorkload(w, 2);
+
+    FaultPolicy policy;
+    RecoveryOptions options;
+    const uint32_t shape = static_cast<uint32_t>(rng.Below(3));
+    if (shape == 0) {  // Fail-stop crash at a random phase.
+      policy.crash_node = static_cast<uint32_t>(rng.Below(spec.num_nodes));
+      policy.crash_phase = static_cast<uint32_t>(rng.Below(5));
+    } else if (shape == 1) {  // Recoverable message-level attrition.
+      policy.drop = rng.NextDouble() * 0.05;
+      policy.corrupt = rng.NextDouble() * 0.05;
+      policy.max_retries = 64;
+    } else {  // Straggler past the modeled deadline.
+      policy.slow_node = static_cast<uint32_t>(rng.Below(spec.num_nodes));
+      policy.slowdown_seconds = 2.0;
+      options.phase_deadline_seconds = 0.5;
+    }
+
+    JoinConfig config;
+    config.key_bytes = 4;
+    config.fault_policy = &policy;
+    config.fault_seed = rng.Next();
+
+    for (const auto& [name, runner] : AllRunners()) {
+      RecoveryReport report;
+      Result<JoinResult> run =
+          RunWithRecovery(rw.r, rw.s, config, options, runner, &report);
+      ASSERT_TRUE(run.ok())
+          << name << " seed=" << GetParam() << " round=" << round
+          << " shape=" << shape << ": " << run.status().ToString();
+      EXPECT_EQ(run->output_rows, expected_rows)
+          << name << " seed=" << GetParam() << " round=" << round;
+      EXPECT_EQ(run->checksum.digest(), expected.digest())
+          << name << " seed=" << GetParam() << " round=" << round;
+      // Accounting invariants: original coordinates, ledger consistency.
+      EXPECT_EQ(run->traffic.num_nodes(), spec.num_nodes);
+      EXPECT_EQ(run->profile.recovery_bytes,
+                run->traffic.TotalRecoveryBytes());
+      EXPECT_EQ(report.recovery_bytes, run->profile.recovery_bytes);
+      EXPECT_GE(report.attempts, 1u);
+      if (report.attempts == 1) {
+        // First try succeeded: nothing may bill to the recovery ledger.
+        EXPECT_EQ(run->profile.recovery_bytes, 0u)
+            << name << " seed=" << GetParam() << " round=" << round;
+      }
+      if (shape != 1) {
+        // A crash or promoted straggler always costs at least one failover
+        // once the fault actually fires (crash_phase may sit past the
+        // run's last phase, in which case attempt 1 simply succeeds).
+        EXPECT_LE(report.failovers, 1u);
+        if (report.failovers == 1) {
+          const uint32_t victim =
+              shape == 0 ? policy.crash_node : policy.slow_node;
+          EXPECT_EQ(report.dead_nodes, (std::vector<uint32_t>{victim}))
+              << name << " seed=" << GetParam() << " round=" << round;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryChaosTest, ::testing::Range(1, 8));
+
+// Beyond-budget schedules must fail with a *typed* error — never an abort,
+// a hang, or a partial result.
+TEST(RecoveryBudgetTest, UnreplicatedCrashIsTypedUnavailable) {
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 200;
+  spec.seed = 5;
+  Workload w = GenerateWorkload(spec);
+  ReplicatedWorkload rw = ReplicateWorkload(w, 1);  // No spare copies.
+  FaultPolicy policy;
+  policy.crash_node = 1;
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.fault_policy = &policy;
+  config.fault_seed = 2;
+
+  for (const auto& [name, runner] : AllRunners()) {
+    RecoveryReport report;
+    Result<JoinResult> run =
+        RunWithRecovery(rw.r, rw.s, config, {}, runner, &report);
+    ASSERT_FALSE(run.ok()) << name;
+    EXPECT_EQ(run.status().code(), StatusCode::kUnavailable) << name;
+  }
+}
+
+TEST(RecoveryBudgetTest, TotalLossExhaustsBudgetTyped) {
+  WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.matched_keys = 100;
+  spec.seed = 6;
+  Workload w = GenerateWorkload(spec);
+  ReplicatedWorkload rw = ReplicateWorkload(w, 2);
+  FaultPolicy policy;
+  policy.drop = 1.0;  // Unrecoverable on every topology.
+  policy.max_retries = 2;
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.fault_policy = &policy;
+  config.fault_seed = 3;
+  RecoveryOptions options;
+  options.max_attempts = 2;
+
+  RecoveryReport report;
+  Result<JoinResult> run = RunWithRecovery(
+      rw.r, rw.s, config, options,
+      [](const PartitionedTable& r, const PartitionedTable& s,
+         const JoinConfig& cfg) { return TryRunHashJoin(r, s, cfg); },
+      &report);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(run.status().ToString().find("recovery budget exhausted"),
+            std::string::npos);
+  EXPECT_EQ(report.attempts, 2u);
+  EXPECT_GT(report.recovery_bytes, 0u);  // The failed attempts are billed.
+}
 
 }  // namespace
 }  // namespace tj

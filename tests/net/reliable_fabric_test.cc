@@ -282,5 +282,197 @@ TEST(ReliableFabricTest, SlowNodeStretchesPhaseTime) {
   EXPECT_GE(fabric.phase_seconds()[0].second, 1.5);
 }
 
+// A straggler perturbs modeled time only, never delivery: the policy is not
+// "active", the wire path stays unframed, and every byte matches a run with
+// no policy at all.
+TEST(ReliableFabricTest, StragglerOnlyPolicyKeepsWirePristine) {
+  FaultPolicy policy;
+  policy.slow_node = 1;
+  policy.slowdown_seconds = 2.0;
+  EXPECT_FALSE(policy.active());
+  EXPECT_TRUE(policy.models_straggler());
+  EXPECT_TRUE(policy.any_effect());
+
+  Exchange plain = RunExchange(4, 3, nullptr, 0);
+  Exchange slow = RunExchange(4, 3, &policy, 55);
+  ASSERT_TRUE(slow.status.ok());
+  EXPECT_EQ(plain.received, slow.received);  // Order included.
+  EXPECT_TRUE(plain.traffic == slow.traffic);  // No framing overhead.
+  EXPECT_EQ(slow.reliability.retransmitted_frames, 0u);
+  EXPECT_EQ(slow.traffic.TotalRetransmitBytes(), 0u);
+}
+
+// The slowdown is modeled on the framed path too, not just the pristine one.
+TEST(ReliableFabricTest, StragglerModeledAlongsideActiveFaults) {
+  FaultPolicy policy;
+  policy.slow_node = 0;
+  policy.slowdown_seconds = 1.5;
+  policy.drop = 1e-12;  // Active, so the framed path runs.
+  ASSERT_TRUE(policy.active());
+  Fabric fabric(2);
+  fabric.SetFaultPolicy(policy, 4);
+  Status status =
+      fabric.RunPhaseReliable("slow", [&](uint32_t) { return Status::OK(); });
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(fabric.phase_seconds().size(), 1u);
+  EXPECT_GE(fabric.phase_seconds()[0].second, 1.5);
+}
+
+// --- Deadline promotion ---------------------------------------------------
+
+TEST(ReliableFabricTest, DeadlinePromotesStragglerToSuspectedDead) {
+  FaultPolicy policy;
+  policy.slow_node = 1;
+  policy.slowdown_seconds = 3.0;
+  Fabric fabric(3);
+  fabric.SetFaultPolicy(policy, 9);
+  fabric.SetPhaseDeadline(1.0);
+  RunDiagnostics diag;
+  fabric.SetDiagnosticsSink(&diag);
+  Status status =
+      fabric.RunPhaseReliable("scan", [&](uint32_t) { return Status::OK(); });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.ToString().find("scan"), std::string::npos);
+  EXPECT_EQ(fabric.failure().suspected_nodes, (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(fabric.failure().dead_nodes.empty());
+  EXPECT_FALSE(fabric.failure().transient());  // A node is implicated.
+  // The diagnostics sink got the same report for out-of-band consumers.
+  EXPECT_EQ(diag.failure.suspected_nodes, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(diag.failure.phase, "scan");
+}
+
+TEST(ReliableFabricTest, StragglerWithinDeadlineJustRunsSlow) {
+  FaultPolicy policy;
+  policy.slow_node = 1;
+  policy.slowdown_seconds = 0.5;
+  Fabric fabric(3);
+  fabric.SetFaultPolicy(policy, 9);
+  fabric.SetPhaseDeadline(1.0);
+  Status status =
+      fabric.RunPhaseReliable("scan", [&](uint32_t) { return Status::OK(); });
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(fabric.failure().empty());
+  EXPECT_GE(fabric.phase_seconds()[0].second, 0.5);
+}
+
+// --- Structured failure reports -------------------------------------------
+
+// The DataLoss error names the exhausted sequence range and retry count
+// (the operator-facing side), and failure() carries the same facts as
+// structured per-link losses (the recovery-layer side).
+TEST(ReliableFabricTest, ExhaustionNamesSeqRangeAndFillsLinkLoss) {
+  FaultPolicy policy;
+  policy.drop = 1.0;
+  policy.max_retries = 3;
+  Fabric fabric(2);
+  fabric.SetFaultPolicy(policy, 8);
+  RunDiagnostics diag;
+  fabric.SetDiagnosticsSink(&diag);
+  Status status = fabric.RunPhaseReliable(
+      "exchange", [&](uint32_t node) -> Status {
+        if (node == 0) {
+          fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{1, 2, 3});
+          fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{4, 5, 6});
+        }
+        return Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  const std::string msg = status.ToString();
+  EXPECT_NE(msg.find("3 retry round"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("seq range ["), std::string::npos) << msg;
+
+  const FailureReport& failure = fabric.failure();
+  EXPECT_EQ(failure.phase, "exchange");
+  EXPECT_EQ(failure.retry_rounds, 3u);
+  EXPECT_TRUE(failure.transient());  // Loss, but no node implicated.
+  ASSERT_EQ(failure.lost_links.size(), 1u);
+  EXPECT_EQ(failure.lost_links[0].src, 0u);
+  EXPECT_EQ(failure.lost_links[0].dst, 1u);
+  EXPECT_EQ(failure.lost_links[0].frames, 2u);
+  EXPECT_LE(failure.lost_links[0].seq_begin, failure.lost_links[0].seq_end);
+  EXPECT_EQ(diag.failure.lost_links.size(), 1u);
+}
+
+TEST(ReliableFabricTest, CrashFillsDeadNodes) {
+  FaultPolicy policy;
+  policy.crash_node = 1;
+  policy.crash_phase = 0;
+  Fabric fabric(3);
+  fabric.SetFaultPolicy(policy, 8);
+  Status status =
+      fabric.RunPhaseReliable("p0", [&](uint32_t) { return Status::OK(); });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(fabric.failure().dead_nodes, (std::vector<uint32_t>{1}));
+  EXPECT_FALSE(fabric.failure().transient());
+  EXPECT_EQ(fabric.failure().unusable_nodes(), (std::vector<uint32_t>{1}));
+}
+
+TEST(ReliableFabricTest, SuccessClearsTheFailureReport) {
+  FaultPolicy policy;
+  policy.drop = 0.3;
+  Fabric fabric(3);
+  fabric.SetFaultPolicy(policy, 77);
+  Status status = fabric.RunPhaseReliable(
+      "ok", [&](uint32_t node) -> Status {
+        fabric.Send(node, (node + 1) % 3, MessageType::kDataR, ByteBuffer{9});
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(fabric.failure().empty());
+}
+
+// --- Inbox durability across failure --------------------------------------
+
+// Reliably delivered messages survive phase barriers until taken — even
+// when a *later* phase fails. Typed TakeInbox leftovers taken two barriers
+// later must also still be there after the failure.
+TEST(ReliableFabricTest, DeliveredInboxesSurviveLaterPhaseFailure) {
+  FaultPolicy policy;
+  policy.crash_node = 2;
+  policy.crash_phase = 2;
+  Fabric fabric(3);
+  fabric.SetFaultPolicy(policy, 5);
+
+  // Phase 0: node 0 sends node 1 one control and two data messages.
+  Status p0 = fabric.RunPhaseReliable("p0", [&](uint32_t node) -> Status {
+    if (node == 0) {
+      fabric.Send(0, 1, MessageType::kTrackR, ByteBuffer{7});
+      fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{1, 1});
+      fabric.Send(0, 1, MessageType::kDataR, ByteBuffer{2, 2});
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(p0.ok()) << p0.ToString();
+
+  // Phase 1: take only the control message; the data stays pending.
+  std::vector<Message> control;
+  Status p1 = fabric.RunPhaseReliable("p1", [&](uint32_t node) -> Status {
+    if (node == 1) {
+      control = fabric.TakeInbox(1, MessageType::kTrackR);
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(p1.ok()) << p1.ToString();
+  ASSERT_EQ(control.size(), 1u);
+
+  // Phase 2 fails (crash). Everything queued-but-undelivered dies with the
+  // phase; what was already delivered must not.
+  Status p2 =
+      fabric.RunPhaseReliable("p2", [&](uint32_t) { return Status::OK(); });
+  ASSERT_FALSE(p2.ok());
+  EXPECT_EQ(p2.code(), StatusCode::kDataLoss);
+
+  // The typed leftovers are taken two barriers after delivery, after the
+  // failed phase, intact and in delivery order.
+  std::vector<Message> data = fabric.TakeInbox(1, MessageType::kDataR);
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0].src, 0u);
+  EXPECT_EQ(data[0].data, (ByteBuffer{1, 1}));
+  EXPECT_EQ(data[1].data, (ByteBuffer{2, 2}));
+  EXPECT_TRUE(fabric.TakeInbox(1).empty());  // Nothing else survived.
+}
+
 }  // namespace
 }  // namespace tj

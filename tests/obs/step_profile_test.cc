@@ -216,7 +216,8 @@ TEST(StepProfileTest, JsonGolden) {
       "{\"algorithm\": \"hj\", \"nodes\": 2, \"totals\": "
       "{\"wall_seconds\": 0.5, \"net_seconds\": 0.25, \"goodput_bytes\": 10, "
       "\"local_bytes\": 4, \"retransmit_bytes\": 2, "
-      "\"run_max_node_bytes\": 7}, \"steps\": [{\"phase\": \"p\", "
+      "\"run_max_node_bytes\": 7, \"recovery_bytes\": 0}, \"steps\": "
+      "[{\"phase\": \"p\", "
       "\"wall_seconds\": 0.5, \"net_seconds\": 0.25, \"goodput_bytes\": 10, "
       "\"local_bytes\": 4, \"retransmit_bytes\": 2, \"max_node_bytes\": 7, "
       "\"retransmitted_frames\": 1, \"nack_messages\": 1, "

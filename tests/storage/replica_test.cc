@@ -1,0 +1,151 @@
+#include "storage/replica.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace tj {
+namespace {
+
+TEST(ReplicaMapTest, ChainedDeclusteringArithmetic) {
+  ReplicaMap map(5, 3);
+  EXPECT_EQ(map.num_nodes(), 5u);
+  EXPECT_EQ(map.replication(), 3u);
+  // Copy c of partition p lives on (p + c) mod N.
+  EXPECT_EQ(map.HolderOf(0, 0), 0u);
+  EXPECT_EQ(map.HolderOf(0, 1), 1u);
+  EXPECT_EQ(map.HolderOf(0, 2), 2u);
+  EXPECT_EQ(map.HolderOf(4, 1), 0u);  // Chains wrap around.
+  EXPECT_EQ(map.HolderOf(3, 2), 0u);
+}
+
+TEST(ReplicaMapTest, ReplicationClampedToClusterSize) {
+  EXPECT_EQ(ReplicaMap(4, 0).replication(), 1u);
+  EXPECT_EQ(ReplicaMap(4, 9).replication(), 4u);
+}
+
+TEST(ReplicaMapTest, SurvivingHolderPrefersLowestCopy) {
+  ReplicaMap map(4, 2);
+  std::vector<bool> alive(4, true);
+  EXPECT_EQ(map.SurvivingHolder(1, alive), 1u);  // Primary alive.
+  alive[1] = false;
+  EXPECT_EQ(map.SurvivingHolder(1, alive), 2u);  // First replica steps in.
+  alive[2] = false;
+  // Both copies of partition 1 are gone with k=2.
+  EXPECT_EQ(map.SurvivingHolder(1, alive), ReplicaMap::kNoNode);
+}
+
+TEST(ReplicaMapTest, CanRecoverTracksCopyCount) {
+  ReplicaMap k1(4, 1);
+  ReplicaMap k2(4, 2);
+  ReplicaMap k3(4, 3);
+  std::vector<bool> one_dead = {true, false, true, true};
+  std::vector<bool> adjacent_dead = {true, false, false, true};
+  EXPECT_FALSE(k1.CanRecover(one_dead));
+  EXPECT_TRUE(k2.CanRecover(one_dead));
+  // Adjacent deaths kill both copies of a partition under k=2 but not k=3.
+  EXPECT_FALSE(k2.CanRecover(adjacent_dead));
+  EXPECT_TRUE(k3.CanRecover(adjacent_dead));
+}
+
+TEST(SurvivorPlanTest, CompactsAndInverts) {
+  Result<SurvivorPlan> plan = PlanSurvivors(5, {1, 3});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().num_live(), 3u);
+  EXPECT_EQ(plan.value().live_to_original, (std::vector<uint32_t>{0, 2, 4}));
+  EXPECT_EQ(plan.value().original_to_live,
+            (std::vector<uint32_t>{0, ReplicaMap::kNoNode, 1,
+                                   ReplicaMap::kNoNode, 2}));
+}
+
+TEST(SurvivorPlanTest, IgnoresDuplicatesAndOutOfRange) {
+  Result<SurvivorPlan> plan = PlanSurvivors(3, {2, 2, 99});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().live_to_original, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(SurvivorPlanTest, NoSurvivorsIsUnavailable) {
+  Result<SurvivorPlan> plan = PlanSurvivors(2, {0, 1});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnavailable);
+}
+
+PartitionedTable MakeTable(uint32_t nodes, uint32_t rows_per_node) {
+  PartitionedTable table("R", nodes, 8);
+  uint8_t payload[8];
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint32_t r = 0; r < rows_per_node; ++r) {
+      const uint64_t key = n * 100 + r;
+      SynthesizePayload(7, key, 0, 8, payload);
+      table.node(n).Append(key, payload);
+    }
+  }
+  return table;
+}
+
+TEST(ReplicatedTableTest, ReplicaBytesCountExtraCopies) {
+  PartitionedTable table = MakeTable(4, 3);
+  EXPECT_EQ(ReplicatedTable(&table, 1).ReplicaBytes(), 0u);
+  // k=3: two extra copies of every row's key (8B) + payload (8B).
+  EXPECT_EQ(ReplicatedTable(&table, 3).ReplicaBytes(),
+            2u * table.TotalRows() * 16u);
+}
+
+TEST(ReplicatedTableTest, FailoverViewRehomesDeadPartitions) {
+  PartitionedTable table = MakeTable(4, 2);
+  ReplicatedTable replicated(&table, 2);
+  Result<SurvivorPlan> plan = PlanSurvivors(4, {1});
+  ASSERT_TRUE(plan.ok());
+
+  std::vector<uint64_t> rehomed;
+  Result<PartitionedTable> view =
+      replicated.FailoverView(plan.value(), &rehomed);
+  ASSERT_TRUE(view.ok());
+
+  // Survivors compact to dense ids; no row is lost.
+  EXPECT_EQ(view.value().num_nodes(), 3u);
+  EXPECT_EQ(view.value().TotalRows(), table.TotalRows());
+  // Partition 1's copy 1 lives on node 2, which compacts to live id 1.
+  EXPECT_EQ(view.value().node(0).size(), 2u);
+  EXPECT_EQ(view.value().node(1).size(), 4u);
+  EXPECT_EQ(view.value().node(2).size(), 2u);
+  // Exactly the dead partition's keys were re-homed.
+  std::sort(rehomed.begin(), rehomed.end());
+  EXPECT_EQ(rehomed, (std::vector<uint64_t>{100, 101}));
+}
+
+TEST(ReplicatedTableTest, RehomedRowsAreBitIdenticalToPrimary) {
+  PartitionedTable table = MakeTable(3, 2);
+  ReplicatedTable replicated(&table, 2);
+  Result<SurvivorPlan> plan = PlanSurvivors(3, {0});
+  ASSERT_TRUE(plan.ok());
+  Result<PartitionedTable> view = replicated.FailoverView(plan.value(), nullptr);
+  ASSERT_TRUE(view.ok());
+
+  // Node 0's rows landed on its chained successor (original node 1 ->
+  // live id 0); partitions append in original order, payloads intact.
+  const TupleBlock& block = view.value().node(0);
+  ASSERT_EQ(block.size(), 4u);
+  EXPECT_EQ(block.Key(0), 0u);
+  EXPECT_EQ(block.Key(1), 1u);
+  EXPECT_EQ(block.Key(2), 100u);
+  uint8_t expected[8];
+  SynthesizePayload(7, 1, 0, 8, expected);
+  EXPECT_EQ(0, std::memcmp(block.Payload(1), expected, 8));
+}
+
+TEST(ReplicatedTableTest, UnreplicatedFailoverIsUnavailable) {
+  PartitionedTable table = MakeTable(3, 1);
+  ReplicatedTable replicated(&table, 1);
+  Result<SurvivorPlan> plan = PlanSurvivors(3, {2});
+  ASSERT_TRUE(plan.ok());
+  Result<PartitionedTable> view = replicated.FailoverView(plan.value(), nullptr);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace tj

@@ -17,6 +17,10 @@ TOTALS_KEYS = {
     "local_bytes": int,
     "retransmit_bytes": int,
     "run_max_node_bytes": int,
+    # Run-level: wire bytes burned by failed recovery attempts. Failed
+    # attempts leave no step records, so it is NOT part of the per-step
+    # sum check below.
+    "recovery_bytes": int,
 }
 # The track-join phase labels are themselves an interface: EXPERIMENTS.md,
 # the bench suite, and the tracker-merge baseline reference phases like
@@ -72,6 +76,9 @@ def check_fields(obj, spec, where):
 
 
 def main():
+    # --expect-zero-recovery pins the pristine-path guarantee: a run with
+    # no failed attempts must report exactly zero recovery bytes.
+    expect_zero_recovery = "--expect-zero-recovery" in sys.argv[1:]
     try:
         profiles = json.load(sys.stdin)
     except json.JSONDecodeError as e:
@@ -106,6 +113,9 @@ def main():
             if total != profile["totals"][key]:
                 fail("%s: step %s sum %d != total %d" %
                      (algo, key, total, profile["totals"][key]))
+        if expect_zero_recovery and profile["totals"]["recovery_bytes"] != 0:
+            fail("%s: pristine run reports recovery_bytes=%d, expected 0" %
+                 (algo, profile["totals"]["recovery_bytes"]))
     print("profile schema check passed: %d algorithm(s), %d step(s)" %
           (len(profiles), sum(len(p["steps"]) for p in profiles)))
 

@@ -18,7 +18,8 @@ import json
 import sys
 
 ALLOWED_PHASES = {"X", "C", "M", "i"}
-EXPLAIN_CLASSES = ("free", "broadcast_r_to_s", "broadcast_s_to_r", "migrated")
+EXPLAIN_CLASSES = ("free", "broadcast_r_to_s", "broadcast_s_to_r", "migrated",
+                   "failover")
 EXPLAIN_KEYS = {
     "algorithm": str,
     "total_keys": int,

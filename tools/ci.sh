@@ -33,10 +33,22 @@ for san in "${sanitizers[@]}"; do
   # sanitized unit leg: their probe/tombstone and cursor arithmetic is
   # exactly what ASan/UBSan exist to check. Guard against a CMake
   # registration regression silently shrinking that coverage.
+  # (Captured once per label: `ctest -N | grep -q` would trip pipefail when
+  # grep exits at the first match and ctest takes a SIGPIPE.)
+  unit_listing="$(ctest --test-dir "${dir}" -N -L unit)"
   for required in kway_merge_test flat_table_test buffer_pool_test \
                   tracker_test; do
-    if ! ctest --test-dir "${dir}" -N -L unit | grep -q " ${required}\$"; then
+    if ! grep -q " ${required}\$" <<<"${unit_listing}"; then
       echo "ci.sh: ${required} missing from the unit label in ${dir}" >&2
+      exit 1
+    fi
+  done
+  # The chaos seed grid and the recovery loop are the crash-safety proof;
+  # they must stay in the sanitized fault leg the same way.
+  fault_listing="$(ctest --test-dir "${dir}" -N -L fault)"
+  for required in chaos_test recovery_test reliable_fabric_test; do
+    if ! grep -q " ${required}\$" <<<"${fault_listing}"; then
+      echo "ci.sh: ${required} missing from the fault label in ${dir}" >&2
       exit 1
     fi
   done
@@ -61,10 +73,29 @@ esac
 echo "=== profile smoke: tjsim --profile=json | check_profile_schema ==="
 "${smoke_dir}/tools/tjsim" --nodes=4 --keys=500 --smult=2 \
     --algo=hj,bj-r,2tj-r,3tj,4tj --profile=json \
-  | python3 tools/check_profile_schema.py
+  | python3 tools/check_profile_schema.py --expect-zero-recovery
 "${smoke_dir}/tools/tjsim" --nodes=4 --keys=400 --fault-drop=0.02 \
     --fault-corrupt=0.02 --fault-retries=64 --algo=hj,4tj --profile=json \
   | python3 tools/check_profile_schema.py
+
+# Recovery smoke: a replicated cluster must ride out a fail-stop crash and
+# still verify every algorithm's digest; the CLI's exit-code contract
+# (usage -> 1, fault-induced failure -> 3) is part of the interface.
+echo "=== recovery smoke: tjsim --replicas=2 + crash, exit codes ==="
+"${smoke_dir}/tools/tjsim" --nodes=6 --keys=2000 --replicas=2 \
+    --fault-crash-node=2 --fault-crash-phase=1 --algo=all >/dev/null
+"${smoke_dir}/tools/tjsim" --nodes=6 --keys=500 --replicas=2 \
+    --fault-crash-node=1 --fault-crash-phase=1 --algo=3tj,hj \
+    --profile=json | python3 tools/check_profile_schema.py
+rc=0; "${smoke_dir}/tools/tjsim" --bogus-flag 2>/dev/null || rc=$?
+if [[ "${rc}" -ne 1 ]]; then
+  echo "ci.sh: usage error exited ${rc}, expected 1" >&2; exit 1
+fi
+rc=0; "${smoke_dir}/tools/tjsim" --nodes=4 --keys=300 --fault-crash-node=1 \
+    --algo=3tj >/dev/null 2>&1 || rc=$?
+if [[ "${rc}" -ne 3 ]]; then
+  echo "ci.sh: fault-induced failure exited ${rc}, expected 3" >&2; exit 1
+fi
 
 # Observability smoke: the Chrome trace export and the EXPLAIN audit are
 # interfaces too (README documents the Perfetto workflow, EXPERIMENTS.md

@@ -14,12 +14,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "baseline/broadcast_join.h"
 #include "baseline/hash_join.h"
 #include "core/late_hash_join.h"
+#include "core/recovery.h"
 #include "core/rid_hash_join.h"
 #include "core/schedule.h"
 #include "core/track_join.h"
@@ -57,6 +59,10 @@ struct Options {
   tj::FaultPolicy fault;
   uint64_t fault_seed = 0;
   bool fault_seed_set = false;
+  uint32_t replicas = 1;
+  double phase_deadline = 0;
+  uint32_t recovery_attempts = 0;  // 0 = default (4) when recovery is on.
+  double recovery_backoff = 0.05;
   std::string profile;  // "" (off) | json | csv | table
   std::string trace_path;  // "" (off) | Chrome trace output file
   std::string explain;     // "" (off) | json | table
@@ -96,10 +102,23 @@ fault injection (any nonzero flag frames messages and enables retry/ack):
   --fault-corrupt=P    P(one bit flipped) per transmission (default 0)
   --fault-dup=P        P(frame duplicated) per transmission (default 0)
   --fault-reorder=P    P(adjacent inbox messages swapped) (default 0)
-  --fault-crash-node=N node that fail-stops (query fails with DataLoss)
+  --fault-crash-node=N node that fail-stops (query fails with DataLoss
+                       unless recovery is on)
   --fault-crash-phase=K  0-based global phase the crash takes effect
+  --fault-slow-node=N  straggler node: phases run slower in modeled time
+                       (pristine wire path; traffic is unchanged)
+  --fault-slow-seconds=S  modeled extra seconds per phase for the straggler
   --fault-retries=N    retransmit rounds before giving up (default 8)
   --fault-seed=N       injector PRNG seed (default: --seed)
+
+recovery (replica failover + checkpointed replay; enabled by any of these):
+  --replicas=K         copies per partition, chained declustering (default 1)
+  --phase-deadline=S   modeled phase deadline: a straggler slower than S is
+                       promoted to suspected-dead and failed over
+  --recovery-attempts=N  total attempt budget incl. the first run
+                       (default 4 once recovery is on)
+  --recovery-backoff=S initial modeled backoff before a transient retry,
+                       doubling per consecutive retry (default 0.05)
 
 observability:
   --profile=FORMAT     per-step breakdown after each run: json | csv | table
@@ -110,6 +129,9 @@ observability:
                        (json replaces the default report on stdout)
   --explain-top=N      heavy-hitter keys listed per audit (default 10)
   --metrics            dump the metrics registry (Prometheus text format)
+
+exit codes: 0 success; 1 usage error or result mismatch; 2 join failure;
+3 fault-induced failure (DataLoss / Unavailable / DeadlineExceeded).
 )");
   std::exit(0);
 }
@@ -274,6 +296,24 @@ Options Parse(int argc, char** argv) {
     } else if ((v = val("--fault-crash-phase="))) {
       opt.fault.crash_phase = ParseUint32Flag(
           "--fault-crash-phase", v, 0, UINT32_MAX, "phase index");
+    } else if ((v = val("--fault-slow-node="))) {
+      opt.fault.slow_node = ParseUint32Flag(
+          "--fault-slow-node", v, 0, UINT32_MAX, "node index");
+    } else if ((v = val("--fault-slow-seconds="))) {
+      opt.fault.slowdown_seconds = ParseDoubleFlag(
+          "--fault-slow-seconds", v, 0.0, 1e9, "seconds in [0, 1e9]");
+    } else if ((v = val("--replicas="))) {
+      opt.replicas = ParseUint32Flag("--replicas", v, 1, 1u << 16,
+                                     "integer in [1, 65536]");
+    } else if ((v = val("--phase-deadline="))) {
+      opt.phase_deadline = ParseDoubleFlag("--phase-deadline", v, 0.0, 1e9,
+                                           "seconds in [0, 1e9]");
+    } else if ((v = val("--recovery-attempts="))) {
+      opt.recovery_attempts = ParseUint32Flag(
+          "--recovery-attempts", v, 1, 1u << 10, "integer in [1, 1024]");
+    } else if ((v = val("--recovery-backoff="))) {
+      opt.recovery_backoff = ParseDoubleFlag(
+          "--recovery-backoff", v, 0.0, 1e9, "seconds in [0, 1e9]");
     } else if ((v = val("--fault-retries="))) {
       opt.fault.max_retries = ParseUint32Flag(
           "--fault-retries", v, 1, 1u << 20,
@@ -328,34 +368,35 @@ Options Parse(int argc, char** argv) {
 }
 
 tj::Result<tj::JoinResult> RunByName(const std::string& name,
-                                     const tj::Workload& w,
+                                     const tj::PartitionedTable& r,
+                                     const tj::PartitionedTable& s,
                                      const tj::JoinConfig& config,
                                      bool* known) {
   *known = true;
-  if (name == "hj") return tj::TryRunHashJoin(w.r, w.s, config);
+  if (name == "hj") return tj::TryRunHashJoin(r, s, config);
   if (name == "bj-r") {
-    return tj::TryRunBroadcastJoin(w.r, w.s, config, tj::Direction::kRtoS);
+    return tj::TryRunBroadcastJoin(r, s, config, tj::Direction::kRtoS);
   }
   if (name == "bj-s") {
-    return tj::TryRunBroadcastJoin(w.r, w.s, config, tj::Direction::kStoR);
+    return tj::TryRunBroadcastJoin(r, s, config, tj::Direction::kStoR);
   }
   if (name == "2tj-r") {
-    return tj::TryRunTrackJoin(w.r, w.s, config, tj::TrackJoinVersion::k2Phase,
+    return tj::TryRunTrackJoin(r, s, config, tj::TrackJoinVersion::k2Phase,
                                tj::Direction::kRtoS);
   }
   if (name == "2tj-s") {
-    return tj::TryRunTrackJoin(w.r, w.s, config, tj::TrackJoinVersion::k2Phase,
+    return tj::TryRunTrackJoin(r, s, config, tj::TrackJoinVersion::k2Phase,
                                tj::Direction::kStoR);
   }
   if (name == "3tj") {
-    return tj::TryRunTrackJoin(w.r, w.s, config, tj::TrackJoinVersion::k3Phase);
+    return tj::TryRunTrackJoin(r, s, config, tj::TrackJoinVersion::k3Phase);
   }
   if (name == "4tj") {
-    return tj::TryRunTrackJoin(w.r, w.s, config, tj::TrackJoinVersion::k4Phase);
+    return tj::TryRunTrackJoin(r, s, config, tj::TrackJoinVersion::k4Phase);
   }
-  if (name == "rid-hj") return tj::TryRunRidHashJoin(w.r, w.s, config);
+  if (name == "rid-hj") return tj::TryRunRidHashJoin(r, s, config);
   if (name == "late-hj") {
-    return tj::TryRunLateMaterializedHashJoin(w.r, w.s, config);
+    return tj::TryRunLateMaterializedHashJoin(r, s, config);
   }
   *known = false;
   return tj::JoinResult{};
@@ -406,11 +447,23 @@ int main(int argc, char** argv) {
   config.balance_loads = opt.balance;
   config.delta_tracking = opt.delta;
   config.group_locations = opt.group;
-  const bool faults = opt.fault.active();
+  config.phase_deadline_seconds = opt.phase_deadline;
+  const bool faults = opt.fault.any_effect();
   if (faults) {
     config.fault_policy = &opt.fault;
     config.fault_seed = opt.fault_seed_set ? opt.fault_seed : opt.seed;
   }
+  // Recovery engages when the user asks for spare capacity (--replicas), a
+  // straggler-promotion deadline, or an explicit attempt budget.
+  const bool recovery_on = opt.replicas > 1 || opt.recovery_attempts > 0 ||
+                           opt.phase_deadline > 0;
+  std::optional<tj::ReplicatedWorkload> replicated;
+  if (recovery_on) replicated = tj::ReplicateWorkload(w, opt.replicas);
+  tj::RecoveryOptions recovery_options;
+  recovery_options.max_attempts =
+      opt.recovery_attempts > 0 ? opt.recovery_attempts : 4;
+  recovery_options.backoff_initial_seconds = opt.recovery_backoff;
+  recovery_options.phase_deadline_seconds = opt.phase_deadline;
 
   std::vector<std::string> algos = opt.algos;
   if (algos.size() == 1 && algos[0] == "all") {
@@ -460,7 +513,18 @@ int main(int argc, char** argv) {
     if (!opt.explain.empty() && track_algo) {
       run_config.schedule_audit = &audit;
     }
-    tj::Result<tj::JoinResult> run = RunByName(algo, w, run_config, &known);
+    tj::RecoveryReport recovery_report;
+    tj::Result<tj::JoinResult> run =
+        recovery_on
+            ? tj::RunWithRecovery(
+                  replicated->r, replicated->s, run_config, recovery_options,
+                  [&](const tj::PartitionedTable& r,
+                      const tj::PartitionedTable& s,
+                      const tj::JoinConfig& cfg) {
+                    return RunByName(algo, r, s, cfg, &known);
+                  },
+                  &recovery_report)
+            : RunByName(algo, w.r, w.s, run_config, &known);
     if (!known) {
       std::fprintf(stderr, "unknown algorithm '%s' (try --help)\n",
                    algo.c_str());
@@ -469,7 +533,10 @@ int main(int argc, char** argv) {
     if (!run.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", algo.c_str(),
                    run.status().ToString().c_str());
-      return 2;
+      // Fault-induced failures (injected loss, crashes, exhausted recovery
+      // budget) get a dedicated exit code so harnesses can tell "the fault
+      // won" from usage or programming errors.
+      return tj::IsFaultInduced(run.status().code()) ? 3 : 2;
     }
     tj::JoinResult result = std::move(run).value();
     if (!have_reference) {
@@ -510,6 +577,20 @@ int main(int argc, char** argv) {
           rel.faults.frames_duplicated, rel.faults.messages_reordered,
           rel.retransmitted_frames, rel.nack_messages,
           t.TotalRetransmitBytes());
+    }
+    if (recovery_on) {
+      std::string dead;
+      for (uint32_t node : recovery_report.dead_nodes) {
+        if (!dead.empty()) dead += ",";
+        dead += std::to_string(node);
+      }
+      std::printf("  recovery: attempts=%u failovers=%u retries=%u dead=[%s] "
+                  "backoff=%.3fs latency=%.3fs recovery_bytes=%" PRIu64 "\n",
+                  recovery_report.attempts, recovery_report.failovers,
+                  recovery_report.retries, dead.c_str(),
+                  recovery_report.backoff_seconds,
+                  recovery_report.recovery_seconds,
+                  recovery_report.recovery_bytes);
     }
   }
   if (opt.profile == "json") {
