@@ -104,6 +104,7 @@ Result<JoinResult> TryRunHashJoin(const PartitionedTable& r,
   result.phase_seconds = fabric.phase_seconds();
   result.reliability = fabric.reliability();
   result.profile = BuildStepProfile("hj", fabric);
+  result.node_output_rows.assign(outputs.begin(), outputs.end());
   for (uint32_t node = 0; node < n; ++node) {
     result.output_rows += outputs[node];
     result.checksum.Merge(checksums[node]);

@@ -7,6 +7,10 @@ namespace tj {
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
   TJ_CHECK_GT(n, 0u);
   TJ_CHECK_GE(theta, 0.0);
+  if (theta_ == 0.0) {
+    uniform_ = true;
+    return;
+  }
   if (std::fabs(theta_ - 1.0) < 1e-9) theta_ = 1.0 + 1e-9;
   h_x1_ = H(1.5) - 1.0;
   h_n_ = H(static_cast<double>(n_) + 0.5);
@@ -22,7 +26,8 @@ double ZipfGenerator::HInverse(double x) const {
   return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
 }
 
-uint64_t ZipfGenerator::Next(Rng* rng) {
+uint64_t ZipfGenerator::Next(Rng* rng) const {
+  if (uniform_) return rng->Below(n_);
   while (true) {
     double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
     double x = HInverse(u);

@@ -98,7 +98,13 @@ class Rng {
 };
 
 /// Zipf(theta) sampler over [0, n) using the rejection-inversion method of
-/// Hörmann & Derflinger. theta = 0 degenerates to uniform.
+/// Hörmann & Derflinger. theta = 0 degenerates to uniform: the sampler
+/// detects it, skips the pow-based setup entirely, and draws straight from
+/// Rng::Below (one unbiased integer draw, no rejection loop).
+///
+/// Sampling never mutates the generator (all distribution state is fixed
+/// at construction), so one instance can be shared by any number of
+/// streams that use the same (n, theta) — e.g. both tables of a workload.
 class ZipfGenerator {
  public:
   /// Precondition: n > 0, theta >= 0, theta != 1 handled (theta == 1 uses a
@@ -106,7 +112,7 @@ class ZipfGenerator {
   ZipfGenerator(uint64_t n, double theta);
 
   /// Samples a value in [0, n); smaller values are more likely for theta > 0.
-  uint64_t Next(Rng* rng);
+  uint64_t Next(Rng* rng) const;
 
   uint64_t n() const { return n_; }
   double theta() const { return theta_; }
@@ -117,9 +123,10 @@ class ZipfGenerator {
 
   uint64_t n_;
   double theta_;
-  double h_x1_;
-  double h_n_;
-  double s_;
+  bool uniform_ = false;  ///< theta == 0: bypass rejection-inversion.
+  double h_x1_ = 0;
+  double h_n_ = 0;
+  double s_ = 0;
 };
 
 }  // namespace tj

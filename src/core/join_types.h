@@ -50,6 +50,19 @@ struct JoinConfig {
   /// unchanged; the bottleneck NIC's share shrinks. 4-phase only.
   bool balance_loads = false;
 
+  /// Heavy-hitter splitting (SharesSkew-style partitioned broadcast),
+  /// 4-phase only. A key whose modeled output r_rows * s_rows reaches this
+  /// threshold is a hot-split candidate: its smaller side is broadcast to w
+  /// worker nodes while the larger side is fragmented across them, trading
+  /// bounded extra broadcast bytes for a ~w x drop in the worst node's
+  /// ingress and join work. 0 disables splitting entirely (default); the
+  /// hot plan is adopted only when its per-node bottleneck strictly beats
+  /// both the migration plan and plain selective broadcast.
+  uint64_t hot_key_threshold = 0;
+  /// Upper bound on the split width w (worker count per hot key);
+  /// 0 = no cap beyond the number of fragment-side holder nodes.
+  uint32_t hot_key_max_split = 4;
+
   /// Materialize the join output: the result carries a PartitionedTable of
   /// <key | payloadR | payloadS> rows, resident where each pair joined.
   /// Off by default (results are still checksum-verified either way).
@@ -92,6 +105,10 @@ struct JoinConfig {
 /// traffic matrix and per-phase wall-clock breakdown.
 struct JoinResult {
   uint64_t output_rows = 0;
+  /// Rows produced at each node (sums to output_rows). The max element is
+  /// the modeled per-node compute bottleneck the skew ablations report.
+  /// Filled by the track-join and hash-join pipelines.
+  std::vector<uint64_t> node_output_rows;
   JoinChecksum checksum;
   TrafficMatrix traffic;
   /// Named per-phase wall times (CPU-side work), in execution order.

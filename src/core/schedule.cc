@@ -142,6 +142,126 @@ KeySchedule PlanOptimal(const KeyPlacement& placement) {
   return schedule;
 }
 
+uint64_t BroadcastBottleneck(const KeyPlacement& placement, Direction dir) {
+  SideView view = ViewFor(placement, dir);
+  if (view.bcast->empty() || view.target->empty()) return 0;
+  const uint64_t b_all = SumBytes(*view.bcast);
+  uint64_t worst = 0;
+  for (const auto& t : *view.target) {
+    worst = std::max(worst, b_all - BytesAt(*view.bcast, t.node));
+  }
+  return worst;
+}
+
+uint64_t PlanBottleneck(const KeyPlacement& placement, Direction dir,
+                        const MigrationPlan& plan) {
+  SideView view = ViewFor(placement, dir);
+  if (view.bcast->empty() || view.target->empty()) return 0;
+  const uint64_t b_all = SumBytes(*view.bcast);
+  uint64_t migrated = 0;
+  for (uint32_t m : plan.migrate) migrated += BytesAt(*view.target, m);
+  uint64_t worst = 0;
+  for (const auto& t : *view.target) {
+    if (std::find(plan.migrate.begin(), plan.migrate.end(), t.node) !=
+        plan.migrate.end()) {
+      continue;
+    }
+    uint64_t in = b_all - BytesAt(*view.bcast, t.node);
+    if (t.node == plan.dest) in += migrated;
+    worst = std::max(worst, in);
+  }
+  return worst;
+}
+
+HotKeyPlan PlanHotSplit(const KeyPlacement& placement, uint32_t width_r,
+                        uint32_t width_s, uint32_t max_split) {
+  HotKeyPlan best;
+  const uint64_t m = placement.msg_bytes;
+  // Splitting only makes sense while it undercuts plain selective
+  // broadcast on total bytes (at w = |targets| the two coincide, broadcast
+  // then winning on simplicity), so candidates at or above this price are
+  // discarded and the cheapest-bottleneck survivor wins.
+  const uint64_t bcast_min =
+      std::min(SelectiveBroadcastCost(placement, Direction::kRtoS),
+               SelectiveBroadcastCost(placement, Direction::kStoR));
+  for (Direction dir : {Direction::kRtoS, Direction::kStoR}) {
+    SideView view = ViewFor(placement, dir);
+    if (view.bcast->empty() || view.target->empty()) continue;
+    const uint32_t width_f =
+        dir == Direction::kRtoS ? width_s : width_r;  // Fragment = target.
+    const uint64_t b_all = SumBytes(*view.bcast);
+    const uint64_t f_all = SumBytes(*view.target);
+    const uint64_t b_msg_nodes =
+        BcastNodesExcludingTracker(*view.bcast, placement.tracker);
+
+    // Worker candidates: fragment-side holders ranked by the bytes already
+    // local to them (their fragment plus any broadcast copy), descending;
+    // ties keep the lowest node id. The w = 1 prefix is therefore the same
+    // node PlanMigrateAndBroadcast forces to keep its tuples.
+    std::vector<NodeSize> ranked = *view.target;
+    std::sort(ranked.begin(), ranked.end(),
+              [&](const NodeSize& a, const NodeSize& b) {
+                const uint64_t la = a.bytes + BytesAt(*view.bcast, a.node);
+                const uint64_t lb = b.bytes + BytesAt(*view.bcast, b.node);
+                if (la != lb) return la > lb;
+                return a.node < b.node;
+              });
+
+    const uint32_t limit =
+        max_split == 0
+            ? static_cast<uint32_t>(ranked.size())
+            : std::min<uint32_t>(max_split,
+                                 static_cast<uint32_t>(ranked.size()));
+    for (uint32_t w = 1; w <= limit; ++w) {
+      // Bytes already resident at the workers (free local copies).
+      uint64_t b_local = 0, f_local = 0;
+      for (uint32_t j = 0; j < w; ++j) {
+        b_local += BytesAt(*view.bcast, ranked[j].node);
+        f_local += ranked[j].bytes;
+      }
+      // Non-worker fragment holders each receive w <key, worker> pairs
+      // (free when that holder is the tracker) and ship their whole run.
+      uint64_t frag_msg_nodes = 0;
+      for (uint32_t j = w; j < ranked.size(); ++j) {
+        if (ranked[j].node != placement.tracker) ++frag_msg_nodes;
+      }
+      const uint64_t cost = b_all * w - b_local + b_msg_nodes * w * m +
+                            frag_msg_nodes * w * m + (f_all - f_local);
+      if (cost >= bcast_min) continue;
+
+      // Per-worker ingress, modeling the row-exact chunking the transfer
+      // phase performs: each non-worker run of n rows sends ceil/floor
+      // chunks of n/w rows, earlier workers taking the remainder.
+      uint64_t bottleneck = 0;
+      for (uint32_t j = 0; j < w; ++j) {
+        uint64_t frag_in = 0;
+        for (uint32_t i = w; i < ranked.size(); ++i) {
+          const uint64_t rows = ranked[i].bytes / width_f;
+          frag_in += (rows / w + (j < rows % w ? 1 : 0)) * width_f;
+        }
+        const uint64_t in =
+            frag_in + b_all - BytesAt(*view.bcast, ranked[j].node);
+        bottleneck = std::max(bottleneck, in);
+      }
+
+      const bool better =
+          !best.valid || bottleneck < best.bottleneck ||
+          (bottleneck == best.bottleneck &&
+           (cost < best.cost || (cost == best.cost && w < best.split())));
+      if (better) {
+        best.valid = true;
+        best.dir = dir;
+        best.cost = cost;
+        best.bottleneck = bottleneck;
+        best.workers.clear();
+        best.workers.reserve(w);
+        for (uint32_t j = 0; j < w; ++j) best.workers.push_back(ranked[j].node);
+      }
+    }
+  }
+  return best;
+}
+
 Direction CheaperBroadcastDirection(const KeyPlacement& placement,
                                     uint64_t* cost_out) {
   uint64_t rs = SelectiveBroadcastCost(placement, Direction::kRtoS);

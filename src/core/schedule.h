@@ -78,6 +78,61 @@ KeySchedule PlanOptimal(const KeyPlacement& placement);
 Direction CheaperBroadcastDirection(const KeyPlacement& placement,
                                     uint64_t* cost_out = nullptr);
 
+// --- Hot-key splitting (skew-robust scheduling) ---------------------------
+//
+// The per-key optimum (Theorem 2) minimizes bytes but concentrates a hot
+// key's entire |R| x |S| cartesian product on one node. A HotKeyPlan
+// instead fragments the target side's tuples across w worker nodes and
+// broadcasts the other side to all w of them (a SharesSkew-style
+// partitioned broadcast): every fragment holds all broadcast rows, so each
+// (r, s) pair still joins exactly once, while the worst node's ingress and
+// join work drop by ~w at the price of (w-1) extra broadcast copies.
+
+/// A partitioned-broadcast plan for one hot key.
+struct HotKeyPlan {
+  /// False when no direction has both sides populated (nothing to plan).
+  bool valid = false;
+  /// Broadcast direction: this side's tuples are replicated to every
+  /// worker; the opposite (target) side is fragmented across them.
+  Direction dir = Direction::kRtoS;
+  /// The w fragment-side nodes that receive work, in instruction order
+  /// (ranked by local fragment+broadcast bytes, descending; ties keep the
+  /// lowest node id, so w = 1 picks the same node the migration plan's
+  /// forced-keep rule does).
+  std::vector<uint32_t> workers;
+  /// Total modeled network bytes: broadcast copies + location messages +
+  /// fragment instructions + fragment payloads. Byte-exact against the
+  /// wire under the default encodings, like MigrationPlan::cost.
+  uint64_t cost = 0;
+  /// Max modeled tuple bytes received by any single worker (fragments plus
+  /// missing broadcast rows) — the quantity splitting exists to minimize.
+  uint64_t bottleneck = 0;
+
+  uint32_t split() const { return static_cast<uint32_t>(workers.size()); }
+};
+
+/// Searches both directions and every width w in [1, max_split] (0 = no
+/// cap) for the plan with the smallest bottleneck; ties prefer lower total
+/// cost, then smaller w, then R->S. Candidates whose total cost is not
+/// strictly below the cheaper selective-broadcast direction are discarded
+/// (at w = |targets| the split degenerates into that broadcast), so an
+/// invalid result means "no split undercuts plain broadcast here".
+/// `width_r`/`width_s` are serialized tuple widths — placement bytes are
+/// exact multiples, and fragment chunks are modeled row-by-row exactly as
+/// the transfer phase splits them.
+HotKeyPlan PlanHotSplit(const KeyPlacement& placement, uint32_t width_r,
+                        uint32_t width_s, uint32_t max_split);
+
+/// Max modeled tuple bytes received by any node under a
+/// migrate-and-broadcast schedule (kept targets receive the broadcast they
+/// lack; the destination also absorbs every migrated payload).
+uint64_t PlanBottleneck(const KeyPlacement& placement, Direction dir,
+                        const MigrationPlan& plan);
+
+/// Max modeled tuple bytes received by any node under plain selective
+/// broadcast in direction `dir`.
+uint64_t BroadcastBottleneck(const KeyPlacement& placement, Direction dir);
+
 // --- Scheduler audit ("EXPLAIN") ------------------------------------------
 //
 // When a ScheduleAuditLog is attached (JoinConfig::schedule_audit), the
@@ -96,8 +151,10 @@ enum class ScheduleClass : uint8_t {
   kMigrated = 3,       ///< 4-phase plan with a non-empty migration set.
   kFailover = 4,       ///< Key re-planned against surviving replicas after
                        ///< a node death (any shape of transfer).
+  kHotSplit = 5,       ///< Heavy hitter split across w workers (partitioned
+                       ///< broadcast; see HotKeyPlan).
 };
-inline constexpr int kNumScheduleClasses = 5;
+inline constexpr int kNumScheduleClasses = 6;
 
 inline const char* ScheduleClassName(ScheduleClass cls) {
   switch (cls) {
@@ -106,6 +163,7 @@ inline const char* ScheduleClassName(ScheduleClass cls) {
     case ScheduleClass::kBroadcastStoR: return "broadcast_s_to_r";
     case ScheduleClass::kMigrated: return "migrated";
     case ScheduleClass::kFailover: return "failover";
+    case ScheduleClass::kHotSplit: return "hot_split";
   }
   return "unknown";
 }
@@ -124,6 +182,8 @@ struct KeyScheduleAudit {
   Direction chosen_dir = Direction::kRtoS;
   uint64_t chosen_cost = 0;
   uint32_t chosen_migrations = 0;
+  /// Worker count of an adopted HotKeyPlan; 0 when the key was not split.
+  uint32_t chosen_split = 0;
   /// What a Grace hash join would move for this key: all matching bytes
   /// except those already resident at the key's hash destination (which is
   /// the tracker node, by construction).
@@ -141,6 +201,7 @@ KeyScheduleAudit AuditPlacement(const KeyPlacement& placement);
 
 /// Derives the decision class from the chosen_* fields.
 inline ScheduleClass ClassifyAudit(const KeyScheduleAudit& audit) {
+  if (audit.chosen_split > 0) return ScheduleClass::kHotSplit;
   if (audit.chosen_cost == 0 && audit.chosen_migrations == 0) {
     return ScheduleClass::kFree;
   }

@@ -180,6 +180,7 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
     NodeState& st = nodes[node];
     std::vector<std::vector<KeyNodePair>> loc_to_r(n), loc_to_s(n);
     std::vector<std::vector<KeyNodePair>> migr_r(n), migr_s(n);
+    std::vector<std::vector<KeyNodePair>> frag_r(n), frag_s(n);
     // Balance-aware mode spends the schedules' cost-free choices on the
     // nodes this tracker has loaded least (Section 5). Each tracker owns a
     // uniform random ~1/N of the keys, so local balancing approximates
@@ -197,6 +198,7 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
       bool has_migration_phase = false;
       uint32_t dest = 0;
       uint64_t chosen_cost = 0;
+      HotKeyPlan hot;
       if (version == TrackJoinVersion::k3Phase) {
         dir = CheaperBroadcastDirection(p, &chosen_cost);
       } else if (version == TrackJoinVersion::k4Phase) {
@@ -207,6 +209,32 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
         chosen_cost = sched.plan.cost;
         migrate = std::move(sched.plan.migrate);
         has_migration_phase = true;
+
+        // Heavy-hitter splitting: a key whose modeled output reaches the
+        // threshold may trade extra broadcast copies for a lower per-node
+        // bottleneck. Each alternative is strong on a different axis — the
+        // migration plan minimizes total bytes but funnels the whole key
+        // through one node, while selective broadcast spreads load but
+        // ships B_all to every target — so the hot plan is adopted only
+        // when it strictly beats migration on the per-node bottleneck
+        // (PlanHotSplit already rejects anything not strictly cheaper than
+        // selective broadcast). Uniform workloads never reach the
+        // threshold, so they never split.
+        if (config.hot_key_threshold > 0 &&
+            it.OutputProductAtLeast(config.hot_key_threshold)) {
+          HotKeyPlan candidate =
+              PlanHotSplit(p, width_r, width_s, config.hot_key_max_split);
+          MigrationPlan base;
+          base.dest = dest;
+          base.migrate = migrate;
+          const uint64_t plan_bn = PlanBottleneck(p, dir, base);
+          if (candidate.valid && candidate.bottleneck < plan_bn) {
+            hot = std::move(candidate);
+            dir = hot.dir;
+            chosen_cost = hot.cost;
+            migrate.clear();
+          }
+        }
       }
 
       if (audit != nullptr) {
@@ -221,6 +249,7 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
         }
         rec.chosen_cost = chosen_cost;
         rec.chosen_migrations = static_cast<uint32_t>(migrate.size());
+        rec.chosen_split = hot.valid ? hot.split() : 0;
         rec.cls = ClassifyAudit(rec);
         audit->Record(node, rec);
       }
@@ -229,6 +258,29 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
       const auto& target_side = dir == Direction::kRtoS ? p.s : p.r;
       auto& loc_out = dir == Direction::kRtoS ? loc_to_r : loc_to_s;
       auto& migr_out = dir == Direction::kRtoS ? migr_s : migr_r;
+
+      if (hot.valid) {
+        // Hot split: every broadcast-side node learns all w workers, and
+        // every non-worker fragment holder learns the w-way split of its
+        // run (fragment instructions mirror migration instructions but
+        // carry one pair per worker, in worker order).
+        auto& frag_out = dir == Direction::kRtoS ? frag_s : frag_r;
+        for (const NodeSize& t : target_side) {
+          if (std::find(hot.workers.begin(), hot.workers.end(), t.node) !=
+              hot.workers.end()) {
+            continue;  // Workers keep their own fragment rows.
+          }
+          for (uint32_t worker : hot.workers) {
+            frag_out[t.node].push_back(KeyNodePair{key, worker});
+          }
+        }
+        for (const NodeSize& b : bcast_side) {
+          for (uint32_t worker : hot.workers) {
+            loc_out[b.node].push_back(KeyNodePair{key, worker});
+          }
+        }
+        continue;
+      }
 
       // Migration instructions (4-phase): each migrating node learns the
       // destination for its tuples of this key.
@@ -266,6 +318,20 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
       if (!migr_s[dst].empty()) {
         fabric.Send(node, dst, MessageType::kMigrateS,
                     EncodeKeyNodePairs(migr_s[dst], config, &st.pool));
+      }
+      // Fragment instructions carry each hot key's workers in split order
+      // (chunk k goes to the k-th listed worker), so they must keep the
+      // plain order-preserving encoding even under --group, which reorders
+      // pairs by node.
+      JoinConfig frag_config = config;
+      frag_config.group_locations = false;
+      if (!frag_r[dst].empty()) {
+        fabric.Send(node, dst, MessageType::kFragmentR,
+                    EncodeKeyNodePairs(frag_r[dst], frag_config, &st.pool));
+      }
+      if (!frag_s[dst].empty()) {
+        fabric.Send(node, dst, MessageType::kFragmentS,
+                    EncodeKeyNodePairs(frag_s[dst], frag_config, &st.pool));
       }
     }
     return Status::OK();
@@ -330,6 +396,57 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
                                       MessageType::kMigrationDataR, &st.r));
     TJ_RETURN_IF_ERROR(run_migrations(MessageType::kMigrateS,
                                       MessageType::kMigrationDataS, &st.s));
+
+    // Hot-split fragments: a non-worker holder splits each instructed
+    // key's run into w near-equal contiguous chunks, one per worker in
+    // instruction order (earlier workers absorb the remainder rows), ships
+    // them as migration data, and drops the run locally. Workers merge the
+    // chunks next to their own kept rows in phase 8.
+    auto run_fragments = [&](MessageType instr, MessageType data,
+                             TupleBlock* block) -> Status {
+      std::vector<std::vector<uint32_t>> rows(n);
+      FlatSet fragmented;
+      // Mirrors the sender: fragment instructions always use the plain
+      // order-preserving pair encoding, even under --group.
+      JoinConfig frag_config = config;
+      frag_config.group_locations = false;
+      auto instr_msgs = fabric.TakeInbox(node, instr);
+      for (const auto& msg : instr_msgs) {
+        TJ_RETURN_IF_ERROR(TryDecodeKeyNodePairs(msg, frag_config, &pairs));
+        size_t i = 0;
+        while (i < pairs.size()) {
+          const uint64_t key = pairs[i].key;
+          size_t j = i;
+          while (j < pairs.size() && pairs[j].key == key) ++j;
+          const uint64_t w = j - i;
+          auto [lo, hi] = block->EqualRange(key);
+          const uint64_t count = hi - lo;
+          uint64_t row = lo;
+          for (uint64_t k = 0; k < w; ++k) {
+            const uint64_t take = count / w + (k < count % w ? 1 : 0);
+            auto& dst_rows = rows[pairs[i + k].node];
+            for (uint64_t t = 0; t < take; ++t) {
+              dst_rows.push_back(static_cast<uint32_t>(row++));
+            }
+          }
+          if (count > 0) fragmented.Insert(key);
+          i = j;
+        }
+      }
+      for (auto& msg : instr_msgs) st.pool.Recycle(std::move(msg.data));
+      SendRowsPerDest(&fabric, node, data, *block, config.key_bytes, rows,
+                      &st.pool);
+      if (!fragmented.empty()) {
+        block->Filter([&](uint64_t row) {
+          return !fragmented.Contains(block->Key(row));
+        });
+      }
+      return Status::OK();
+    };
+    TJ_RETURN_IF_ERROR(run_fragments(MessageType::kFragmentR,
+                                     MessageType::kMigrationDataR, &st.r));
+    TJ_RETURN_IF_ERROR(run_fragments(MessageType::kFragmentS,
+                                     MessageType::kMigrationDataS, &st.s));
     return Status::OK();
   }));
 
@@ -388,8 +505,10 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
           ? (direction == Direction::kRtoS ? "2tj-r" : "2tj-s")
           : (version == TrackJoinVersion::k3Phase ? "3tj" : "4tj");
   result.profile = BuildStepProfile(algo_name, fabric);
+  result.node_output_rows.reserve(n);
   for (const auto& st : nodes) {
     result.output_rows += st.output_rows;
+    result.node_output_rows.push_back(st.output_rows);
     result.checksum.Merge(st.checksum);
   }
   if (config.materialize) {

@@ -333,20 +333,32 @@ bool PlacementIterator::Next() {
       key_ = rk;
       placement_.r.clear();
       placement_.s.clear();
+      r_rows_ = 0;
+      s_rows_ = 0;
       while (ri_ < r_entries_.size() && r_entries_[ri_].key == rk) {
         placement_.r.push_back(NodeSize{r_entries_[ri_].node,
                                         r_entries_[ri_].count * width_r_});
+        r_rows_ += r_entries_[ri_].count;
         ++ri_;
       }
       while (si_ < s_entries_.size() && s_entries_[si_].key == rk) {
         placement_.s.push_back(NodeSize{s_entries_[si_].node,
                                         s_entries_[si_].count * width_s_});
+        s_rows_ += s_entries_[si_].count;
         ++si_;
       }
       return true;
     }
   }
   return false;
+}
+
+bool PlacementIterator::OutputProductAtLeast(uint64_t threshold) const {
+  uint64_t product;
+  if (__builtin_mul_overflow(r_rows_, s_rows_, &product)) {
+    return true;  // Saturate: the true product certainly exceeds any u64.
+  }
+  return product >= threshold;
 }
 
 ByteBuffer EncodeKeyNodePairs(const std::vector<KeyNodePair>& pairs,

@@ -138,6 +138,16 @@ class PlacementIterator {
   uint64_t key() const { return key_; }
   const KeyPlacement& placement() const { return placement_; }
 
+  /// Total matching row counts of the current key, summed across nodes
+  /// from the tracked per-node counts (the data heavy-hitter detection
+  /// thresholds over — no extra wire traffic needed).
+  uint64_t r_row_count() const { return r_rows_; }
+  uint64_t s_row_count() const { return s_rows_; }
+
+  /// True when r_row_count * s_row_count >= threshold, with the product
+  /// saturating instead of wrapping on extreme skew.
+  bool OutputProductAtLeast(uint64_t threshold) const;
+
  private:
   const std::vector<TrackEntry>& r_entries_;
   const std::vector<TrackEntry>& s_entries_;
@@ -146,6 +156,8 @@ class PlacementIterator {
   size_t ri_ = 0;
   size_t si_ = 0;
   uint64_t key_ = 0;
+  uint64_t r_rows_ = 0;
+  uint64_t s_rows_ = 0;
   KeyPlacement placement_;
 };
 

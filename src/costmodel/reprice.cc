@@ -26,6 +26,8 @@ EntryWidths WidthsFor(MessageType type, const PricingSpec& spec) {
     case MessageType::kLocationsToS:
     case MessageType::kMigrateR:
     case MessageType::kMigrateS:
+    case MessageType::kFragmentR:
+    case MessageType::kFragmentS:
       return {phys.key_bytes + phys.node_bytes,
               spec.key_bits_x100 + spec.node_bits_x100};
     case MessageType::kDataR:

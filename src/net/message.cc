@@ -54,6 +54,10 @@ const char* MessageTypeName(MessageType type) {
       return "filter";
     case MessageType::kAck:
       return "ack";
+    case MessageType::kFragmentR:
+      return "fragment_r";
+    case MessageType::kFragmentS:
+      return "fragment_s";
   }
   return "unknown";
 }
@@ -69,6 +73,8 @@ TrafficClass ClassOf(MessageType type) {
     case MessageType::kMigrateS:
     case MessageType::kRidR:
     case MessageType::kRidS:
+    case MessageType::kFragmentR:
+    case MessageType::kFragmentS:
       return TrafficClass::kKeysAndNodes;
     case MessageType::kDataR:
     case MessageType::kMigrationDataR:
@@ -149,7 +155,7 @@ Status DecodeFrame(const ByteBuffer& frame, FrameHeader* header,
   const uint32_t seq = reader.GetU32();
   const uint32_t len = reader.GetU32();
   const uint32_t crc = reader.GetU32();
-  if (type_byte > static_cast<uint8_t>(MessageType::kAck)) {
+  if (type_byte > static_cast<uint8_t>(MessageType::kFragmentS)) {
     return Status::Corruption("unknown message type in frame header");
   }
   if (reserved != 0) {

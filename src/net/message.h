@@ -30,6 +30,8 @@ enum class MessageType : uint8_t {
   kRidS,           ///< Late materialization: rid messages toward S side.
   kFilter,         ///< Semi-join Bloom filter broadcast.
   kAck,            ///< Reliable delivery: ack/nack control messages.
+  kFragmentR,      ///< Hot-split: <key, worker> fragment instructions, R side.
+  kFragmentS,      ///< Hot-split: <key, worker> fragment instructions, S side.
 };
 
 /// Accounting classes matching the stacked bars of the paper's figures.

@@ -16,7 +16,7 @@
 
 namespace tj {
 
-constexpr int kNumMessageTypes = 14;
+constexpr int kNumMessageTypes = 16;
 
 class TrafficMatrix {
  public:

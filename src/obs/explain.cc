@@ -18,6 +18,7 @@ constexpr MessageType kScheduledTypes[] = {
     MessageType::kMigrateR,     MessageType::kMigrateS,
     MessageType::kDataR,        MessageType::kDataS,
     MessageType::kMigrationDataR, MessageType::kMigrationDataS,
+    MessageType::kFragmentR,    MessageType::kFragmentS,
 };
 
 const char* DirName(Direction dir) {
@@ -68,7 +69,10 @@ ScheduleExplain BuildScheduleExplain(const std::string& algorithm,
       static_cast<int64_t>(explain.scheduled_bytes);
 
   // Heavy hitters: the keys whose schedules move the most bytes. Full sort
-  // is avoidable, but audit sizes are per-run key counts — fine.
+  // is avoidable, but audit sizes are per-run key counts — fine. The
+  // ordering is total and deterministic: cost ties fall back to the key
+  // (unique per audit), never to lane or container iteration order, so
+  // `--explain-top=K` renders identically across repeated runs.
   std::sort(records.begin(), records.end(),
             [](const KeyScheduleAudit& a, const KeyScheduleAudit& b) {
               if (a.chosen_cost != b.chosen_cost) {
@@ -122,6 +126,7 @@ std::string ToJson(const ScheduleExplain& explain) {
     AppendJsonEscaped(DirName(rec.chosen_dir), &out);
     AppendU64("chosen_cost", rec.chosen_cost, &f, &out);
     AppendU64("chosen_migrations", rec.chosen_migrations, &f, &out);
+    AppendU64("chosen_split", rec.chosen_split, &f, &out);
     AppendU64("broadcast_cost_r_to_s", rec.broadcast_cost[0], &f, &out);
     AppendU64("broadcast_cost_s_to_r", rec.broadcast_cost[1], &f, &out);
     AppendU64("plan_cost_r_to_s", rec.plan_cost[0], &f, &out);
@@ -175,18 +180,18 @@ std::string ToTable(const ScheduleExplain& explain) {
                   "  top %zu keys by scheduled bytes:\n", explain.top.size());
     out += buf;
     std::snprintf(buf, sizeof(buf),
-                  "  %16s %-18s %-6s %10s %6s %10s %10s %10s\n", "key",
-                  "class", "dir", "cost B", "migr", "bc r->s", "bc s->r",
-                  "hash B");
+                  "  %16s %-18s %-6s %10s %6s %6s %10s %10s %10s\n", "key",
+                  "class", "dir", "cost B", "migr", "split", "bc r->s",
+                  "bc s->r", "hash B");
     out += buf;
     for (const KeyScheduleAudit& rec : explain.top) {
       std::snprintf(
           buf, sizeof(buf),
-          "  %16llu %-18s %-6s %10llu %6u %10llu %10llu %10llu\n",
+          "  %16llu %-18s %-6s %10llu %6u %6u %10llu %10llu %10llu\n",
           static_cast<unsigned long long>(rec.key), ScheduleClassName(rec.cls),
           DirName(rec.chosen_dir),
           static_cast<unsigned long long>(rec.chosen_cost),
-          rec.chosen_migrations,
+          rec.chosen_migrations, rec.chosen_split,
           static_cast<unsigned long long>(rec.broadcast_cost[0]),
           static_cast<unsigned long long>(rec.broadcast_cost[1]),
           static_cast<unsigned long long>(rec.hash_join_cost));

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -141,7 +143,7 @@ Workload GenerateWorkload(const WorkloadSpec& spec) {
   return w;
 }
 
-Workload GenerateZipfWorkload(const ZipfWorkloadSpec& spec) {
+Result<Workload> TryGenerateZipfWorkload(const ZipfWorkloadSpec& spec) {
   TJ_CHECK_GT(spec.num_nodes, 0u);
   TJ_CHECK_GT(spec.key_domain, 0u);
   Workload w{PartitionedTable("R", spec.num_nodes, spec.r_payload),
@@ -154,7 +156,17 @@ Workload GenerateZipfWorkload(const ZipfWorkloadSpec& spec) {
   std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> counts;
   counts.reserve(spec.key_domain);
 
-  ZipfGenerator r_zipf(spec.key_domain, spec.r_theta);
+  // Sampling is const, so both tables share one sampler (and its
+  // distribution setup) whenever their parameters agree; only distinct
+  // thetas pay for a second instance. The shared key domain is fixed.
+  const ZipfGenerator r_zipf(spec.key_domain, spec.r_theta);
+  const ZipfGenerator s_zipf_distinct =
+      spec.s_theta == spec.r_theta
+          ? ZipfGenerator(1, 0.0)  // Placeholder; never sampled.
+          : ZipfGenerator(spec.key_domain, spec.s_theta);
+  const ZipfGenerator& s_zipf =
+      spec.s_theta == spec.r_theta ? r_zipf : s_zipf_distinct;
+
   scratch.resize(std::max(spec.r_payload, spec.s_payload));
   for (uint64_t i = 0; i < spec.r_rows; ++i) {
     uint64_t key = 1 + r_zipf.Next(&rng);
@@ -164,7 +176,6 @@ Workload GenerateZipfWorkload(const ZipfWorkloadSpec& spec) {
     uint32_t node = static_cast<uint32_t>(rng.Below(spec.num_nodes));
     w.r.node(node).Append(key, scratch.data());
   }
-  ZipfGenerator s_zipf(spec.key_domain, spec.s_theta);
   for (uint64_t i = 0; i < spec.s_rows; ++i) {
     uint64_t key = 1 + s_zipf.Next(&rng);
     uint64_t copy = counts[key].second++;
@@ -174,9 +185,33 @@ Workload GenerateZipfWorkload(const ZipfWorkloadSpec& spec) {
     w.s.node(node).Append(key, scratch.data());
   }
   for (const auto& [key, rs] : counts) {
-    w.expected_output_rows += rs.first * rs.second;
+    // Under extreme skew one key's cartesian product alone can exceed
+    // uint64; fail loudly rather than wrap and "verify" a bogus count.
+    TJ_RETURN_IF_ERROR(
+        AddOutputProduct(key, rs.first, rs.second, &w.expected_output_rows));
   }
   return w;
+}
+
+Status AddOutputProduct(uint64_t key, uint64_t r_count, uint64_t s_count,
+                        uint64_t* total) {
+  uint64_t product = 0;
+  uint64_t sum = 0;
+  if (__builtin_mul_overflow(r_count, s_count, &product) ||
+      __builtin_add_overflow(*total, product, &sum)) {
+    return Status::InvalidArgument(
+        "zipf workload output cardinality overflows uint64 (key " +
+        std::to_string(key) + ": " + std::to_string(r_count) + " x " +
+        std::to_string(s_count) + " rows)");
+  }
+  *total = sum;
+  return Status::OK();
+}
+
+Workload GenerateZipfWorkload(const ZipfWorkloadSpec& spec) {
+  Result<Workload> w = TryGenerateZipfWorkload(spec);
+  TJ_CHECK(w.ok()) << w.status().ToString();
+  return std::move(w).value();
 }
 
 void ShuffleTable(PartitionedTable* table, uint64_t seed) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/replica.h"
 #include "storage/table.h"
 
@@ -102,7 +103,23 @@ struct ZipfWorkloadSpec {
 };
 
 /// Generates a Zipf workload; expected_output_rows is computed exactly
-/// from the drawn multiplicities.
+/// from the drawn multiplicities. Both tables share one sampler when their
+/// (domain, theta) match, so the distribution setup runs once, and theta=0
+/// degenerates to plain uniform sampling (see ZipfGenerator).
+///
+/// The exact output count can overflow uint64 under extreme skew (a hot
+/// key with ~2^32 copies on each side): the Try variant detects any
+/// overflowing per-key product or running sum and returns
+/// Status::InvalidArgument instead of silently wrapping.
+Result<Workload> TryGenerateZipfWorkload(const ZipfWorkloadSpec& spec);
+
+/// Accumulates one key's exact output contribution (r_count x s_count)
+/// into *total. InvalidArgument (naming `key` and the counts) when the
+/// product or the running sum overflows uint64; *total is untouched then.
+Status AddOutputProduct(uint64_t key, uint64_t r_count, uint64_t s_count,
+                        uint64_t* total);
+
+/// CHECK-failing convenience wrapper around TryGenerateZipfWorkload.
 Workload GenerateZipfWorkload(const ZipfWorkloadSpec& spec);
 
 }  // namespace tj

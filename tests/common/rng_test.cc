@@ -113,6 +113,46 @@ TEST(ZipfTest, SkewFavorsSmallValues) {
   EXPECT_GT(first_decile, kSamples / 2);
 }
 
+TEST(ZipfTest, HeadFrequencyGrowsWithTheta) {
+  constexpr int kSamples = 20000;
+  int previous = 0;
+  for (double theta : {0.0, 0.5, 1.0, 1.5}) {
+    Rng rng(41);
+    ZipfGenerator zipf(1000, theta);
+    int head = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      if (zipf.Next(&rng) == 0) ++head;
+    }
+    // The hottest value's draw frequency rises strictly with theta; the
+    // steps between these thetas dwarf sampling noise at 20k draws.
+    EXPECT_GT(head, previous) << "theta " << theta;
+    previous = head;
+  }
+  // theta=1.5: value 0 alone draws a double-digit share of all samples.
+  EXPECT_GT(previous, kSamples / 10);
+}
+
+TEST(ZipfTest, DomainOfOneAlwaysZero) {
+  Rng rng(43);
+  for (double theta : {0.0, 1.2}) {
+    ZipfGenerator zipf(1, theta);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+  }
+}
+
+TEST(ZipfTest, SharedSamplerStreamsAreIndependent) {
+  // Sampling is const, so two Rng streams drawing from one generator must
+  // match two streams drawing from private generators with the same setup.
+  ZipfGenerator shared(100, 1.1);
+  ZipfGenerator own_a(100, 1.1);
+  ZipfGenerator own_b(100, 1.1);
+  Rng a1(47), a2(47), b1(53), b2(53);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(shared.Next(&a1), own_a.Next(&a2));
+    EXPECT_EQ(shared.Next(&b1), own_b.Next(&b2));
+  }
+}
+
 TEST(ZipfTest, StaysInDomain) {
   Rng rng(37);
   for (double theta : {0.0, 0.5, 0.99, 1.0, 1.5}) {

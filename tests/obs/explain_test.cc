@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "core/schedule.h"
 #include "core/track_join.h"
@@ -47,6 +49,11 @@ TEST(AuditPlacementTest, ClassifyAudit) {
   EXPECT_EQ(ClassifyAudit(audit), ScheduleClass::kBroadcastStoR);
   audit.chosen_migrations = 2;
   EXPECT_EQ(ClassifyAudit(audit), ScheduleClass::kMigrated);
+  // A split key is hot_split no matter what else the record says.
+  audit.chosen_split = 3;
+  EXPECT_EQ(ClassifyAudit(audit), ScheduleClass::kHotSplit);
+  audit.chosen_migrations = 0;
+  EXPECT_EQ(ClassifyAudit(audit), ScheduleClass::kHotSplit);
 }
 
 TEST(ScheduleAuditLogTest, CollectConcatenatesInNodeOrder) {
@@ -179,6 +186,82 @@ TEST(ScheduleExplainTest, JsonAndTableRenderTotals) {
   std::string table = ToTable(e);
   EXPECT_NE(table.find("EXPLAIN 4tj"), std::string::npos) << table;
   EXPECT_NE(table.find("exact match"), std::string::npos) << table;
+}
+
+TEST(ScheduleExplainTest, HotSplitClassReconcilesExactly) {
+  ZipfWorkloadSpec spec;
+  spec.num_nodes = 8;
+  spec.key_domain = 4000;
+  spec.r_rows = 8000;
+  spec.s_rows = 8000;
+  spec.r_theta = 1.2;
+  spec.s_theta = 1.2;
+  spec.seed = 99;
+  Workload w = GenerateZipfWorkload(spec);
+
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.hot_key_threshold = 10000;
+  ScheduleAuditLog audit;
+  config.schedule_audit = &audit;
+  Result<JoinResult> run =
+      TryRunTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ScheduleExplain e =
+      BuildScheduleExplain("4tj", audit, run.value().traffic, /*top_k=*/5);
+  // Split keys exist, their class carries bytes, and the per-key audit
+  // still reconciles byte-for-byte against the run's traffic matrix —
+  // the hot plan's modeled cost must equal what actually hit the wire.
+  const auto& hot = e.by_class[static_cast<int>(ScheduleClass::kHotSplit)];
+  EXPECT_GT(hot.keys, 0u);
+  EXPECT_GT(hot.bytes, 0u);
+  ExpectExact(e);
+  // The head keys are the split ones, and the renderers surface them.
+  ASSERT_FALSE(e.top.empty());
+  EXPECT_GT(e.top[0].chosen_split, 0u);
+  EXPECT_NE(ToJson(e).find("\"hot_split\""), std::string::npos);
+  EXPECT_NE(ToTable(e).find("hot_split"), std::string::npos);
+}
+
+TEST(ScheduleExplainTest, TopKeysDeterministicUnderCostTies) {
+  // Records with identical costs must surface in key order regardless of
+  // insertion order, so two runs of the same audit render identically.
+  for (int top_k : {3, 7}) {
+    ScheduleAuditLog forward, backward;
+    forward.Reset(1);
+    backward.Reset(1);
+    std::vector<uint64_t> keys = {11, 3, 42, 27, 8, 19, 5};
+    KeyScheduleAudit a;
+    a.chosen_cost = 500;  // All tied.
+    a.chosen_dir = Direction::kRtoS;
+    for (uint64_t k : keys) {
+      a.key = k;
+      forward.Record(0, a);
+    }
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+      a.key = *it;
+      backward.Record(0, a);
+    }
+    TrafficMatrix traffic(1);
+    ScheduleExplain f = BuildScheduleExplain("t", forward, traffic, top_k);
+    ScheduleExplain b = BuildScheduleExplain("t", backward, traffic, top_k);
+    ASSERT_EQ(f.top.size(), std::min<size_t>(top_k, keys.size()));
+    for (size_t i = 0; i + 1 < f.top.size(); ++i) {
+      EXPECT_LT(f.top[i].key, f.top[i + 1].key);  // Ties break by key.
+    }
+    EXPECT_EQ(ToJson(f), ToJson(b));
+    EXPECT_EQ(ToTable(f), ToTable(b));
+  }
+}
+
+TEST(ScheduleExplainTest, RepeatedRunsRenderIdentically) {
+  // Regression: run the same audited join twice end to end; the rendered
+  // EXPLAIN (including --explain-top ordering) must be byte-identical.
+  Workload w = SpreadWorkload();
+  ScheduleExplain a = RunAudited(w, TrackJoinVersion::k4Phase, false, "4tj");
+  ScheduleExplain b = RunAudited(w, TrackJoinVersion::k4Phase, false, "4tj");
+  EXPECT_EQ(ToJson(a), ToJson(b));
+  EXPECT_EQ(ToTable(a), ToTable(b));
 }
 
 TEST(ScheduleExplainTest, HostileAlgorithmNameIsEscapedInJson) {

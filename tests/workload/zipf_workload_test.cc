@@ -80,5 +80,62 @@ TEST(ZipfWorkloadTest, PayloadsDistinctPerCopy) {
   }
 }
 
+TEST(ZipfWorkloadTest, EmptySideYieldsZeroOutput) {
+  ZipfWorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.key_domain = 50;
+  spec.r_rows = 0;
+  spec.s_rows = 400;
+  Workload w = GenerateZipfWorkload(spec);
+  EXPECT_EQ(w.r.TotalRows(), 0u);
+  EXPECT_EQ(w.s.TotalRows(), 400u);
+  EXPECT_EQ(w.expected_output_rows, 0u);
+}
+
+TEST(ZipfWorkloadTest, DomainOfOneIsFullCrossProduct) {
+  ZipfWorkloadSpec spec;
+  spec.num_nodes = 2;
+  spec.key_domain = 1;
+  spec.r_rows = 30;
+  spec.s_rows = 40;
+  Workload w = GenerateZipfWorkload(spec);
+  EXPECT_EQ(w.expected_output_rows, 1200u);
+}
+
+TEST(ZipfWorkloadTest, OutputProductOverflowIsInvalidArgument) {
+  uint64_t total = 0;
+  EXPECT_TRUE(AddOutputProduct(1, 1u << 20, 1u << 20, &total).ok());
+  EXPECT_EQ(total, 1ull << 40);
+
+  // One key's product alone exceeds uint64.
+  Status product = AddOutputProduct(7, 1ull << 33, 1ull << 33, &total);
+  EXPECT_EQ(product.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(product.message().find("key 7"), std::string::npos);
+  EXPECT_EQ(total, 1ull << 40);  // Untouched on failure.
+
+  // The running sum can overflow even when each product fits.
+  total = ~0ull - 10;
+  Status sum = AddOutputProduct(9, 4, 4, &total);
+  EXPECT_EQ(sum.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(total, ~0ull - 10);
+}
+
+TEST(ZipfWorkloadTest, ThetaZeroFastPathIsUniform) {
+  ZipfWorkloadSpec spec;
+  spec.num_nodes = 2;
+  spec.key_domain = 4;
+  spec.r_rows = 40000;
+  spec.s_rows = 0;
+  spec.r_theta = 0.0;
+  spec.s_theta = 0.0;
+  Workload w = GenerateZipfWorkload(spec);
+  std::map<uint64_t, uint64_t> counts;
+  for (uint32_t node = 0; node < spec.num_nodes; ++node) {
+    for (uint64_t key : w.r.node(node).keys()) ++counts[key];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [key, count] : counts) EXPECT_NEAR(count, 10000, 500);
+}
+
 }  // namespace
 }  // namespace tj

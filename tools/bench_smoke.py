@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Benchmark smoke + regression gate.
 
-Runs the table2/3/4 benches at a small fixed scale (they must complete),
-then the local_kernels throughput bench and the micro_tracker merge bench,
+Runs the table2/3/4 benches at a small fixed scale (they must complete)
+and the hot-key-splitting ablation (which self-verifies: it exits nonzero
+when splitting changes any join checksum), then the local_kernels
+throughput bench and the micro_tracker merge bench,
 writes BENCH_local_kernels.json, and fails when any gated throughput
 (baseline sections "tps" and "micro_tps") regresses more than the
 tolerance (default 25%) below the checked-in baseline
@@ -32,6 +34,9 @@ TABLE_BENCHES = [
     ("table2_execution_times", ["--scale=20000", "--nodes=4"]),
     ("table3_hash_join_steps", ["--scale=20000", "--nodes=4"]),
     ("table4_track_join_steps", ["--scale=20000", "--nodes=4"]),
+    # Checksum-gated: the binary itself fails when hot-key splitting
+    # perturbs any join result.
+    ("ablation_hot_keys", ["--nodes=8"]),
 ]
 BENCH_TIMEOUT_S = 600
 

@@ -79,6 +79,11 @@ def main():
     # --expect-zero-recovery pins the pristine-path guarantee: a run with
     # no failed attempts must report exactly zero recovery bytes.
     expect_zero_recovery = "--expect-zero-recovery" in sys.argv[1:]
+    # --expect-zero-hot-split pins the no-skew guarantee: below the hot-key
+    # threshold (or with splitting off) no fragment instructions may move,
+    # so neither fragment type may appear in any step's byte breakdown
+    # (bytes_by_type omits all-zero types).
+    expect_zero_hot_split = "--expect-zero-hot-split" in sys.argv[1:]
     try:
         profiles = json.load(sys.stdin)
     except json.JSONDecodeError as e:
@@ -98,6 +103,13 @@ def main():
         for step in steps:
             check_fields(step, STEP_KEYS, "%s step %r" %
                          (algo, step.get("phase")))
+            if expect_zero_hot_split:
+                present = set(step["bytes_by_type"]) & {"fragment_r",
+                                                        "fragment_s"}
+                if present:
+                    fail("%s step %r: fragment traffic %s on a run that "
+                         "must not split hot keys" %
+                         (algo, step["phase"], sorted(present)))
         if algo in TRACK_JOIN_ALGOS:
             labels = {s["phase"] for s in steps}
             unknown = labels - TRACK_JOIN_PHASES

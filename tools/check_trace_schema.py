@@ -19,7 +19,7 @@ import sys
 
 ALLOWED_PHASES = {"X", "C", "M", "i"}
 EXPLAIN_CLASSES = ("free", "broadcast_r_to_s", "broadcast_s_to_r", "migrated",
-                   "failover")
+                   "failover", "hot_split")
 EXPLAIN_KEYS = {
     "algorithm": str,
     "total_keys": int,
@@ -39,6 +39,7 @@ TOP_KEY_KEYS = {
     "chosen_dir": str,
     "chosen_cost": int,
     "chosen_migrations": int,
+    "chosen_split": int,
     "broadcast_cost_r_to_s": int,
     "broadcast_cost_s_to_r": int,
     "plan_cost_r_to_s": int,
@@ -127,7 +128,7 @@ def check_trace(path):
           (len(events), phase_spans, nic_counters, process_names))
 
 
-def check_explain():
+def check_explain(expect_zero_hot_split=False):
     try:
         explains = json.load(sys.stdin)
     except json.JSONDecodeError as e:
@@ -164,6 +165,18 @@ def check_explain():
         if explain["saved_vs_hash_bytes"] != (
                 explain["hash_join_bytes"] - explain["scheduled_bytes"]):
             fail("%s: saved_vs_hash_bytes is not hash - scheduled" % algo)
+        # Pins the no-skew guarantee: on workloads below the hot-key
+        # threshold (or with splitting off) not a single key may be split.
+        if expect_zero_hot_split:
+            hot = classes["hot_split"]
+            if hot["keys"] != 0 or hot["bytes"] != 0:
+                fail("%s: expected zero hot_split decisions, got %d key(s) / "
+                     "%d byte(s)" % (algo, hot["keys"], hot["bytes"]))
+            for rec in explain["top_keys"]:
+                if rec["chosen_split"] != 0:
+                    fail("%s: top key %d has chosen_split=%d on a run that "
+                         "must not split" %
+                         (algo, rec["key"], rec["chosen_split"]))
         for rec in explain["top_keys"]:
             check_fields(rec, TOP_KEY_KEYS,
                          "%s top key %r" % (algo, rec.get("key")))
@@ -175,13 +188,17 @@ def check_explain():
 
 
 def main():
-    if len(sys.argv) == 3 and sys.argv[1] == "trace":
-        check_trace(sys.argv[2])
-    elif len(sys.argv) == 2 and sys.argv[1] == "explain":
-        check_explain()
+    args = sys.argv[1:]
+    expect_zero_hot_split = "--expect-zero-hot-split" in args
+    args = [a for a in args if a != "--expect-zero-hot-split"]
+    if len(args) == 2 and args[0] == "trace":
+        check_trace(args[1])
+    elif len(args) == 1 and args[0] == "explain":
+        check_explain(expect_zero_hot_split)
     else:
         sys.exit("usage: check_trace_schema.py trace FILE\n"
-                 "       check_trace_schema.py explain < explain.json")
+                 "       check_trace_schema.py explain "
+                 "[--expect-zero-hot-split] < explain.json")
 
 
 if __name__ == "__main__":

@@ -37,7 +37,7 @@ for san in "${sanitizers[@]}"; do
   # grep exits at the first match and ctest takes a SIGPIPE.)
   unit_listing="$(ctest --test-dir "${dir}" -N -L unit)"
   for required in kway_merge_test flat_table_test buffer_pool_test \
-                  tracker_test; do
+                  tracker_test hot_split_test zipf_workload_test; do
     if ! grep -q " ${required}\$" <<<"${unit_listing}"; then
       echo "ci.sh: ${required} missing from the unit label in ${dir}" >&2
       exit 1
@@ -111,6 +111,22 @@ python3 tools/check_trace_schema.py trace "${trace_tmp}"
 "${smoke_dir}/tools/tjsim" --nodes=4 --keys=500 --smult=2 \
     --algo=2tj-r,3tj,4tj --explain=json \
   | python3 tools/check_trace_schema.py explain
+
+# Hot-key splitting smoke: on a skewed run with the threshold armed, the
+# split decisions must still reconcile byte-for-byte; on a uniform run the
+# same threshold must produce zero hot_split decisions and zero fragment
+# traffic (EXPLAIN and the step profile both pin it).
+echo "=== hot-split smoke: skewed reconciliation + uniform zero-split pins ==="
+"${smoke_dir}/tools/tjsim" --nodes=8 --keys=5000 --zipf=1.2 \
+    --hot-key-threshold=10000 --algo=4tj --explain=json \
+  | python3 tools/check_trace_schema.py explain
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=2000 \
+    --hot-key-threshold=10000 --algo=4tj --explain=json \
+  | python3 tools/check_trace_schema.py explain --expect-zero-hot-split
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=2000 \
+    --hot-key-threshold=10000 --algo=hj,4tj --profile=json \
+  | python3 tools/check_profile_schema.py --expect-zero-recovery \
+      --expect-zero-hot-split
 
 # The batch-scoped ParallelFor is lock-order sensitive; run its tests (and
 # the rest of tj_common's concurrency surface) under TSan even when the

@@ -51,6 +51,8 @@ struct Options {
   double zipf = -1.0;  // >= 0 switches to the Zipf generator.
   bool shuffle = false;
   bool balance = false;
+  uint64_t hot_key_threshold = 0;  // 0 = hot-key splitting off.
+  uint32_t hot_key_max_split = 4;
   bool delta = false;
   bool group = false;
   uint64_t seed = 42;
@@ -93,6 +95,9 @@ execution:
                        rid-hj late-hj all (default all)
   --key-bytes=B        serialized key width wk (default 4)
   --balance            balance-aware 4-phase scheduling
+  --hot-key-threshold=N  split keys whose modeled output (r_rows*s_rows)
+                       reaches N across several nodes (4tj; 0 = off)
+  --hot-key-max-split=W  cap on workers per split hot key (default 4)
   --delta              delta-compress tracking keys
   --group              node-group location messages
   --bandwidth=GBPS     NIC GB/s for the time model (default 0.093)
@@ -347,6 +352,12 @@ Options Parse(int argc, char** argv) {
     } else if ((v = val("--explain-top="))) {
       opt.explain_top = ParseUint64Flag("--explain-top", v, 0, 1u << 20,
                                         "integer in [0, 1048576]");
+    } else if ((v = val("--hot-key-threshold="))) {
+      opt.hot_key_threshold = ParseUint64Flag(
+          "--hot-key-threshold", v, 0, UINT64_MAX, "unsigned integer");
+    } else if ((v = val("--hot-key-max-split="))) {
+      opt.hot_key_max_split = ParseUint32Flag(
+          "--hot-key-max-split", v, 0, 1u << 16, "integer in [0, 65536]");
     } else if (std::strcmp(a, "--metrics") == 0) {
       opt.metrics = true;
     } else if (std::strcmp(a, "--shuffle") == 0) {
@@ -445,6 +456,8 @@ int main(int argc, char** argv) {
   tj::JoinConfig config;
   config.key_bytes = opt.key_bytes;
   config.balance_loads = opt.balance;
+  config.hot_key_threshold = opt.hot_key_threshold;
+  config.hot_key_max_split = opt.hot_key_max_split;
   config.delta_tracking = opt.delta;
   config.group_locations = opt.group;
   config.phase_deadline_seconds = opt.phase_deadline;
