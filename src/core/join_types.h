@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "net/failure.h"
 #include "net/fault_injector.h"
 #include "net/traffic.h"
@@ -27,6 +28,30 @@ inline Direction Opposite(Direction dir) {
 }
 
 const char* DirectionName(Direction dir);
+
+/// Which track-join variant runs (see core/track_join.h for the taxonomy).
+/// Lives here so the shared per-key planner (core/schedule.h) and both the
+/// barrier and pipelined drivers can name the variant without a header cycle.
+enum class TrackJoinVersion : uint8_t { k2Phase = 2, k3Phase = 3, k4Phase = 4 };
+
+/// Event-driven micro-batch execution knobs (the pipelined 3TJ/4TJ drivers;
+/// see core/pipelined_track_join.h and net/pipelined_fabric.h).
+struct PipelineConfig {
+  /// Run the pipelined driver instead of the barrier driver.
+  bool enabled = false;
+  /// Target micro-batch chunk payload size. Tracking streams and tuple data
+  /// are sliced at entry/row boundaries at (at most) this many bytes.
+  uint64_t chunk_bytes = 1 << 12;
+  /// Per-node inbox memory budget enforced by credit-based flow control:
+  /// each incoming link gets a byte window of
+  /// max(chunk_bytes, inbox_budget_bytes / num_nodes).
+  uint64_t inbox_budget_bytes = 1 << 15;
+  /// Modeled CPU throughput (bytes touched per second) used to price tasks
+  /// on the pipelined fabric's per-node serial CPU resource. Paired with
+  /// the NIC bandwidth of net/time_model.h, it makes the modeled makespan
+  /// fully deterministic. See PipelineCostModel.
+  double cpu_bandwidth_bytes_per_sec = 0.25e9;
+};
 
 /// Serialization widths and feature toggles shared by all join algorithms.
 struct JoinConfig {
@@ -97,9 +122,30 @@ struct JoinConfig {
   /// phase fails with DeadlineExceeded. See Fabric::SetPhaseDeadline.
   double phase_deadline_seconds = 0;
 
+  /// Event-driven micro-batch execution (pipelined 3TJ/4TJ). Off by
+  /// default; tjsim's --pipeline flag enables it. Requires the plain wire
+  /// format (delta_tracking / group_locations off), because micro-batch
+  /// chunking relies on entry-aligned, context-free encodings.
+  PipelineConfig pipeline;
+
   /// Location-message size M in bytes, as used by the per-key scheduler.
   uint64_t MsgBytes() const { return key_bytes + node_bytes; }
 };
+
+/// Guard shared by the streaming and pipelined drivers: both chunk their
+/// wire streams at entry boundaries, which only the plain fixed-width
+/// encodings allow (delta-coded keys and node-grouped pairs carry
+/// cross-entry context).
+inline Status RequirePlainWireFormat(const JoinConfig& config,
+                                     const char* driver) {
+  if (config.delta_tracking || config.group_locations) {
+    return Status::InvalidArgument(
+        std::string(driver) +
+        " requires the plain wire format (delta_tracking and "
+        "group_locations must be off)");
+  }
+  return Status::OK();
+}
 
 /// Outcome of a distributed join run: verified output fingerprint, full
 /// traffic matrix and per-phase wall-clock breakdown.
@@ -125,6 +171,12 @@ struct JoinResult {
   /// splits (obs/step_profile.h). phase_seconds above is its wall-time
   /// projection, kept for existing consumers.
   StepProfile profile;
+  /// Pipelined runs only (else 0): modeled end-to-end makespan — the
+  /// critical path through the event-driven schedule — and the
+  /// barrier-equivalent reference computed from the same run's per-stage
+  /// accounting (sum over stages of max-node CPU + max-NIC transfer time).
+  double makespan_seconds = 0;
+  double barrier_makespan_seconds = 0;
 
   /// Sum of all phase wall times.
   double TotalCpuSeconds() const {

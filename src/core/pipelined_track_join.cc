@@ -1,0 +1,723 @@
+#include "core/pipelined_track_join.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/flat_table.h"
+#include "common/logging.h"
+#include "core/schedule.h"
+#include "core/tracker.h"
+#include "exec/key_aggregate.h"
+#include "exec/local_join.h"
+#include "exec/radix_sort.h"
+#include "net/buffer_pool.h"
+#include "net/pipelined_fabric.h"
+#include "obs/step_profile.h"
+
+namespace tj {
+
+namespace {
+
+/// Frontier bound of a fully-delivered stream: past every possible key.
+constexpr uint64_t kStreamDone = ~0ULL;
+
+/// One tracker-side incoming tracking stream (one source, one table).
+/// Entries arrive key-sorted; `watermark` promises no later chunk carries
+/// a key strictly below it.
+struct TrackStream {
+  std::deque<TrackEntry> pending;
+  uint64_t watermark = 0;
+  bool started = false;
+  bool eos = false;
+
+  /// Keys strictly below the bound are final for this stream.
+  uint64_t Bound() const {
+    if (eos) return kStreamDone;
+    return started ? watermark : 0;
+  }
+};
+
+/// Row indices of a growing TupleBlock, bucketed by key. FlatMap keeps
+/// POD values only, so buckets live in a parallel vector (value = index+1).
+struct KeyedRows {
+  FlatMap<uint64_t> index;
+  std::vector<std::vector<uint32_t>> buckets;
+
+  const std::vector<uint32_t>* Find(uint64_t key) const {
+    const uint64_t* slot = index.Find(key);
+    return slot == nullptr ? nullptr : &buckets[*slot - 1];
+  }
+  std::vector<uint32_t>& BucketFor(uint64_t key) {
+    uint64_t& slot = index[key];
+    if (slot == 0) {
+      buckets.emplace_back();
+      slot = buckets.size();
+    }
+    return buckets[slot - 1];
+  }
+};
+
+/// Per-node working state across all pipelined roles (source, tracker,
+/// holder, joiner).
+struct PipelineNodeState {
+  // Source role: sorted home blocks. Never filtered — data for a key only
+  // ever travels to its surviving locations, so a run that migrated or
+  // fragmented away is simply never probed again.
+  TupleBlock r{0};
+  TupleBlock s{0};
+
+  // Tracker role: per-(source, table) streams, the merge frontier, and the
+  // persistent per-key planner (balance state spans frontier batches).
+  std::vector<TrackStream> streams_r;
+  std::vector<TrackStream> streams_s;
+  uint64_t frontier = 0;
+  bool final_batch_posted = false;
+  std::optional<KeyPlanner> planner;
+
+  // Holder role: instruction-EOS countdown toward closing the data streams.
+  uint32_t instr_eos = 0;
+  bool data_eos_sent = false;
+
+  // Joiner role: received broadcast and migration rows, indexed by key for
+  // incremental exactly-once pairing.
+  TupleBlock in_r{0};
+  TupleBlock in_s{0};
+  TupleBlock mig_r{0};
+  TupleBlock mig_s{0};
+  KeyedRows in_r_rows, in_s_rows, mig_r_rows, mig_s_rows;
+  uint32_t data_eos = 0;
+
+  JoinChecksum checksum;
+  uint64_t output_rows = 0;
+  BufferPool pool;
+};
+
+/// Decodes a plain (fixed-width, order-preserving) <key, node> pair chunk.
+Status DecodePlainPairs(const ByteBuffer& data, const JoinConfig& config,
+                        std::vector<KeyNodePair>* out) {
+  out->clear();
+  const uint32_t pair_bytes = config.key_bytes + config.node_bytes;
+  if (data.size() % pair_bytes != 0) {
+    return Status::Corruption("instruction chunk not a multiple of pair size");
+  }
+  ByteReader reader(data);
+  out->reserve(data.size() / pair_bytes);
+  while (!reader.Done()) {
+    KeyNodePair pair;
+    pair.key = reader.GetUint(config.key_bytes);
+    pair.node = static_cast<uint32_t>(reader.GetUint(config.node_bytes));
+    out->push_back(pair);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JoinResult> TryRunPipelinedTrackJoin(const PartitionedTable& r,
+                                            const PartitionedTable& s,
+                                            const JoinConfig& config,
+                                            TrackJoinVersion version,
+                                            Direction direction) {
+  TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
+  if (version == TrackJoinVersion::k2Phase) {
+    return Status::InvalidArgument(
+        "pipelined track join supports the 3- and 4-phase versions only");
+  }
+  TJ_RETURN_IF_ERROR(RequirePlainWireFormat(config, "pipelined track join"));
+
+  const uint32_t n = r.num_nodes();
+  const bool four_phase = version == TrackJoinVersion::k4Phase;
+  const uint32_t width_r = config.key_bytes + r.payload_width();
+  const uint32_t width_s = config.key_bytes + s.payload_width();
+  const uint32_t track_entry_bytes = config.key_bytes + config.count_bytes;
+  const uint32_t pair_bytes = config.key_bytes + config.node_bytes;
+  // EOS fan-in: every tracker terminates every instruction stream to every
+  // holder; every holder then terminates every data stream to every joiner.
+  const uint32_t expected_instr_eos = n * (four_phase ? 6 : 2);
+  const uint32_t expected_data_eos = n * (four_phase ? 4 : 2);
+
+  PipelinedFabric::Params params;
+  params.num_nodes = n;
+  params.cost.cpu_bandwidth_bytes_per_sec =
+      config.pipeline.cpu_bandwidth_bytes_per_sec;
+  params.chunk_bytes = config.pipeline.chunk_bytes;
+  params.inbox_budget_bytes = config.pipeline.inbox_budget_bytes;
+  params.fault_policy = config.fault_policy;
+  params.fault_seed = config.fault_seed;
+  PipelinedFabric fabric(params);
+  // Fix the stage order for profiles and the barrier reference: scheduling
+  // tasks only materialize mid-run, after the transfer/join handlers have
+  // already registered their stages.
+  for (const char* stage : {"source", "track", "schedule", "transfer", "join"}) {
+    fabric.DeclareStage(stage);
+  }
+
+  ScheduleAuditLog* audit = config.schedule_audit;
+  if (audit != nullptr) audit->Reset(n);
+
+  std::vector<PipelineNodeState> nodes(n);
+  for (PipelineNodeState& st : nodes) {
+    st.streams_r.resize(n);
+    st.streams_s.resize(n);
+    st.planner.emplace(config, version, direction, n, /*tracker=*/0, width_r,
+                       width_s, audit);
+    st.in_r = TupleBlock(r.payload_width());
+    st.in_s = TupleBlock(s.payload_width());
+    st.mig_r = TupleBlock(r.payload_width());
+    st.mig_s = TupleBlock(s.payload_width());
+  }
+  // The planner's tracker id is positional; re-emplace with the right id.
+  for (uint32_t node = 0; node < n; ++node) {
+    nodes[node].planner.emplace(config, version, direction, n, node, width_r,
+                                width_s, audit);
+  }
+
+  const uint32_t out_width = r.payload_width() + s.payload_width();
+  std::vector<TupleBlock> out_blocks;
+  if (config.materialize) out_blocks.assign(n, TupleBlock(out_width));
+  auto sink_for = [&](uint32_t node) {
+    return config.materialize
+               ? MaterializeSink(&out_blocks[node], &nodes[node].checksum,
+                                 r.payload_width(), s.payload_width())
+               : ChecksumSink(&nodes[node].checksum, r.payload_width(),
+                              s.payload_width());
+  };
+
+  // Sends `message` as entry-aligned chunks on one (src, dst, type) stream,
+  // marking the last chunk EOS; an empty stream terminates with a zero-byte
+  // EOS chunk so receivers can count it.
+  auto send_sliced_stream = [&](uint32_t src, uint32_t dst, MessageType type,
+                                const ByteBuffer& message,
+                                uint32_t entry_bytes) {
+    if (message.empty()) {
+      fabric.SendChunk(src, dst, type, ByteBuffer{}, /*eos=*/true);
+      return;
+    }
+    std::vector<WireChunk> chunks = SliceEntryMessage(
+        message, entry_bytes, config.key_bytes, config.pipeline.chunk_bytes);
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      fabric.SendChunk(src, dst, type, std::move(chunks[i].data),
+                       /*eos=*/i + 1 == chunks.size(), chunks[i].watermark);
+    }
+  };
+
+  // Mid-stream (non-terminating) sliced send, used for data chunks whose
+  // streams are closed separately by the EOS countdown.
+  auto send_sliced_data = [&](uint32_t src, uint32_t dst, MessageType type,
+                              const ByteBuffer& message,
+                              uint32_t entry_bytes) {
+    std::vector<WireChunk> chunks = SliceEntryMessage(
+        message, entry_bytes, config.key_bytes, config.pipeline.chunk_bytes);
+    for (WireChunk& chunk : chunks) {
+      fabric.SendChunk(src, dst, type, std::move(chunk.data), /*eos=*/false,
+                       chunk.watermark);
+    }
+  };
+
+  // --- Source role: three tasks per node on its serial CPU, in order. ---
+  for (uint32_t node = 0; node < n; ++node) {
+    fabric.Post(node, "source", "source.sort_r", [&, node]() {
+      PipelineNodeState& st = nodes[node];
+      st.r = r.node(node);
+      SortBlockByKey(&st.r);
+      fabric.ChargeCpuBytes(st.r.size() * width_r);
+      return Status::OK();
+    });
+    fabric.Post(node, "source", "source.sort_s", [&, node]() {
+      PipelineNodeState& st = nodes[node];
+      st.s = s.node(node);
+      SortBlockByKey(&st.s);
+      fabric.ChargeCpuBytes(st.s.size() * width_s);
+      return Status::OK();
+    });
+    fabric.Post(node, "source", "source.track", [&, node]() {
+      PipelineNodeState& st = nodes[node];
+      std::vector<KeyCount> r_keys = AggregateSortedKeys(st.r);
+      std::vector<KeyCount> s_keys = AggregateSortedKeys(st.s);
+      fabric.ChargeCpuBytes((st.r.size() + st.s.size()) * config.key_bytes);
+      auto r_msgs = EncodeTrackingMessages(r_keys, config, /*with_counts=*/true,
+                                           n, &st.pool);
+      auto s_msgs = EncodeTrackingMessages(s_keys, config, /*with_counts=*/true,
+                                           n, &st.pool);
+      // Fan-outs start at node + 1 so the senders don't all hammer the same
+      // receiver NIC in lockstep (classic all-to-all staggering; per-link
+      // bytes and stream order are unaffected).
+      for (uint32_t step = 0; step < n; ++step) {
+        const uint32_t dst = (node + 1 + step) % n;
+        fabric.ChargeCpuBytes(r_msgs[dst].size() + s_msgs[dst].size());
+        send_sliced_stream(node, dst, MessageType::kTrackR, r_msgs[dst],
+                           track_entry_bytes);
+        send_sliced_stream(node, dst, MessageType::kTrackS, s_msgs[dst],
+                           track_entry_bytes);
+        st.pool.Recycle(std::move(r_msgs[dst]));
+        st.pool.Recycle(std::move(s_msgs[dst]));
+      }
+      return Status::OK();
+    });
+  }
+
+  // --- Tracker role: merge streams by watermark frontier, schedule each
+  // completed key range as its own micro-batch task. ---
+  auto post_schedule_batch = [&](uint32_t node, uint64_t lo, uint64_t hi,
+                                 bool final_batch,
+                                 std::vector<TrackEntry> batch_r,
+                                 std::vector<TrackEntry> batch_s) {
+    fabric.Post(
+        node, "schedule", "schedule",
+        [&, node, final_batch, batch_r = std::move(batch_r),
+         batch_s = std::move(batch_s)]() mutable {
+          PipelineNodeState& st = nodes[node];
+          // Per-batch merge: all entries of every key below the frontier
+          // are present, so aggregation is complete, and batch outputs
+          // concatenate to exactly the global merged stream.
+          MergeTrackEntries(&batch_r);
+          MergeTrackEntries(&batch_s);
+          fabric.ChargeCpuBytes((batch_r.size() + batch_s.size()) *
+                                track_entry_bytes);
+
+          KeyPlanOutputs outs(n);
+          PlacementIterator it(batch_r, batch_s, width_r, width_s, node,
+                               config.MsgBytes());
+          while (it.Next()) {
+            const bool hot_candidate =
+                four_phase && config.hot_key_threshold > 0 &&
+                it.OutputProductAtLeast(config.hot_key_threshold);
+            st.planner->PlanKey(it.key(), it.placement(), hot_candidate,
+                                &outs);
+          }
+
+          JoinConfig frag_config = config;
+          frag_config.group_locations = false;
+          auto send_pairs = [&](MessageType type, uint32_t dst,
+                                const std::vector<KeyNodePair>& pairs,
+                                bool keep_groups) {
+            if (pairs.empty()) return;
+            ByteBuffer buf = EncodeKeyNodePairs(
+                pairs, keep_groups ? frag_config : config, &st.pool);
+            fabric.ChargeCpuBytes(buf.size());
+            if (keep_groups) {
+              // A hot key's w-pair worker group must stay in one chunk —
+              // the fragment handler needs the whole group to cut the run
+              // into w near-equal pieces.
+              fabric.SendChunk(node, dst, type, std::move(buf),
+                               /*eos=*/false);
+            } else {
+              send_sliced_data(node, dst, type, buf, pair_bytes);
+              st.pool.Recycle(std::move(buf));
+            }
+          };
+          for (uint32_t step = 0; step < n; ++step) {
+            const uint32_t dst = (node + 1 + step) % n;
+            send_pairs(MessageType::kLocationsToR, dst, outs.loc_to_r[dst],
+                       false);
+            send_pairs(MessageType::kLocationsToS, dst, outs.loc_to_s[dst],
+                       false);
+            send_pairs(MessageType::kMigrateR, dst, outs.migr_r[dst], false);
+            send_pairs(MessageType::kMigrateS, dst, outs.migr_s[dst], false);
+            send_pairs(MessageType::kFragmentR, dst, outs.frag_r[dst], true);
+            send_pairs(MessageType::kFragmentS, dst, outs.frag_s[dst], true);
+          }
+          if (final_batch) {
+            // Terminate every instruction stream so holders can count.
+            for (uint32_t dst = 0; dst < n; ++dst) {
+              fabric.SendChunk(node, dst, MessageType::kLocationsToR,
+                               ByteBuffer{}, /*eos=*/true);
+              fabric.SendChunk(node, dst, MessageType::kLocationsToS,
+                               ByteBuffer{}, /*eos=*/true);
+              if (four_phase) {
+                fabric.SendChunk(node, dst, MessageType::kMigrateR,
+                                 ByteBuffer{}, /*eos=*/true);
+                fabric.SendChunk(node, dst, MessageType::kMigrateS,
+                                 ByteBuffer{}, /*eos=*/true);
+                fabric.SendChunk(node, dst, MessageType::kFragmentR,
+                                 ByteBuffer{}, /*eos=*/true);
+                fabric.SendChunk(node, dst, MessageType::kFragmentS,
+                                 ByteBuffer{}, /*eos=*/true);
+              }
+            }
+          }
+          return Status::OK();
+        },
+        {{"range_lo", static_cast<int64_t>(lo)},
+         {"range_hi",
+          final_batch ? int64_t{-1} : static_cast<int64_t>(hi)}});
+  };
+
+  auto advance_frontier = [&](uint32_t node) {
+    PipelineNodeState& st = nodes[node];
+    uint64_t bound = kStreamDone;
+    for (const TrackStream& stream : st.streams_r) {
+      bound = std::min(bound, stream.Bound());
+    }
+    for (const TrackStream& stream : st.streams_s) {
+      bound = std::min(bound, stream.Bound());
+    }
+    const bool final_batch = bound == kStreamDone;
+    if (final_batch ? st.final_batch_posted : bound <= st.frontier) return;
+
+    auto take_below = [&](std::vector<TrackStream>& streams) {
+      std::vector<TrackEntry> batch;
+      for (TrackStream& stream : streams) {
+        while (!stream.pending.empty() &&
+               (final_batch || stream.pending.front().key < bound)) {
+          batch.push_back(stream.pending.front());
+          stream.pending.pop_front();
+        }
+      }
+      return batch;
+    };
+    std::vector<TrackEntry> batch_r = take_below(st.streams_r);
+    std::vector<TrackEntry> batch_s = take_below(st.streams_s);
+    const uint64_t lo = st.frontier;
+    st.frontier = bound;
+    if (final_batch) st.final_batch_posted = true;
+    // Empty mid-stream ranges schedule nothing; the final range always
+    // runs so instruction EOS goes out even for empty trackers.
+    if (!final_batch && batch_r.empty() && batch_s.empty()) return;
+    post_schedule_batch(node, lo, bound, final_batch, std::move(batch_r),
+                        std::move(batch_s));
+  };
+
+  auto on_tracking = [&](const Chunk& chunk) -> Status {
+    PipelineNodeState& st = nodes[chunk.dst];
+    fabric.ChargeCpuBytes(chunk.data.size());
+    TrackStream& stream = (chunk.type == MessageType::kTrackR
+                               ? st.streams_r
+                               : st.streams_s)[chunk.src];
+    if (chunk.data.size() % track_entry_bytes != 0) {
+      return Status::Corruption("tracking chunk not a multiple of entry size");
+    }
+    ByteReader reader(chunk.data);
+    while (!reader.Done()) {
+      TrackEntry entry;
+      entry.key = reader.GetUint(config.key_bytes);
+      entry.node = chunk.src;
+      entry.count = reader.GetUint(config.count_bytes);
+      stream.pending.push_back(entry);
+    }
+    if (!chunk.data.empty()) {
+      stream.started = true;
+      stream.watermark = chunk.watermark;
+    }
+    if (chunk.eos) stream.eos = true;
+    advance_frontier(chunk.dst);
+    return Status::OK();
+  };
+  fabric.OnChunk(MessageType::kTrackR, "track", on_tracking);
+  fabric.OnChunk(MessageType::kTrackS, "track", on_tracking);
+
+  // --- Holder role: act on instruction chunks as they arrive. ---
+  auto close_data_streams = [&](uint32_t node) {
+    PipelineNodeState& st = nodes[node];
+    if (st.data_eos_sent || st.instr_eos < expected_instr_eos) return;
+    st.data_eos_sent = true;
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      fabric.SendChunk(node, dst, MessageType::kDataR, ByteBuffer{},
+                       /*eos=*/true);
+      fabric.SendChunk(node, dst, MessageType::kDataS, ByteBuffer{},
+                       /*eos=*/true);
+      if (four_phase) {
+        fabric.SendChunk(node, dst, MessageType::kMigrationDataR,
+                         ByteBuffer{}, /*eos=*/true);
+        fabric.SendChunk(node, dst, MessageType::kMigrationDataS,
+                         ByteBuffer{}, /*eos=*/true);
+      }
+    }
+  };
+
+  // Routes each instructed key's home run and streams the rows out. Used
+  // for both selective-broadcast locations and migrations — the only
+  // difference is the outgoing data type (and that migrations never route
+  // to self).
+  auto route_and_send = [&](const Chunk& chunk, const TupleBlock& block,
+                            uint32_t row_width, MessageType data_type,
+                            std::vector<KeyNodePair>& pairs) -> Status {
+    TJ_RETURN_IF_ERROR(DecodePlainPairs(chunk.data, config, &pairs));
+    PipelineNodeState& st = nodes[chunk.dst];
+    std::vector<std::vector<uint32_t>> rows(n);
+    for (const KeyNodePair& pair : pairs) {
+      auto [lo, hi] = block.EqualRange(pair.key);
+      for (uint64_t row = lo; row < hi; ++row) {
+        rows[pair.node].push_back(static_cast<uint32_t>(row));
+      }
+    }
+    for (uint32_t step = 0; step < n; ++step) {
+      const uint32_t dst = (chunk.dst + 1 + step) % n;
+      if (rows[dst].empty()) continue;
+      ByteBuffer buf = st.pool.Acquire();
+      block.SerializeRowsIndexed(rows[dst], config.key_bytes, &buf);
+      fabric.ChargeCpuBytes(buf.size());
+      send_sliced_data(chunk.dst, dst, data_type, buf, row_width);
+      st.pool.Recycle(std::move(buf));
+    }
+    return Status::OK();
+  };
+
+  auto on_instruction = [&](const Chunk& chunk) -> Status {
+    PipelineNodeState& st = nodes[chunk.dst];
+    fabric.ChargeCpuBytes(chunk.data.size());
+    std::vector<KeyNodePair> pairs;
+    if (!chunk.data.empty()) {
+      switch (chunk.type) {
+        case MessageType::kLocationsToR:
+          TJ_RETURN_IF_ERROR(route_and_send(chunk, st.r, width_r,
+                                            MessageType::kDataR, pairs));
+          break;
+        case MessageType::kLocationsToS:
+          TJ_RETURN_IF_ERROR(route_and_send(chunk, st.s, width_s,
+                                            MessageType::kDataS, pairs));
+          break;
+        case MessageType::kMigrateR:
+          TJ_RETURN_IF_ERROR(route_and_send(
+              chunk, st.r, width_r, MessageType::kMigrationDataR, pairs));
+          break;
+        case MessageType::kMigrateS:
+          TJ_RETURN_IF_ERROR(route_and_send(
+              chunk, st.s, width_s, MessageType::kMigrationDataS, pairs));
+          break;
+        case MessageType::kFragmentR:
+        case MessageType::kFragmentS: {
+          // Split each hot key's run into w near-equal contiguous pieces,
+          // one per worker in instruction order (earlier workers absorb
+          // the remainder) — identical arithmetic to the barrier driver.
+          const bool is_r = chunk.type == MessageType::kFragmentR;
+          const TupleBlock& block = is_r ? st.r : st.s;
+          const MessageType data_type = is_r ? MessageType::kMigrationDataR
+                                             : MessageType::kMigrationDataS;
+          TJ_RETURN_IF_ERROR(DecodePlainPairs(chunk.data, config, &pairs));
+          std::vector<std::vector<uint32_t>> rows(n);
+          size_t i = 0;
+          while (i < pairs.size()) {
+            const uint64_t key = pairs[i].key;
+            size_t j = i;
+            while (j < pairs.size() && pairs[j].key == key) ++j;
+            const uint64_t w = j - i;
+            auto [lo, hi] = block.EqualRange(key);
+            const uint64_t count = hi - lo;
+            uint64_t row = lo;
+            for (uint64_t k = 0; k < w; ++k) {
+              const uint64_t take = count / w + (k < count % w ? 1 : 0);
+              auto& dst_rows = rows[pairs[i + k].node];
+              for (uint64_t t = 0; t < take; ++t) {
+                dst_rows.push_back(static_cast<uint32_t>(row++));
+              }
+            }
+            i = j;
+          }
+          const uint32_t row_width = is_r ? width_r : width_s;
+          for (uint32_t step = 0; step < n; ++step) {
+            const uint32_t dst = (chunk.dst + 1 + step) % n;
+            if (rows[dst].empty()) continue;
+            ByteBuffer buf = st.pool.Acquire();
+            block.SerializeRowsIndexed(rows[dst], config.key_bytes, &buf);
+            fabric.ChargeCpuBytes(buf.size());
+            send_sliced_data(chunk.dst, dst, data_type, buf, row_width);
+            st.pool.Recycle(std::move(buf));
+          }
+          break;
+        }
+        default:
+          return Status::Internal("unexpected instruction chunk type");
+      }
+    }
+    if (chunk.eos) {
+      ++st.instr_eos;
+      close_data_streams(chunk.dst);
+    }
+    return Status::OK();
+  };
+  fabric.OnChunk(MessageType::kLocationsToR, "transfer", on_instruction);
+  fabric.OnChunk(MessageType::kLocationsToS, "transfer", on_instruction);
+  if (four_phase) {
+    fabric.OnChunk(MessageType::kMigrateR, "transfer", on_instruction);
+    fabric.OnChunk(MessageType::kMigrateS, "transfer", on_instruction);
+    fabric.OnChunk(MessageType::kFragmentR, "transfer", on_instruction);
+    fabric.OnChunk(MessageType::kFragmentS, "transfer", on_instruction);
+  }
+
+  // --- Joiner role: incremental symmetric join on arrival. Each pair is
+  // produced exactly once, when its second element arrives (home rows
+  // count as having arrived first; broadcast and migration rows pair with
+  // everything already present and are then indexed for later arrivals).
+  auto on_data = [&](const Chunk& chunk) -> Status {
+    PipelineNodeState& st = nodes[chunk.dst];
+    fabric.ChargeCpuBytes(chunk.data.size());
+    if (!chunk.data.empty()) {
+      JoinSink sink = sink_for(chunk.dst);
+      uint64_t produced = 0;
+      auto pair_with_home_and_mig =
+          [&](TupleBlock& in_block, KeyedRows& in_index,
+              const TupleBlock& home, const TupleBlock& mig,
+              const KeyedRows& mig_index, bool in_is_r) -> Status {
+        const uint64_t first = in_block.size();
+        ByteReader reader(chunk.data);
+        TJ_RETURN_IF_ERROR(
+            in_block.TryDeserializeRows(&reader, config.key_bytes));
+        for (uint64_t row = first; row < in_block.size(); ++row) {
+          const uint64_t key = in_block.Key(row);
+          auto [lo, hi] = home.EqualRange(key);
+          for (uint64_t other = lo; other < hi; ++other) {
+            if (in_is_r) {
+              sink(key, in_block.Payload(row), home.Payload(other));
+            } else {
+              sink(key, home.Payload(other), in_block.Payload(row));
+            }
+            ++produced;
+          }
+          if (const std::vector<uint32_t>* bucket = mig_index.Find(key)) {
+            for (uint32_t other : *bucket) {
+              if (in_is_r) {
+                sink(key, in_block.Payload(row), mig.Payload(other));
+              } else {
+                sink(key, mig.Payload(other), in_block.Payload(row));
+              }
+              ++produced;
+            }
+          }
+          in_index.BucketFor(key).push_back(static_cast<uint32_t>(row));
+        }
+        return Status::OK();
+      };
+      auto pair_migration =
+          [&](TupleBlock& mig_block, KeyedRows& mig_index,
+              const TupleBlock& in_block, const KeyedRows& in_index,
+              bool mig_is_r) -> Status {
+        const uint64_t first = mig_block.size();
+        ByteReader reader(chunk.data);
+        TJ_RETURN_IF_ERROR(
+            mig_block.TryDeserializeRows(&reader, config.key_bytes));
+        for (uint64_t row = first; row < mig_block.size(); ++row) {
+          const uint64_t key = mig_block.Key(row);
+          if (const std::vector<uint32_t>* bucket = in_index.Find(key)) {
+            for (uint32_t other : *bucket) {
+              if (mig_is_r) {
+                sink(key, mig_block.Payload(row), in_block.Payload(other));
+              } else {
+                sink(key, in_block.Payload(other), mig_block.Payload(row));
+              }
+              ++produced;
+            }
+          }
+          mig_index.BucketFor(key).push_back(static_cast<uint32_t>(row));
+        }
+        return Status::OK();
+      };
+      switch (chunk.type) {
+        case MessageType::kDataR:
+          TJ_RETURN_IF_ERROR(pair_with_home_and_mig(
+              st.in_r, st.in_r_rows, st.s, st.mig_s, st.mig_s_rows, true));
+          break;
+        case MessageType::kDataS:
+          TJ_RETURN_IF_ERROR(pair_with_home_and_mig(
+              st.in_s, st.in_s_rows, st.r, st.mig_r, st.mig_r_rows, false));
+          break;
+        case MessageType::kMigrationDataR:
+          TJ_RETURN_IF_ERROR(pair_migration(st.mig_r, st.mig_r_rows, st.in_s,
+                                            st.in_s_rows, true));
+          break;
+        case MessageType::kMigrationDataS:
+          TJ_RETURN_IF_ERROR(pair_migration(st.mig_s, st.mig_s_rows, st.in_r,
+                                            st.in_r_rows, false));
+          break;
+        default:
+          return Status::Internal("unexpected data chunk type");
+      }
+      st.output_rows += produced;
+      fabric.ChargeCpuBytes(produced * (config.key_bytes + out_width));
+    }
+    if (chunk.eos) ++st.data_eos;
+    return Status::OK();
+  };
+  fabric.OnChunk(MessageType::kDataR, "join", on_data);
+  fabric.OnChunk(MessageType::kDataS, "join", on_data);
+  if (four_phase) {
+    fabric.OnChunk(MessageType::kMigrationDataR, "join", on_data);
+    fabric.OnChunk(MessageType::kMigrationDataS, "join", on_data);
+  }
+
+  Status run_status = fabric.Run();
+
+  auto stage_times = [&]() {
+    std::vector<std::pair<std::string, double>> times;
+    for (const auto& stage : fabric.stage_stats()) {
+      times.emplace_back(stage.name, stage.max_node_cpu_seconds);
+    }
+    return times;
+  };
+  auto fill_diagnostics = [&](const FailureReport& report) {
+    if (config.diagnostics == nullptr) return;
+    config.diagnostics->failure = report;
+    config.diagnostics->traffic = fabric.traffic();
+    config.diagnostics->phase_seconds = stage_times();
+  };
+  if (!run_status.ok()) {
+    fill_diagnostics(fabric.failure());
+    return run_status;
+  }
+
+  // Completeness: every stream must have terminated. A crashed node's
+  // streams never do — that is the pipelined analog of the barrier
+  // driver's fail-stop DataLoss.
+  for (uint32_t node = 0; node < n; ++node) {
+    const PipelineNodeState& st = nodes[node];
+    bool complete = st.instr_eos == expected_instr_eos &&
+                    st.data_eos == expected_data_eos;
+    for (uint32_t src = 0; src < n && complete; ++src) {
+      complete = st.streams_r[src].eos && st.streams_s[src].eos;
+    }
+    if (!complete) {
+      fill_diagnostics(fabric.failure());
+      return Status::DataLoss(
+          "pipelined run incomplete at node " + std::to_string(node) +
+          ": one or more chunk streams never terminated (crashed sender?)");
+    }
+  }
+
+  JoinResult result;
+  result.traffic = fabric.traffic();
+  result.reliability = fabric.reliability();
+  result.phase_seconds = stage_times();
+  result.makespan_seconds = fabric.makespan_seconds();
+  result.barrier_makespan_seconds = fabric.barrier_makespan_seconds();
+
+  // Step profile from the per-stage accounting: the pipelined analog of
+  // the barrier fabric's phase instrumentation, with modeled CPU seconds
+  // in the wall column (stages overlap, so these steps do NOT add up to
+  // the makespan — that is the whole point).
+  StepProfile profile;
+  profile.algorithm = four_phase ? "4tj-p" : "3tj-p";
+  profile.num_nodes = n;
+  for (const auto& stage : fabric.stage_stats()) {
+    StepRecord record;
+    record.phase = stage.name;
+    record.wall_seconds = stage.max_node_cpu_seconds;
+    record.net_seconds = params.cost.TransferSeconds(stage.max_node_bytes);
+    record.goodput_bytes = stage.network_bytes;
+    record.local_bytes = stage.local_bytes;
+    record.max_node_bytes = stage.max_node_bytes;
+    record.network_bytes_by_type = stage.network_bytes_by_type;
+    record.local_bytes_by_type = stage.local_bytes_by_type;
+    profile.steps.push_back(std::move(record));
+  }
+  profile.run_max_node_bytes = result.traffic.MaxNodeBytes();
+  result.profile = std::move(profile);
+
+  result.node_output_rows.reserve(n);
+  for (const PipelineNodeState& st : nodes) {
+    result.output_rows += st.output_rows;
+    result.node_output_rows.push_back(st.output_rows);
+    result.checksum.Merge(st.checksum);
+  }
+  if (config.materialize) {
+    result.output.emplace(r.name() + "_join_" + s.name(), n, out_width);
+    for (uint32_t node = 0; node < n; ++node) {
+      result.output->node(node) = std::move(out_blocks[node]);
+    }
+  }
+  return result;
+}
+
+}  // namespace tj

@@ -376,4 +376,116 @@ uint64_t ExhaustiveOptimalCost(const KeyPlacement& placement) {
   return best;
 }
 
+void KeyPlanner::PlanKey(uint64_t key, const KeyPlacement& placement,
+                         bool hot_candidate, KeyPlanOutputs* out) {
+  const KeyPlacement& p = placement;
+
+  Direction dir = direction_;
+  std::vector<uint32_t> migrate;
+  bool has_migration_phase = false;
+  uint32_t dest = 0;
+  uint64_t chosen_cost = 0;
+  HotKeyPlan hot;
+  if (version_ == TrackJoinVersion::k3Phase) {
+    dir = CheaperBroadcastDirection(p, &chosen_cost);
+  } else if (version_ == TrackJoinVersion::k4Phase) {
+    KeySchedule sched =
+        config_.balance_loads ? balancer_.PlanBalanced(p) : PlanOptimal(p);
+    dir = sched.dir;
+    dest = sched.plan.dest;
+    chosen_cost = sched.plan.cost;
+    migrate = std::move(sched.plan.migrate);
+    has_migration_phase = true;
+
+    // Heavy-hitter splitting: a key whose modeled output reaches the
+    // threshold may trade extra broadcast copies for a lower per-node
+    // bottleneck. Each alternative is strong on a different axis — the
+    // migration plan minimizes total bytes but funnels the whole key
+    // through one node, while selective broadcast spreads load but
+    // ships B_all to every target — so the hot plan is adopted only
+    // when it strictly beats migration on the per-node bottleneck
+    // (PlanHotSplit already rejects anything not strictly cheaper than
+    // selective broadcast). Uniform workloads never reach the
+    // threshold, so they never split.
+    if (hot_candidate) {
+      HotKeyPlan candidate =
+          PlanHotSplit(p, width_r_, width_s_, config_.hot_key_max_split);
+      MigrationPlan base;
+      base.dest = dest;
+      base.migrate = migrate;
+      const uint64_t plan_bn = PlanBottleneck(p, dir, base);
+      if (candidate.valid && candidate.bottleneck < plan_bn) {
+        hot = std::move(candidate);
+        dir = hot.dir;
+        chosen_cost = hot.cost;
+        migrate.clear();
+      }
+    }
+  }
+
+  if (audit_ != nullptr) {
+    KeyScheduleAudit rec = AuditPlacement(p);
+    rec.key = key;
+    rec.chosen_dir = dir;
+    if (version_ == TrackJoinVersion::k2Phase) {
+      // 2-phase sends in the fixed direction at plain broadcast cost
+      // (modeled; 2-phase tracking carries no counts, so multiplicity
+      // > 1 makes actual bytes exceed this model).
+      chosen_cost = rec.broadcast_cost[static_cast<int>(dir)];
+    }
+    rec.chosen_cost = chosen_cost;
+    rec.chosen_migrations = static_cast<uint32_t>(migrate.size());
+    rec.chosen_split = hot.valid ? hot.split() : 0;
+    rec.cls = ClassifyAudit(rec);
+    audit_->Record(tracker_, rec);
+  }
+
+  const auto& bcast_side = dir == Direction::kRtoS ? p.r : p.s;
+  const auto& target_side = dir == Direction::kRtoS ? p.s : p.r;
+  auto& loc_out = dir == Direction::kRtoS ? out->loc_to_r : out->loc_to_s;
+  auto& migr_out = dir == Direction::kRtoS ? out->migr_s : out->migr_r;
+
+  if (hot.valid) {
+    // Hot split: every broadcast-side node learns all w workers, and
+    // every non-worker fragment holder learns the w-way split of its
+    // run (fragment instructions mirror migration instructions but
+    // carry one pair per worker, in worker order).
+    auto& frag_out = dir == Direction::kRtoS ? out->frag_s : out->frag_r;
+    for (const NodeSize& t : target_side) {
+      if (std::find(hot.workers.begin(), hot.workers.end(), t.node) !=
+          hot.workers.end()) {
+        continue;  // Workers keep their own fragment rows.
+      }
+      for (uint32_t worker : hot.workers) {
+        frag_out[t.node].push_back(KeyNodePair{key, worker});
+      }
+    }
+    for (const NodeSize& b : bcast_side) {
+      for (uint32_t worker : hot.workers) {
+        loc_out[b.node].push_back(KeyNodePair{key, worker});
+      }
+    }
+    return;
+  }
+
+  // Migration instructions (4-phase): each migrating node learns the
+  // destination for its tuples of this key.
+  for (uint32_t m : migrate) {
+    migr_out[m].push_back(KeyNodePair{key, dest});
+  }
+
+  // Location list: every broadcast-side node learns each surviving
+  // target location.
+  for (const NodeSize& b : bcast_side) {
+    for (const NodeSize& t : target_side) {
+      if (has_migration_phase &&
+          std::find(migrate.begin(), migrate.end(), t.node) !=
+              migrate.end()) {
+        continue;  // Migrated away: no longer a destination.
+      }
+      loc_out[b.node].push_back(KeyNodePair{key, t.node});
+    }
+  }
+}
+
 }  // namespace tj

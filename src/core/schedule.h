@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/join_types.h"
+#include "encoding/node_group.h"
 
 namespace tj {
 
@@ -300,6 +301,66 @@ class LoadBalancer {
 
  private:
   std::vector<uint64_t> ingress_;
+};
+
+// --- Shared per-key planner ----------------------------------------------
+//
+// The scheduling phase's per-key decision logic (3TJ direction choice, 4TJ
+// optimal/balanced migration plan, hot-split adoption, audit recording, and
+// the fan-out into location / migration / fragment instruction pairs) is
+// identical whether keys arrive all at once (barrier driver) or one frontier
+// batch at a time (pipelined driver). KeyPlanner owns that logic so the two
+// drivers cannot drift: instruction pairs, audit records and therefore
+// traffic matrices stay byte-identical by construction.
+
+/// Instruction pairs one planning pass appends, per destination node.
+struct KeyPlanOutputs {
+  std::vector<std::vector<KeyNodePair>> loc_to_r, loc_to_s;
+  std::vector<std::vector<KeyNodePair>> migr_r, migr_s;
+  std::vector<std::vector<KeyNodePair>> frag_r, frag_s;
+
+  explicit KeyPlanOutputs(uint32_t num_nodes)
+      : loc_to_r(num_nodes), loc_to_s(num_nodes), migr_r(num_nodes),
+        migr_s(num_nodes), frag_r(num_nodes), frag_s(num_nodes) {}
+
+  void Clear() {
+    for (auto* group : {&loc_to_r, &loc_to_s, &migr_r, &migr_s, &frag_r,
+                        &frag_s}) {
+      for (auto& pairs : *group) pairs.clear();
+    }
+  }
+};
+
+/// Plans one key at a time. Stateful: the balance-aware mode's LoadBalancer
+/// accumulates projected ingress across calls, so a pipelined driver feeding
+/// frontier batches in key order reproduces the barrier driver's schedule
+/// exactly. Not thread-safe; one instance per tracker node.
+class KeyPlanner {
+ public:
+  /// `audit` may be null (no EXPLAIN recording). `width_r`/`width_s` are
+  /// serialized tuple widths; `direction` is the fixed 2-phase direction.
+  KeyPlanner(const JoinConfig& config, TrackJoinVersion version,
+             Direction direction, uint32_t num_nodes, uint32_t tracker,
+             uint32_t width_r, uint32_t width_s, ScheduleAuditLog* audit)
+      : config_(config), version_(version), direction_(direction),
+        tracker_(tracker), width_r_(width_r), width_s_(width_s),
+        audit_(audit), balancer_(num_nodes) {}
+
+  /// Decides `key`'s schedule and appends its instruction pairs to `out`.
+  /// `hot_candidate` is the caller's PlacementIterator::OutputProductAtLeast
+  /// verdict (always false outside 4-phase or with splitting disabled).
+  void PlanKey(uint64_t key, const KeyPlacement& placement, bool hot_candidate,
+               KeyPlanOutputs* out);
+
+ private:
+  JoinConfig config_;
+  TrackJoinVersion version_;
+  Direction direction_;
+  uint32_t tracker_;
+  uint32_t width_r_;
+  uint32_t width_s_;
+  ScheduleAuditLog* audit_;
+  LoadBalancer balancer_;
 };
 
 }  // namespace tj

@@ -91,8 +91,7 @@ Result<JoinResult> TryRunStreamingTrackJoin2(const PartitionedTable& r,
                                              Direction direction,
                                              uint64_t flush_bytes) {
   TJ_CHECK_EQ(r.num_nodes(), s.num_nodes());
-  TJ_CHECK(!config.delta_tracking && !config.group_locations)
-      << "streaming driver uses the plain wire format";
+  TJ_RETURN_IF_ERROR(RequirePlainWireFormat(config, "streaming track join"));
   const uint32_t n = r.num_nodes();
   const bool r_to_s = direction == Direction::kRtoS;
   // B = broadcast side (tuples travel), T = target side (locations).

@@ -178,146 +178,42 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
   TJ_RETURN_IF_ERROR(fabric.RunPhaseReliable(
       "generate schedules & send locations", [&](uint32_t node) {
     NodeState& st = nodes[node];
-    std::vector<std::vector<KeyNodePair>> loc_to_r(n), loc_to_s(n);
-    std::vector<std::vector<KeyNodePair>> migr_r(n), migr_s(n);
-    std::vector<std::vector<KeyNodePair>> frag_r(n), frag_s(n);
-    // Balance-aware mode spends the schedules' cost-free choices on the
-    // nodes this tracker has loaded least (Section 5). Each tracker owns a
-    // uniform random ~1/N of the keys, so local balancing approximates
-    // global balancing.
-    LoadBalancer balancer(n);
+    // The per-key decision logic (direction choice, migration planning,
+    // hot-split adoption, audit recording, instruction fan-out) is shared
+    // with the pipelined driver via KeyPlanner; the balance-aware
+    // LoadBalancer lives inside it. Each tracker owns a uniform random ~1/N
+    // of the keys, so local balancing approximates global balancing
+    // (Section 5).
+    KeyPlanOutputs outs(n);
+    KeyPlanner planner(config, version, direction, n, node, width_r, width_s,
+                       audit);
 
     PlacementIterator it(st.track_r, st.track_s, width_r, width_s, node,
                          config.MsgBytes());
     while (it.Next()) {
-      const KeyPlacement& p = it.placement();
-      const uint64_t key = it.key();
-
-      Direction dir = direction;
-      std::vector<uint32_t> migrate;
-      bool has_migration_phase = false;
-      uint32_t dest = 0;
-      uint64_t chosen_cost = 0;
-      HotKeyPlan hot;
-      if (version == TrackJoinVersion::k3Phase) {
-        dir = CheaperBroadcastDirection(p, &chosen_cost);
-      } else if (version == TrackJoinVersion::k4Phase) {
-        KeySchedule sched =
-            config.balance_loads ? balancer.PlanBalanced(p) : PlanOptimal(p);
-        dir = sched.dir;
-        dest = sched.plan.dest;
-        chosen_cost = sched.plan.cost;
-        migrate = std::move(sched.plan.migrate);
-        has_migration_phase = true;
-
-        // Heavy-hitter splitting: a key whose modeled output reaches the
-        // threshold may trade extra broadcast copies for a lower per-node
-        // bottleneck. Each alternative is strong on a different axis — the
-        // migration plan minimizes total bytes but funnels the whole key
-        // through one node, while selective broadcast spreads load but
-        // ships B_all to every target — so the hot plan is adopted only
-        // when it strictly beats migration on the per-node bottleneck
-        // (PlanHotSplit already rejects anything not strictly cheaper than
-        // selective broadcast). Uniform workloads never reach the
-        // threshold, so they never split.
-        if (config.hot_key_threshold > 0 &&
-            it.OutputProductAtLeast(config.hot_key_threshold)) {
-          HotKeyPlan candidate =
-              PlanHotSplit(p, width_r, width_s, config.hot_key_max_split);
-          MigrationPlan base;
-          base.dest = dest;
-          base.migrate = migrate;
-          const uint64_t plan_bn = PlanBottleneck(p, dir, base);
-          if (candidate.valid && candidate.bottleneck < plan_bn) {
-            hot = std::move(candidate);
-            dir = hot.dir;
-            chosen_cost = hot.cost;
-            migrate.clear();
-          }
-        }
-      }
-
-      if (audit != nullptr) {
-        KeyScheduleAudit rec = AuditPlacement(p);
-        rec.key = key;
-        rec.chosen_dir = dir;
-        if (version == TrackJoinVersion::k2Phase) {
-          // 2-phase sends in the fixed direction at plain broadcast cost
-          // (modeled; 2-phase tracking carries no counts, so multiplicity
-          // > 1 makes actual bytes exceed this model).
-          chosen_cost = rec.broadcast_cost[static_cast<int>(dir)];
-        }
-        rec.chosen_cost = chosen_cost;
-        rec.chosen_migrations = static_cast<uint32_t>(migrate.size());
-        rec.chosen_split = hot.valid ? hot.split() : 0;
-        rec.cls = ClassifyAudit(rec);
-        audit->Record(node, rec);
-      }
-
-      const auto& bcast_side = dir == Direction::kRtoS ? p.r : p.s;
-      const auto& target_side = dir == Direction::kRtoS ? p.s : p.r;
-      auto& loc_out = dir == Direction::kRtoS ? loc_to_r : loc_to_s;
-      auto& migr_out = dir == Direction::kRtoS ? migr_s : migr_r;
-
-      if (hot.valid) {
-        // Hot split: every broadcast-side node learns all w workers, and
-        // every non-worker fragment holder learns the w-way split of its
-        // run (fragment instructions mirror migration instructions but
-        // carry one pair per worker, in worker order).
-        auto& frag_out = dir == Direction::kRtoS ? frag_s : frag_r;
-        for (const NodeSize& t : target_side) {
-          if (std::find(hot.workers.begin(), hot.workers.end(), t.node) !=
-              hot.workers.end()) {
-            continue;  // Workers keep their own fragment rows.
-          }
-          for (uint32_t worker : hot.workers) {
-            frag_out[t.node].push_back(KeyNodePair{key, worker});
-          }
-        }
-        for (const NodeSize& b : bcast_side) {
-          for (uint32_t worker : hot.workers) {
-            loc_out[b.node].push_back(KeyNodePair{key, worker});
-          }
-        }
-        continue;
-      }
-
-      // Migration instructions (4-phase): each migrating node learns the
-      // destination for its tuples of this key.
-      for (uint32_t m : migrate) {
-        migr_out[m].push_back(KeyNodePair{key, dest});
-      }
-
-      // Location list: every broadcast-side node learns each surviving
-      // target location.
-      for (const NodeSize& b : bcast_side) {
-        for (const NodeSize& t : target_side) {
-          if (has_migration_phase &&
-              std::find(migrate.begin(), migrate.end(), t.node) !=
-                  migrate.end()) {
-            continue;  // Migrated away: no longer a destination.
-          }
-          loc_out[b.node].push_back(KeyNodePair{key, t.node});
-        }
-      }
+      const bool hot_candidate =
+          version == TrackJoinVersion::k4Phase &&
+          config.hot_key_threshold > 0 &&
+          it.OutputProductAtLeast(config.hot_key_threshold);
+      planner.PlanKey(it.key(), it.placement(), hot_candidate, &outs);
     }
 
     for (uint32_t dst = 0; dst < n; ++dst) {
-      if (!loc_to_r[dst].empty()) {
+      if (!outs.loc_to_r[dst].empty()) {
         fabric.Send(node, dst, MessageType::kLocationsToR,
-                    EncodeKeyNodePairs(loc_to_r[dst], config, &st.pool));
+                    EncodeKeyNodePairs(outs.loc_to_r[dst], config, &st.pool));
       }
-      if (!loc_to_s[dst].empty()) {
+      if (!outs.loc_to_s[dst].empty()) {
         fabric.Send(node, dst, MessageType::kLocationsToS,
-                    EncodeKeyNodePairs(loc_to_s[dst], config, &st.pool));
+                    EncodeKeyNodePairs(outs.loc_to_s[dst], config, &st.pool));
       }
-      if (!migr_r[dst].empty()) {
+      if (!outs.migr_r[dst].empty()) {
         fabric.Send(node, dst, MessageType::kMigrateR,
-                    EncodeKeyNodePairs(migr_r[dst], config, &st.pool));
+                    EncodeKeyNodePairs(outs.migr_r[dst], config, &st.pool));
       }
-      if (!migr_s[dst].empty()) {
+      if (!outs.migr_s[dst].empty()) {
         fabric.Send(node, dst, MessageType::kMigrateS,
-                    EncodeKeyNodePairs(migr_s[dst], config, &st.pool));
+                    EncodeKeyNodePairs(outs.migr_s[dst], config, &st.pool));
       }
       // Fragment instructions carry each hot key's workers in split order
       // (chunk k goes to the k-th listed worker), so they must keep the
@@ -325,13 +221,15 @@ Result<JoinResult> TryRunTrackJoin(const PartitionedTable& r,
       // pairs by node.
       JoinConfig frag_config = config;
       frag_config.group_locations = false;
-      if (!frag_r[dst].empty()) {
+      if (!outs.frag_r[dst].empty()) {
         fabric.Send(node, dst, MessageType::kFragmentR,
-                    EncodeKeyNodePairs(frag_r[dst], frag_config, &st.pool));
+                    EncodeKeyNodePairs(outs.frag_r[dst], frag_config,
+                                       &st.pool));
       }
-      if (!frag_s[dst].empty()) {
+      if (!outs.frag_s[dst].empty()) {
         fabric.Send(node, dst, MessageType::kFragmentS,
-                    EncodeKeyNodePairs(frag_s[dst], frag_config, &st.pool));
+                    EncodeKeyNodePairs(outs.frag_s[dst], frag_config,
+                                       &st.pool));
       }
     }
     return Status::OK();

@@ -22,7 +22,8 @@
 
 namespace tj {
 
-enum class TrackJoinVersion : uint8_t { k2Phase = 2, k3Phase = 3, k4Phase = 4 };
+// TrackJoinVersion lives in core/join_types.h (shared with the per-key
+// planner and the pipelined driver).
 
 /// Runs track join on tables r and s (same node count). `direction` is only
 /// used by the 2-phase version. Inputs are not modified.

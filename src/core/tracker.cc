@@ -391,6 +391,35 @@ std::vector<KeyNodePair> DecodeKeyNodePairs(const Message& message,
   return pairs;
 }
 
+std::vector<WireChunk> SliceEntryMessage(const ByteBuffer& message,
+                                         uint32_t entry_bytes,
+                                         uint32_t key_bytes,
+                                         uint64_t chunk_bytes) {
+  TJ_CHECK_GT(key_bytes, 0u);
+  TJ_CHECK_LE(key_bytes, entry_bytes);
+  TJ_CHECK_EQ(message.size() % entry_bytes, 0u);
+  const uint64_t total_entries = message.size() / entry_bytes;
+  const uint64_t per_chunk =
+      std::max<uint64_t>(1, chunk_bytes / entry_bytes);
+  std::vector<WireChunk> chunks;
+  chunks.reserve((total_entries + per_chunk - 1) / per_chunk);
+  for (uint64_t first = 0; first < total_entries; first += per_chunk) {
+    const uint64_t count = std::min(per_chunk, total_entries - first);
+    WireChunk chunk;
+    chunk.data.assign(message.begin() + first * entry_bytes,
+                      message.begin() + (first + count) * entry_bytes);
+    const uint8_t* last_entry =
+        message.data() + (first + count - 1) * entry_bytes;
+    uint64_t key = 0;
+    for (uint32_t b = 0; b < key_bytes; ++b) {
+      key |= static_cast<uint64_t>(last_entry[b]) << (8 * b);
+    }
+    chunk.watermark = key;
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
 Status TryDecodeKeyNodePairs(const Message& message, const JoinConfig& config,
                              std::vector<KeyNodePair>* out) {
   out->clear();

@@ -161,6 +161,29 @@ class PlacementIterator {
   KeyPlacement placement_;
 };
 
+/// One micro-batch slice of an entry-aligned wire stream (the pipelined
+/// driver's unit of transfer). `watermark` is the last entry's key: for
+/// key-sorted streams it promises "no later chunk of this stream carries a
+/// key below the watermark" (saturated-count duplicates may carry a key
+/// *equal* to it), which is what lets the tracker's frontier advance.
+struct WireChunk {
+  ByteBuffer data;
+  uint64_t watermark = 0;
+};
+
+/// Slices a plain fixed-width entry stream (tracking entries, <key, node>
+/// pairs) into chunks of at most `chunk_bytes`, cutting only at entry
+/// boundaries; concatenating the chunks reproduces `message` byte for
+/// byte. Each entry's leading `key_bytes` little-endian bytes are its key;
+/// each chunk's watermark is its last entry's key. Preconditions:
+/// 0 < key_bytes <= entry_bytes, message.size() % entry_bytes == 0.
+/// Requires the plain wire format — delta-coded or node-grouped streams
+/// carry cross-entry context and cannot be sliced.
+std::vector<WireChunk> SliceEntryMessage(const ByteBuffer& message,
+                                         uint32_t entry_bytes,
+                                         uint32_t key_bytes,
+                                         uint64_t chunk_bytes);
+
 /// Serializes / parses <key, node> pair messages (location lists and
 /// migration instructions). With cfg.group_locations the node-grouped
 /// encoding of Section 2.4 is used.

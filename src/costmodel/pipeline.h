@@ -47,6 +47,30 @@ double PipelineMakespan(const std::vector<PipelineStage>& stages,
 /// Convenience: total de-pipelined time (== PipelineMakespan(stages, 1)).
 double DepipelinedSeconds(const std::vector<PipelineStage>& stages);
 
+/// Theoretical envelope for any pipelined schedule of `stages`: no schedule
+/// beats saturating the busier resource (lower = max(Σcpu, Σnet)), and none
+/// is worse than running every stage back to back with no overlap at all
+/// (upper = DepipelinedSeconds). The event-driven fabric's measured
+/// makespan must land inside; tests and the CI makespan gate pin this.
+struct PipelineBounds {
+  double lower_seconds = 0;
+  double upper_seconds = 0;
+
+  bool Contains(double seconds, double tolerance = 1e-9) const {
+    return seconds >= lower_seconds - tolerance &&
+           seconds <= upper_seconds + tolerance;
+  }
+};
+PipelineBounds MakespanBounds(const std::vector<PipelineStage>& stages);
+
+/// Derives the stage chain of a *pipelined* run from its step profile:
+/// each step's busiest-node CPU seconds and busiest-NIC transfer seconds
+/// become one stage. Unlike BuildPipelineStages (which reprices a barrier
+/// run's traffic), this reads the modeled numbers the pipelined fabric
+/// already computed — MakespanBounds of the result brackets the run's own
+/// makespan_seconds.
+std::vector<PipelineStage> StagesFromProfile(const StepProfile& profile);
+
 }  // namespace tj
 
 #endif  // TJ_COSTMODEL_PIPELINE_H_

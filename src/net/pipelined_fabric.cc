@@ -1,0 +1,477 @@
+#include "net/pipelined_fabric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace tj {
+namespace {
+
+int64_t ToMicros(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
+PipelinedFabric::PipelinedFabric(const Params& params) : params_(params) {
+  TJ_CHECK_GT(params_.num_nodes, 0u);
+  const uint32_t n = params_.num_nodes;
+  traffic_.Reset(n);
+  runnable_.assign(n, {});
+  cpu_busy_.assign(n, false);
+  cpu_free_.assign(n, 0.0);
+  egress_free_.assign(n, 0.0);
+  ingress_free_.assign(n, 0.0);
+  links_.assign(static_cast<size_t>(n) * n, Link{});
+  for (Link& link : links_) link.credit = LinkWindowBytes();
+  dead_.assign(n, false);
+  in_flight_.assign(n, std::nullopt);
+  if (params_.fault_policy != nullptr) {
+    const FaultPolicy& policy = *params_.fault_policy;
+    if (policy.active()) fault_rng_.emplace(params_.fault_seed);
+    // The pipelined run has no global phase counter, so a crash-faulted
+    // node fail-stops from time zero: it runs no tasks and sends nothing.
+    if (policy.crash_node < n) {
+      dead_[policy.crash_node] = true;
+      failure_.dead_nodes.push_back(policy.crash_node);
+    }
+    // A straggler's CPU comes up late; its NICs still accept transfers.
+    if (policy.models_straggler() && policy.slow_node < n) {
+      cpu_free_[policy.slow_node] = policy.slowdown_seconds;
+    }
+  }
+}
+
+uint64_t PipelinedFabric::LinkWindowBytes() const {
+  return std::max<uint64_t>(params_.chunk_bytes,
+                            params_.inbox_budget_bytes / params_.num_nodes);
+}
+
+uint64_t PipelinedFabric::CreditNeed(const Chunk& chunk) const {
+  // An oversized chunk takes the whole window instead of deadlocking on
+  // credit it can never accumulate.
+  return std::min<uint64_t>(chunk.data.size(), LinkWindowBytes());
+}
+
+uint32_t PipelinedFabric::StageIndex(const char* stage) {
+  for (uint32_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].name == stage) return i;
+  }
+  stages_.push_back(StageStats{});
+  stages_.back().name = stage;
+  stage_node_cpu_.emplace_back(params_.num_nodes, 0.0);
+  stage_node_in_.emplace_back(params_.num_nodes, 0);
+  stage_node_out_.emplace_back(params_.num_nodes, 0);
+  return static_cast<uint32_t>(stages_.size() - 1);
+}
+
+void PipelinedFabric::OnChunk(MessageType type, const char* stage,
+                              ChunkHandler handler) {
+  TJ_CHECK(!ran_) << "OnChunk after Run";
+  const int t = static_cast<int>(type);
+  TJ_CHECK(!handlers_[t].has_value()) << "duplicate handler";
+  handlers_[t].emplace(StageIndex(stage), std::move(handler));
+}
+
+void PipelinedFabric::PushEvent(double time, Event::Kind kind,
+                                uint64_t payload, uint32_t node) {
+  events_.push(Event{time, next_event_seq_++, kind, payload, node});
+}
+
+void PipelinedFabric::Post(uint32_t node, const char* stage,
+                           std::string label, Task fn, TraceArgs trace_args) {
+  TJ_CHECK_LT(node, params_.num_nodes);
+  TaskRecord task;
+  task.node = node;
+  task.stage = StageIndex(stage);
+  task.label = std::move(label);
+  task.fn = std::move(fn);
+  task.trace_args = std::move(trace_args);
+  tasks_.push_back(std::move(task));
+  const uint64_t index = tasks_.size() - 1;
+  if (in_task_) {
+    buffered_posts_.push_back(index);
+  } else {
+    TJ_CHECK(!ran_) << "Post after Run finished";
+    PushEvent(0.0, Event::kTaskReady, index, node);
+  }
+}
+
+void PipelinedFabric::SendChunk(uint32_t src, uint32_t dst, MessageType type,
+                                ByteBuffer data, bool eos,
+                                uint64_t watermark) {
+  TJ_CHECK(in_task_) << "SendChunk outside a running task";
+  TJ_CHECK_EQ(src, running_node_) << "task may only send from its own node";
+  TJ_CHECK_LT(dst, params_.num_nodes);
+  Chunk chunk;
+  chunk.src = src;
+  chunk.dst = dst;
+  chunk.type = type;
+  chunk.data = std::move(data);
+  chunk.eos = eos;
+  chunk.watermark = watermark;
+  chunks_.push_back(std::move(chunk));
+  chunk_stage_.push_back(tasks_[running_task_].stage);
+  chunk_credit_.push_back(0);
+  buffered_sends_.push_back(chunks_.size() - 1);
+}
+
+void PipelinedFabric::ChargeCpuBytes(uint64_t bytes) {
+  TJ_CHECK(in_task_) << "ChargeCpuBytes outside a running task";
+  running_charged_bytes_ += bytes;
+}
+
+void PipelinedFabric::RecordCreditCounter(uint32_t src, uint32_t dst,
+                                          double now) {
+  if (!Tracer::enabled()) return;
+  TraceEvent event;
+  event.name = "flow.credit.d" + std::to_string(dst);
+  event.category = "mb";
+  event.node = src;
+  event.phase = 'C';
+  event.t_start_us = ToMicros(now);
+  event.value = static_cast<int64_t>(
+      links_[static_cast<size_t>(src) * params_.num_nodes + dst].credit);
+  Tracer::Global().Record(std::move(event));
+}
+
+void PipelinedFabric::TryStartTask(uint32_t node, double now) {
+  if (cpu_busy_[node] || runnable_[node].empty()) return;
+  const uint64_t index = runnable_[node].front();
+  runnable_[node].pop_front();
+  const double start = std::max(now, cpu_free_[node]);
+
+  in_task_ = true;
+  running_node_ = node;
+  running_task_ = index;
+  running_start_ = start;
+  running_charged_bytes_ = 0;
+  buffered_posts_.clear();
+  buffered_sends_.clear();
+  // The task may Post, growing tasks_ and relocating the very function
+  // object being executed — move it out first.
+  Task fn = std::move(tasks_[index].fn);
+  Status status = fn();
+  in_task_ = false;
+
+  const double dur = params_.cost.CpuSeconds(running_charged_bytes_);
+  const double finish = start + dur;
+  const uint32_t stage = tasks_[index].stage;
+  stage_node_cpu_[stage][node] += dur;
+  stages_[stage].cpu_seconds_total += dur;
+
+  if (Tracer::enabled()) {
+    TraceEvent event;
+    event.name = tasks_[index].label;
+    event.category = "mb";
+    event.node = node;
+    event.phase = 'X';
+    event.t_start_us = ToMicros(start);
+    event.dur_us = ToMicros(finish) - ToMicros(start);
+    event.args = tasks_[index].trace_args;
+    Tracer::Global().Record(std::move(event));
+  }
+
+  InFlight fl;
+  fl.task = index;
+  fl.start = start;
+  fl.finish = finish;
+  fl.posts = std::move(buffered_posts_);
+  fl.sends = std::move(buffered_sends_);
+  buffered_posts_.clear();
+  buffered_sends_.clear();
+  in_flight_[node] = std::move(fl);
+  cpu_busy_[node] = true;
+  cpu_free_[node] = finish;
+  PushEvent(finish, Event::kTaskFinish, 0, node);
+
+  if (!status.ok() && first_error_.ok()) {
+    first_error_ = Status(
+        status.code(), "pipelined task '" + tasks_[index].label + "' node " +
+                           std::to_string(node) + ": " + status.message());
+  }
+}
+
+void PipelinedFabric::FinishTask(uint32_t node, double now) {
+  TJ_CHECK(in_flight_[node].has_value());
+  InFlight fl = std::move(*in_flight_[node]);
+  in_flight_[node].reset();
+  cpu_busy_[node] = false;
+  TaskRecord& task = tasks_[fl.task];
+
+  for (uint64_t post : fl.posts) {
+    PushEvent(now, Event::kTaskReady, post, tasks_[post].node);
+  }
+  for (uint64_t send : fl.sends) AdmitChunk(send, now);
+
+  if (task.returns_credit) {
+    ReturnCredit(task.credit_src, task.credit_dst, task.credit_bytes, now);
+  }
+  if (task.handler_chunk >= 0) {
+    // Handler ran; its chunk payload is no longer needed.
+    ByteBuffer().swap(chunks_[task.handler_chunk].data);
+  }
+  // Release the task closure (captured buffers) once it can never rerun.
+  task.fn = nullptr;
+}
+
+void PipelinedFabric::AdmitChunk(uint64_t chunk_index, double ready) {
+  Chunk& chunk = chunks_[chunk_index];
+  if (chunk.src == chunk.dst) {
+    // Local copy: no NIC, no credit; the ledger's src == dst cells are the
+    // local-copy side.
+    const uint32_t stage = chunk_stage_[chunk_index];
+    traffic_.Add(chunk.src, chunk.dst, chunk.type, chunk.data.size());
+    stages_[stage].local_bytes += chunk.data.size();
+    stages_[stage]
+        .local_bytes_by_type[static_cast<int>(chunk.type)] +=
+        chunk.data.size();
+    PushEvent(ready, Event::kChunkArrive, chunk_index, chunk.dst);
+    return;
+  }
+  Link& link = links_[static_cast<size_t>(chunk.src) * params_.num_nodes +
+                      chunk.dst];
+  const uint64_t need = CreditNeed(chunk);
+  chunk_credit_[chunk_index] = need;
+  // FIFO per link: a chunk never overtakes an earlier blocked one, even if
+  // it would fit the remaining credit.
+  if (!link.blocked.empty() || need > link.credit) {
+    link.blocked.emplace_back(chunk_index, ready);
+    ++credit_stall_events_;
+    return;
+  }
+  link.credit -= need;
+  RecordCreditCounter(chunk.src, chunk.dst, ready);
+  LaunchChunk(chunk_index, ready);
+}
+
+void PipelinedFabric::ReturnCredit(uint32_t src, uint32_t dst, uint64_t bytes,
+                                   double now) {
+  Link& link = links_[static_cast<size_t>(src) * params_.num_nodes + dst];
+  link.credit += bytes;
+  RecordCreditCounter(src, dst, now);
+  while (!link.blocked.empty()) {
+    const auto [chunk_index, ready] = link.blocked.front();
+    const uint64_t need = chunk_credit_[chunk_index];
+    if (need > link.credit) break;
+    link.blocked.pop_front();
+    link.credit -= need;
+    RecordCreditCounter(src, dst, now);
+    LaunchChunk(chunk_index, std::max(ready, now));
+  }
+}
+
+void PipelinedFabric::LaunchChunk(uint64_t chunk_index, double ready) {
+  Chunk& chunk = chunks_[chunk_index];
+  const uint32_t stage = chunk_stage_[chunk_index];
+  const uint64_t wire =
+      chunk.data.size() + (fault_active() ? kFrameHeaderBytes : 0);
+
+  // First transmission is goodput; stage ledgers see goodput only, so the
+  // barrier-equivalent reference prices the same bytes as a pristine run.
+  traffic_.Add(chunk.src, chunk.dst, chunk.type, wire);
+  stages_[stage].network_bytes += wire;
+  stages_[stage].network_bytes_by_type[static_cast<int>(chunk.type)] += wire;
+  stage_node_out_[stage][chunk.src] += wire;
+  stage_node_in_[stage][chunk.dst] += wire;
+
+  const double dur = params_.cost.TransferSeconds(wire);
+  double t = std::max({ready, egress_free_[chunk.src],
+                       ingress_free_[chunk.dst]});
+  bool delivered = true;
+  if (fault_active()) {
+    const FaultPolicy& policy = *params_.fault_policy;
+    delivered = false;
+    for (uint32_t attempt = 0; attempt <= policy.max_retries; ++attempt) {
+      double t_end = t + dur;
+      if (attempt > 0) {
+        traffic_.AddRetransmit(chunk.src, chunk.dst, chunk.type, wire);
+        ++retransmitted_frames_;
+      }
+      const bool dropped = fault_rng_->Bernoulli(policy.drop);
+      const bool corrupt = !dropped && fault_rng_->Bernoulli(policy.corrupt);
+      const bool duplicated =
+          !dropped && fault_rng_->Bernoulli(policy.duplicate);
+      if (duplicated) {
+        // The spurious extra copy burns wire time and overhead bytes but
+        // is discarded by the receiver's stream sequencing.
+        ++fault_counters_.frames_duplicated;
+        traffic_.AddRetransmit(chunk.src, chunk.dst, chunk.type, wire);
+        t_end += dur;
+      }
+      if (dropped) {
+        ++fault_counters_.frames_dropped;
+        t = t_end;
+        continue;
+      }
+      if (corrupt) {
+        ++fault_counters_.frames_corrupted;
+        ++nack_messages_;
+        t = t_end;
+        continue;
+      }
+      t = t_end;
+      delivered = true;
+      break;
+    }
+    if (delivered && fault_rng_->Bernoulli(policy.reorder)) {
+      // Streams are FIFO by construction here, so a reorder fault is
+      // absorbed by the model; it is still counted for parity with the
+      // barrier fabric's injector.
+      ++fault_counters_.messages_reordered;
+    }
+  } else {
+    t += dur;
+  }
+  egress_free_[chunk.src] = t;
+  ingress_free_[chunk.dst] = t;
+
+  if (!delivered) {
+    lost_link_ = true;
+    LinkLoss loss;
+    loss.src = chunk.src;
+    loss.dst = chunk.dst;
+    loss.frames = 1;
+    failure_.lost_links.push_back(loss);
+    failure_.retry_rounds =
+        std::max(failure_.retry_rounds, params_.fault_policy->max_retries);
+    return;
+  }
+  PushEvent(t, Event::kChunkArrive, chunk_index, chunk.dst);
+}
+
+Status PipelinedFabric::Run() {
+  TJ_CHECK(!ran_) << "Run called twice";
+  ran_ = true;
+  while (!events_.empty() && first_error_.ok()) {
+    const Event event = events_.top();
+    events_.pop();
+    makespan_seconds_ = std::max(makespan_seconds_, event.time);
+    switch (event.kind) {
+      case Event::kTaskReady: {
+        const uint64_t index = event.payload;
+        if (dead_[event.node]) break;  // Fail-stopped: the task never runs.
+        runnable_[event.node].push_back(index);
+        TryStartTask(event.node, event.time);
+        break;
+      }
+      case Event::kTaskFinish: {
+        FinishTask(event.node, event.time);
+        TryStartTask(event.node, event.time);
+        break;
+      }
+      case Event::kChunkArrive: {
+        const uint64_t chunk_index = event.payload;
+        const Chunk& chunk = chunks_[chunk_index];
+        if (dead_[chunk.dst]) {
+          // The wire delivered it, but nobody is home: hand the credit
+          // back (and drain the link's blocked queue) so surviving
+          // streams on the link keep flowing.
+          if (chunk.src != chunk.dst && chunk_credit_[chunk_index] > 0) {
+            ReturnCredit(chunk.src, chunk.dst, chunk_credit_[chunk_index],
+                         event.time);
+          }
+          break;
+        }
+        const auto& handler = handlers_[static_cast<int>(chunk.type)];
+        TJ_CHECK(handler.has_value())
+            << "no handler for " << MessageTypeName(chunk.type);
+        TaskRecord task;
+        task.node = chunk.dst;
+        task.stage = handler->first;
+        task.label = std::string(stages_[handler->first].name) + "." +
+                     MessageTypeName(chunk.type);
+        task.trace_args = {
+            {"src", static_cast<int64_t>(chunk.src)},
+            {"watermark", static_cast<int64_t>(chunk.watermark)},
+            {"eos", chunk.eos ? 1 : 0},
+            {"bytes", static_cast<int64_t>(chunk.data.size())}};
+        if (chunk.src != chunk.dst) {
+          task.returns_credit = true;
+          task.credit_src = chunk.src;
+          task.credit_dst = chunk.dst;
+          task.credit_bytes = chunk_credit_[chunk_index];
+        }
+        task.handler_chunk = static_cast<int64_t>(chunk_index);
+        task.fn = [this, type = static_cast<int>(chunk.type), chunk_index]() {
+          // The handler may SendChunk, growing chunks_ and invalidating
+          // references into it — hand it a moved-out local copy instead.
+          Chunk local = std::move(chunks_[chunk_index]);
+          return (handlers_[type]->second)(local);
+        };
+        tasks_.push_back(std::move(task));
+        runnable_[chunk.dst].push_back(tasks_.size() - 1);
+        TryStartTask(chunk.dst, event.time);
+        break;
+      }
+    }
+  }
+
+  // Finalize per-stage maxima now that accounting is complete.
+  for (uint32_t s = 0; s < stages_.size(); ++s) {
+    StageStats& stage = stages_[s];
+    stage.max_node_cpu_seconds = 0;
+    stage.max_node_bytes = 0;
+    for (uint32_t node = 0; node < params_.num_nodes; ++node) {
+      stage.max_node_cpu_seconds =
+          std::max(stage.max_node_cpu_seconds, stage_node_cpu_[s][node]);
+      stage.max_node_bytes =
+          std::max(stage.max_node_bytes,
+                   std::max(stage_node_in_[s][node], stage_node_out_[s][node]));
+    }
+  }
+
+  if (Tracer::enabled()) {
+    TraceEvent makespan_event;
+    makespan_event.name = "pipeline.makespan_us";
+    makespan_event.category = "mb";
+    makespan_event.phase = 'C';
+    makespan_event.t_start_us = ToMicros(makespan_seconds_);
+    makespan_event.value = ToMicros(makespan_seconds_);
+    Tracer::Global().Record(makespan_event);
+    TraceEvent barrier_event;
+    barrier_event.name = "pipeline.barrier_us";
+    barrier_event.category = "mb";
+    barrier_event.phase = 'C';
+    barrier_event.t_start_us = ToMicros(makespan_seconds_);
+    barrier_event.value = ToMicros(barrier_makespan_seconds());
+    Tracer::Global().Record(barrier_event);
+  }
+
+  if (!first_error_.ok()) return first_error_;
+  if (lost_link_) {
+    const LinkLoss& loss = failure_.lost_links.front();
+    return Status::DataLoss(
+        "pipelined link " + std::to_string(loss.src) + "->" +
+        std::to_string(loss.dst) + " lost a chunk after " +
+        std::to_string(params_.fault_policy->max_retries) + " retries");
+  }
+  return Status::OK();
+}
+
+double PipelinedFabric::barrier_makespan_seconds() const {
+  double total = 0;
+  for (uint32_t s = 0; s < stages_.size(); ++s) {
+    double max_cpu = 0;
+    uint64_t max_nic = 0;
+    for (uint32_t node = 0; node < params_.num_nodes; ++node) {
+      max_cpu = std::max(max_cpu, stage_node_cpu_[s][node]);
+      max_nic = std::max(max_nic, std::max(stage_node_in_[s][node],
+                                           stage_node_out_[s][node]));
+    }
+    total += max_cpu + params_.cost.TransferSeconds(max_nic);
+  }
+  return total;
+}
+
+ReliabilityStats PipelinedFabric::reliability() const {
+  ReliabilityStats stats;
+  stats.faults = fault_counters_;
+  stats.retransmitted_frames = retransmitted_frames_;
+  stats.nack_messages = nack_messages_;
+  return stats;
+}
+
+}  // namespace tj

@@ -1,0 +1,292 @@
+// Event-driven simulated cluster fabric with modeled time.
+//
+// The barrier fabric (net/fabric.h) runs the paper's de-pipelined
+// execution: every phase finishes its CPU work everywhere before any
+// transfer completes, and transfers finish everywhere before the next
+// phase starts. This fabric models the pipelined implementation the paper
+// sketches in Section 5: work is a set of tasks on per-node serial CPUs,
+// transfers stream between them as micro-batch chunks, and the end-to-end
+// makespan is the critical path through the resulting schedule — CPU and
+// network overlap wherever the dataflow allows.
+//
+// Time here is *modeled*, never measured: a task costs
+// charged_bytes / cpu_bandwidth seconds, a transfer costs
+// wire_bytes / net_bandwidth seconds (PipelineCostModel), so the makespan
+// is a deterministic function of the inputs and is exactly reproducible.
+// Every node has one serial CPU (FIFO runnable queue), one egress NIC and
+// one ingress NIC; a transfer holds both its source's egress and its
+// destination's ingress for its whole duration, and src == dst sends are
+// local copies that skip the NICs entirely.
+//
+// Flow control is credit-based per directed link: each link's in-flight
+// window is max(chunk_bytes, inbox_budget_bytes / num_nodes) payload
+// bytes; a chunk's credit is returned only when the receiver's handler
+// task *completes*, so the window bounds receiver inbox memory (stashed
+// chunks included). Senders never block — a chunk without credit waits in
+// the link's FIFO while the sending CPU moves on (transmission is modeled
+// as offloaded). Zero-byte chunks (pure EOS markers) never need credit, so
+// stream termination cannot deadlock.
+//
+// Fault mode mirrors the barrier fabric's semantics at chunk granularity:
+// chunks are framed (payload + kFrameHeaderBytes on the wire), a seeded
+// deterministic RNG draws drop/corrupt/duplicate/reorder per transmission,
+// lost or corrupt frames retry inline up to max_retries (occupying the NICs
+// and the retransmit ledger), an exhausted budget fails the run with
+// DataLoss, crash_node fail-stops from time zero, and slow_node starts its
+// CPU late by slowdown_seconds. With no active policy the wire path is
+// pristine and the traffic matrix is byte-identical to the barrier run.
+#ifndef TJ_NET_PIPELINED_FABRIC_H_
+#define TJ_NET_PIPELINED_FABRIC_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/failure.h"
+#include "net/fault_injector.h"
+#include "net/message.h"
+#include "net/time_model.h"
+#include "net/traffic.h"
+
+namespace tj {
+
+/// One micro-batch: a bounded slice of a typed (src, dst) stream.
+/// `watermark` is the stream's progress marker (for key-ordered streams,
+/// the last key in the chunk); `eos` marks the stream's final chunk (which
+/// may carry zero payload bytes).
+struct Chunk {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  MessageType type = MessageType::kTrackR;
+  ByteBuffer data;
+  bool eos = false;
+  uint64_t watermark = 0;
+};
+
+class PipelinedFabric {
+ public:
+  struct Params {
+    uint32_t num_nodes = 1;
+    PipelineCostModel cost;
+    /// Target chunk payload size (drivers slice streams at entry
+    /// boundaries around this many bytes).
+    uint64_t chunk_bytes = 1 << 12;
+    /// Per-node inbox budget enforced by the per-link credit windows.
+    uint64_t inbox_budget_bytes = 1 << 15;
+    /// Optional fault policy (not owned); nullptr or inactive keeps the
+    /// pristine byte-identical wire path.
+    const FaultPolicy* fault_policy = nullptr;
+    uint64_t fault_seed = 0;
+  };
+
+  using Task = std::function<Status()>;
+  using ChunkHandler = std::function<Status(const Chunk&)>;
+  /// Extra key/value pairs exported into a task span's trace args.
+  using TraceArgs = std::vector<std::pair<std::string, int64_t>>;
+
+  explicit PipelinedFabric(const Params& params);
+
+  uint32_t num_nodes() const { return params_.num_nodes; }
+  const Params& params() const { return params_; }
+
+  /// Registers the handler that runs (as a CPU task at chunk.dst, under
+  /// stage `stage`) for every arriving chunk of `type`. One handler per
+  /// type; register before Run().
+  void OnChunk(MessageType type, const char* stage, ChunkHandler handler);
+
+  /// Schedules `fn` on `node`'s serial CPU under stage `stage`. Callable
+  /// during setup (released at time zero) or from inside a running task
+  /// (released when the posting task finishes). `label` names the task's
+  /// trace span; `trace_args` are exported with it.
+  void Post(uint32_t node, const char* stage, std::string label, Task fn,
+            TraceArgs trace_args = {});
+
+  /// Queues one chunk from inside a running task at `src`. The chunk
+  /// leaves the node when the task finishes; transfer start additionally
+  /// waits for link credit and for both NICs. Sends on one (src, dst,
+  /// type) stream arrive in send order.
+  void SendChunk(uint32_t src, uint32_t dst, MessageType type,
+                 ByteBuffer data, bool eos, uint64_t watermark = 0);
+
+  /// Charges modeled CPU work (bytes touched) to the currently running
+  /// task. The task's duration is total_charged / cpu_bandwidth.
+  void ChargeCpuBytes(uint64_t bytes);
+
+  /// Drains the event loop. Returns the first task error, or DataLoss when
+  /// a link exhausted its retry budget (see failure()). A crashed node
+  /// does not fail Run() by itself — its streams simply never terminate,
+  /// which the driver detects as missing EOS.
+  Status Run();
+
+  /// Modeled end-to-end seconds: the time the last event completed.
+  double makespan_seconds() const { return makespan_seconds_; }
+
+  /// Barrier-equivalent reference computed from this run's own per-stage
+  /// accounting: sum over stages of (max-node CPU seconds + busiest-NIC
+  /// transfer seconds). This is what the same work would cost if every
+  /// stage were separated by global barriers — the de-pipelined number the
+  /// makespan is gated against.
+  double barrier_makespan_seconds() const;
+
+  const TrafficMatrix& traffic() const { return traffic_; }
+  ReliabilityStats reliability() const;
+  const FailureReport& failure() const { return failure_; }
+  bool node_dead(uint32_t node) const { return dead_[node]; }
+  /// Times a chunk found its link without credit and had to queue.
+  uint64_t credit_stall_events() const { return credit_stall_events_; }
+
+  /// Per-stage accounting (stages in first-use order).
+  struct StageStats {
+    std::string name;
+    /// Modeled CPU seconds, summed over nodes / busiest node.
+    double cpu_seconds_total = 0;
+    double max_node_cpu_seconds = 0;
+    /// First-transmission bytes sent by tasks of this stage.
+    uint64_t network_bytes = 0;
+    uint64_t local_bytes = 0;
+    /// max over nodes of max(ingress, egress) goodput in this stage.
+    uint64_t max_node_bytes = 0;
+    std::array<uint64_t, kNumMessageTypes> network_bytes_by_type{};
+    std::array<uint64_t, kNumMessageTypes> local_bytes_by_type{};
+  };
+  const std::vector<StageStats>& stage_stats() const { return stages_; }
+
+  /// Pre-registers a stage so stage_stats() lists it in declaration order
+  /// even when its first task only runs mid-simulation.
+  void DeclareStage(const char* stage) { StageIndex(stage); }
+
+ private:
+  struct TaskRecord {
+    uint32_t node = 0;
+    uint32_t stage = 0;
+    std::string label;
+    Task fn;
+    TraceArgs trace_args;
+    /// Credit to return (and blocked queue to drain) when this task —
+    /// a network chunk's handler — completes.
+    bool returns_credit = false;
+    uint32_t credit_src = 0;
+    uint32_t credit_dst = 0;
+    uint64_t credit_bytes = 0;
+    /// Index of the chunk this (handler) task consumes, -1 for plain tasks;
+    /// its payload is released once the handler completes.
+    int64_t handler_chunk = -1;
+  };
+
+  struct Event {
+    double time = 0;
+    uint64_t seq = 0;
+    enum Kind { kTaskReady, kTaskFinish, kChunkArrive } kind = kTaskReady;
+    /// kTaskReady payload (index into tasks_), kChunkArrive payload
+    /// (index into chunks_ plus credit bytes), kTaskFinish target node.
+    uint64_t payload = 0;
+    uint32_t node = 0;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct Link {
+    uint64_t credit = 0;
+    /// Chunks waiting for credit: (chunk index, ready time).
+    std::deque<std::pair<uint64_t, double>> blocked;
+    /// When this link's NIC pair is next free is tracked per node, but the
+    /// link keeps its own FIFO release cursor so blocked chunks keep order.
+  };
+
+  uint32_t StageIndex(const char* stage);
+  void PushEvent(double time, Event::Kind kind, uint64_t payload,
+                 uint32_t node);
+  /// Starts the next runnable task on `node` if its CPU is idle.
+  void TryStartTask(uint32_t node, double now);
+  /// Applies a finished task's effects: releases buffered posts/sends,
+  /// returns handler credit, drains the link's blocked queue.
+  void FinishTask(uint32_t node, double now);
+  /// Moves one chunk onto the wire (or the local loopback): accounts
+  /// traffic, models faults, reserves NICs, schedules the arrival.
+  void LaunchChunk(uint64_t chunk_index, double ready);
+  /// Grants credit and launches, or queues on the link's blocked FIFO.
+  void AdmitChunk(uint64_t chunk_index, double ready);
+  uint64_t LinkWindowBytes() const;
+  uint64_t CreditNeed(const Chunk& chunk) const;
+  /// Hands `bytes` of credit back to the src->dst link and drains its
+  /// blocked FIFO in order as far as the restored window allows.
+  void ReturnCredit(uint32_t src, uint32_t dst, uint64_t bytes, double now);
+  void RecordCreditCounter(uint32_t src, uint32_t dst, double now);
+  bool fault_active() const {
+    return params_.fault_policy != nullptr && params_.fault_policy->active();
+  }
+
+  Params params_;
+  TrafficMatrix traffic_;
+  std::vector<StageStats> stages_;
+  std::vector<std::vector<double>> stage_node_cpu_;      // [stage][node]
+  std::vector<std::vector<uint64_t>> stage_node_in_;     // [stage][node]
+  std::vector<std::vector<uint64_t>> stage_node_out_;    // [stage][node]
+
+  std::array<std::optional<std::pair<uint32_t, ChunkHandler>>,
+             kNumMessageTypes>
+      handlers_;  // stage index + handler, per type.
+
+  // Event loop state.
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  uint64_t next_event_seq_ = 0;
+  std::vector<TaskRecord> tasks_;
+  std::vector<Chunk> chunks_;
+  std::vector<uint32_t> chunk_stage_;   ///< Sending task's stage, per chunk.
+  std::vector<uint64_t> chunk_credit_;  ///< Link credit held, per chunk.
+  std::vector<std::deque<uint64_t>> runnable_;  ///< Task indices per node.
+  std::vector<bool> cpu_busy_;
+  std::vector<double> cpu_free_;
+  std::vector<double> egress_free_;
+  std::vector<double> ingress_free_;
+  std::vector<Link> links_;  ///< [src * n + dst].
+  std::vector<bool> dead_;
+
+  // The currently executing task (set while its fn runs) and the effects
+  // it buffers: posts and sends are released at the task's finish time.
+  bool in_task_ = false;
+  uint32_t running_node_ = 0;
+  uint64_t running_task_ = 0;
+  double running_start_ = 0;
+  uint64_t running_charged_bytes_ = 0;
+  std::vector<uint64_t> buffered_posts_;   ///< Task indices.
+  std::vector<uint64_t> buffered_sends_;   ///< Chunk indices.
+  /// Finish effects queued for the in-flight task of each node:
+  /// (task index, buffered posts, buffered sends).
+  struct InFlight {
+    uint64_t task = 0;
+    double start = 0;
+    double finish = 0;
+    std::vector<uint64_t> posts;
+    std::vector<uint64_t> sends;
+  };
+  std::vector<std::optional<InFlight>> in_flight_;
+
+  bool ran_ = false;
+  double makespan_seconds_ = 0;
+  Status first_error_;
+  FailureReport failure_;
+  bool lost_link_ = false;
+  uint64_t credit_stall_events_ = 0;
+
+  // Fault state.
+  std::optional<Rng> fault_rng_;
+  FaultCounters fault_counters_;
+  uint64_t retransmitted_frames_ = 0;
+  uint64_t nack_messages_ = 0;
+};
+
+}  // namespace tj
+
+#endif  // TJ_NET_PIPELINED_FABRIC_H_

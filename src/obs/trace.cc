@@ -161,16 +161,25 @@ std::string Tracer::ToChromeJson() const {
       std::snprintf(buf, sizeof(buf), ", \"dur\": %lld",
                     static_cast<long long>(e.dur_us));
       out += buf;
-      if (e.value >= 0) {
-        std::snprintf(buf, sizeof(buf), ", \"args\": {\"rows\": %lld}",
-                      static_cast<long long>(e.value));
-        out += buf;
-      }
-    } else if (e.phase == 'C') {
-      std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %lld}",
-                    static_cast<long long>(e.value));
-      out += buf;
     }
+    // args object: counters always carry "value", spans carry "rows" when
+    // set, and either may carry extra integer pairs (TraceEvent::args).
+    bool args_open = false;
+    auto put_arg = [&](const std::string& key, int64_t value) {
+      out += args_open ? ", " : ", \"args\": {";
+      args_open = true;
+      AppendJsonEscaped(key, &out);
+      std::snprintf(buf, sizeof(buf), ": %lld",
+                    static_cast<long long>(value));
+      out += buf;
+    };
+    if (e.phase == 'C') {
+      put_arg("value", e.value);
+    } else if (e.phase == 'X' && e.value >= 0) {
+      put_arg("rows", e.value);
+    }
+    for (const auto& [key, value] : e.args) put_arg(key, value);
+    if (args_open) out += "}";
     out += "}";
   }
   out += "]}";

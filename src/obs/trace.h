@@ -28,6 +28,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tj {
@@ -49,6 +50,10 @@ struct TraceEvent {
   int64_t dur_us = 0;
   char phase = 'X';
   int64_t value = -1;
+  /// Extra integer key/value pairs merged into the exported args object
+  /// alongside rows/value. Used by the pipelined fabric's micro-batch spans
+  /// (src, watermark, eos, range_lo, range_hi, ...).
+  std::vector<std::pair<std::string, int64_t>> args;
 };
 
 /// Process-wide trace collector. All methods are thread-safe.

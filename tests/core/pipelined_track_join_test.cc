@@ -1,0 +1,345 @@
+// Equivalence tests for the pipelined (event-driven micro-batch) track
+// join: traffic matrices, checksums, schedules and EXPLAIN audits must be
+// byte-identical to the barrier driver's, across versions, scheduling
+// features, chunk sizes and inbox budgets — while the modeled makespan
+// beats the barrier reference on pipeline-friendly workloads. Fault
+// injection must preserve output parity; crashes must fail both drivers.
+#include "core/pipelined_track_join.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "core/track_join.h"
+#include "net/failure.h"
+#include "workload/generator.h"
+
+namespace tj {
+namespace {
+
+JoinConfig BaseConfig() {
+  JoinConfig config;
+  config.key_bytes = 4;
+  config.count_bytes = 1;
+  config.node_bytes = 1;
+  return config;
+}
+
+Workload SmallWorkload(uint32_t nodes = 4) {
+  WorkloadSpec spec;
+  spec.num_nodes = nodes;
+  spec.matched_keys = 3000;
+  spec.r_multiplicity = 2;
+  spec.s_multiplicity = 3;
+  spec.r_unmatched = 500;
+  spec.s_unmatched = 700;
+  Workload w = GenerateWorkload(spec);
+  return w;
+}
+
+void ExpectAuditsEqual(const ScheduleAuditLog& barrier,
+                       const ScheduleAuditLog& pipelined) {
+  const auto a = barrier.Collect();
+  const auto b = pipelined.Collect();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << "audit " << i;
+    EXPECT_EQ(a[i].chosen_dir, b[i].chosen_dir) << "key " << a[i].key;
+    EXPECT_EQ(a[i].chosen_cost, b[i].chosen_cost) << "key " << a[i].key;
+    EXPECT_EQ(a[i].chosen_migrations, b[i].chosen_migrations)
+        << "key " << a[i].key;
+    EXPECT_EQ(a[i].chosen_split, b[i].chosen_split) << "key " << a[i].key;
+    EXPECT_EQ(a[i].cls, b[i].cls) << "key " << a[i].key;
+    EXPECT_EQ(a[i].hash_join_cost, b[i].hash_join_cost) << "key " << a[i].key;
+  }
+}
+
+// Runs both drivers on the same inputs and checks full equivalence:
+// byte-identical traffic (network, local and retransmit ledgers all
+// compared cell by cell), checksum, cardinalities and EXPLAIN audits.
+void ExpectPipelinedMatchesBarrier(const Workload& w, JoinConfig config,
+                                   TrackJoinVersion version) {
+  ScheduleAuditLog barrier_audit, pipelined_audit;
+  JoinConfig barrier_config = config;
+  barrier_config.pipeline.enabled = false;
+  barrier_config.schedule_audit = &barrier_audit;
+  Result<JoinResult> barrier =
+      TryRunTrackJoin(w.r, w.s, barrier_config, version);
+  ASSERT_TRUE(barrier.ok()) << barrier.status().ToString();
+
+  JoinConfig pipelined_config = config;
+  pipelined_config.schedule_audit = &pipelined_audit;
+  Result<JoinResult> pipelined =
+      TryRunPipelinedTrackJoin(w.r, w.s, pipelined_config, version);
+  ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
+
+  EXPECT_EQ(pipelined->output_rows, barrier->output_rows);
+  EXPECT_EQ(pipelined->output_rows, w.expected_output_rows);
+  EXPECT_EQ(pipelined->node_output_rows, barrier->node_output_rows);
+  EXPECT_TRUE(pipelined->checksum == barrier->checksum);
+  EXPECT_TRUE(pipelined->traffic == barrier->traffic)
+      << "traffic matrices differ";
+  ExpectAuditsEqual(barrier_audit, pipelined_audit);
+  EXPECT_GT(pipelined->makespan_seconds, 0.0);
+  EXPECT_GT(pipelined->barrier_makespan_seconds, 0.0);
+}
+
+TEST(PipelinedTrackJoinTest, ThreePhaseByteIdenticalToBarrier) {
+  ExpectPipelinedMatchesBarrier(SmallWorkload(), BaseConfig(),
+                                TrackJoinVersion::k3Phase);
+}
+
+TEST(PipelinedTrackJoinTest, FourPhaseByteIdenticalToBarrier) {
+  ExpectPipelinedMatchesBarrier(SmallWorkload(), BaseConfig(),
+                                TrackJoinVersion::k4Phase);
+}
+
+TEST(PipelinedTrackJoinTest, FourPhaseWithBalanceByteIdentical) {
+  JoinConfig config = BaseConfig();
+  config.balance_loads = true;
+  ExpectPipelinedMatchesBarrier(SmallWorkload(), config,
+                                TrackJoinVersion::k4Phase);
+}
+
+TEST(PipelinedTrackJoinTest, FourPhaseWithHotSplitByteIdentical) {
+  // Skewed repeats make real hot keys; the split decisions (and the
+  // fragment instruction groups, which must never be sliced mid-group)
+  // have to come out identical to the barrier run's.
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 400;
+  spec.r_multiplicity = 6;
+  spec.s_multiplicity = 12;
+  spec.r_pattern = {3, 2, 1};
+  spec.s_pattern = {6, 4, 2};
+  Workload w = GenerateWorkload(spec);
+  JoinConfig config = BaseConfig();
+  config.balance_loads = true;
+  config.hot_key_threshold = 36;
+  config.hot_key_max_split = 3;
+  ExpectPipelinedMatchesBarrier(w, config, TrackJoinVersion::k4Phase);
+}
+
+TEST(PipelinedTrackJoinTest, DirectionStoRByteIdentical) {
+  Workload w = SmallWorkload();
+  JoinConfig config = BaseConfig();
+  Result<JoinResult> barrier = TryRunTrackJoin(
+      w.r, w.s, config, TrackJoinVersion::k3Phase, Direction::kStoR);
+  Result<JoinResult> pipelined = TryRunPipelinedTrackJoin(
+      w.r, w.s, config, TrackJoinVersion::k3Phase, Direction::kStoR);
+  ASSERT_TRUE(barrier.ok());
+  ASSERT_TRUE(pipelined.ok());
+  EXPECT_TRUE(pipelined->traffic == barrier->traffic);
+  EXPECT_TRUE(pipelined->checksum == barrier->checksum);
+}
+
+TEST(PipelinedTrackJoinTest, MaterializedOutputMatchesCardinalityAndDigest) {
+  Workload w = SmallWorkload();
+  JoinConfig config = BaseConfig();
+  config.materialize = true;
+  Result<JoinResult> barrier =
+      TryRunTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  Result<JoinResult> pipelined =
+      TryRunPipelinedTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(barrier.ok());
+  ASSERT_TRUE(pipelined.ok());
+  ASSERT_TRUE(pipelined->output.has_value());
+  ASSERT_TRUE(barrier->output.has_value());
+  // Pairs join at the same nodes; within a node the pipelined driver emits
+  // them in arrival order, so compare per-node cardinalities plus the
+  // order-independent checksum, not raw bytes.
+  ASSERT_EQ(pipelined->output->num_nodes(), barrier->output->num_nodes());
+  for (uint32_t node = 0; node < barrier->output->num_nodes(); ++node) {
+    EXPECT_EQ(pipelined->output->node(node).size(),
+              barrier->output->node(node).size())
+        << "node " << node;
+  }
+  EXPECT_TRUE(pipelined->checksum == barrier->checksum);
+}
+
+TEST(PipelinedTrackJoinTest, SingleKeyTablesAreOneRange) {
+  // Every tuple shares one key: the whole run is a single key range whose
+  // final frontier batch does all the work, and the key is hot enough to
+  // split when asked.
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 1;
+  spec.r_multiplicity = 48;
+  spec.s_multiplicity = 64;
+  Workload w = GenerateWorkload(spec);
+  JoinConfig config = BaseConfig();
+  ExpectPipelinedMatchesBarrier(w, config, TrackJoinVersion::k3Phase);
+  config.hot_key_threshold = 2;
+  config.hot_key_max_split = 4;
+  ExpectPipelinedMatchesBarrier(w, config, TrackJoinVersion::k4Phase);
+}
+
+TEST(PipelinedTrackJoinTest, EmptyInputsTerminate) {
+  WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.matched_keys = 0;
+  Workload w = GenerateWorkload(spec);
+  Result<JoinResult> pipelined =
+      TryRunPipelinedTrackJoin(w.r, w.s, BaseConfig(),
+                               TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
+  EXPECT_EQ(pipelined->output_rows, 0u);
+}
+
+TEST(PipelinedTrackJoinTest, TinyChunksAndInboxBudgetStayByteIdentical) {
+  // Aggressive slicing (256-byte chunks) and a starved inbox (one chunk of
+  // window per link) maximize credit stalls; results must not move.
+  Workload w = SmallWorkload();
+  JoinConfig config = BaseConfig();
+  config.pipeline.chunk_bytes = 256;
+  config.pipeline.inbox_budget_bytes = 256 * 4;
+  ExpectPipelinedMatchesBarrier(w, config, TrackJoinVersion::k4Phase);
+}
+
+TEST(PipelinedTrackJoinTest, StragglerSourceSaturatesInboxButResultsHold) {
+  // A slow source under a tight inbox budget: every other node races ahead,
+  // the straggler's streams gate the frontier, and flow control holds
+  // memory bounded. Traffic stays byte-identical (straggling is modeled
+  // time only, pristine wire path).
+  Workload w = SmallWorkload();
+  FaultPolicy policy;
+  policy.slow_node = 1;
+  policy.slowdown_seconds = 0.5;
+  JoinConfig config = BaseConfig();
+  config.fault_policy = &policy;
+  config.pipeline.chunk_bytes = 512;
+  config.pipeline.inbox_budget_bytes = 512 * 4;
+
+  JoinConfig pristine = BaseConfig();
+  Result<JoinResult> barrier =
+      TryRunTrackJoin(w.r, w.s, pristine, TrackJoinVersion::k4Phase);
+  Result<JoinResult> pipelined =
+      TryRunPipelinedTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(barrier.ok());
+  ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
+  EXPECT_TRUE(pipelined->traffic == barrier->traffic);
+  EXPECT_TRUE(pipelined->checksum == barrier->checksum);
+  // The straggler's late start is on the critical path.
+  EXPECT_GT(pipelined->makespan_seconds, 0.5);
+}
+
+TEST(PipelinedTrackJoinTest, DeliveryFaultsPreserveOutput) {
+  // Under injected delivery faults the wire path retries per chunk; the
+  // output must match the pristine barrier run exactly (only retransmit
+  // accounting and timing may differ).
+  Workload w = SmallWorkload();
+  JoinConfig pristine = BaseConfig();
+  Result<JoinResult> reference =
+      TryRunTrackJoin(w.r, w.s, pristine, TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(reference.ok());
+
+  struct Mode {
+    const char* name;
+    FaultPolicy policy;
+  };
+  std::vector<Mode> modes(4);
+  modes[0].name = "drop";
+  modes[0].policy.drop = 0.05;
+  modes[1].name = "corrupt";
+  modes[1].policy.corrupt = 0.05;
+  modes[2].name = "duplicate";
+  modes[2].policy.duplicate = 0.05;
+  modes[3].name = "reorder";
+  modes[3].policy.reorder = 0.05;
+  for (const Mode& mode : modes) {
+    JoinConfig config = BaseConfig();
+    config.fault_policy = &mode.policy;
+    config.fault_seed = 17;
+    Result<JoinResult> pipelined = TryRunPipelinedTrackJoin(
+        w.r, w.s, config, TrackJoinVersion::k4Phase);
+    ASSERT_TRUE(pipelined.ok())
+        << mode.name << ": " << pipelined.status().ToString();
+    EXPECT_TRUE(pipelined->checksum == reference->checksum) << mode.name;
+    EXPECT_EQ(pipelined->output_rows, reference->output_rows) << mode.name;
+  }
+}
+
+TEST(PipelinedTrackJoinTest, CrashFailsBothDriversWithDataLoss) {
+  Workload w = SmallWorkload();
+  FaultPolicy policy;
+  policy.crash_node = 2;
+  JoinConfig config = BaseConfig();
+  config.fault_policy = &policy;
+  Result<JoinResult> barrier =
+      TryRunTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  Result<JoinResult> pipelined =
+      TryRunPipelinedTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  ASSERT_FALSE(barrier.ok());
+  ASSERT_FALSE(pipelined.ok());
+  EXPECT_EQ(barrier.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(pipelined.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PipelinedTrackJoinTest, CrashDiagnosticsNameTheDeadNode) {
+  Workload w = SmallWorkload();
+  FaultPolicy policy;
+  policy.crash_node = 0;
+  RunDiagnostics diagnostics;
+  JoinConfig config = BaseConfig();
+  config.fault_policy = &policy;
+  config.diagnostics = &diagnostics;
+  Result<JoinResult> pipelined =
+      TryRunPipelinedTrackJoin(w.r, w.s, config, TrackJoinVersion::k3Phase);
+  ASSERT_FALSE(pipelined.ok());
+  ASSERT_EQ(diagnostics.failure.dead_nodes.size(), 1u);
+  EXPECT_EQ(diagnostics.failure.dead_nodes[0], 0u);
+}
+
+TEST(PipelinedTrackJoinTest, MakespanBeatsBarrierOnStreamingWorkload) {
+  // A data-heavy workload with real per-range work: tracking, scheduling
+  // and transfers overlap, so the critical path lands well under the
+  // barrier-equivalent sum of per-stage maxima.
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 40000;
+  spec.r_multiplicity = 2;
+  spec.s_multiplicity = 3;
+  Workload w = GenerateWorkload(spec);
+  Result<JoinResult> pipelined = TryRunPipelinedTrackJoin(
+      w.r, w.s, BaseConfig(), TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(pipelined.ok());
+  EXPECT_LT(pipelined->makespan_seconds,
+            0.95 * pipelined->barrier_makespan_seconds);
+}
+
+TEST(PipelinedTrackJoinTest, ProfileReportsPipelinedStages) {
+  Workload w = SmallWorkload();
+  Result<JoinResult> pipelined = TryRunPipelinedTrackJoin(
+      w.r, w.s, BaseConfig(), TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(pipelined.ok());
+  EXPECT_EQ(pipelined->profile.algorithm, "4tj-p");
+  EXPECT_EQ(pipelined->profile.run_max_node_bytes,
+            pipelined->traffic.MaxNodeBytes());
+  std::vector<std::string> names;
+  for (const StepRecord& step : pipelined->profile.steps) {
+    names.push_back(step.phase);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"source", "track", "schedule",
+                                             "transfer", "join"}));
+}
+
+TEST(PipelinedTrackJoinTest, RejectsTwoPhaseAndCompressedWireFormats) {
+  Workload w = SmallWorkload();
+  EXPECT_FALSE(TryRunPipelinedTrackJoin(w.r, w.s, BaseConfig(),
+                                        TrackJoinVersion::k2Phase)
+                   .ok());
+  JoinConfig delta = BaseConfig();
+  delta.delta_tracking = true;
+  EXPECT_FALSE(
+      TryRunPipelinedTrackJoin(w.r, w.s, delta, TrackJoinVersion::k3Phase)
+          .ok());
+  JoinConfig group = BaseConfig();
+  group.group_locations = true;
+  EXPECT_FALSE(
+      TryRunPipelinedTrackJoin(w.r, w.s, group, TrackJoinVersion::k4Phase)
+          .ok());
+}
+
+}  // namespace
+}  // namespace tj

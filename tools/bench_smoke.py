@@ -15,6 +15,15 @@ span tracing costs more than --trace-tolerance (default 10%) of the
 untraced throughput on any gated kernel: the tracer is advertised as
 low-overhead, so CI holds it to that.
 
+Finally runs the pipelined-fabric smoke workload (baseline section
+"makespan") traced, recomputes the critical-path makespan from the
+exported micro-batch spans, and fails when the modeled makespan regresses
+more than the section's max_regression over the checked-in value or is
+not comfortably below the barrier-mode sum-of-phases (barrier_fraction,
+default 0.9): the whole point of the event-driven fabric is overlap, so
+CI holds it to that. Modeled time is deterministic, so the regression
+tolerance is tight.
+
 Usage:
   tools/bench_smoke.py [--build-dir build] [--threads N]
                        [--baseline tools/bench_baseline.json]
@@ -121,8 +130,71 @@ def main():
         return 1
     print(f"    trace ok ({len(trace_doc['traceEvents'])} events)")
 
+    # Pipelined-fabric makespan gate: deterministic modeled time, so this
+    # is a correctness-of-overlap check, not a noisy perf measurement.
+    makespan_section = baseline.get("makespan")
+    makespan_report = None
+    makespan_failures = []
+    if makespan_section:
+        print("=== pipelined makespan (modeled) ===", flush=True)
+        pipeline_trace = os.path.join(args.build_dir,
+                                      "bench_smoke_pipeline_trace.json")
+        tjsim = os.path.join(args.build_dir, "tools", "tjsim")
+        run([tjsim] + makespan_section["workload"] +
+            [f"--trace={pipeline_trace}"])
+        with open(pipeline_trace) as f:
+            pipeline_doc = json.load(f)
+        pipeline_events = pipeline_doc.get("traceEvents", [])
+        mb_spans = [e for e in pipeline_events
+                    if e.get("ph") == "X" and e.get("cat") == "mb"]
+        counters = {name: [e["args"]["value"] for e in pipeline_events
+                           if e.get("ph") == "C" and e.get("name") == name]
+                    for name in ("pipeline.makespan_us",
+                                 "pipeline.barrier_us")}
+        if not mb_spans or not all(counters.values()):
+            sys.stderr.write("FAIL: pipelined trace is missing micro-batch "
+                             "spans or makespan counters\n")
+            return 1
+        # The critical path ends where the last micro-batch span ends; it
+        # must agree with the fabric's own makespan counter.
+        span_makespan_us = max(e["ts"] + e["dur"] for e in mb_spans)
+        makespan_us = counters["pipeline.makespan_us"][-1]
+        barrier_us = counters["pipeline.barrier_us"][-1]
+        if abs(span_makespan_us - makespan_us) > 1:
+            makespan_failures.append(
+                f"trace critical path {span_makespan_us}us disagrees with "
+                f"pipeline.makespan_us {makespan_us}us")
+        base_us = makespan_section["makespan_us"]
+        max_regression = makespan_section.get("max_regression", 0.10)
+        barrier_fraction = makespan_section.get("barrier_fraction", 0.9)
+        ceiling_us = base_us * (1.0 + max_regression)
+        if makespan_us > ceiling_us:
+            makespan_failures.append(
+                f"pipelined makespan {makespan_us}us regressed more than "
+                f"{max_regression:.0%} over baseline {base_us}us")
+        if makespan_us > barrier_fraction * barrier_us:
+            makespan_failures.append(
+                f"pipelined makespan {makespan_us}us is not below "
+                f"{barrier_fraction:.0%} of the barrier sum-of-phases "
+                f"{barrier_us}us (overlap lost)")
+        makespan_report = {
+            "workload": makespan_section["workload"],
+            "makespan_us": makespan_us,
+            "span_makespan_us": span_makespan_us,
+            "barrier_us": barrier_us,
+            "baseline_us": base_us,
+            "ceiling_us": round(ceiling_us),
+            "barrier_fraction": barrier_fraction,
+            "overlap": round(1.0 - makespan_us / barrier_us, 4),
+            "pass": not makespan_failures,
+        }
+        status = "ok" if not makespan_failures else "REGRESSION"
+        print(f"    makespan {makespan_us}us vs barrier {barrier_us}us "
+              f"(overlap {makespan_report['overlap']:.0%}, baseline "
+              f"{base_us}us) {status}")
+
     gate = []
-    failures = []
+    failures = list(makespan_failures)
     gated = [(metric, base, kernels.get(metric))
              for metric, base in baseline["tps"].items()]
     gated += [(metric, base, micro.get(metric))
@@ -174,6 +246,7 @@ def main():
         "gate": gate,
         "trace_gate": trace_gate,
         "trace_tolerance": args.trace_tolerance,
+        "makespan_gate": makespan_report,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)

@@ -6,6 +6,14 @@ Two modes, mirroring check_profile_schema.py:
   check_trace_schema.py trace FILE   # Chrome trace JSON from `tjsim --trace=`
   check_trace_schema.py explain      # `tjsim --explain=json` read from stdin
 
+With `trace FILE --pipeline` the file must additionally carry the
+event-driven fabric's micro-batch instrumentation: "mb"-category spans,
+non-negative flow.credit.* counters, per-node schedule spans whose
+[range_lo, range_hi) key ranges are contiguous, monotone and closed by a
+single range_hi=-1 sentinel, and — the causality invariant — every
+scheduled range preceded on its node by tracking spans from all sources
+whose watermarks cover it (or that already hit end-of-stream).
+
 The trace file must be a Chrome trace-event object (`{"traceEvents": [...]}`)
 that Perfetto can load: only complete spans (X), counters (C), instants (i)
 and metadata (M), integer pid/tid/ts, non-negative durations, at least one
@@ -66,7 +74,105 @@ def check_fields(obj, spec, where):
                  (where, key, value, kind.__name__))
 
 
-def check_trace(path):
+def check_pipeline(events):
+    """Validates the micro-batch/credit span schema of a pipelined trace."""
+    mb_spans = [e for e in events
+                if e.get("ph") == "X" and e.get("cat") == "mb"]
+    if not mb_spans:
+        fail("--pipeline: no 'mb'-category spans (pipelined fabric "
+             "instrumentation missing)")
+
+    credit_events = 0
+    for e in events:
+        if e.get("ph") != "C":
+            continue
+        name = e.get("name", "")
+        if name.startswith("flow.credit."):
+            credit_events += 1
+            if e["args"]["value"] < 0:
+                fail("--pipeline: %s went negative (%d) at ts=%d pid=%d" %
+                     (name, e["args"]["value"], e.get("ts", -1), e["pid"]))
+    if credit_events == 0:
+        fail("--pipeline: no flow.credit.* counter events")
+
+    for name in ("pipeline.makespan_us", "pipeline.barrier_us"):
+        values = [e["args"]["value"] for e in events
+                  if e.get("ph") == "C" and e.get("name") == name]
+        if not values:
+            fail("--pipeline: missing %s counter" % name)
+        if any(v <= 0 for v in values):
+            fail("--pipeline: %s must be positive, got %r" % (name, values))
+
+    # Per-node tracking watermarks: the highest key each (source, table)
+    # stream had delivered to this node by a given time, and whether the
+    # stream had already signalled end-of-stream.
+    tracks = {}  # pid -> list of (ts, src, table, watermark, eos)
+    schedules = {}  # pid -> list of (ts, range_lo, range_hi)
+    for e in mb_spans:
+        name = e["name"]
+        pid = e["pid"]
+        args = e.get("args", {})
+        if name in ("track.track_r", "track.track_s"):
+            for key in ("src", "watermark", "eos"):
+                if key not in args:
+                    fail("--pipeline: %s span without args.%s" % (name, key))
+            tracks.setdefault(pid, []).append(
+                (e["ts"], args["src"], name[-1], args["watermark"],
+                 args["eos"]))
+        elif name == "schedule":
+            for key in ("range_lo", "range_hi"):
+                if key not in args:
+                    fail("--pipeline: schedule span without args.%s" % key)
+            schedules.setdefault(pid, []).append(
+                (e["ts"], args["range_lo"], args["range_hi"]))
+    if not schedules:
+        fail("--pipeline: no schedule spans")
+    num_nodes = max(e["pid"] for e in mb_spans) + 1
+
+    checked_ranges = 0
+    for pid, spans in sorted(schedules.items()):
+        spans.sort()
+        # Ranges are contiguous, monotone and closed by one -1 sentinel.
+        if spans[0][1] != 0:
+            fail("--pipeline: node %d first schedule range starts at %d, "
+                 "expected 0" % (pid, spans[0][1]))
+        for (_, lo, hi), (_, next_lo, _) in zip(spans, spans[1:]):
+            if hi == -1:
+                fail("--pipeline: node %d has a schedule span after the "
+                     "range_hi=-1 sentinel" % pid)
+            if hi < lo:
+                fail("--pipeline: node %d schedule range [%d, %d) is "
+                     "reversed" % (pid, lo, hi))
+            if next_lo != hi:
+                fail("--pipeline: node %d schedule ranges not contiguous: "
+                     "[.., %d) then [%d, ..)" % (pid, hi, next_lo))
+        if spans[-1][2] != -1:
+            fail("--pipeline: node %d never scheduled the final "
+                 "range_hi=-1 batch" % pid)
+        # Causality: a range is only schedulable once every source stream's
+        # watermark passed it (or the stream ended).
+        node_tracks = tracks.get(pid, [])
+        for ts, lo, hi in spans:
+            if hi == -1:
+                continue
+            for src in range(num_nodes):
+                for table in ("r", "s"):
+                    covered = any(
+                        t_ts <= ts and t_src == src and t_table == table and
+                        (t_eos == 1 or t_mark >= hi)
+                        for t_ts, t_src, t_table, t_mark, t_eos
+                        in node_tracks)
+                    if not covered:
+                        fail("--pipeline: node %d scheduled [%d, %d) at "
+                             "ts=%d before source %d delivered table %s "
+                             "up to %d" % (pid, lo, hi, ts, src, table, hi))
+            checked_ranges += 1
+    print("pipeline schema check passed: %d mb span(s), %d credit "
+          "sample(s), %d node(s), %d causal range(s)" %
+          (len(mb_spans), credit_events, num_nodes, checked_ranges))
+
+
+def check_trace(path, pipeline=False):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -119,6 +225,11 @@ def check_trace(path):
                 nic_counters += 1
     if process_names == 0:
         fail("no process_name metadata (per-node lanes would be unlabeled)")
+    if pipeline:
+        # The event-driven fabric replaces the barrier fabric's phase spans
+        # and NIC counters with micro-batch spans and credit counters.
+        check_pipeline(events)
+        return
     if phase_spans == 0:
         fail("no 'phase'-category spans (fabric instrumentation missing)")
     if nic_counters == 0:
@@ -190,13 +301,15 @@ def check_explain(expect_zero_hot_split=False):
 def main():
     args = sys.argv[1:]
     expect_zero_hot_split = "--expect-zero-hot-split" in args
-    args = [a for a in args if a != "--expect-zero-hot-split"]
+    pipeline = "--pipeline" in args
+    args = [a for a in args
+            if a not in ("--expect-zero-hot-split", "--pipeline")]
     if len(args) == 2 and args[0] == "trace":
-        check_trace(args[1])
+        check_trace(args[1], pipeline=pipeline)
     elif len(args) == 1 and args[0] == "explain":
         check_explain(expect_zero_hot_split)
     else:
-        sys.exit("usage: check_trace_schema.py trace FILE\n"
+        sys.exit("usage: check_trace_schema.py trace FILE [--pipeline]\n"
                  "       check_trace_schema.py explain "
                  "[--expect-zero-hot-split] < explain.json")
 

@@ -27,7 +27,14 @@ for san in "${sanitizers[@]}"; do
     *) echo "unknown sanitizer '${san}' (address|undefined|thread)" >&2; exit 1 ;;
   esac
   echo "=== ${san}: configure + build (${dir}) ==="
-  cmake -B "${dir}" -S . -DTJ_SANITIZE="${san}" >/dev/null
+  # Honor ccache exactly like the workflow does: sanitizer rebuilds are the
+  # most expensive part of the gate and cache perfectly per-sanitizer.
+  launcher_flags=()
+  if command -v ccache >/dev/null; then
+    launcher_flags=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                    -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  fi
+  cmake -B "${dir}" -S . -DTJ_SANITIZE="${san}" "${launcher_flags[@]}" >/dev/null
   cmake --build "${dir}" -j "$(nproc)"
   # The hot-path containers and the tracker merge must stay in the
   # sanitized unit leg: their probe/tombstone and cursor arithmetic is
@@ -37,7 +44,8 @@ for san in "${sanitizers[@]}"; do
   # grep exits at the first match and ctest takes a SIGPIPE.)
   unit_listing="$(ctest --test-dir "${dir}" -N -L unit)"
   for required in kway_merge_test flat_table_test buffer_pool_test \
-                  tracker_test hot_split_test zipf_workload_test; do
+                  tracker_test hot_split_test zipf_workload_test \
+                  pipelined_fabric_test pipelined_track_join_test; do
     if ! grep -q " ${required}\$" <<<"${unit_listing}"; then
       echo "ci.sh: ${required} missing from the unit label in ${dir}" >&2
       exit 1
@@ -128,14 +136,35 @@ echo "=== hot-split smoke: skewed reconciliation + uniform zero-split pins ==="
   | python3 tools/check_profile_schema.py --expect-zero-recovery \
       --expect-zero-hot-split
 
+# Pipelined-fabric smoke: the event-driven micro-batch trace is an
+# interface too (the CI makespan gate and EXPERIMENTS.md both read it), so
+# pin its span/credit schema and the causal track-before-schedule
+# invariant the same way.
+echo "=== pipeline smoke: tjsim --pipeline --trace | check_trace_schema --pipeline ==="
+pipeline_trace_tmp="$(mktemp -t tjsim_pipeline_trace.XXXXXX.json)"
+trap 'rm -f "${trace_tmp}" "${pipeline_trace_tmp}"' EXIT
+# One algorithm per trace: each pipelined run restarts its modeled clock,
+# so a shared file would interleave two timelines.
+for algo in 3tj 4tj; do
+  "${smoke_dir}/tools/tjsim" --nodes=4 --keys=20000 --rmult=2 --smult=3 \
+      --algo="${algo}" --pipeline --trace="${pipeline_trace_tmp}" >/dev/null
+  python3 tools/check_trace_schema.py trace "${pipeline_trace_tmp}" --pipeline
+done
+
 # The batch-scoped ParallelFor is lock-order sensitive; run its tests (and
 # the rest of tj_common's concurrency surface) under TSan even when the
-# caller only asked for the default sanitizers.
+# caller only asked for the default sanitizers. The pipelined fabric's
+# event loop and credit accounting ride along: the fabric is specified as
+# single-threaded, and TSan proves the implementation never quietly grows
+# a second thread.
 if [[ ! " ${sanitizers[*]} " == *" thread "* ]]; then
-  echo "=== thread: thread_pool tests under TSan (build-tsan) ==="
-  cmake -B build-tsan -S . -DTJ_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$(nproc)" --target thread_pool_test
-  ctest --test-dir build-tsan -R thread_pool_test --output-on-failure
+  echo "=== thread: thread_pool + pipelined fabric tests under TSan (build-tsan) ==="
+  cmake -B build-tsan -S . -DTJ_SANITIZE=thread "${launcher_flags[@]}" >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target thread_pool_test \
+      pipelined_fabric_test pipelined_track_join_test
+  ctest --test-dir build-tsan \
+      -R 'thread_pool_test|pipelined_fabric_test|pipelined_track_join_test' \
+      --output-on-failure
 fi
 
 echo "ci.sh: all sanitizer runs passed"

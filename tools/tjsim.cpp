@@ -21,6 +21,7 @@
 #include "baseline/broadcast_join.h"
 #include "baseline/hash_join.h"
 #include "core/late_hash_join.h"
+#include "core/pipelined_track_join.h"
 #include "core/recovery.h"
 #include "core/rid_hash_join.h"
 #include "core/schedule.h"
@@ -55,6 +56,9 @@ struct Options {
   uint32_t hot_key_max_split = 4;
   bool delta = false;
   bool group = false;
+  bool pipeline = false;
+  uint64_t pipeline_chunk = 0;  // 0 = PipelineConfig default.
+  uint64_t inbox_budget = 0;    // 0 = PipelineConfig default.
   uint64_t seed = 42;
   double bandwidth_gbps = 0.093;
   std::vector<std::string> algos = {"all"};
@@ -101,6 +105,14 @@ execution:
   --delta              delta-compress tracking keys
   --group              node-group location messages
   --bandwidth=GBPS     NIC GB/s for the time model (default 0.093)
+  --pipeline           event-driven micro-batch execution for 3tj/4tj:
+                       tracking, scheduling and transfers overlap; reports
+                       modeled makespan vs the barrier sum-of-phases.
+                       Incompatible with --delta/--group (plain wire format
+                       required) and with the recovery flags.
+  --pipeline-chunk=B   micro-batch chunk payload bytes (default 4096)
+  --inbox-budget=B     per-node inbox budget enforced by credit-based flow
+                       control (default 32768)
 
 fault injection (any nonzero flag frames messages and enables retry/ack):
   --fault-drop=P       P(frame dropped) per transmission (default 0)
@@ -368,12 +380,33 @@ Options Parse(int argc, char** argv) {
       opt.delta = true;
     } else if (std::strcmp(a, "--group") == 0) {
       opt.group = true;
+    } else if (std::strcmp(a, "--pipeline") == 0) {
+      opt.pipeline = true;
+    } else if ((v = val("--pipeline-chunk="))) {
+      opt.pipeline_chunk = ParseUint64Flag("--pipeline-chunk", v, 1, 1u << 30,
+                                           "bytes in [1, 2^30]");
+    } else if ((v = val("--inbox-budget="))) {
+      opt.inbox_budget = ParseUint64Flag("--inbox-budget", v, 1, 1ull << 40,
+                                         "bytes in [1, 2^40]");
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       Usage();
     } else {
       std::fprintf(stderr, "unknown option '%s' (try --help)\n", a);
       std::exit(1);
     }
+  }
+  if (opt.pipeline && (opt.delta || opt.group)) {
+    std::fprintf(stderr,
+                 "--pipeline requires the plain wire format; drop --delta "
+                 "and --group\n");
+    std::exit(1);
+  }
+  if (opt.pipeline && (opt.replicas > 1 || opt.recovery_attempts > 0 ||
+                       opt.phase_deadline > 0)) {
+    std::fprintf(stderr,
+                 "--pipeline does not compose with the recovery flags "
+                 "(--replicas/--recovery-attempts/--phase-deadline)\n");
+    std::exit(1);
   }
   return opt;
 }
@@ -400,9 +433,17 @@ tj::Result<tj::JoinResult> RunByName(const std::string& name,
                                tj::Direction::kStoR);
   }
   if (name == "3tj") {
+    if (config.pipeline.enabled) {
+      return tj::TryRunPipelinedTrackJoin(r, s, config,
+                                          tj::TrackJoinVersion::k3Phase);
+    }
     return tj::TryRunTrackJoin(r, s, config, tj::TrackJoinVersion::k3Phase);
   }
   if (name == "4tj") {
+    if (config.pipeline.enabled) {
+      return tj::TryRunPipelinedTrackJoin(r, s, config,
+                                          tj::TrackJoinVersion::k4Phase);
+    }
     return tj::TryRunTrackJoin(r, s, config, tj::TrackJoinVersion::k4Phase);
   }
   if (name == "rid-hj") return tj::TryRunRidHashJoin(r, s, config);
@@ -460,6 +501,11 @@ int main(int argc, char** argv) {
   config.hot_key_max_split = opt.hot_key_max_split;
   config.delta_tracking = opt.delta;
   config.group_locations = opt.group;
+  config.pipeline.enabled = opt.pipeline;
+  if (opt.pipeline_chunk > 0) config.pipeline.chunk_bytes = opt.pipeline_chunk;
+  if (opt.inbox_budget > 0) {
+    config.pipeline.inbox_budget_bytes = opt.inbox_budget;
+  }
   config.phase_deadline_seconds = opt.phase_deadline;
   const bool faults = opt.fault.any_effect();
   if (faults) {
@@ -579,6 +625,12 @@ int main(int argc, char** argv) {
         mib(t.NetworkBytes(tj::TrafficClass::kSTuples)),
         mib(t.TotalNetworkBytes()), mib(t.MaxNodeBytes()),
         model.BottleneckSeconds(t));
+    if (result.makespan_seconds > 0) {
+      std::printf("  pipeline: makespan=%.3fs barrier=%.3fs overlap=%.0f%%\n",
+                  result.makespan_seconds, result.barrier_makespan_seconds,
+                  100.0 * (1.0 - result.makespan_seconds /
+                                     result.barrier_makespan_seconds));
+    }
     if (faults) {
       const tj::ReliabilityStats& rel = result.reliability;
       std::printf(
