@@ -12,6 +12,7 @@
 #include "net/failure.h"
 #include "net/fault_injector.h"
 #include "net/traffic.h"
+#include "obs/blame.h"
 #include "obs/step_profile.h"
 #include "storage/table.h"
 
@@ -128,6 +129,14 @@ struct JoinConfig {
   /// chunking relies on entry-aligned, context-free encodings.
   PipelineConfig pipeline;
 
+  /// Pipelined runs only: attach a critical-path BlameReport
+  /// (obs/blame.h) to JoinResult::blame after a successful run. Strictly
+  /// passive — it only reads the fabric's always-on timing records, so
+  /// traffic, checksums and EXPLAIN output are byte-identical either way.
+  bool collect_blame = false;
+  /// Critical-path edges retained in the report's top-K listing.
+  uint64_t blame_top_edges = 20;
+
   /// Location-message size M in bytes, as used by the per-key scheduler.
   uint64_t MsgBytes() const { return key_bytes + node_bytes; }
 };
@@ -177,6 +186,10 @@ struct JoinResult {
   /// accounting (sum over stages of max-node CPU + max-NIC transfer time).
   double makespan_seconds = 0;
   double barrier_makespan_seconds = 0;
+  /// Pipelined runs with JoinConfig::collect_blame: the critical-path
+  /// decomposition of makespan_seconds into (node, resource, stage,
+  /// wait-class) buckets, reconciled exactly against pipeline.makespan_us.
+  std::optional<BlameReport> blame;
 
   /// Sum of all phase wall times.
   double TotalCpuSeconds() const {

@@ -705,6 +705,11 @@ Result<JoinResult> TryRunPipelinedTrackJoin(const PartitionedTable& r,
   profile.run_max_node_bytes = result.traffic.MaxNodeBytes();
   result.profile = std::move(profile);
 
+  if (config.collect_blame) {
+    result.blame = BuildBlameReport(fabric, config.blame_top_edges);
+    result.blame->algorithm = result.profile.algorithm;
+  }
+
   result.node_output_rows.reserve(n);
   for (const PipelineNodeState& st : nodes) {
     result.output_rows += st.output_rows;

@@ -137,4 +137,8 @@ std::vector<PipelineStage> StagesFromProfile(const StepProfile& profile) {
   return stages;
 }
 
+PipelineBounds ProfileMakespanBounds(const StepProfile& profile) {
+  return MakespanBounds(StagesFromProfile(profile));
+}
+
 }  // namespace tj

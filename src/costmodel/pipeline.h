@@ -71,6 +71,13 @@ PipelineBounds MakespanBounds(const std::vector<PipelineStage>& stages);
 /// makespan_seconds.
 std::vector<PipelineStage> StagesFromProfile(const StepProfile& profile);
 
+/// Convenience composing the two: the theoretical envelope of a pipelined
+/// run's own step profile. Used as the cost-model cross-check on the
+/// critical-path blame report — a reconciled report's makespan (== the
+/// fabric's measured makespan) must land inside these bounds, tying the
+/// microsecond-exact blame decomposition back to the analytic model.
+PipelineBounds ProfileMakespanBounds(const StepProfile& profile);
+
 }  // namespace tj
 
 #endif  // TJ_COSTMODEL_PIPELINE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace tj {
@@ -24,10 +25,18 @@ PipelinedFabric::PipelinedFabric(const Params& params) : params_(params) {
   cpu_free_.assign(n, 0.0);
   egress_free_.assign(n, 0.0);
   ingress_free_.assign(n, 0.0);
+  egress_occupant_dst_.assign(n, n);  // n == "no transfer yet".
   links_.assign(static_cast<size_t>(n) * n, Link{});
   for (Link& link : links_) link.credit = LinkWindowBytes();
   dead_.assign(n, false);
   in_flight_.assign(n, std::nullopt);
+  nic_out_bytes_.assign(n, 0);
+  nic_in_bytes_.assign(n, 0);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  stall_hist_ = &metrics.histogram("pipeline.credit_stall_seconds");
+  stall_hol_total_ = &metrics.counter("pipeline.credit_stall_hol_total");
+  stall_exhausted_total_ =
+      &metrics.counter("pipeline.credit_stall_exhausted_total");
   if (params_.fault_policy != nullptr) {
     const FaultPolicy& policy = *params_.fault_policy;
     if (policy.active()) fault_rng_.emplace(params_.fault_seed);
@@ -89,7 +98,12 @@ void PipelinedFabric::Post(uint32_t node, const char* stage,
   task.label = std::move(label);
   task.fn = std::move(fn);
   task.trace_args = std::move(trace_args);
+  TaskTiming timing;
+  timing.node = node;
+  timing.stage = task.stage;
+  if (in_task_) timing.parent_task = static_cast<int64_t>(running_task_);
   tasks_.push_back(std::move(task));
+  task_timing_.push_back(timing);
   const uint64_t index = tasks_.size() - 1;
   if (in_task_) {
     buffered_posts_.push_back(index);
@@ -112,7 +126,16 @@ void PipelinedFabric::SendChunk(uint32_t src, uint32_t dst, MessageType type,
   chunk.data = std::move(data);
   chunk.eos = eos;
   chunk.watermark = watermark;
+  ChunkTiming timing;
+  timing.src = src;
+  timing.dst = dst;
+  timing.stage = tasks_[running_task_].stage;
+  timing.type = type;
+  timing.bytes = chunk.data.size();
+  timing.sender_task = static_cast<int64_t>(running_task_);
+  timing.local = (src == dst);
   chunks_.push_back(std::move(chunk));
+  chunk_timing_.push_back(timing);
   chunk_stage_.push_back(tasks_[running_task_].stage);
   chunk_credit_.push_back(0);
   buffered_sends_.push_back(chunks_.size() - 1);
@@ -123,18 +146,36 @@ void PipelinedFabric::ChargeCpuBytes(uint64_t bytes) {
   running_charged_bytes_ += bytes;
 }
 
+void PipelinedFabric::RecordModeledCounter(std::string name, uint32_t node,
+                                           double now, int64_t value) {
+  if (!Tracer::enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = "mb";
+  event.node = node;
+  event.phase = 'C';
+  event.t_start_us = ToMicros(now);
+  event.value = value;
+  Tracer::Global().Record(std::move(event));
+}
+
 void PipelinedFabric::RecordCreditCounter(uint32_t src, uint32_t dst,
                                           double now) {
   if (!Tracer::enabled()) return;
-  TraceEvent event;
-  event.name = "flow.credit.d" + std::to_string(dst);
-  event.category = "mb";
-  event.node = src;
-  event.phase = 'C';
-  event.t_start_us = ToMicros(now);
-  event.value = static_cast<int64_t>(
-      links_[static_cast<size_t>(src) * params_.num_nodes + dst].credit);
-  Tracer::Global().Record(std::move(event));
+  RecordModeledCounter(
+      "flow.credit.d" + std::to_string(dst), src, now,
+      static_cast<int64_t>(
+          links_[static_cast<size_t>(src) * params_.num_nodes + dst].credit));
+}
+
+void PipelinedFabric::RecordQueuedCounter(uint32_t src, uint32_t dst,
+                                          double now) {
+  if (!Tracer::enabled()) return;
+  RecordModeledCounter(
+      "flow.queued.d" + std::to_string(dst), src, now,
+      static_cast<int64_t>(
+          links_[static_cast<size_t>(src) * params_.num_nodes + dst]
+              .queued_bytes));
 }
 
 void PipelinedFabric::TryStartTask(uint32_t node, double now) {
@@ -161,8 +202,12 @@ void PipelinedFabric::TryStartTask(uint32_t node, double now) {
   const uint32_t stage = tasks_[index].stage;
   stage_node_cpu_[stage][node] += dur;
   stages_[stage].cpu_seconds_total += dur;
+  task_timing_[index].start = start;
+  task_timing_[index].finish = finish;
 
   if (Tracer::enabled()) {
+    RecordModeledCounter("cpu.busy", node, start, 1);
+    RecordModeledCounter("cpu.busy", node, finish, 0);
     TraceEvent event;
     event.name = tasks_[index].label;
     event.category = "mb";
@@ -219,6 +264,8 @@ void PipelinedFabric::FinishTask(uint32_t node, double now) {
 
 void PipelinedFabric::AdmitChunk(uint64_t chunk_index, double ready) {
   Chunk& chunk = chunks_[chunk_index];
+  ChunkTiming& timing = chunk_timing_[chunk_index];
+  timing.admit = ready;
   if (chunk.src == chunk.dst) {
     // Local copy: no NIC, no credit; the ledger's src == dst cells are the
     // local-copy side.
@@ -228,6 +275,12 @@ void PipelinedFabric::AdmitChunk(uint64_t chunk_index, double ready) {
     stages_[stage]
         .local_bytes_by_type[static_cast<int>(chunk.type)] +=
         chunk.data.size();
+    timing.head = ready;
+    timing.grant = ready;
+    timing.egress_clear = ready;
+    timing.wire_start = ready;
+    timing.arrival = ready;
+    timing.delivered = true;
     PushEvent(ready, Event::kChunkArrive, chunk_index, chunk.dst);
     return;
   }
@@ -238,10 +291,23 @@ void PipelinedFabric::AdmitChunk(uint64_t chunk_index, double ready) {
   // FIFO per link: a chunk never overtakes an earlier blocked one, even if
   // it would fit the remaining credit.
   if (!link.blocked.empty() || need > link.credit) {
+    // Classify the stall by its cause at admission: queued behind earlier
+    // blocked chunks is head-of-line blocking; an empty queue with an
+    // insufficient window is genuine inbox-credit exhaustion.
+    if (link.blocked.empty()) {
+      timing.head = ready;  // Immediately the FIFO front, waiting on credit.
+      stall_exhausted_total_->Increment();
+    } else {
+      stall_hol_total_->Increment();
+    }
+    timing.stalled = true;
     link.blocked.emplace_back(chunk_index, ready);
+    link.queued_bytes += timing.bytes;
+    RecordQueuedCounter(chunk.src, chunk.dst, ready);
     ++credit_stall_events_;
     return;
   }
+  timing.head = ready;
   link.credit -= need;
   RecordCreditCounter(chunk.src, chunk.dst, ready);
   LaunchChunk(chunk_index, ready);
@@ -254,11 +320,18 @@ void PipelinedFabric::ReturnCredit(uint32_t src, uint32_t dst, uint64_t bytes,
   RecordCreditCounter(src, dst, now);
   while (!link.blocked.empty()) {
     const auto [chunk_index, ready] = link.blocked.front();
+    // The front either launches now or starts waiting on credit now; both
+    // end its head-of-line segment.
+    if (chunk_timing_[chunk_index].head < 0) {
+      chunk_timing_[chunk_index].head = now;
+    }
     const uint64_t need = chunk_credit_[chunk_index];
     if (need > link.credit) break;
     link.blocked.pop_front();
+    link.queued_bytes -= chunk_timing_[chunk_index].bytes;
     link.credit -= need;
     RecordCreditCounter(src, dst, now);
+    RecordQueuedCounter(src, dst, now);
     LaunchChunk(chunk_index, std::max(ready, now));
   }
 }
@@ -277,9 +350,21 @@ void PipelinedFabric::LaunchChunk(uint64_t chunk_index, double ready) {
   stage_node_out_[stage][chunk.src] += wire;
   stage_node_in_[stage][chunk.dst] += wire;
 
+  ChunkTiming& timing = chunk_timing_[chunk_index];
+  timing.grant = ready;
+  const double egress_clear = std::max(ready, egress_free_[chunk.src]);
+  const double wire_start = std::max(egress_clear, ingress_free_[chunk.dst]);
+  timing.egress_clear = egress_clear;
+  timing.wire_start = wire_start;
+  if (egress_clear > ready &&
+      egress_occupant_dst_[chunk.src] != chunk.dst) {
+    timing.egress_hol = true;
+  }
+  egress_occupant_dst_[chunk.src] = chunk.dst;
+  if (timing.stalled) stall_hist_->Observe(ready - timing.admit);
+
   const double dur = params_.cost.TransferSeconds(wire);
-  double t = std::max({ready, egress_free_[chunk.src],
-                       ingress_free_[chunk.dst]});
+  double t = wire_start;
   bool delivered = true;
   if (fault_active()) {
     const FaultPolicy& policy = *params_.fault_policy;
@@ -327,6 +412,22 @@ void PipelinedFabric::LaunchChunk(uint64_t chunk_index, double ready) {
   }
   egress_free_[chunk.src] = t;
   ingress_free_[chunk.dst] = t;
+  timing.arrival = t;
+  timing.delivered = delivered;
+  nic_out_bytes_[chunk.src] += wire;
+  nic_in_bytes_[chunk.dst] += wire;
+  if (Tracer::enabled()) {
+    // Busy tracks mark the occupied window; cumulative byte counters match
+    // the barrier fabric's nic.* schema (first-transmission wire bytes).
+    RecordModeledCounter("nic.egress.busy", chunk.src, wire_start, 1);
+    RecordModeledCounter("nic.ingress.busy", chunk.dst, wire_start, 1);
+    RecordModeledCounter("nic.egress.busy", chunk.src, t, 0);
+    RecordModeledCounter("nic.ingress.busy", chunk.dst, t, 0);
+    RecordModeledCounter("nic.egress_bytes", chunk.src, t,
+                         static_cast<int64_t>(nic_out_bytes_[chunk.src]));
+    RecordModeledCounter("nic.ingress_bytes", chunk.dst, t,
+                         static_cast<int64_t>(nic_in_bytes_[chunk.dst]));
+  }
 
   if (!delivered) {
     lost_link_ = true;
@@ -352,6 +453,7 @@ Status PipelinedFabric::Run() {
     switch (event.kind) {
       case Event::kTaskReady: {
         const uint64_t index = event.payload;
+        task_timing_[index].ready = event.time;
         if (dead_[event.node]) break;  // Fail-stopped: the task never runs.
         runnable_[event.node].push_back(index);
         TryStartTask(event.node, event.time);
@@ -401,7 +503,13 @@ Status PipelinedFabric::Run() {
           Chunk local = std::move(chunks_[chunk_index]);
           return (handlers_[type]->second)(local);
         };
+        TaskTiming timing;
+        timing.node = chunk.dst;
+        timing.stage = task.stage;
+        timing.ready = event.time;
+        timing.parent_chunk = static_cast<int64_t>(chunk_index);
         tasks_.push_back(std::move(task));
+        task_timing_.push_back(timing);
         runnable_[chunk.dst].push_back(tasks_.size() - 1);
         TryStartTask(chunk.dst, event.time);
         break;

@@ -59,6 +59,9 @@
 
 namespace tj {
 
+class Counter;
+class Histogram;
+
 /// One micro-batch: a bounded slice of a typed (src, dst) stream.
 /// `watermark` is the stream's progress marker (for key-ordered streams,
 /// the last key in the chunk); `eos` marks the stream's final chunk (which
@@ -164,6 +167,65 @@ class PipelinedFabric {
   /// even when its first task only runs mid-simulation.
   void DeclareStage(const char* stage) { StageIndex(stage); }
 
+  /// Passive per-task timing record (always recorded; obs/blame.h walks
+  /// these backward to attribute the makespan). Times are modeled seconds;
+  /// -1 marks "never happened" (a task posted to a crashed node is created
+  /// but never released, so it never gets start/finish times).
+  struct TaskTiming {
+    uint32_t node = 0;
+    uint32_t stage = 0;
+    double ready = -1;   ///< Entered the node's runnable queue.
+    double start = -1;   ///< Began executing on the serial CPU.
+    double finish = -1;  ///< Left the CPU; [ready, start) is cpu-queue wait.
+    /// Release cause: the task whose finish posted this one, or the chunk
+    /// whose arrival spawned this handler. Both -1 for setup posts, which
+    /// are released at time zero (a straggler's late CPU shows up as
+    /// cpu-queue wait on its first task).
+    int64_t parent_task = -1;
+    int64_t parent_chunk = -1;
+  };
+
+  /// Passive per-chunk timing record: exclusive, non-overlapping boundaries
+  /// of the chunk's life between its sender's finish and its arrival.
+  ///   [admit, head)              blocked behind earlier chunks in the link
+  ///                              FIFO (head-of-line)
+  ///   [head, grant)              at the FIFO head, credit window exhausted
+  ///   [grant, egress_clear)      waiting for the source egress NIC
+  ///   [egress_clear, wire_start) waiting for the destination ingress NIC
+  ///   [wire_start, arrival)      on the wire (fault retries included)
+  /// Local (src == dst) chunks arrive at admit and skip every wire segment.
+  struct ChunkTiming {
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    uint32_t stage = 0;  ///< Sending task's stage.
+    MessageType type = MessageType::kTrackR;
+    uint64_t bytes = 0;  ///< Payload size at send time.
+    double admit = -1;         ///< Sender task finished; chunk hit the link.
+    double head = -1;          ///< Became the link FIFO's front.
+    double grant = -1;         ///< Credit granted; eligible for the NICs.
+    double egress_clear = -1;  ///< Source egress NIC free.
+    double wire_start = -1;    ///< Destination ingress NIC also free.
+    double arrival = -1;       ///< Delivered (handler release time).
+    int64_t sender_task = -1;  ///< Task whose finish admitted the chunk.
+    bool local = false;
+    bool delivered = false;
+    /// The egress wait [grant, egress_clear) was spent behind a transfer to
+    /// a *different* destination: head-of-line blocking at the egress NIC.
+    bool egress_hol = false;
+    bool stalled = false;  ///< Entered the link's blocked FIFO.
+  };
+
+  const std::vector<TaskTiming>& task_timings() const { return task_timing_; }
+  const std::vector<ChunkTiming>& chunk_timings() const {
+    return chunk_timing_;
+  }
+  const std::string& stage_name(uint32_t stage) const {
+    return stages_[stage].name;
+  }
+  const std::string& task_label(uint64_t task) const {
+    return tasks_[task].label;
+  }
+
  private:
   struct TaskRecord {
     uint32_t node = 0;
@@ -200,6 +262,9 @@ class PipelinedFabric {
     uint64_t credit = 0;
     /// Chunks waiting for credit: (chunk index, ready time).
     std::deque<std::pair<uint64_t, double>> blocked;
+    /// Payload bytes currently parked in `blocked` (traced as the
+    /// flow.queued.d<dst> counter track).
+    uint64_t queued_bytes = 0;
     /// When this link's NIC pair is next free is tracked per node, but the
     /// link keeps its own FIFO release cursor so blocked chunks keep order.
   };
@@ -223,6 +288,10 @@ class PipelinedFabric {
   /// blocked FIFO in order as far as the restored window allows.
   void ReturnCredit(uint32_t src, uint32_t dst, uint64_t bytes, double now);
   void RecordCreditCounter(uint32_t src, uint32_t dst, double now);
+  /// Emits a 'C' counter sample stamped with modeled (not wall) time.
+  void RecordModeledCounter(std::string name, uint32_t node, double now,
+                            int64_t value);
+  void RecordQueuedCounter(uint32_t src, uint32_t dst, double now);
   bool fault_active() const {
     return params_.fault_policy != nullptr && params_.fault_policy->active();
   }
@@ -250,8 +319,21 @@ class PipelinedFabric {
   std::vector<double> cpu_free_;
   std::vector<double> egress_free_;
   std::vector<double> ingress_free_;
+  /// Destination of the transfer currently (or last) holding each node's
+  /// egress NIC — classifies a later chunk's egress wait as head-of-line
+  /// (different destination) vs same-destination queueing.
+  std::vector<uint32_t> egress_occupant_dst_;
   std::vector<Link> links_;  ///< [src * n + dst].
   std::vector<bool> dead_;
+  std::vector<TaskTiming> task_timing_;    ///< Aligned with tasks_.
+  std::vector<ChunkTiming> chunk_timing_;  ///< Aligned with chunks_.
+  std::vector<uint64_t> nic_out_bytes_;    ///< Cumulative wire bytes, per node.
+  std::vector<uint64_t> nic_in_bytes_;
+
+  // Credit-stall metrics (MetricsRegistry-owned; cached at construction).
+  Histogram* stall_hist_ = nullptr;
+  Counter* stall_hol_total_ = nullptr;
+  Counter* stall_exhausted_total_ = nullptr;
 
   // The currently executing task (set while its fn runs) and the effects
   // it buffers: posts and sends are released at the task's finish time.

@@ -1,0 +1,301 @@
+#include "obs/blame.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/pipelined_fabric.h"
+#include "obs/text_escape.h"
+
+namespace tj {
+namespace {
+
+// Must round exactly like the fabric's trace export so the bucket sum
+// telescopes to the same integer the pipeline.makespan_us counter carries.
+int64_t ToMicros(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+struct Segment {
+  double begin = 0;
+  double end = 0;
+  BlameClass cls = BlameClass::kCompute;
+  uint32_t node = 0;
+  uint32_t stage = 0;
+  std::string label;
+};
+
+}  // namespace
+
+const char* BlameClassName(BlameClass c) {
+  switch (c) {
+    case BlameClass::kCompute: return "compute";
+    case BlameClass::kCpuQueue: return "cpu_queue";
+    case BlameClass::kCreditHol: return "credit_hol";
+    case BlameClass::kCreditExhausted: return "credit_exhausted";
+    case BlameClass::kEgressHol: return "egress_hol";
+    case BlameClass::kEgressQueue: return "egress_queue";
+    case BlameClass::kIngressQueue: return "ingress_queue";
+    case BlameClass::kWire: return "wire";
+  }
+  return "unknown";
+}
+
+const char* BlameClassResource(BlameClass c) {
+  switch (c) {
+    case BlameClass::kCompute:
+    case BlameClass::kCpuQueue: return "cpu";
+    case BlameClass::kCreditHol:
+    case BlameClass::kCreditExhausted: return "link";
+    case BlameClass::kEgressHol:
+    case BlameClass::kEgressQueue: return "nic.egress";
+    case BlameClass::kIngressQueue: return "nic.ingress";
+    case BlameClass::kWire: return "wire";
+  }
+  return "unknown";
+}
+
+BlameReport BuildBlameReport(const PipelinedFabric& fabric, size_t top_k) {
+  const auto& tasks = fabric.task_timings();
+  const auto& chunks = fabric.chunk_timings();
+  BlameReport report;
+  report.num_nodes = fabric.num_nodes();
+  report.makespan_us = ToMicros(fabric.makespan_seconds());
+
+  // Root: the entity whose completion is the makespan. Tasks win exact
+  // ties (a local chunk's arrival coincides with its sender's finish, and
+  // the task chain is the longer explanation); a chunk can still be the
+  // root on its own — e.g. an arrival at a crashed node that never runs a
+  // handler.
+  double best = -1;
+  int64_t root = -1;
+  bool root_is_task = true;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].finish > best) {
+      best = tasks[i].finish;
+      root = static_cast<int64_t>(i);
+      root_is_task = true;
+    }
+  }
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (chunks[i].delivered && !chunks[i].local && chunks[i].arrival > best) {
+      best = chunks[i].arrival;
+      root = static_cast<int64_t>(i);
+      root_is_task = false;
+    }
+  }
+  if (root < 0) {
+    report.reconciled = (report.makespan_us == 0);
+    return report;
+  }
+
+  // Walk the dependency chain backward, emitting exclusive segments. Each
+  // hop lands exactly where the next entity's last boundary ends (a task's
+  // ready time is its parent's finish or its chunk's arrival; a chunk's
+  // admit time is its sender's finish), so the emitted boundaries form one
+  // contiguous chain from the makespan back to time zero.
+  std::vector<Segment> segments;
+  auto emit = [&segments](double begin, double end, BlameClass cls,
+                          uint32_t node, uint32_t stage, std::string label) {
+    if (end <= begin) return;
+    segments.push_back(
+        Segment{begin, end, cls, node, stage, std::move(label)});
+  };
+  bool is_task = root_is_task;
+  int64_t index = root;
+  while (index >= 0) {
+    if (is_task) {
+      const auto& task = tasks[static_cast<size_t>(index)];
+      const std::string& label =
+          fabric.task_label(static_cast<uint64_t>(index));
+      emit(task.start, task.finish, BlameClass::kCompute, task.node,
+           task.stage, label);
+      emit(task.ready, task.start, BlameClass::kCpuQueue, task.node,
+           task.stage, label);
+      if (task.parent_chunk >= 0) {
+        is_task = false;
+        index = task.parent_chunk;
+      } else if (task.parent_task >= 0) {
+        index = task.parent_task;
+      } else {
+        break;  // Setup post, released at time zero.
+      }
+    } else {
+      const auto& chunk = chunks[static_cast<size_t>(index)];
+      if (!chunk.local) {
+        std::string label = std::string(MessageTypeName(chunk.type)) + " s" +
+                            std::to_string(chunk.src) + "->d" +
+                            std::to_string(chunk.dst);
+        emit(chunk.wire_start, chunk.arrival, BlameClass::kWire, chunk.src,
+             chunk.stage, label);
+        emit(chunk.egress_clear, chunk.wire_start, BlameClass::kIngressQueue,
+             chunk.dst, chunk.stage, label);
+        emit(chunk.grant, chunk.egress_clear,
+             chunk.egress_hol ? BlameClass::kEgressHol
+                              : BlameClass::kEgressQueue,
+             chunk.src, chunk.stage, label);
+        emit(chunk.head, chunk.grant, BlameClass::kCreditExhausted, chunk.src,
+             chunk.stage, label);
+        emit(chunk.admit, chunk.head, BlameClass::kCreditHol, chunk.src,
+             chunk.stage, label);
+      }
+      is_task = true;
+      index = chunk.sender_task;
+    }
+  }
+
+  // Round each boundary once; the per-segment micros telescope to the
+  // rounded makespan because consecutive segments share boundaries.
+  std::map<std::tuple<uint32_t, int, uint32_t>, int64_t> bucket_us;
+  std::vector<BlameEdge> edges;
+  for (const Segment& seg : segments) {
+    const int64_t us = ToMicros(seg.end) - ToMicros(seg.begin);
+    report.bucket_sum_us += us;
+    report.class_us[static_cast<int>(seg.cls)] += us;
+    if (us <= 0) continue;
+    ++report.path_segments;
+    bucket_us[{seg.node, static_cast<int>(seg.cls), seg.stage}] += us;
+    BlameEdge edge;
+    edge.start_us = ToMicros(seg.begin);
+    edge.end_us = ToMicros(seg.end);
+    edge.node = seg.node;
+    edge.resource = BlameClassResource(seg.cls);
+    edge.stage = fabric.stage_name(seg.stage);
+    edge.wait_class = BlameClassName(seg.cls);
+    edge.label = seg.label;
+    edges.push_back(std::move(edge));
+  }
+  report.hol_us = report.class_us[static_cast<int>(BlameClass::kCreditHol)] +
+                  report.class_us[static_cast<int>(BlameClass::kEgressHol)];
+  report.reconciled = (report.bucket_sum_us == report.makespan_us);
+
+  for (const auto& [key, us] : bucket_us) {
+    const auto& [node, cls, stage] = key;
+    BlameBucket bucket;
+    bucket.node = node;
+    bucket.resource = BlameClassResource(static_cast<BlameClass>(cls));
+    bucket.stage = fabric.stage_name(stage);
+    bucket.wait_class = BlameClassName(static_cast<BlameClass>(cls));
+    bucket.micros = us;
+    report.buckets.push_back(std::move(bucket));
+  }
+  // Map iteration is already a total order; stable re-sort by size keeps
+  // the output deterministic for equal-sized buckets.
+  std::stable_sort(report.buckets.begin(), report.buckets.end(),
+                   [](const BlameBucket& a, const BlameBucket& b) {
+                     return a.micros > b.micros;
+                   });
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const BlameEdge& a, const BlameEdge& b) {
+                     const int64_t da = a.end_us - a.start_us;
+                     const int64_t db = b.end_us - b.start_us;
+                     if (da != db) return da > db;
+                     return a.start_us < b.start_us;
+                   });
+  if (edges.size() > top_k) edges.resize(top_k);
+  report.top_edges = std::move(edges);
+  return report;
+}
+
+std::string ToJson(const BlameReport& report) {
+  std::string out = "{";
+  out += "\"algorithm\": " + JsonEscaped(report.algorithm);
+  out += ", \"num_nodes\": " + std::to_string(report.num_nodes);
+  out += ", \"makespan_us\": " + std::to_string(report.makespan_us);
+  out += ", \"bucket_sum_us\": " + std::to_string(report.bucket_sum_us);
+  out += std::string(", \"reconciled\": ") +
+         (report.reconciled ? "true" : "false");
+  out += ", \"path_segments\": " + std::to_string(report.path_segments);
+  out += ", \"classes\": {";
+  for (int c = 0; c < kNumBlameClasses; ++c) {
+    if (c > 0) out += ", ";
+    out += JsonEscaped(BlameClassName(static_cast<BlameClass>(c))) + ": " +
+           std::to_string(report.class_us[c]);
+  }
+  out += "}";
+  out += ", \"hol_us\": " + std::to_string(report.hol_us);
+  char buf[64];
+  const double share =
+      report.makespan_us > 0
+          ? static_cast<double>(report.hol_us) / report.makespan_us
+          : 0.0;
+  std::snprintf(buf, sizeof(buf), "%.6f", share);
+  out += ", \"hol_share\": " + std::string(buf);
+  out += ", \"buckets\": [";
+  for (size_t i = 0; i < report.buckets.size(); ++i) {
+    const BlameBucket& b = report.buckets[i];
+    if (i > 0) out += ", ";
+    out += "{\"node\": " + std::to_string(b.node);
+    out += ", \"resource\": " + JsonEscaped(b.resource);
+    out += ", \"stage\": " + JsonEscaped(b.stage);
+    out += ", \"class\": " + JsonEscaped(b.wait_class);
+    out += ", \"us\": " + std::to_string(b.micros) + "}";
+  }
+  out += "]";
+  out += ", \"top_edges\": [";
+  for (size_t i = 0; i < report.top_edges.size(); ++i) {
+    const BlameEdge& e = report.top_edges[i];
+    if (i > 0) out += ", ";
+    out += "{\"start_us\": " + std::to_string(e.start_us);
+    out += ", \"end_us\": " + std::to_string(e.end_us);
+    out += ", \"node\": " + std::to_string(e.node);
+    out += ", \"resource\": " + JsonEscaped(e.resource);
+    out += ", \"stage\": " + JsonEscaped(e.stage);
+    out += ", \"class\": " + JsonEscaped(e.wait_class);
+    out += ", \"label\": " + JsonEscaped(e.label) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToTable(const BlameReport& report) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "critical-path blame: algorithm=%s nodes=%u makespan_us=%lld "
+                "reconciled=%s\n",
+                report.algorithm.c_str(), report.num_nodes,
+                static_cast<long long>(report.makespan_us),
+                report.reconciled ? "yes" : "NO");
+  out += buf;
+  const double denom =
+      report.makespan_us > 0 ? static_cast<double>(report.makespan_us) : 1.0;
+  out += "  class                micros   share\n";
+  for (int c = 0; c < kNumBlameClasses; ++c) {
+    std::snprintf(buf, sizeof(buf), "  %-18s %9lld  %5.1f%%\n",
+                  BlameClassName(static_cast<BlameClass>(c)),
+                  static_cast<long long>(report.class_us[c]),
+                  100.0 * report.class_us[c] / denom);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  hol (credit_hol + egress_hol): %lld us (%.1f%%)\n",
+                static_cast<long long>(report.hol_us),
+                100.0 * report.hol_us / denom);
+  out += buf;
+  out += "  top buckets:\n";
+  const size_t max_rows = 10;
+  for (size_t i = 0; i < report.buckets.size() && i < max_rows; ++i) {
+    const BlameBucket& b = report.buckets[i];
+    std::snprintf(buf, sizeof(buf), "    n%-3u %-11s %-10s %-16s %9lld\n",
+                  b.node, b.resource.c_str(), b.stage.c_str(),
+                  b.wait_class.c_str(), static_cast<long long>(b.micros));
+    out += buf;
+  }
+  out += "  top edges:\n";
+  for (const BlameEdge& e : report.top_edges) {
+    std::snprintf(buf, sizeof(buf),
+                  "    [%9lld .. %9lld] n%-3u %-10s %-16s %s\n",
+                  static_cast<long long>(e.start_us),
+                  static_cast<long long>(e.end_us), e.node, e.stage.c_str(),
+                  e.wait_class.c_str(), e.label.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace tj

@@ -1,0 +1,125 @@
+// Critical-path blame for the pipelined fabric's modeled makespan.
+//
+// The pipelined fabric reports one number — makespan_seconds() — but the
+// question that matters for tuning (credit windows, chunk sizes, skew
+// features) is *what the makespan is made of*: which node, which resource,
+// which wait-state. BuildBlameReport answers it with the same reconciliation
+// discipline the traffic EXPLAIN uses for bytes: walk the event dependency
+// graph backward from the entity that finishes last, decompose the walked
+// chain into exclusive, non-overlapping wait segments, and attribute every
+// microsecond of the makespan to a (node, resource, stage, wait-class)
+// bucket. The bucket sum equals the trace's pipeline.makespan_us counter
+// *exactly* (integer microseconds, zero tolerance): segment boundaries
+// telescope along a contiguous chain from the makespan back to time zero,
+// so rounding each boundary once makes the sum cancel to the rounded
+// makespan by construction.
+//
+// Wait classes (each critical-path microsecond lands in exactly one):
+//   compute           a task body on the node's serial CPU
+//   cpu_queue         a ready task waiting for the serial CPU (includes a
+//                     straggler's late CPU start)
+//   credit_hol        a chunk blocked in the link FIFO behind *earlier*
+//                     chunks — head-of-line blocking at the credit window
+//   credit_exhausted  a chunk at the FIFO head with the credit window
+//                     genuinely exhausted (inbox budget)
+//   egress_hol        waiting for the source egress NIC while it serves a
+//                     transfer to a *different* destination
+//   egress_queue      waiting for the egress NIC behind a same-destination
+//                     transfer
+//   ingress_queue     waiting for the destination's ingress NIC
+//   wire              on the wire (fault retries included)
+//
+// The walk blames the *waiter*, never the occupant: when the critical chunk
+// waits on a busy NIC, the report charges the wait to that NIC's queue
+// class rather than recursing into whichever transfer held it. That keeps
+// the chain a path (exact attribution) while the per-resource buckets still
+// name the contended device.
+//
+// Building a report is passive: it only reads the fabric's always-on timing
+// records, so traffic, checksums and EXPLAIN output are byte-identical with
+// blame enabled, and repeated runs render byte-identical reports.
+#ifndef TJ_OBS_BLAME_H_
+#define TJ_OBS_BLAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tj {
+
+class PipelinedFabric;
+
+/// Wait-class identifiers, in fixed render order.
+enum class BlameClass : int {
+  kCompute = 0,
+  kCpuQueue,
+  kCreditHol,
+  kCreditExhausted,
+  kEgressHol,
+  kEgressQueue,
+  kIngressQueue,
+  kWire,
+};
+inline constexpr int kNumBlameClasses = 8;
+const char* BlameClassName(BlameClass c);
+/// The contended resource a class blames: cpu, link, nic.egress,
+/// nic.ingress or wire.
+const char* BlameClassResource(BlameClass c);
+
+/// One aggregated (node, resource, stage, wait-class) bucket.
+struct BlameBucket {
+  uint32_t node = 0;
+  std::string resource;
+  std::string stage;
+  std::string wait_class;
+  int64_t micros = 0;
+};
+
+/// One raw critical-path segment (for the top-K edge listing).
+struct BlameEdge {
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  uint32_t node = 0;
+  std::string resource;
+  std::string stage;
+  std::string wait_class;
+  /// Task label, or "<type> s<src>->d<dst>" for chunk segments.
+  std::string label;
+};
+
+struct BlameReport {
+  std::string algorithm;
+  uint32_t num_nodes = 0;
+  /// The fabric's makespan, rounded exactly like pipeline.makespan_us.
+  int64_t makespan_us = 0;
+  /// Sum of all bucket micros; the reconciliation invariant is
+  /// bucket_sum_us == makespan_us (zero tolerance).
+  int64_t bucket_sum_us = 0;
+  bool reconciled = false;
+  /// Critical-path segments with nonzero rounded duration.
+  int64_t path_segments = 0;
+  /// Per-class totals, indexed by BlameClass.
+  int64_t class_us[kNumBlameClasses] = {};
+  /// Head-of-line share: credit_hol + egress_hol (the ROADMAP follow-up).
+  int64_t hol_us = 0;
+  std::vector<BlameBucket> buckets;    ///< Sorted by micros desc.
+  std::vector<BlameEdge> top_edges;    ///< Top-K by duration desc.
+};
+
+/// Walks the dependency chain backward from the fabric's last completion
+/// and aggregates the blame buckets. Requires a completed Run(); intended
+/// for successful runs (an aborted run reconciles only up to the walked
+/// root's completion time, and `reconciled` reports whether the invariant
+/// held).
+BlameReport BuildBlameReport(const PipelinedFabric& fabric,
+                             size_t top_k = 20);
+
+/// Deterministic single-object JSON rendering.
+std::string ToJson(const BlameReport& report);
+/// Human-readable table (class shares, top buckets, top edges).
+std::string ToTable(const BlameReport& report);
+
+}  // namespace tj
+
+#endif  // TJ_OBS_BLAME_H_

@@ -10,9 +10,14 @@
 
 #include <vector>
 
+#include <cmath>
+#include <string>
+
 #include "core/schedule.h"
 #include "core/track_join.h"
+#include "costmodel/pipeline.h"
 #include "net/failure.h"
+#include "obs/blame.h"
 #include "workload/generator.h"
 
 namespace tj {
@@ -322,6 +327,123 @@ TEST(PipelinedTrackJoinTest, ProfileReportsPipelinedStages) {
   }
   EXPECT_EQ(names, (std::vector<std::string>{"source", "track", "schedule",
                                              "transfer", "join"}));
+}
+
+// The blame report's reconciliation contract: every (node, resource,
+// stage, wait-class) bucket sums back to the makespan to the exact
+// microsecond, across versions, cluster sizes, hot-split on/off and fault
+// modes. Zero tolerance — modeled time is deterministic.
+TEST(PipelinedTrackJoinTest, BlameReconciliationMatrix) {
+  FaultPolicy drop_policy;
+  drop_policy.drop = 0.05;
+  FaultPolicy straggler_policy;
+  straggler_policy.slow_node = 1;
+  straggler_policy.slowdown_seconds = 0.5;
+  struct FaultMode {
+    const char* name;
+    const FaultPolicy* policy;
+  };
+  const std::vector<FaultMode> modes = {
+      {"pristine", nullptr},
+      {"drop", &drop_policy},
+      {"straggler", &straggler_policy},
+  };
+  for (uint32_t nodes : {4u, 8u}) {
+    Workload w = SmallWorkload(nodes);
+    for (TrackJoinVersion version :
+         {TrackJoinVersion::k3Phase, TrackJoinVersion::k4Phase}) {
+      for (bool hot_split : {false, true}) {
+        if (hot_split && version != TrackJoinVersion::k4Phase) continue;
+        for (const FaultMode& mode : modes) {
+          JoinConfig config = BaseConfig();
+          config.collect_blame = true;
+          config.fault_policy = mode.policy;
+          config.fault_seed = 17;
+          if (hot_split) {
+            config.hot_key_threshold = 6;
+            config.hot_key_max_split = 3;
+          }
+          SCOPED_TRACE(std::string(mode.name) + " nodes=" +
+                       std::to_string(nodes) + " version=" +
+                       std::to_string(static_cast<int>(version)) +
+                       " hot_split=" + std::to_string(hot_split));
+          Result<JoinResult> run =
+              TryRunPipelinedTrackJoin(w.r, w.s, config, version);
+          ASSERT_TRUE(run.ok()) << run.status().ToString();
+          ASSERT_TRUE(run->blame.has_value());
+          const BlameReport& blame = *run->blame;
+          EXPECT_EQ(blame.makespan_us,
+                    std::llround(run->makespan_seconds * 1e6));
+          EXPECT_EQ(blame.bucket_sum_us, blame.makespan_us);
+          EXPECT_TRUE(blame.reconciled);
+          int64_t class_sum = 0;
+          for (int c = 0; c < kNumBlameClasses; ++c) {
+            EXPECT_GE(blame.class_us[c], 0);
+            class_sum += blame.class_us[c];
+          }
+          EXPECT_EQ(class_sum, blame.makespan_us);
+          int64_t bucket_sum = 0;
+          for (const BlameBucket& bucket : blame.buckets) {
+            EXPECT_GT(bucket.micros, 0);
+            EXPECT_LT(bucket.node, nodes);
+            bucket_sum += bucket.micros;
+          }
+          EXPECT_EQ(bucket_sum, blame.makespan_us);
+          for (const BlameEdge& edge : blame.top_edges) {
+            EXPECT_LE(0, edge.start_us);
+            EXPECT_LT(edge.start_us, edge.end_us);
+            EXPECT_LE(edge.end_us, blame.makespan_us);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelinedTrackJoinTest, BlameIsPassiveAndDeterministic) {
+  // Collecting blame must not move a single byte or bit of the result
+  // (traffic, checksum, makespan), and two identical runs must serialize
+  // to byte-identical JSON.
+  Workload w = SmallWorkload();
+  JoinConfig plain = BaseConfig();
+  Result<JoinResult> without =
+      TryRunPipelinedTrackJoin(w.r, w.s, plain, TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(without.ok());
+
+  JoinConfig config = BaseConfig();
+  config.collect_blame = true;
+  Result<JoinResult> first =
+      TryRunPipelinedTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  Result<JoinResult> second =
+      TryRunPipelinedTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->traffic == without->traffic);
+  EXPECT_TRUE(first->checksum == without->checksum);
+  EXPECT_DOUBLE_EQ(first->makespan_seconds, without->makespan_seconds);
+  ASSERT_TRUE(first->blame.has_value());
+  ASSERT_TRUE(second->blame.has_value());
+  EXPECT_EQ(first->blame->algorithm, "4tj-p");
+  EXPECT_EQ(ToJson(*first->blame), ToJson(*second->blame));
+}
+
+TEST(PipelinedTrackJoinTest, BlameMakespanSitsInsideCostModelBounds) {
+  // Cost-model cross-check: the blame-reconciled makespan must respect the
+  // de-pipelined upper bound computed from the run's own step profile, and
+  // the bounds themselves must be ordered. (The lower bound is the
+  // perfect-overlap ideal; real schedules sit between the two.)
+  Workload w = SmallWorkload();
+  JoinConfig config = BaseConfig();
+  config.collect_blame = true;
+  Result<JoinResult> run =
+      TryRunPipelinedTrackJoin(w.r, w.s, config, TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->blame.has_value());
+  const PipelineBounds bounds = ProfileMakespanBounds(run->profile);
+  EXPECT_LE(bounds.lower_seconds, bounds.upper_seconds);
+  const double makespan = run->blame->makespan_us / 1e6;
+  EXPECT_LE(makespan, bounds.upper_seconds * (1 + 1e-9));
+  EXPECT_GT(makespan, 0.0);
 }
 
 TEST(PipelinedTrackJoinTest, RejectsTwoPhaseAndCompressedWireFormats) {

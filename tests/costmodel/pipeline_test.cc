@@ -51,6 +51,26 @@ TEST(PipelineMakespanTest, EmptyAndCpuOnly) {
   EXPECT_DOUBLE_EQ(PipelineMakespan(cpu_only, 16), 5.0);
 }
 
+TEST(PipelineMakespanTest, ProfileMakespanBoundsMatchesStageBounds) {
+  // ProfileMakespanBounds is MakespanBounds over StagesFromProfile: lower
+  // is the perfect-overlap resource bound, upper the de-pipelined sum.
+  StepProfile profile;
+  profile.algorithm = "4tj-p";
+  StepRecord a;
+  a.phase = "track";
+  a.wall_seconds = 2.0;
+  a.net_seconds = 1.0;
+  StepRecord b;
+  b.phase = "transfer";
+  b.wall_seconds = 0.5;
+  b.net_seconds = 3.0;
+  profile.steps = {a, b};
+  const PipelineBounds bounds = ProfileMakespanBounds(profile);
+  EXPECT_DOUBLE_EQ(bounds.lower_seconds, 4.0);  // max(2.5 cpu, 4.0 net).
+  EXPECT_DOUBLE_EQ(bounds.upper_seconds, 6.5);
+  EXPECT_LE(bounds.lower_seconds, bounds.upper_seconds);
+}
+
 TEST(BuildPipelineStagesTest, MapsTrackJoinPhases) {
   WorkloadSpec spec;
   spec.num_nodes = 4;

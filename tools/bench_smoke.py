@@ -22,7 +22,11 @@ more than the section's max_regression over the checked-in value or is
 not comfortably below the barrier-mode sum-of-phases (barrier_fraction,
 default 0.9): the whole point of the event-driven fabric is overlap, so
 CI holds it to that. Modeled time is deterministic, so the regression
-tolerance is tight.
+tolerance is tight. The same run emits a critical-path blame report
+(--blame=json, saved as bench_smoke_blame.json next to the trace) and the
+gate cross-checks three independent makespan computations to the exact
+microsecond: the blame bucket sum, the pipeline.makespan_us counter, and
+the critical path recomputed from the exported micro-batch spans.
 
 Usage:
   tools/bench_smoke.py [--build-dir build] [--threads N]
@@ -140,8 +144,8 @@ def main():
         pipeline_trace = os.path.join(args.build_dir,
                                       "bench_smoke_pipeline_trace.json")
         tjsim = os.path.join(args.build_dir, "tools", "tjsim")
-        run([tjsim] + makespan_section["workload"] +
-            [f"--trace={pipeline_trace}"])
+        blame_out, _ = run([tjsim] + makespan_section["workload"] +
+                           [f"--trace={pipeline_trace}", "--blame=json"])
         with open(pipeline_trace) as f:
             pipeline_doc = json.load(f)
         pipeline_events = pipeline_doc.get("traceEvents", [])
@@ -177,6 +181,33 @@ def main():
                 f"pipelined makespan {makespan_us}us is not below "
                 f"{barrier_fraction:.0%} of the barrier sum-of-phases "
                 f"{barrier_us}us (overlap lost)")
+        # Blame cross-check: the critical-path decomposition must reconcile
+        # exactly with both the fabric's makespan counter and the critical
+        # path recomputed from the exported spans. Three independent paths
+        # to the same microsecond count, or the gate fails.
+        blame_reports = json.loads(blame_out)
+        blame_path = os.path.join(args.build_dir, "bench_smoke_blame.json")
+        with open(blame_path, "w") as f:
+            f.write(blame_out)
+        blame_summary = []
+        for blame in blame_reports:
+            if not blame.get("reconciled"):
+                makespan_failures.append(
+                    f"blame report {blame.get('algorithm')} did not "
+                    f"reconcile: bucket sum {blame.get('bucket_sum_us')}us "
+                    f"vs makespan {blame.get('makespan_us')}us")
+            if blame.get("makespan_us") != makespan_us:
+                makespan_failures.append(
+                    f"blame report {blame.get('algorithm')} makespan "
+                    f"{blame.get('makespan_us')}us disagrees with "
+                    f"pipeline.makespan_us {makespan_us}us")
+            blame_summary.append({
+                "algorithm": blame.get("algorithm"),
+                "makespan_us": blame.get("makespan_us"),
+                "bucket_sum_us": blame.get("bucket_sum_us"),
+                "hol_share": blame.get("hol_share"),
+                "reconciled": bool(blame.get("reconciled")),
+            })
         makespan_report = {
             "workload": makespan_section["workload"],
             "makespan_us": makespan_us,
@@ -186,12 +217,19 @@ def main():
             "ceiling_us": round(ceiling_us),
             "barrier_fraction": barrier_fraction,
             "overlap": round(1.0 - makespan_us / barrier_us, 4),
+            "blame": blame_summary,
             "pass": not makespan_failures,
         }
         status = "ok" if not makespan_failures else "REGRESSION"
         print(f"    makespan {makespan_us}us vs barrier {barrier_us}us "
               f"(overlap {makespan_report['overlap']:.0%}, baseline "
               f"{base_us}us) {status}")
+        for blame in blame_summary:
+            rec = "exact" if blame["reconciled"] else "MISMATCH"
+            print(f"    blame {blame['algorithm']}: bucket sum "
+                  f"{blame['bucket_sum_us']}us == makespan "
+                  f"{blame['makespan_us']}us ({rec}, hol share "
+                  f"{blame['hol_share']:.0%})")
 
     gate = []
     failures = list(makespan_failures)

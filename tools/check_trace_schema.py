@@ -1,18 +1,29 @@
 #!/usr/bin/env python3
-"""Validates the tracing/EXPLAIN observability interfaces.
+"""Validates the tracing/EXPLAIN/blame observability interfaces.
 
-Two modes, mirroring check_profile_schema.py:
+Three modes, mirroring check_profile_schema.py:
 
   check_trace_schema.py trace FILE   # Chrome trace JSON from `tjsim --trace=`
   check_trace_schema.py explain      # `tjsim --explain=json` read from stdin
+  check_trace_schema.py blame        # `tjsim --blame=json` read from stdin
 
 With `trace FILE --pipeline` the file must additionally carry the
 event-driven fabric's micro-batch instrumentation: "mb"-category spans,
-non-negative flow.credit.* counters, per-node schedule spans whose
-[range_lo, range_hi) key ranges are contiguous, monotone and closed by a
-single range_hi=-1 sentinel, and — the causality invariant — every
-scheduled range preceded on its node by tracking spans from all sources
-whose watermarks cover it (or that already hit end-of-stream).
+non-negative flow.credit.* / flow.queued.* counters, 0/1 busy tracks for
+every modeled resource (cpu.busy, nic.egress.busy, nic.ingress.busy),
+cumulative nic.ingress_bytes/nic.egress_bytes counters matching the barrier
+fabric's schema, per-node schedule spans whose [range_lo, range_hi) key
+ranges are contiguous, monotone and closed by a single range_hi=-1 sentinel,
+and — the causality invariant — every scheduled range preceded on its node
+by tracking spans from all sources whose watermarks cover it (or that
+already hit end-of-stream). `--allow-partial` relaxes the stream-completion
+requirements (schedule spans may be missing or unterminated) for traces of
+*failed* runs — e.g. a crash-faulted pipelined run — while still enforcing
+every event- and counter-level invariant.
+
+The blame mode checks `tjsim --blame=json` reports: schema, non-negative
+buckets, valid wait classes and resources, and the reconciliation invariant
+— per-class totals and per-bucket totals each sum to makespan_us exactly.
 
 The trace file must be a Chrome trace-event object (`{"traceEvents": [...]}`)
 that Perfetto can load: only complete spans (X), counters (C), instants (i)
@@ -74,7 +85,7 @@ def check_fields(obj, spec, where):
                  (where, key, value, kind.__name__))
 
 
-def check_pipeline(events):
+def check_pipeline(events, allow_partial=False):
     """Validates the micro-batch/credit span schema of a pipelined trace."""
     mb_spans = [e for e in events
                 if e.get("ph") == "X" and e.get("cat") == "mb"]
@@ -83,22 +94,52 @@ def check_pipeline(events):
              "instrumentation missing)")
 
     credit_events = 0
+    busy_events = {"cpu.busy": 0, "nic.egress.busy": 0, "nic.ingress.busy": 0}
+    nic_byte_events = {"nic.egress_bytes": 0, "nic.ingress_bytes": 0}
+    nic_byte_last = {}  # (name, pid) -> last cumulative value
     for e in events:
         if e.get("ph") != "C":
             continue
         name = e.get("name", "")
-        if name.startswith("flow.credit."):
+        if name.startswith("flow.credit.") or name.startswith("flow.queued."):
             credit_events += 1
             if e["args"]["value"] < 0:
                 fail("--pipeline: %s went negative (%d) at ts=%d pid=%d" %
                      (name, e["args"]["value"], e.get("ts", -1), e["pid"]))
+        elif name in busy_events:
+            busy_events[name] += 1
+            if e["args"]["value"] not in (0, 1):
+                fail("--pipeline: %s must be a 0/1 busy track, got %d" %
+                     (name, e["args"]["value"]))
+        elif name in nic_byte_events:
+            nic_byte_events[name] += 1
+            key = (name, e["pid"])
+            value = e["args"]["value"]
+            if value < nic_byte_last.get(key, 0):
+                fail("--pipeline: cumulative %s went backward on pid=%d "
+                     "(%d -> %d)" %
+                     (name, e["pid"], nic_byte_last[key], value))
+            nic_byte_last[key] = value
     if credit_events == 0:
-        fail("--pipeline: no flow.credit.* counter events")
+        fail("--pipeline: no flow.credit.* / flow.queued.* counter events")
+    for name, count in busy_events.items():
+        if count == 0:
+            fail("--pipeline: no %s counter events (resource busy track "
+                 "missing)" % name)
+    # Counter-track parity with the barrier fabric: both paths emit
+    # per-node nic.ingress_bytes / nic.egress_bytes.
+    for name, count in nic_byte_events.items():
+        if count == 0:
+            fail("--pipeline: no %s counter events (parity with the "
+                 "barrier-fabric NIC schema)" % name)
 
     for name in ("pipeline.makespan_us", "pipeline.barrier_us"):
         values = [e["args"]["value"] for e in events
                   if e.get("ph") == "C" and e.get("name") == name]
         if not values:
+            # A failed run dies before the end-of-run summary counters.
+            if allow_partial:
+                continue
             fail("--pipeline: missing %s counter" % name)
         if any(v <= 0 for v in values):
             fail("--pipeline: %s must be positive, got %r" % (name, values))
@@ -125,7 +166,7 @@ def check_pipeline(events):
                     fail("--pipeline: schedule span without args.%s" % key)
             schedules.setdefault(pid, []).append(
                 (e["ts"], args["range_lo"], args["range_hi"]))
-    if not schedules:
+    if not schedules and not allow_partial:
         fail("--pipeline: no schedule spans")
     num_nodes = max(e["pid"] for e in mb_spans) + 1
 
@@ -146,7 +187,7 @@ def check_pipeline(events):
             if next_lo != hi:
                 fail("--pipeline: node %d schedule ranges not contiguous: "
                      "[.., %d) then [%d, ..)" % (pid, hi, next_lo))
-        if spans[-1][2] != -1:
+        if spans[-1][2] != -1 and not allow_partial:
             fail("--pipeline: node %d never scheduled the final "
                  "range_hi=-1 batch" % pid)
         # Causality: a range is only schedulable once every source stream's
@@ -172,7 +213,7 @@ def check_pipeline(events):
           (len(mb_spans), credit_events, num_nodes, checked_ranges))
 
 
-def check_trace(path, pipeline=False):
+def check_trace(path, pipeline=False, allow_partial=False):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -228,7 +269,7 @@ def check_trace(path, pipeline=False):
     if pipeline:
         # The event-driven fabric replaces the barrier fabric's phase spans
         # and NIC counters with micro-batch spans and credit counters.
-        check_pipeline(events)
+        check_pipeline(events, allow_partial=allow_partial)
         return
     if phase_spans == 0:
         fail("no 'phase'-category spans (fabric instrumentation missing)")
@@ -298,20 +339,136 @@ def check_explain(expect_zero_hot_split=False):
           (len(explains), sum(e["total_keys"] for e in explains)))
 
 
+# Wait class -> the resource its waits are charged to (obs/blame.h).
+BLAME_RESOURCE_FOR_CLASS = {
+    "compute": "cpu",
+    "cpu_queue": "cpu",
+    "credit_hol": "link",
+    "credit_exhausted": "link",
+    "egress_hol": "nic.egress",
+    "egress_queue": "nic.egress",
+    "ingress_queue": "nic.ingress",
+    "wire": "wire",
+}
+BLAME_KEYS = {
+    "algorithm": str,
+    "num_nodes": int,
+    "makespan_us": int,
+    "bucket_sum_us": int,
+    "reconciled": bool,
+    "path_segments": int,
+    "classes": dict,
+    "hol_us": int,
+    "hol_share": float,
+    "buckets": list,
+    "top_edges": list,
+}
+BLAME_BUCKET_KEYS = {
+    "node": int, "resource": str, "stage": str, "class": str, "us": int,
+}
+BLAME_EDGE_KEYS = {
+    "start_us": int, "end_us": int, "node": int, "resource": str,
+    "stage": str, "class": str, "label": str,
+}
+
+
+def check_blame():
+    try:
+        reports = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        fail("stdin is not valid JSON: %s" % e)
+    if not isinstance(reports, list) or not reports:
+        fail("expected a non-empty array of per-algorithm blame reports")
+    total_segments = 0
+    for report in reports:
+        algo = report.get("algorithm")
+        if not isinstance(algo, str) or not algo:
+            fail("blame report without an algorithm name: %r" % report)
+        where = "blame %s" % algo
+        check_fields(report, BLAME_KEYS, where)
+        classes = report["classes"]
+        if set(classes) != set(BLAME_RESOURCE_FOR_CLASS):
+            fail("%s: wait classes %s != expected %s" %
+                 (where, sorted(classes), sorted(BLAME_RESOURCE_FOR_CLASS)))
+        for cls, us in classes.items():
+            if not isinstance(us, int) or isinstance(us, bool) or us < 0:
+                fail("%s: class %s has bad micros %r" % (where, cls, us))
+        # The reconciliation invariant — the whole point of the report:
+        # every attributed microsecond sums back to the makespan exactly.
+        class_sum = sum(classes.values())
+        if class_sum != report["bucket_sum_us"]:
+            fail("%s: class sum %d != bucket_sum_us %d" %
+                 (where, class_sum, report["bucket_sum_us"]))
+        if report["bucket_sum_us"] != report["makespan_us"]:
+            fail("%s: bucket_sum_us %d != makespan_us %d" %
+                 (where, report["bucket_sum_us"], report["makespan_us"]))
+        if report["reconciled"] is not True:
+            fail("%s: reconciled is not true" % where)
+        if report["hol_us"] != (classes["credit_hol"] +
+                                classes["egress_hol"]):
+            fail("%s: hol_us %d != credit_hol + egress_hol" %
+                 (where, report["hol_us"]))
+        bucket_sum = 0
+        for i, bucket in enumerate(report["buckets"]):
+            bwhere = "%s bucket %d" % (where, i)
+            check_fields(bucket, BLAME_BUCKET_KEYS, bwhere)
+            if bucket["us"] <= 0:
+                fail("%s: non-positive micros %d" % (bwhere, bucket["us"]))
+            if bucket["class"] not in BLAME_RESOURCE_FOR_CLASS:
+                fail("%s: unknown wait class %r" % (bwhere, bucket["class"]))
+            if bucket["resource"] != BLAME_RESOURCE_FOR_CLASS[bucket["class"]]:
+                fail("%s: class %s charged to resource %r, expected %r" %
+                     (bwhere, bucket["class"], bucket["resource"],
+                      BLAME_RESOURCE_FOR_CLASS[bucket["class"]]))
+            if not 0 <= bucket["node"] < report["num_nodes"]:
+                fail("%s: node %d out of range" % (bwhere, bucket["node"]))
+            bucket_sum += bucket["us"]
+        if bucket_sum != report["bucket_sum_us"]:
+            fail("%s: listed buckets sum to %d, header says %d" %
+                 (where, bucket_sum, report["bucket_sum_us"]))
+        for i, edge in enumerate(report["top_edges"]):
+            ewhere = "%s edge %d" % (where, i)
+            check_fields(edge, BLAME_EDGE_KEYS, ewhere)
+            if not 0 <= edge["start_us"] < edge["end_us"]:
+                fail("%s: bad interval [%d, %d)" %
+                     (ewhere, edge["start_us"], edge["end_us"]))
+            if edge["end_us"] > report["makespan_us"]:
+                fail("%s: edge ends at %d, past makespan %d" %
+                     (ewhere, edge["end_us"], report["makespan_us"]))
+            if edge["class"] not in BLAME_RESOURCE_FOR_CLASS:
+                fail("%s: unknown wait class %r" % (ewhere, edge["class"]))
+            if edge["resource"] != BLAME_RESOURCE_FOR_CLASS[edge["class"]]:
+                fail("%s: class %s charged to resource %r, expected %r" %
+                     (ewhere, edge["class"], edge["resource"],
+                      BLAME_RESOURCE_FOR_CLASS[edge["class"]]))
+            if not 0 <= edge["node"] < report["num_nodes"]:
+                fail("%s: node %d out of range" % (ewhere, edge["node"]))
+        total_segments += report["path_segments"]
+    print("blame schema check passed: %d report(s), %d critical-path "
+          "segment(s), all reconciled to the microsecond" %
+          (len(reports), total_segments))
+
+
 def main():
     args = sys.argv[1:]
     expect_zero_hot_split = "--expect-zero-hot-split" in args
     pipeline = "--pipeline" in args
+    allow_partial = "--allow-partial" in args
     args = [a for a in args
-            if a not in ("--expect-zero-hot-split", "--pipeline")]
+            if a not in ("--expect-zero-hot-split", "--pipeline",
+                         "--allow-partial")]
     if len(args) == 2 and args[0] == "trace":
-        check_trace(args[1], pipeline=pipeline)
+        check_trace(args[1], pipeline=pipeline, allow_partial=allow_partial)
     elif len(args) == 1 and args[0] == "explain":
         check_explain(expect_zero_hot_split)
+    elif len(args) == 1 and args[0] == "blame":
+        check_blame()
     else:
-        sys.exit("usage: check_trace_schema.py trace FILE [--pipeline]\n"
+        sys.exit("usage: check_trace_schema.py trace FILE [--pipeline] "
+                 "[--allow-partial]\n"
                  "       check_trace_schema.py explain "
-                 "[--expect-zero-hot-split] < explain.json")
+                 "[--expect-zero-hot-split] < explain.json\n"
+                 "       check_trace_schema.py blame < blame.json")
 
 
 if __name__ == "__main__":

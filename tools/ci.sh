@@ -45,7 +45,8 @@ for san in "${sanitizers[@]}"; do
   unit_listing="$(ctest --test-dir "${dir}" -N -L unit)"
   for required in kway_merge_test flat_table_test buffer_pool_test \
                   tracker_test hot_split_test zipf_workload_test \
-                  pipelined_fabric_test pipelined_track_join_test; do
+                  pipelined_fabric_test pipelined_track_join_test \
+                  blame_test; do
     if ! grep -q " ${required}\$" <<<"${unit_listing}"; then
       echo "ci.sh: ${required} missing from the unit label in ${dir}" >&2
       exit 1
@@ -150,6 +151,46 @@ for algo in 3tj 4tj; do
       --algo="${algo}" --pipeline --trace="${pipeline_trace_tmp}" >/dev/null
   python3 tools/check_trace_schema.py trace "${pipeline_trace_tmp}" --pipeline
 done
+# Faulted pipelined traces obey the same schema: a recovered drop/retry run
+# satisfies every invariant, and a crash-faulted run (which exits 3 but
+# still writes its partial trace) passes with --allow-partial.
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=20000 --rmult=2 --smult=3 \
+    --algo=4tj --pipeline --fault-drop=0.02 --fault-retries=64 \
+    --trace="${pipeline_trace_tmp}" >/dev/null
+python3 tools/check_trace_schema.py trace "${pipeline_trace_tmp}" --pipeline
+rc=0; "${smoke_dir}/tools/tjsim" --nodes=4 --keys=20000 --rmult=2 --smult=3 \
+    --algo=4tj --pipeline --fault-crash-node=2 --fault-crash-phase=1 \
+    --trace="${pipeline_trace_tmp}" >/dev/null 2>&1 || rc=$?
+if [[ "${rc}" -ne 3 ]]; then
+  echo "ci.sh: crashed pipelined run exited ${rc}, expected 3" >&2; exit 1
+fi
+python3 tools/check_trace_schema.py trace "${pipeline_trace_tmp}" \
+    --pipeline --allow-partial
+
+# Makespan-blame smoke: the critical-path report must reconcile to the
+# microsecond (bucket sums == makespan_us), with valid wait classes and
+# resource attributions — and the pipelined driver must refuse the
+# recovery flags up front (exit 1) rather than silently ignoring them.
+echo "=== blame smoke: tjsim --pipeline --blame=json | check_trace_schema blame ==="
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=20000 --rmult=2 --smult=3 \
+    --algo=3tj,4tj --pipeline --blame=json \
+  | python3 tools/check_trace_schema.py blame
+"${smoke_dir}/tools/tjsim" --nodes=8 --keys=20000 --rmult=2 --smult=3 \
+    --zipf=1.2 --hot-key-threshold=10000 --algo=4tj --pipeline \
+    --fault-drop=0.02 --fault-retries=64 --blame=json \
+  | python3 tools/check_trace_schema.py blame
+rc=0; "${smoke_dir}/tools/tjsim" --nodes=4 --keys=500 --pipeline \
+    --replicas=2 --algo=4tj >/dev/null 2>&1 || rc=$?
+if [[ "${rc}" -ne 1 ]]; then
+  echo "ci.sh: --pipeline with --replicas exited ${rc}, expected 1" >&2
+  exit 1
+fi
+rc=0; "${smoke_dir}/tools/tjsim" --nodes=4 --keys=500 --blame=json \
+    --algo=4tj >/dev/null 2>&1 || rc=$?
+if [[ "${rc}" -ne 1 ]]; then
+  echo "ci.sh: --blame without --pipeline exited ${rc}, expected 1" >&2
+  exit 1
+fi
 
 # The batch-scoped ParallelFor is lock-order sensitive; run its tests (and
 # the rest of tj_common's concurrency surface) under TSan even when the

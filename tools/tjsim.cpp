@@ -27,6 +27,7 @@
 #include "core/schedule.h"
 #include "core/track_join.h"
 #include "net/time_model.h"
+#include "obs/blame.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/step_profile.h"
@@ -73,6 +74,8 @@ struct Options {
   std::string trace_path;  // "" (off) | Chrome trace output file
   std::string explain;     // "" (off) | json | table
   uint64_t explain_top = 10;
+  std::string blame;       // "" (off) | json | table; requires --pipeline
+  uint64_t blame_top = 20;
   bool metrics = false;
 };
 
@@ -145,6 +148,12 @@ observability:
   --explain=FORMAT     per-key scheduler audit for track joins: json | table
                        (json replaces the default report on stdout)
   --explain-top=N      heavy-hitter keys listed per audit (default 10)
+  --blame=FORMAT       critical-path makespan blame for pipelined runs:
+                       json | table. Decomposes pipeline.makespan_us into
+                       (node, resource, stage, wait-class) buckets that sum
+                       to the makespan exactly; requires --pipeline (json
+                       replaces the default report on stdout)
+  --blame-top=N        critical-path edges listed per report (default 20)
   --metrics            dump the metrics registry (Prometheus text format)
 
 exit codes: 0 success; 1 usage error or result mismatch; 2 join failure;
@@ -364,6 +373,14 @@ Options Parse(int argc, char** argv) {
     } else if ((v = val("--explain-top="))) {
       opt.explain_top = ParseUint64Flag("--explain-top", v, 0, 1u << 20,
                                         "integer in [0, 1048576]");
+    } else if ((v = val("--blame="))) {
+      opt.blame = v;
+      if (opt.blame != "json" && opt.blame != "table") {
+        FlagError("--blame", v, "json | table");
+      }
+    } else if ((v = val("--blame-top="))) {
+      opt.blame_top = ParseUint64Flag("--blame-top", v, 0, 1u << 20,
+                                      "integer in [0, 1048576]");
     } else if ((v = val("--hot-key-threshold="))) {
       opt.hot_key_threshold = ParseUint64Flag(
           "--hot-key-threshold", v, 0, UINT64_MAX, "unsigned integer");
@@ -406,6 +423,12 @@ Options Parse(int argc, char** argv) {
     std::fprintf(stderr,
                  "--pipeline does not compose with the recovery flags "
                  "(--replicas/--recovery-attempts/--phase-deadline)\n");
+    std::exit(1);
+  }
+  if (!opt.blame.empty() && !opt.pipeline) {
+    std::fprintf(stderr,
+                 "--blame decomposes the pipelined makespan; add --pipeline "
+                 "(and a pipelined algorithm: 3tj or 4tj)\n");
     std::exit(1);
   }
   return opt;
@@ -532,19 +555,41 @@ int main(int argc, char** argv) {
 
   // json/csv profile output owns stdout (pipeable into schema checks or
   // spreadsheets); the human-readable report is suppressed. --explain=json
-  // wants stdout the same way, so the two machine formats are exclusive.
+  // and --blame=json want stdout the same way, so the machine formats are
+  // mutually exclusive.
   const bool machine_profile =
       opt.profile == "json" || opt.profile == "csv";
   const bool machine_explain = opt.explain == "json";
-  if (machine_profile && machine_explain) {
+  const bool machine_blame = opt.blame == "json";
+  if ((machine_profile ? 1 : 0) + (machine_explain ? 1 : 0) +
+          (machine_blame ? 1 : 0) >
+      1) {
     std::fprintf(stderr,
-                 "--profile=%s and --explain=json both write machine output "
-                 "to stdout; pick one\n",
-                 opt.profile.c_str());
+                 "--profile=json|csv, --explain=json and --blame=json all "
+                 "write machine output to stdout; pick one\n");
     return 1;
   }
+  const bool machine_out = machine_profile || machine_explain || machine_blame;
   if (!opt.trace_path.empty()) tj::Tracer::Global().Enable();
-  if (!machine_profile && !machine_explain) {
+  // The trace is written even when a run fails: faulted traces are exactly
+  // the ones worth inspecting (and schema-checking) after the fact.
+  auto write_trace = [&opt]() -> int {
+    if (opt.trace_path.empty()) return 0;
+    const std::string json = tj::Tracer::Global().ToChromeJson();
+    FILE* f = std::fopen(opt.trace_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n",
+                   opt.trace_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::fprintf(stderr, "trace: %zu events written to %s\n",
+                 tj::Tracer::Global().EventCount(), opt.trace_path.c_str());
+    return 0;
+  };
+  if (!machine_out) {
     std::printf("%" PRIu64 " x %" PRIu64 " tuples on %u nodes (%u/%u byte "
                 "payloads, wk=%u)\n\n",
                 w.r.TotalRows(), w.s.TotalRows(), opt.nodes, opt.r_payload,
@@ -561,6 +606,7 @@ int main(int argc, char** argv) {
   bool have_reference = false;
   std::vector<tj::StepProfile> profiles;
   std::vector<tj::ScheduleExplain> explains;
+  std::vector<tj::BlameReport> blames;
   for (const std::string& algo : algos) {
     bool known = false;
     // The scheduler audit only exists for the track joins — the baselines
@@ -572,6 +618,8 @@ int main(int argc, char** argv) {
     if (!opt.explain.empty() && track_algo) {
       run_config.schedule_audit = &audit;
     }
+    run_config.collect_blame = !opt.blame.empty();
+    run_config.blame_top_edges = opt.blame_top;
     tj::RecoveryReport recovery_report;
     tj::Result<tj::JoinResult> run =
         recovery_on
@@ -592,6 +640,7 @@ int main(int argc, char** argv) {
     if (!run.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", algo.c_str(),
                    run.status().ToString().c_str());
+      write_trace();
       // Fault-induced failures (injected loss, crashes, exhausted recovery
       // budget) get a dedicated exit code so harnesses can tell "the fault
       // won" from usage or programming errors.
@@ -614,7 +663,8 @@ int main(int argc, char** argv) {
       explains.push_back(tj::BuildScheduleExplain(algo, audit, result.traffic,
                                                   opt.explain_top));
     }
-    if (machine_profile || machine_explain) continue;
+    if (result.blame.has_value()) blames.push_back(std::move(*result.blame));
+    if (machine_out) continue;
     const tj::TrafficMatrix& t = result.traffic;
     auto mib = [](uint64_t b) { return b / double(1 << 20); };
     std::printf(
@@ -684,31 +734,30 @@ int main(int argc, char** argv) {
   } else if (opt.explain == "table") {
     // Human-readable audit; routed to stderr when a machine profile owns
     // stdout so piped output stays parseable.
-    FILE* out = machine_profile ? stderr : stdout;
+    FILE* out = (machine_profile || machine_blame) ? stderr : stdout;
     for (const tj::ScheduleExplain& e : explains) {
       std::fprintf(out, "\n%s", tj::ToTable(e).c_str());
     }
   }
-  if (opt.metrics) {
+  if (machine_blame) {
+    std::printf("[");
+    for (size_t i = 0; i < blames.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ",\n " : "", tj::ToJson(blames[i]).c_str());
+    }
+    std::printf("]\n");
+  } else if (opt.blame == "table") {
     FILE* out = (machine_profile || machine_explain) ? stderr : stdout;
+    for (const tj::BlameReport& b : blames) {
+      std::fprintf(out, "\n%s", tj::ToTable(b).c_str());
+    }
+  }
+  if (opt.metrics) {
+    FILE* out = machine_out ? stderr : stdout;
     std::fprintf(out, "\n%s",
                  tj::MetricsRegistry::Global().ToPrometheus().c_str());
   }
-  if (!opt.trace_path.empty()) {
-    const std::string json = tj::Tracer::Global().ToChromeJson();
-    FILE* f = std::fopen(opt.trace_path.c_str(), "w");
-    if (f == nullptr ||
-        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
-      std::fprintf(stderr, "cannot write trace file '%s'\n",
-                   opt.trace_path.c_str());
-      if (f != nullptr) std::fclose(f);
-      return 1;
-    }
-    std::fclose(f);
-    std::fprintf(stderr, "trace: %zu events written to %s\n",
-                 tj::Tracer::Global().EventCount(), opt.trace_path.c_str());
-  }
-  if (!machine_profile && !machine_explain) {
+  if (write_trace() != 0) return 1;
+  if (!machine_out) {
     std::printf("\noutcome: digest=%016" PRIx64 " rows=%" PRIu64
                 " (all algorithms verified equal)\n",
                 reference_digest, reference_rows);
