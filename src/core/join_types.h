@@ -52,6 +52,13 @@ struct PipelineConfig {
   /// the NIC bandwidth of net/time_model.h, it makes the modeled makespan
   /// fully deterministic. See PipelineCostModel.
   double cpu_bandwidth_bytes_per_sec = 0.25e9;
+  /// Egress NIC scheduling policy (net/pipelined_fabric.h): false = the
+  /// original single-FIFO eager reservation, true = per-destination queues
+  /// drained by deficit round-robin. Timing-only; ledgers are identical.
+  bool drr = false;
+  /// DRR byte quantum per destination queue per top-up round; 0 means one
+  /// chunk_bytes. Only meaningful when `drr` is set.
+  uint64_t drr_quantum_bytes = 0;
 };
 
 /// Serialization widths and feature toggles shared by all join algorithms.

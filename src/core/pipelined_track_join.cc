@@ -147,7 +147,19 @@ Result<JoinResult> TryRunPipelinedTrackJoin(const PartitionedTable& r,
   params.inbox_budget_bytes = config.pipeline.inbox_budget_bytes;
   params.fault_policy = config.fault_policy;
   params.fault_seed = config.fault_seed;
+  params.egress_policy = config.pipeline.drr ? EgressSchedPolicy::kDrr
+                                             : EgressSchedPolicy::kFifo;
+  params.drr_quantum_bytes = config.pipeline.drr_quantum_bytes;
   PipelinedFabric fabric(params);
+  // Fan-outs start at self + 1 under the FIFO egress policy so the senders
+  // don't all hammer the same receiver NIC in lockstep (classic all-to-all
+  // staggering; per-link bytes and stream order are unaffected). DRR's
+  // per-destination scheduler subsumes the workaround, so it is retired
+  // there and fan-outs run in natural destination order.
+  const bool drr_sched = config.pipeline.drr;
+  auto fan_out_dst = [n, drr_sched](uint32_t self, uint32_t step) {
+    return drr_sched ? step : (self + 1 + step) % n;
+  };
   // Fix the stage order for profiles and the barrier reference: scheduling
   // tasks only materialize mid-run, after the transfer/join handlers have
   // already registered their stages.
@@ -242,11 +254,8 @@ Result<JoinResult> TryRunPipelinedTrackJoin(const PartitionedTable& r,
                                            n, &st.pool);
       auto s_msgs = EncodeTrackingMessages(s_keys, config, /*with_counts=*/true,
                                            n, &st.pool);
-      // Fan-outs start at node + 1 so the senders don't all hammer the same
-      // receiver NIC in lockstep (classic all-to-all staggering; per-link
-      // bytes and stream order are unaffected).
       for (uint32_t step = 0; step < n; ++step) {
-        const uint32_t dst = (node + 1 + step) % n;
+        const uint32_t dst = fan_out_dst(node, step);
         fabric.ChargeCpuBytes(r_msgs[dst].size() + s_msgs[dst].size());
         send_sliced_stream(node, dst, MessageType::kTrackR, r_msgs[dst],
                            track_entry_bytes);
@@ -310,7 +319,7 @@ Result<JoinResult> TryRunPipelinedTrackJoin(const PartitionedTable& r,
             }
           };
           for (uint32_t step = 0; step < n; ++step) {
-            const uint32_t dst = (node + 1 + step) % n;
+            const uint32_t dst = fan_out_dst(node, step);
             send_pairs(MessageType::kLocationsToR, dst, outs.loc_to_r[dst],
                        false);
             send_pairs(MessageType::kLocationsToS, dst, outs.loc_to_s[dst],
@@ -445,7 +454,7 @@ Result<JoinResult> TryRunPipelinedTrackJoin(const PartitionedTable& r,
       }
     }
     for (uint32_t step = 0; step < n; ++step) {
-      const uint32_t dst = (chunk.dst + 1 + step) % n;
+      const uint32_t dst = fan_out_dst(chunk.dst, step);
       if (rows[dst].empty()) continue;
       ByteBuffer buf = st.pool.Acquire();
       block.SerializeRowsIndexed(rows[dst], config.key_bytes, &buf);
@@ -509,7 +518,7 @@ Result<JoinResult> TryRunPipelinedTrackJoin(const PartitionedTable& r,
           }
           const uint32_t row_width = is_r ? width_r : width_s;
           for (uint32_t step = 0; step < n; ++step) {
-            const uint32_t dst = (chunk.dst + 1 + step) % n;
+            const uint32_t dst = fan_out_dst(chunk.dst, step);
             if (rows[dst].empty()) continue;
             ByteBuffer buf = st.pool.Acquire();
             block.SerializeRowsIndexed(rows[dst], config.key_bytes, &buf);

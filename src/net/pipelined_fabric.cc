@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -28,6 +29,10 @@ PipelinedFabric::PipelinedFabric(const Params& params) : params_(params) {
   egress_occupant_dst_.assign(n, n);  // n == "no transfer yet".
   links_.assign(static_cast<size_t>(n) * n, Link{});
   for (Link& link : links_) link.credit = LinkWindowBytes();
+  if (params_.egress_policy == EgressSchedPolicy::kDrr) {
+    egress_queues_.assign(static_cast<size_t>(n) * n, EgressQueue{});
+    TJ_CHECK_GT(DrrQuantumBytes(), 0u) << "DRR needs a positive quantum";
+  }
   dead_.assign(n, false);
   in_flight_.assign(n, std::nullopt);
   nic_out_bytes_.assign(n, 0);
@@ -62,6 +67,11 @@ uint64_t PipelinedFabric::CreditNeed(const Chunk& chunk) const {
   // An oversized chunk takes the whole window instead of deadlocking on
   // credit it can never accumulate.
   return std::min<uint64_t>(chunk.data.size(), LinkWindowBytes());
+}
+
+uint64_t PipelinedFabric::DrrQuantumBytes() const {
+  return params_.drr_quantum_bytes > 0 ? params_.drr_quantum_bytes
+                                       : params_.chunk_bytes;
 }
 
 uint32_t PipelinedFabric::StageIndex(const char* stage) {
@@ -176,6 +186,28 @@ void PipelinedFabric::RecordQueuedCounter(uint32_t src, uint32_t dst,
       static_cast<int64_t>(
           links_[static_cast<size_t>(src) * params_.num_nodes + dst]
               .queued_bytes));
+}
+
+void PipelinedFabric::RecordEgressQueuedCounter(uint32_t src, uint32_t dst,
+                                                double now) {
+  if (!Tracer::enabled()) return;
+  RecordModeledCounter(
+      "egress.queued.d" + std::to_string(dst), src, now,
+      static_cast<int64_t>(
+          egress_queues_[static_cast<size_t>(src) * params_.num_nodes + dst]
+              .queued_bytes));
+}
+
+void PipelinedFabric::RecordDeficitCounter(uint32_t src, uint32_t dst,
+                                           double now) {
+  if (!Tracer::enabled()) return;
+  const uint64_t deficit =
+      egress_queues_[static_cast<size_t>(src) * params_.num_nodes + dst]
+          .deficit;
+  RecordModeledCounter(
+      "drr.deficit.d" + std::to_string(dst), src, now,
+      static_cast<int64_t>(std::min<uint64_t>(
+          deficit, std::numeric_limits<int64_t>::max())));
 }
 
 void PipelinedFabric::TryStartTask(uint32_t node, double now) {
@@ -310,7 +342,15 @@ void PipelinedFabric::AdmitChunk(uint64_t chunk_index, double ready) {
   timing.head = ready;
   link.credit -= need;
   RecordCreditCounter(chunk.src, chunk.dst, ready);
-  LaunchChunk(chunk_index, ready);
+  DispatchGranted(chunk_index, ready);
+}
+
+void PipelinedFabric::DispatchGranted(uint64_t chunk_index, double ready) {
+  if (params_.egress_policy == EgressSchedPolicy::kDrr) {
+    EnqueueEgress(chunk_index, ready);
+  } else {
+    LaunchChunk(chunk_index, ready);
+  }
 }
 
 void PipelinedFabric::ReturnCredit(uint32_t src, uint32_t dst, uint64_t bytes,
@@ -332,11 +372,11 @@ void PipelinedFabric::ReturnCredit(uint32_t src, uint32_t dst, uint64_t bytes,
     link.credit -= need;
     RecordCreditCounter(src, dst, now);
     RecordQueuedCounter(src, dst, now);
-    LaunchChunk(chunk_index, std::max(ready, now));
+    DispatchGranted(chunk_index, std::max(ready, now));
   }
 }
 
-void PipelinedFabric::LaunchChunk(uint64_t chunk_index, double ready) {
+void PipelinedFabric::AccountGrant(uint64_t chunk_index, double ready) {
   Chunk& chunk = chunks_[chunk_index];
   const uint32_t stage = chunk_stage_[chunk_index];
   const uint64_t wire =
@@ -344,6 +384,8 @@ void PipelinedFabric::LaunchChunk(uint64_t chunk_index, double ready) {
 
   // First transmission is goodput; stage ledgers see goodput only, so the
   // barrier-equivalent reference prices the same bytes as a pristine run.
+  // Accounting happens at credit grant under both egress policies, so the
+  // ledgers cannot depend on NIC scheduling order.
   traffic_.Add(chunk.src, chunk.dst, chunk.type, wire);
   stages_[stage].network_bytes += wire;
   stages_[stage].network_bytes_by_type[static_cast<int>(chunk.type)] += wire;
@@ -352,17 +394,153 @@ void PipelinedFabric::LaunchChunk(uint64_t chunk_index, double ready) {
 
   ChunkTiming& timing = chunk_timing_[chunk_index];
   timing.grant = ready;
+  if (timing.stalled) stall_hist_->Observe(ready - timing.admit);
+}
+
+void PipelinedFabric::LaunchChunk(uint64_t chunk_index, double ready) {
+  AccountGrant(chunk_index, ready);
+  Chunk& chunk = chunks_[chunk_index];
+  ChunkTiming& timing = chunk_timing_[chunk_index];
   const double egress_clear = std::max(ready, egress_free_[chunk.src]);
   const double wire_start = std::max(egress_clear, ingress_free_[chunk.dst]);
   timing.egress_clear = egress_clear;
-  timing.wire_start = wire_start;
   if (egress_clear > ready &&
       egress_occupant_dst_[chunk.src] != chunk.dst) {
     timing.egress_hol = true;
   }
   egress_occupant_dst_[chunk.src] = chunk.dst;
-  if (timing.stalled) stall_hist_->Observe(ready - timing.admit);
+  StartTransfer(chunk_index, wire_start);
+}
 
+void PipelinedFabric::MarkEgressWait(uint64_t chunk_index, double now,
+                                     ChunkTiming::EgressWait state) {
+  auto& marks = chunk_timing_[chunk_index].egress_marks;
+  if (!marks.empty() && marks.back().first == now) {
+    // Re-evaluated within one modeled instant: the final state wins and the
+    // mark list stays strictly increasing in time.
+    marks.back().second = state;
+    return;
+  }
+  if (!marks.empty() && marks.back().second == state) return;  // No change.
+  marks.emplace_back(now, state);
+}
+
+void PipelinedFabric::RefreshFrontMarks(uint32_t node, double now,
+                                        bool after_pick) {
+  const uint32_t n = params_.num_nodes;
+  const bool egress_busy = egress_free_[node] > now;
+  for (uint32_t dst = 0; dst < n; ++dst) {
+    EgressQueue& q = egress_queues_[static_cast<size_t>(node) * n + dst];
+    if (q.chunks.empty()) continue;
+    const uint64_t front = q.chunks.front();
+    const bool ingress_busy = ingress_free_[dst] > now;
+    ChunkTiming::EgressWait state;
+    if (egress_busy) {
+      // A front that was ready but lacked deficit when the pick happened
+      // lost its turn to the quantum cursor, not to NIC occupancy per se.
+      if (after_pick && !ingress_busy &&
+          q.deficit < chunks_[front].data.size()) {
+        state = ChunkTiming::EgressWait::kDeficit;
+      } else {
+        state = (egress_occupant_dst_[node] == dst)
+                    ? ChunkTiming::EgressWait::kQueue
+                    : ChunkTiming::EgressWait::kHol;
+      }
+    } else if (ingress_busy) {
+      state = ChunkTiming::EgressWait::kIngress;
+    } else {
+      // Idle NIC, idle ingress: only reachable transiently (the scheduler
+      // serves such a front before exiting); classify by the deficit.
+      state = (q.deficit < chunks_[front].data.size())
+                  ? ChunkTiming::EgressWait::kDeficit
+                  : ChunkTiming::EgressWait::kIngress;
+    }
+    MarkEgressWait(front, now, state);
+  }
+}
+
+void PipelinedFabric::EnqueueEgress(uint64_t chunk_index, double now) {
+  AccountGrant(chunk_index, now);
+  Chunk& chunk = chunks_[chunk_index];
+  EgressQueue& q =
+      egress_queues_[static_cast<size_t>(chunk.src) * params_.num_nodes +
+                     chunk.dst];
+  q.chunks.push_back(chunk_index);
+  q.queued_bytes += chunk.data.size();
+  RecordEgressQueuedCounter(chunk.src, chunk.dst, now);
+  // Anchor the blame chain exactly at the grant boundary; the scheduler
+  // pass below reclassifies the mark in place if the chunk is already the
+  // queue front.
+  MarkEgressWait(chunk_index, now, ChunkTiming::EgressWait::kQueue);
+  RunEgressScheduler(chunk.src, now);
+}
+
+void PipelinedFabric::RunEgressScheduler(uint32_t node, double now) {
+  const uint32_t n = params_.num_nodes;
+  const uint64_t quantum = DrrQuantumBytes();
+  bool picked = false;
+  while (egress_free_[node] <= now) {
+    // A queue front competes when its destination ingress is idle; an
+    // ingress-busy destination is skipped so it cannot stall the NIC.
+    bool any_ready = false;
+    int64_t pick = -1;
+    double pick_grant = 0;
+    uint64_t pick_chunk = 0;
+    auto consider = [&](uint32_t dst) {
+      EgressQueue& q = egress_queues_[static_cast<size_t>(node) * n + dst];
+      if (q.chunks.empty() || ingress_free_[dst] > now) return;
+      any_ready = true;
+      const uint64_t front = q.chunks.front();
+      if (q.deficit < chunks_[front].data.size()) return;
+      const double grant = chunk_timing_[front].grant;
+      // Oldest grant wins; chunk index (send order) breaks exact ties, so
+      // an infinite quantum degenerates to the global FIFO order.
+      if (pick < 0 || grant < pick_grant ||
+          (grant == pick_grant && front < pick_chunk)) {
+        pick = static_cast<int64_t>(dst);
+        pick_grant = grant;
+        pick_chunk = front;
+      }
+    };
+    for (uint32_t dst = 0; dst < n; ++dst) consider(dst);
+    if (!any_ready) break;
+    while (pick < 0) {
+      // Top-up round: every backlogged queue gains a quantum of
+      // eligibility, in destination order. Rounds are instantaneous in
+      // modeled time; they repeat only for chunks larger than the quantum.
+      for (uint32_t dst = 0; dst < n; ++dst) {
+        EgressQueue& q = egress_queues_[static_cast<size_t>(node) * n + dst];
+        if (q.chunks.empty()) continue;
+        q.deficit = (q.deficit > std::numeric_limits<uint64_t>::max() - quantum)
+                        ? std::numeric_limits<uint64_t>::max()
+                        : q.deficit + quantum;
+      }
+      for (uint32_t dst = 0; dst < n; ++dst) consider(dst);
+    }
+    const uint32_t dst = static_cast<uint32_t>(pick);
+    EgressQueue& q = egress_queues_[static_cast<size_t>(node) * n + dst];
+    const uint64_t chunk_index = q.chunks.front();
+    q.chunks.pop_front();
+    q.queued_bytes -= chunks_[chunk_index].data.size();
+    q.deficit -= chunks_[chunk_index].data.size();
+    if (q.chunks.empty()) q.deficit = 0;  // No hoarding across idle spells.
+    RecordEgressQueuedCounter(node, dst, now);
+    RecordDeficitCounter(node, dst, now);
+    egress_occupant_dst_[node] = dst;
+    ChunkTiming& timing = chunk_timing_[chunk_index];
+    timing.egress_clear = now;
+    StartTransfer(chunk_index, now);
+    picked = true;
+  }
+  RefreshFrontMarks(node, now, picked);
+}
+
+void PipelinedFabric::StartTransfer(uint64_t chunk_index, double wire_start) {
+  Chunk& chunk = chunks_[chunk_index];
+  ChunkTiming& timing = chunk_timing_[chunk_index];
+  const uint64_t wire =
+      chunk.data.size() + (fault_active() ? kFrameHeaderBytes : 0);
+  timing.wire_start = wire_start;
   const double dur = params_.cost.TransferSeconds(wire);
   double t = wire_start;
   bool delivered = true;
@@ -428,6 +606,11 @@ void PipelinedFabric::LaunchChunk(uint64_t chunk_index, double ready) {
     RecordModeledCounter("nic.ingress_bytes", chunk.dst, t,
                          static_cast<int64_t>(nic_in_bytes_[chunk.dst]));
   }
+  if (params_.egress_policy == EgressSchedPolicy::kDrr) {
+    // Wake the schedulers when the NIC pair frees — even for a chunk the
+    // fault model ultimately lost, since it occupied the wire until t.
+    PushEvent(t, Event::kTransferDone, chunk_index, chunk.src);
+  }
 
   if (!delivered) {
     lost_link_ = true;
@@ -462,6 +645,22 @@ Status PipelinedFabric::Run() {
       case Event::kTaskFinish: {
         FinishTask(event.node, event.time);
         TryStartTask(event.node, event.time);
+        break;
+      }
+      case Event::kTransferDone: {
+        // kDrr: the transfer's NIC pair is free. The source's egress picks
+        // its next chunk, then senders parked toward the freed ingress get
+        // a chance (in node order — deterministic).
+        const Chunk& chunk = chunks_[event.payload];
+        RunEgressScheduler(chunk.src, event.time);
+        const uint32_t n = params_.num_nodes;
+        for (uint32_t m = 0; m < n; ++m) {
+          if (m == chunk.src) continue;
+          if (!egress_queues_[static_cast<size_t>(m) * n + chunk.dst]
+                   .chunks.empty()) {
+            RunEgressScheduler(m, event.time);
+          }
+        }
         break;
       }
       case Event::kChunkArrive: {

@@ -27,6 +27,13 @@
 // as offloaded). Zero-byte chunks (pure EOS markers) never need credit, so
 // stream termination cannot deadlock.
 //
+// Once granted, a chunk competes for the source egress NIC under the
+// configured EgressSchedPolicy: the original single-FIFO reservation
+// (kFifo) or per-destination queues drained by deficit round-robin (kDrr),
+// which keeps a chunk bound for a congested destination from holding the
+// NIC hostage for transfers to idle links. The policy changes modeled
+// timing only — ledgers, checksums and per-stream order are identical.
+//
 // Fault mode mirrors the barrier fabric's semantics at chunk granularity:
 // chunks are framed (payload + kFrameHeaderBytes on the wire), a seeded
 // deterministic RNG draws drop/corrupt/duplicate/reorder per transmission,
@@ -62,6 +69,23 @@ namespace tj {
 class Counter;
 class Histogram;
 
+/// How a node's egress NIC picks the next credit-granted chunk to transmit.
+///
+/// kFifo reserves the NIC pair eagerly in credit-grant order: a chunk
+/// headed to a busy destination holds the egress (idle) until that ingress
+/// frees, delaying every later chunk — including chunks for idle links.
+/// This is the original single-FIFO behavior, kept selectable for A/B runs.
+///
+/// kDrr parks granted chunks in per-destination egress queues and assigns
+/// the NIC work-conservingly when it is actually free: deficit round-robin
+/// over the backlogged destination queues. Each top-up round adds
+/// `drr_quantum_bytes` of eligibility to every backlogged queue (in
+/// destination order), queues whose destination ingress is busy are skipped,
+/// and ties among eligible queue fronts break oldest-grant-first — so with
+/// a single destination, or an effectively infinite quantum and no ingress
+/// contention, DRR reproduces FIFO timing event for event.
+enum class EgressSchedPolicy { kFifo = 0, kDrr };
+
 /// One micro-batch: a bounded slice of a typed (src, dst) stream.
 /// `watermark` is the stream's progress marker (for key-ordered streams,
 /// the last key in the chunk); `eos` marks the stream's final chunk (which
@@ -89,6 +113,13 @@ class PipelinedFabric {
     /// pristine byte-identical wire path.
     const FaultPolicy* fault_policy = nullptr;
     uint64_t fault_seed = 0;
+    /// Egress NIC scheduling policy. Only modeled *timing* depends on it:
+    /// traffic matrices, checksums and per-stream delivery order are
+    /// byte-identical across policies by construction.
+    EgressSchedPolicy egress_policy = EgressSchedPolicy::kFifo;
+    /// DRR byte quantum added per backlogged destination queue per top-up
+    /// round (payload bytes). 0 means one chunk_bytes. Ignored under kFifo.
+    uint64_t drr_quantum_bytes = 0;
   };
 
   using Task = std::function<Status()>;
@@ -194,6 +225,8 @@ class PipelinedFabric {
   ///   [egress_clear, wire_start) waiting for the destination ingress NIC
   ///   [wire_start, arrival)      on the wire (fault retries included)
   /// Local (src == dst) chunks arrive at admit and skip every wire segment.
+  /// Under kDrr the NIC wait [grant, wire_start) is instead described
+  /// piecewise by `egress_marks` (see below); egress_clear == wire_start.
   struct ChunkTiming {
     uint32_t src = 0;
     uint32_t dst = 0;
@@ -211,8 +244,24 @@ class PipelinedFabric {
     bool delivered = false;
     /// The egress wait [grant, egress_clear) was spent behind a transfer to
     /// a *different* destination: head-of-line blocking at the egress NIC.
+    /// (kFifo only; kDrr classifies the wait through `egress_marks`.)
     bool egress_hol = false;
     bool stalled = false;  ///< Entered the link's blocked FIFO.
+
+    /// What a chunk parked in a per-destination egress queue is waiting on.
+    enum class EgressWait : uint8_t {
+      kQueue = 0,  ///< Behind same-destination chunks / transfer.
+      kDeficit,    ///< Quantum cursor: the destination's deficit too small.
+      kHol,        ///< NIC busy with a different destination's transfer.
+      kIngress,    ///< NIC assignable but the destination ingress is busy.
+    };
+    /// kDrr only: piecewise classification of [grant, wire_start). A
+    /// (time, state) mark is appended at every scheduler decision that
+    /// changed this chunk's blocking cause; marks are strictly increasing
+    /// in time, the first mark sits exactly at `grant`, and each mark's
+    /// state holds until the next mark (the last until wire_start) — so
+    /// the segments telescope for blame. Empty under kFifo.
+    std::vector<std::pair<double, EgressWait>> egress_marks;
   };
 
   const std::vector<TaskTiming>& task_timings() const { return task_timing_; }
@@ -247,9 +296,16 @@ class PipelinedFabric {
   struct Event {
     double time = 0;
     uint64_t seq = 0;
-    enum Kind { kTaskReady, kTaskFinish, kChunkArrive } kind = kTaskReady;
-    /// kTaskReady payload (index into tasks_), kChunkArrive payload
-    /// (index into chunks_ plus credit bytes), kTaskFinish target node.
+    enum Kind {
+      kTaskReady,
+      kTaskFinish,
+      kChunkArrive,
+      /// kDrr only: a transfer released its NIC pair; rerun the source's
+      /// egress scheduler and wake senders queued toward the freed ingress.
+      kTransferDone,
+    } kind = kTaskReady;
+    /// kTaskReady payload (index into tasks_), kChunkArrive/kTransferDone
+    /// payload (index into chunks_), kTaskFinish target node.
     uint64_t payload = 0;
     uint32_t node = 0;
     bool operator>(const Event& other) const {
@@ -277,10 +333,34 @@ class PipelinedFabric {
   /// Applies a finished task's effects: releases buffered posts/sends,
   /// returns handler credit, drains the link's blocked queue.
   void FinishTask(uint32_t node, double now);
-  /// Moves one chunk onto the wire (or the local loopback): accounts
-  /// traffic, models faults, reserves NICs, schedules the arrival.
+  /// Ledger effects of a credit grant: first-transmission traffic and
+  /// stage accounting, timing.grant, the credit-stall histogram. Shared by
+  /// both egress policies so the byte ledgers are identical by construction.
+  void AccountGrant(uint64_t chunk_index, double ready);
+  /// kFifo: eagerly reserves the NIC pair in grant order and transmits.
   void LaunchChunk(uint64_t chunk_index, double ready);
-  /// Grants credit and launches, or queues on the link's blocked FIFO.
+  /// Routes a credit-granted chunk to the configured egress scheduler.
+  void DispatchGranted(uint64_t chunk_index, double ready);
+  /// kDrr: parks the granted chunk in its per-destination egress queue and
+  /// gives the scheduler a chance to assign the NIC.
+  void EnqueueEgress(uint64_t chunk_index, double now);
+  /// kDrr: while the egress NIC is free, picks the next chunk by deficit
+  /// round-robin (top-up rounds in destination order, oldest-grant-first
+  /// among eligible queue fronts, ingress-busy destinations skipped) and
+  /// transmits it. Refreshes the waiting fronts' blame marks on exit.
+  void RunEgressScheduler(uint32_t node, double now);
+  /// Appends (or same-timestamp-overwrites) a wait-state mark.
+  void MarkEgressWait(uint64_t chunk_index, double now,
+                      ChunkTiming::EgressWait state);
+  /// Re-derives every queue front's wait state after a scheduler pass.
+  /// `after_pick` distinguishes "lost the pick to the quantum cursor"
+  /// (drr_wait) from plain NIC occupancy.
+  void RefreshFrontMarks(uint32_t node, double now, bool after_pick);
+  /// Puts a chunk on the wire at `wire_start`: models faults, occupies the
+  /// NIC pair, schedules the arrival (and, under kDrr, the NIC release).
+  void StartTransfer(uint64_t chunk_index, double wire_start);
+  uint64_t DrrQuantumBytes() const;
+  /// Grants credit and dispatches, or queues on the link's blocked FIFO.
   void AdmitChunk(uint64_t chunk_index, double ready);
   uint64_t LinkWindowBytes() const;
   uint64_t CreditNeed(const Chunk& chunk) const;
@@ -292,6 +372,8 @@ class PipelinedFabric {
   void RecordModeledCounter(std::string name, uint32_t node, double now,
                             int64_t value);
   void RecordQueuedCounter(uint32_t src, uint32_t dst, double now);
+  void RecordEgressQueuedCounter(uint32_t src, uint32_t dst, double now);
+  void RecordDeficitCounter(uint32_t src, uint32_t dst, double now);
   bool fault_active() const {
     return params_.fault_policy != nullptr && params_.fault_policy->active();
   }
@@ -324,6 +406,14 @@ class PipelinedFabric {
   /// (different destination) vs same-destination queueing.
   std::vector<uint32_t> egress_occupant_dst_;
   std::vector<Link> links_;  ///< [src * n + dst].
+  /// kDrr per-destination egress queues, [src * n + dst]: credit-granted
+  /// chunks waiting for the source NIC, FIFO per destination.
+  struct EgressQueue {
+    std::deque<uint64_t> chunks;  ///< Chunk indices, grant order.
+    uint64_t deficit = 0;         ///< DRR eligibility (payload bytes).
+    uint64_t queued_bytes = 0;    ///< Payload bytes parked here (traced).
+  };
+  std::vector<EgressQueue> egress_queues_;  ///< Empty under kFifo.
   std::vector<bool> dead_;
   std::vector<TaskTiming> task_timing_;    ///< Aligned with tasks_.
   std::vector<ChunkTiming> chunk_timing_;  ///< Aligned with chunks_.

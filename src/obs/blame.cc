@@ -39,6 +39,7 @@ const char* BlameClassName(BlameClass c) {
     case BlameClass::kCreditExhausted: return "credit_exhausted";
     case BlameClass::kEgressHol: return "egress_hol";
     case BlameClass::kEgressQueue: return "egress_queue";
+    case BlameClass::kDrrWait: return "drr_wait";
     case BlameClass::kIngressQueue: return "ingress_queue";
     case BlameClass::kWire: return "wire";
   }
@@ -52,7 +53,8 @@ const char* BlameClassResource(BlameClass c) {
     case BlameClass::kCreditHol:
     case BlameClass::kCreditExhausted: return "link";
     case BlameClass::kEgressHol:
-    case BlameClass::kEgressQueue: return "nic.egress";
+    case BlameClass::kEgressQueue:
+    case BlameClass::kDrrWait: return "nic.egress";
     case BlameClass::kIngressQueue: return "nic.ingress";
     case BlameClass::kWire: return "wire";
   }
@@ -132,12 +134,38 @@ BlameReport BuildBlameReport(const PipelinedFabric& fabric, size_t top_k) {
                             std::to_string(chunk.dst);
         emit(chunk.wire_start, chunk.arrival, BlameClass::kWire, chunk.src,
              chunk.stage, label);
-        emit(chunk.egress_clear, chunk.wire_start, BlameClass::kIngressQueue,
-             chunk.dst, chunk.stage, label);
-        emit(chunk.grant, chunk.egress_clear,
-             chunk.egress_hol ? BlameClass::kEgressHol
-                              : BlameClass::kEgressQueue,
-             chunk.src, chunk.stage, label);
+        if (!chunk.egress_marks.empty()) {
+          // DRR: the NIC wait [grant, wire_start) is classified piecewise
+          // at the scheduler's actual decision points; each mark's state
+          // holds until the next mark, the last until wire_start. The
+          // first mark sits exactly at `grant`, so the chain telescopes.
+          using EgressWait = PipelinedFabric::ChunkTiming::EgressWait;
+          for (size_t m = 0; m < chunk.egress_marks.size(); ++m) {
+            const double begin = chunk.egress_marks[m].first;
+            const double end = (m + 1 < chunk.egress_marks.size())
+                                   ? chunk.egress_marks[m + 1].first
+                                   : chunk.wire_start;
+            BlameClass cls = BlameClass::kEgressQueue;
+            uint32_t node = chunk.src;
+            switch (chunk.egress_marks[m].second) {
+              case EgressWait::kQueue: cls = BlameClass::kEgressQueue; break;
+              case EgressWait::kDeficit: cls = BlameClass::kDrrWait; break;
+              case EgressWait::kHol: cls = BlameClass::kEgressHol; break;
+              case EgressWait::kIngress:
+                cls = BlameClass::kIngressQueue;
+                node = chunk.dst;
+                break;
+            }
+            emit(begin, end, cls, node, chunk.stage, label);
+          }
+        } else {
+          emit(chunk.egress_clear, chunk.wire_start,
+               BlameClass::kIngressQueue, chunk.dst, chunk.stage, label);
+          emit(chunk.grant, chunk.egress_clear,
+               chunk.egress_hol ? BlameClass::kEgressHol
+                                : BlameClass::kEgressQueue,
+               chunk.src, chunk.stage, label);
+        }
         emit(chunk.head, chunk.grant, BlameClass::kCreditExhausted, chunk.src,
              chunk.stage, label);
         emit(chunk.admit, chunk.head, BlameClass::kCreditHol, chunk.src,

@@ -25,9 +25,19 @@
 //   egress_hol        waiting for the source egress NIC while it serves a
 //                     transfer to a *different* destination
 //   egress_queue      waiting for the egress NIC behind a same-destination
-//                     transfer
+//                     transfer (or behind same-destination chunks in a DRR
+//                     egress queue)
+//   drr_wait          DRR only: the chunk was ready but lost the pick to
+//                     the quantum cursor (its destination's deficit was
+//                     still too small when the NIC chose other traffic)
 //   ingress_queue     waiting for the destination's ingress NIC
 //   wire              on the wire (fault retries included)
+//
+// Under --egress-sched=drr the fabric records a piecewise classification of
+// each chunk's NIC wait (ChunkTiming::egress_marks) at every scheduler
+// decision, and the walk emits one segment per mark — so egress_hol /
+// egress_queue / drr_wait / ingress_queue are charged against the DRR
+// scheduler's actual dependency edges, with the same telescoping exactness.
 //
 // The walk blames the *waiter*, never the occupant: when the critical chunk
 // waits on a busy NIC, the report charges the wait to that NIC's queue
@@ -58,10 +68,11 @@ enum class BlameClass : int {
   kCreditExhausted,
   kEgressHol,
   kEgressQueue,
+  kDrrWait,
   kIngressQueue,
   kWire,
 };
-inline constexpr int kNumBlameClasses = 8;
+inline constexpr int kNumBlameClasses = 9;
 const char* BlameClassName(BlameClass c);
 /// The contended resource a class blames: cpu, link, nic.egress,
 /// nic.ingress or wire.

@@ -126,6 +126,61 @@ TEST(PipelinedTrackJoinTest, FourPhaseWithHotSplitByteIdentical) {
   ExpectPipelinedMatchesBarrier(w, config, TrackJoinVersion::k4Phase);
 }
 
+TEST(PipelinedTrackJoinTest, DrrPolicyByteIdenticalToBarrier) {
+  // The egress scheduler only reorders modeled NIC time; the full
+  // equivalence battery (traffic, checksum, audits) must hold under DRR
+  // exactly as under FIFO, for both pipelined variants.
+  JoinConfig config = BaseConfig();
+  config.pipeline.drr = true;
+  ExpectPipelinedMatchesBarrier(SmallWorkload(), config,
+                                TrackJoinVersion::k3Phase);
+  ExpectPipelinedMatchesBarrier(SmallWorkload(), config,
+                                TrackJoinVersion::k4Phase);
+}
+
+TEST(PipelinedTrackJoinTest, DrrHotSplitTinyQuantumByteIdentical) {
+  // Hot-split fragment groups under a sub-chunk quantum: heavy per-key
+  // bursts cross the scheduler in many top-up rounds, and the split
+  // decisions must still match the barrier run's exactly.
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.matched_keys = 400;
+  spec.r_multiplicity = 6;
+  spec.s_multiplicity = 12;
+  spec.r_pattern = {3, 2, 1};
+  spec.s_pattern = {6, 4, 2};
+  Workload w = GenerateWorkload(spec);
+  JoinConfig config = BaseConfig();
+  config.hot_key_threshold = 36;
+  config.hot_key_max_split = 3;
+  config.pipeline.drr = true;
+  config.pipeline.drr_quantum_bytes = 64;
+  ExpectPipelinedMatchesBarrier(w, config, TrackJoinVersion::k4Phase);
+}
+
+TEST(PipelinedTrackJoinTest, FifoAndDrrShareLedgersButNotTiming) {
+  // A/B on identical inputs: the two policies must agree on every byte
+  // ledger and the barrier reference (pure per-stage accounting) while
+  // being free to disagree on the event-driven makespan.
+  Workload w = SmallWorkload();
+  JoinConfig fifo_config = BaseConfig();
+  JoinConfig drr_config = BaseConfig();
+  drr_config.pipeline.drr = true;
+  Result<JoinResult> fifo =
+      TryRunPipelinedTrackJoin(w.r, w.s, fifo_config, TrackJoinVersion::k4Phase);
+  Result<JoinResult> drr =
+      TryRunPipelinedTrackJoin(w.r, w.s, drr_config, TrackJoinVersion::k4Phase);
+  ASSERT_TRUE(fifo.ok()) << fifo.status().ToString();
+  ASSERT_TRUE(drr.ok()) << drr.status().ToString();
+  EXPECT_TRUE(drr->traffic == fifo->traffic);
+  EXPECT_TRUE(drr->checksum == fifo->checksum);
+  EXPECT_EQ(drr->output_rows, fifo->output_rows);
+  EXPECT_EQ(drr->node_output_rows, fifo->node_output_rows);
+  EXPECT_DOUBLE_EQ(drr->barrier_makespan_seconds,
+                   fifo->barrier_makespan_seconds);
+  EXPECT_GT(drr->makespan_seconds, 0.0);
+}
+
 TEST(PipelinedTrackJoinTest, DirectionStoRByteIdentical) {
   Workload w = SmallWorkload();
   JoinConfig config = BaseConfig();
@@ -354,11 +409,13 @@ TEST(PipelinedTrackJoinTest, BlameReconciliationMatrix) {
          {TrackJoinVersion::k3Phase, TrackJoinVersion::k4Phase}) {
       for (bool hot_split : {false, true}) {
         if (hot_split && version != TrackJoinVersion::k4Phase) continue;
+        for (bool drr : {false, true}) {
         for (const FaultMode& mode : modes) {
           JoinConfig config = BaseConfig();
           config.collect_blame = true;
           config.fault_policy = mode.policy;
           config.fault_seed = 17;
+          config.pipeline.drr = drr;
           if (hot_split) {
             config.hot_key_threshold = 6;
             config.hot_key_max_split = 3;
@@ -366,7 +423,8 @@ TEST(PipelinedTrackJoinTest, BlameReconciliationMatrix) {
           SCOPED_TRACE(std::string(mode.name) + " nodes=" +
                        std::to_string(nodes) + " version=" +
                        std::to_string(static_cast<int>(version)) +
-                       " hot_split=" + std::to_string(hot_split));
+                       " hot_split=" + std::to_string(hot_split) +
+                       " drr=" + std::to_string(drr));
           Result<JoinResult> run =
               TryRunPipelinedTrackJoin(w.r, w.s, config, version);
           ASSERT_TRUE(run.ok()) << run.status().ToString();
@@ -394,6 +452,12 @@ TEST(PipelinedTrackJoinTest, BlameReconciliationMatrix) {
             EXPECT_LT(edge.start_us, edge.end_us);
             EXPECT_LE(edge.end_us, blame.makespan_us);
           }
+          // drr_wait is a DRR-only class by construction.
+          if (!drr) {
+            EXPECT_EQ(blame.class_us[static_cast<int>(BlameClass::kDrrWait)],
+                      0);
+          }
+        }
         }
       }
     }

@@ -191,6 +191,43 @@ TEST(BlameTest, EgressWaitBehindOtherDestinationIsHol) {
   EXPECT_EQ(report.hol_us, 640000);
 }
 
+TEST(BlameTest, DrrQuantumCursorWaitIsChargedAsDrrWait) {
+  // DRR with a one-chunk quantum: node 0 sends two 64-byte chunks to node
+  // 1 and one 128-byte chunk to node 2. The first d1 chunk is served solo
+  // (top-up rounds accumulate only its queue). At its transfer-done the
+  // top-up round hands every queue one quantum: d1's front is eligible and
+  // wins, but d2's double-size front is still deficit-short — it *lost to
+  // the quantum cursor*, which is exactly the drr_wait class. The d2 chunk
+  // is the last arrival, so the whole decomposition sits on the critical
+  // path:
+  //   [0, 0.64)      egress_hol (NIC busy with the first d1 transfer)
+  //   [0.64, 1.28)   drr_wait   (ready but deficit-short at the pick)
+  //   [1.28, 2.56)   wire
+  PipelinedFabric::Params params = SmallParams(3);
+  params.egress_policy = EgressSchedPolicy::kDrr;
+  params.drr_quantum_bytes = 64;
+  params.inbox_budget_bytes = 1 << 20;  // Credit never binds here.
+  PipelinedFabric fabric(params);
+  fabric.OnChunk(MessageType::kDataR, "recv", [&](const Chunk&) {
+    return Status::OK();
+  });
+  fabric.Post(0, "send", "s", [&] {
+    fabric.SendChunk(0, 1, MessageType::kDataR, Bytes(64), /*eos=*/false);
+    fabric.SendChunk(0, 1, MessageType::kDataR, Bytes(64), /*eos=*/true);
+    fabric.SendChunk(0, 2, MessageType::kDataR, Bytes(128), /*eos=*/true);
+    return Status::OK();
+  });
+  ASSERT_TRUE(fabric.Run().ok());
+  BlameReport report = BuildBlameReport(fabric);
+  ExpectReconciled(report, fabric);
+  EXPECT_EQ(report.makespan_us, 2560000);
+  EXPECT_EQ(ClassUs(report, BlameClass::kEgressHol), 640000);
+  EXPECT_EQ(ClassUs(report, BlameClass::kDrrWait), 640000);
+  EXPECT_EQ(ClassUs(report, BlameClass::kWire), 1280000);
+  // drr_wait is quantum-cursor fairness, not head-of-line blocking.
+  EXPECT_EQ(report.hol_us, 640000);
+}
+
 TEST(BlameTest, StragglerLateStartShowsAsCpuQueue) {
   // A slow node's CPU comes up late: its first task is ready at time zero
   // but waits for the CPU, so the whole delay is cpu_queue on that node.

@@ -28,6 +28,13 @@ gate cross-checks three independent makespan computations to the exact
 microsecond: the blame bucket sum, the pipeline.makespan_us counter, and
 the critical path recomputed from the exported micro-batch spans.
 
+The baseline section "drr_makespan" gates the DRR egress scheduler the
+same way at the head-of-line-worst configuration (4 nodes, 1 KiB chunks,
+a wide credit window): its makespan must stay within max_regression of
+the checked-in value, its total head-of-line blame share must stay below
+max_hol_share, and it must strictly beat the FIFO policy's best makespan
+across fifo_sweep_chunks — the win the scheduler exists for, held by CI.
+
 Usage:
   tools/bench_smoke.py [--build-dir build] [--threads N]
                        [--baseline tools/bench_baseline.json]
@@ -231,8 +238,110 @@ def main():
                   f"{blame['makespan_us']}us ({rec}, hol share "
                   f"{blame['hol_share']:.0%})")
 
+    # DRR egress-scheduler gate (baseline section "drr_makespan"): at the
+    # head-of-line-worst configuration (1 KiB chunks) the per-destination
+    # scheduler must keep total HOL blame under the section's ceiling and
+    # beat the FIFO policy's best chunk size outright, with the same
+    # three-way blame/counter/trace makespan cross-check as above. Modeled
+    # time is deterministic, so every bound here is tight.
+    drr_section = baseline.get("drr_makespan")
+    drr_report = None
+    drr_failures = []
+    if drr_section:
+        print("=== DRR egress scheduler (modeled) ===", flush=True)
+        tjsim = os.path.join(args.build_dir, "tools", "tjsim")
+        drr_trace = os.path.join(args.build_dir, "bench_smoke_drr_trace.json")
+        blame_out, _ = run([tjsim] + drr_section["workload"] +
+                           [f"--trace={drr_trace}", "--blame=json"])
+        with open(drr_trace) as f:
+            drr_doc = json.load(f)
+        drr_events = drr_doc.get("traceEvents", [])
+        mb_spans = [e for e in drr_events
+                    if e.get("ph") == "X" and e.get("cat") == "mb"]
+        counter_vals = [e["args"]["value"] for e in drr_events
+                        if e.get("ph") == "C"
+                        and e.get("name") == "pipeline.makespan_us"]
+        deficit_tracks = {e.get("name") for e in drr_events
+                          if e.get("ph") == "C" and
+                          str(e.get("name", "")).startswith("drr.deficit.")}
+        if not mb_spans or not counter_vals:
+            sys.stderr.write("FAIL: DRR trace is missing micro-batch spans "
+                             "or the makespan counter\n")
+            return 1
+        if not deficit_tracks:
+            drr_failures.append(
+                "DRR trace exports no drr.deficit.* counter tracks (egress "
+                "scheduler not engaged?)")
+        drr_makespan_us = counter_vals[-1]
+        span_us = max(e["ts"] + e["dur"] for e in mb_spans)
+        if abs(span_us - drr_makespan_us) > 1:
+            drr_failures.append(
+                f"DRR trace critical path {span_us}us disagrees with "
+                f"pipeline.makespan_us {drr_makespan_us}us")
+        blame_reports = json.loads(blame_out)
+        with open(os.path.join(args.build_dir,
+                               "bench_smoke_drr_blame.json"), "w") as f:
+            f.write(blame_out)
+        hol_share = None
+        for blame in blame_reports:
+            if not blame.get("reconciled"):
+                drr_failures.append(
+                    f"DRR blame report {blame.get('algorithm')} did not "
+                    f"reconcile: bucket sum {blame.get('bucket_sum_us')}us "
+                    f"vs makespan {blame.get('makespan_us')}us")
+            if blame.get("makespan_us") != drr_makespan_us:
+                drr_failures.append(
+                    f"DRR blame report {blame.get('algorithm')} makespan "
+                    f"{blame.get('makespan_us')}us disagrees with "
+                    f"pipeline.makespan_us {drr_makespan_us}us")
+            hol_share = blame.get("hol_share")
+        base_us = drr_section["makespan_us"]
+        max_regression = drr_section.get("max_regression", 0.10)
+        ceiling_us = base_us * (1.0 + max_regression)
+        if drr_makespan_us > ceiling_us:
+            drr_failures.append(
+                f"DRR makespan {drr_makespan_us}us regressed more than "
+                f"{max_regression:.0%} over baseline {base_us}us")
+        max_hol_share = drr_section.get("max_hol_share", 0.30)
+        if hol_share is None:
+            drr_failures.append("DRR blame report carries no hol_share")
+        elif hol_share >= max_hol_share:
+            drr_failures.append(
+                f"DRR head-of-line share {hol_share:.1%} is not below "
+                f"{max_hol_share:.0%}")
+        # The FIFO policy's chunk sweep: DRR must strictly beat its best.
+        fifo_best_us = None
+        fifo_sweep = {}
+        for chunk in drr_section.get("fifo_sweep_chunks", []):
+            out, _ = run([tjsim] + drr_section["fifo_workload"] +
+                         [f"--pipeline-chunk={chunk}", "--blame=json"])
+            fifo_us = json.loads(out)[-1]["makespan_us"]
+            fifo_sweep[str(chunk)] = fifo_us
+            if fifo_best_us is None or fifo_us < fifo_best_us:
+                fifo_best_us = fifo_us
+        if fifo_best_us is not None and drr_makespan_us >= fifo_best_us:
+            drr_failures.append(
+                f"DRR makespan {drr_makespan_us}us does not strictly beat "
+                f"the FIFO chunk sweep's best {fifo_best_us}us")
+        drr_report = {
+            "workload": drr_section["workload"],
+            "makespan_us": drr_makespan_us,
+            "span_makespan_us": span_us,
+            "baseline_us": base_us,
+            "ceiling_us": round(ceiling_us),
+            "hol_share": hol_share,
+            "max_hol_share": max_hol_share,
+            "fifo_sweep_us": fifo_sweep,
+            "fifo_best_us": fifo_best_us,
+            "pass": not drr_failures,
+        }
+        status = "ok" if not drr_failures else "REGRESSION"
+        print(f"    drr makespan {drr_makespan_us}us (hol share "
+              f"{hol_share:.0%}) vs fifo best {fifo_best_us}us, baseline "
+              f"{base_us}us {status}")
+
     gate = []
-    failures = list(makespan_failures)
+    failures = list(makespan_failures) + list(drr_failures)
     gated = [(metric, base, kernels.get(metric))
              for metric, base in baseline["tps"].items()]
     gated += [(metric, base, micro.get(metric))
@@ -285,6 +394,7 @@ def main():
         "trace_gate": trace_gate,
         "trace_tolerance": args.trace_tolerance,
         "makespan_gate": makespan_report,
+        "drr_gate": drr_report,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)

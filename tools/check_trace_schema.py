@@ -12,7 +12,9 @@ event-driven fabric's micro-batch instrumentation: "mb"-category spans,
 non-negative flow.credit.* / flow.queued.* counters, 0/1 busy tracks for
 every modeled resource (cpu.busy, nic.egress.busy, nic.ingress.busy),
 cumulative nic.ingress_bytes/nic.egress_bytes counters matching the barrier
-fabric's schema, per-node schedule spans whose [range_lo, range_hi) key
+fabric's schema, non-negative per-destination egress.queued.* / drr.deficit.*
+scheduler tracks (required with --expect-drr, i.e. for --egress-sched=drr
+runs), per-node schedule spans whose [range_lo, range_hi) key
 ranges are contiguous, monotone and closed by a single range_hi=-1 sentinel,
 and — the causality invariant — every scheduled range preceded on its node
 by tracking spans from all sources whose watermarks cover it (or that
@@ -85,7 +87,7 @@ def check_fields(obj, spec, where):
                  (where, key, value, kind.__name__))
 
 
-def check_pipeline(events, allow_partial=False):
+def check_pipeline(events, allow_partial=False, expect_drr=False):
     """Validates the micro-batch/credit span schema of a pipelined trace."""
     mb_spans = [e for e in events
                 if e.get("ph") == "X" and e.get("cat") == "mb"]
@@ -94,6 +96,7 @@ def check_pipeline(events, allow_partial=False):
              "instrumentation missing)")
 
     credit_events = 0
+    drr_events = 0
     busy_events = {"cpu.busy": 0, "nic.egress.busy": 0, "nic.ingress.busy": 0}
     nic_byte_events = {"nic.egress_bytes": 0, "nic.ingress_bytes": 0}
     nic_byte_last = {}  # (name, pid) -> last cumulative value
@@ -103,6 +106,14 @@ def check_pipeline(events, allow_partial=False):
         name = e.get("name", "")
         if name.startswith("flow.credit.") or name.startswith("flow.queued."):
             credit_events += 1
+            if e["args"]["value"] < 0:
+                fail("--pipeline: %s went negative (%d) at ts=%d pid=%d" %
+                     (name, e["args"]["value"], e.get("ts", -1), e["pid"]))
+        elif (name.startswith("egress.queued.") or
+              name.startswith("drr.deficit.")):
+            # Per-destination DRR egress scheduler tracks (--egress-sched=drr
+            # runs only): parked payload bytes and the deficit counter.
+            drr_events += 1
             if e["args"]["value"] < 0:
                 fail("--pipeline: %s went negative (%d) at ts=%d pid=%d" %
                      (name, e["args"]["value"], e.get("ts", -1), e["pid"]))
@@ -132,6 +143,9 @@ def check_pipeline(events, allow_partial=False):
         if count == 0:
             fail("--pipeline: no %s counter events (parity with the "
                  "barrier-fabric NIC schema)" % name)
+    if expect_drr and drr_events == 0:
+        fail("--pipeline --expect-drr: no egress.queued.* / drr.deficit.* "
+             "counter events (DRR egress scheduler tracks missing)")
 
     for name in ("pipeline.makespan_us", "pipeline.barrier_us"):
         values = [e["args"]["value"] for e in events
@@ -213,7 +227,8 @@ def check_pipeline(events, allow_partial=False):
           (len(mb_spans), credit_events, num_nodes, checked_ranges))
 
 
-def check_trace(path, pipeline=False, allow_partial=False):
+def check_trace(path, pipeline=False, allow_partial=False,
+                expect_drr=False):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -269,7 +284,8 @@ def check_trace(path, pipeline=False, allow_partial=False):
     if pipeline:
         # The event-driven fabric replaces the barrier fabric's phase spans
         # and NIC counters with micro-batch spans and credit counters.
-        check_pipeline(events, allow_partial=allow_partial)
+        check_pipeline(events, allow_partial=allow_partial,
+                       expect_drr=expect_drr)
         return
     if phase_spans == 0:
         fail("no 'phase'-category spans (fabric instrumentation missing)")
@@ -347,6 +363,7 @@ BLAME_RESOURCE_FOR_CLASS = {
     "credit_exhausted": "link",
     "egress_hol": "nic.egress",
     "egress_queue": "nic.egress",
+    "drr_wait": "nic.egress",
     "ingress_queue": "nic.ingress",
     "wire": "wire",
 }
@@ -454,18 +471,20 @@ def main():
     expect_zero_hot_split = "--expect-zero-hot-split" in args
     pipeline = "--pipeline" in args
     allow_partial = "--allow-partial" in args
+    expect_drr = "--expect-drr" in args
     args = [a for a in args
             if a not in ("--expect-zero-hot-split", "--pipeline",
-                         "--allow-partial")]
+                         "--allow-partial", "--expect-drr")]
     if len(args) == 2 and args[0] == "trace":
-        check_trace(args[1], pipeline=pipeline, allow_partial=allow_partial)
+        check_trace(args[1], pipeline=pipeline, allow_partial=allow_partial,
+                    expect_drr=expect_drr)
     elif len(args) == 1 and args[0] == "explain":
         check_explain(expect_zero_hot_split)
     elif len(args) == 1 and args[0] == "blame":
         check_blame()
     else:
         sys.exit("usage: check_trace_schema.py trace FILE [--pipeline] "
-                 "[--allow-partial]\n"
+                 "[--allow-partial] [--expect-drr]\n"
                  "       check_trace_schema.py explain "
                  "[--expect-zero-hot-split] < explain.json\n"
                  "       check_trace_schema.py blame < blame.json")

@@ -46,7 +46,7 @@ for san in "${sanitizers[@]}"; do
   for required in kway_merge_test flat_table_test buffer_pool_test \
                   tracker_test hot_split_test zipf_workload_test \
                   pipelined_fabric_test pipelined_track_join_test \
-                  blame_test; do
+                  blame_test egress_sched_test; do
     if ! grep -q " ${required}\$" <<<"${unit_listing}"; then
       echo "ci.sh: ${required} missing from the unit label in ${dir}" >&2
       exit 1
@@ -192,6 +192,30 @@ if [[ "${rc}" -ne 1 ]]; then
   exit 1
 fi
 
+# DRR egress-scheduler smoke: a drr run's trace must carry the deficit
+# counter tracks and queued-wait spans (--expect-drr), its blame report
+# must reconcile with the drr_wait class admitted, and the flag surface
+# must reject bad values / missing prerequisites with exit 1.
+echo "=== drr smoke: tjsim --egress-sched=drr --trace/--blame | check_trace_schema ==="
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=20000 --rmult=2 --smult=3 \
+    --algo=4tj --pipeline --pipeline-chunk=1024 --egress-sched=drr \
+    --trace="${pipeline_trace_tmp}" >/dev/null
+python3 tools/check_trace_schema.py trace "${pipeline_trace_tmp}" \
+    --pipeline --expect-drr
+"${smoke_dir}/tools/tjsim" --nodes=4 --keys=20000 --rmult=2 --smult=3 \
+    --algo=3tj,4tj --pipeline --egress-sched=drr --drr-quantum=2048 \
+    --blame=json \
+  | python3 tools/check_trace_schema.py blame
+for bad in "--pipeline --egress-sched=wfq" "--egress-sched=drr" \
+           "--pipeline --drr-quantum=4096"; do
+  # shellcheck disable=SC2086
+  rc=0; "${smoke_dir}/tools/tjsim" --nodes=4 --keys=500 --algo=4tj \
+      ${bad} >/dev/null 2>&1 || rc=$?
+  if [[ "${rc}" -ne 1 ]]; then
+    echo "ci.sh: tjsim ${bad} exited ${rc}, expected 1" >&2; exit 1
+  fi
+done
+
 # The batch-scoped ParallelFor is lock-order sensitive; run its tests (and
 # the rest of tj_common's concurrency surface) under TSan even when the
 # caller only asked for the default sanitizers. The pipelined fabric's
@@ -202,9 +226,9 @@ if [[ ! " ${sanitizers[*]} " == *" thread "* ]]; then
   echo "=== thread: thread_pool + pipelined fabric tests under TSan (build-tsan) ==="
   cmake -B build-tsan -S . -DTJ_SANITIZE=thread "${launcher_flags[@]}" >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target thread_pool_test \
-      pipelined_fabric_test pipelined_track_join_test
+      pipelined_fabric_test pipelined_track_join_test egress_sched_test
   ctest --test-dir build-tsan \
-      -R 'thread_pool_test|pipelined_fabric_test|pipelined_track_join_test' \
+      -R 'thread_pool_test|pipelined_fabric_test|pipelined_track_join_test|egress_sched_test' \
       --output-on-failure
 fi
 
